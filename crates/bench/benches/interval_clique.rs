@@ -1,0 +1,37 @@
+//! Micro-benchmark: maximum-weight clique on interval graphs (the maxClique
+//! module of STComb).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stb_core::{max_weight_interval_clique, WeightedInterval};
+use stb_timeseries::TimeInterval;
+
+fn intervals(n: usize, timeline: usize, seed: u64) -> Vec<WeightedInterval> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let start = rng.gen_range(0..timeline - 31);
+            let len = rng.gen_range(1..30);
+            WeightedInterval::new(
+                TimeInterval::new(start, start + len),
+                rng.gen_range(0.01..1.0),
+                i,
+            )
+        })
+        .collect()
+}
+
+fn bench_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_clique");
+    for &n in &[100usize, 1_000, 10_000] {
+        let data = intervals(n, 365, 3);
+        group.bench_with_input(BenchmarkId::new("sweep", n), &data, |b, data| {
+            b.iter(|| black_box(max_weight_interval_clique(data)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clique);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Micro-benchmark: maximum-weight rectangle search and R-Bursty — the
+//! spatial discrepancy module behind every STLocal snapshot. Includes the
+//! grid-approximation ablation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stb_discrepancy::{max_weight_rect, max_weight_rect_grid, RBursty, WPoint};
+
+fn points(n: usize, seed: u64) -> Vec<WPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            WPoint::new(
+                rng.gen_range(0.0..1000.0),
+                rng.gen_range(0.0..1000.0),
+                rng.gen_range(-1.0..1.5),
+            )
+        })
+        .collect()
+}
+
+fn bench_max_rect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_rect");
+    for &n in &[30usize, 90, 181] {
+        let pts = points(n, 7);
+        group.bench_with_input(BenchmarkId::new("exact", n), &pts, |b, pts| {
+            b.iter(|| black_box(max_weight_rect(pts)))
+        });
+        group.bench_with_input(BenchmarkId::new("grid16", n), &pts, |b, pts| {
+            b.iter(|| black_box(max_weight_rect_grid(pts, 16)))
+        });
+        group.bench_with_input(BenchmarkId::new("rbursty", n), &pts, |b, pts| {
+            b.iter(|| black_box(RBursty::new().find(pts)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_max_rect);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Micro-benchmark: Ruzzo–Tompa maximal scoring subsequences (batch and
+//! online), the `GetMax` module used throughout STLocal.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stb_timeseries::{max_segments, OnlineMaxSeg};
+
+fn scores(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_ruzzo_tompa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ruzzo_tompa");
+    for &n in &[100usize, 1_000, 10_000] {
+        let data = scores(n, 42);
+        group.bench_with_input(BenchmarkId::new("batch", n), &data, |b, data| {
+            b.iter(|| black_box(max_segments(data)))
+        });
+        group.bench_with_input(BenchmarkId::new("online", n), &data, |b, data| {
+            b.iter(|| {
+                let mut state = OnlineMaxSeg::new();
+                for &s in data {
+                    state.push(s);
+                }
+                black_box(state.maximal_segments())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ruzzo_tompa);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benchmark backing Figure 8: per-term mining time of both approaches as
+//! the number of streams grows (distGen data, sparse per-term background).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stb_core::{STComb, STLocal, STLocalConfig};
+use stb_corpus::StreamId;
+use stb_datagen::{GeneratorConfig, PatternGenerator, StreamSelection};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for &n_streams in &[500usize, 2000] {
+        let config = GeneratorConfig {
+            n_streams,
+            timeline: 120,
+            n_terms: 200,
+            n_patterns: 30,
+            selection: StreamSelection::DistGen { decay_fraction: 0.08 },
+            background_density: (120.0 / n_streams as f64).min(1.0),
+            seed: 31,
+            ..Default::default()
+        };
+        let dataset = PatternGenerator::generate(config);
+        let term = dataset.patterned_terms()[0];
+        group.bench_with_input(
+            BenchmarkId::new("stlocal_per_term", n_streams),
+            &dataset,
+            |b, dataset| {
+                b.iter(|| {
+                    let mut miner =
+                        STLocal::new(dataset.positions().to_vec(), STLocalConfig::default());
+                    for ts in 0..dataset.timeline() {
+                        miner.step(&dataset.snapshot(term, ts));
+                    }
+                    black_box(miner.finish())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("stcomb_per_term", n_streams),
+            &dataset,
+            |b, dataset| {
+                b.iter(|| {
+                    let series: Vec<(StreamId, Vec<f64>)> = (0..dataset.n_streams())
+                        .map(|s| (StreamId(s as u32), dataset.series(term, s)))
+                        .collect();
+                    black_box(STComb::new().mine_series(&series))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Benchmark: top-k retrieval with Fagin's Threshold Algorithm against
+//! exhaustive evaluation over synthetic posting lists.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stb_corpus::{DocId, TermId};
+use stb_search::threshold::exhaustive_topk;
+use stb_search::{threshold_topk, InvertedIndex, NoPatternPolicy};
+
+fn build_index(n_docs: usize, n_terms: usize, density: f64, seed: u64) -> InvertedIndex {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idx = InvertedIndex::new();
+    for t in 0..n_terms {
+        for d in 0..n_docs {
+            if rng.gen_bool(density) {
+                idx.insert(TermId(t as u32), DocId(d as u32), rng.gen_range(0.0..5.0));
+            }
+        }
+    }
+    idx.finalize();
+    idx
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("search_topk");
+    for &n_docs in &[10_000usize, 50_000] {
+        let idx = build_index(n_docs, 4, 0.2, 99);
+        let query: Vec<TermId> = (0..3u32).map(TermId).collect();
+        group.bench_with_input(BenchmarkId::new("threshold", n_docs), &idx, |b, idx| {
+            b.iter(|| black_box(threshold_topk(idx, &query, 10, NoPatternPolicy::Zero)))
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", n_docs), &idx, |b, idx| {
+            b.iter(|| black_box(exhaustive_topk(idx, &query, 10, NoPatternPolicy::Zero)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

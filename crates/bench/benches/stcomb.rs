@@ -1,0 +1,35 @@
+//! Benchmark: full STComb mining of one term across many streams
+//! (burst extraction + iterated max-weight clique).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stb_core::STComb;
+use stb_corpus::StreamId;
+use stb_datagen::{GeneratorConfig, PatternGenerator, StreamSelection};
+
+fn bench_stcomb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stcomb");
+    group.sample_size(20);
+    for &n_streams in &[50usize, 200, 500] {
+        let config = GeneratorConfig {
+            n_streams,
+            timeline: 365,
+            n_terms: 50,
+            n_patterns: 20,
+            selection: StreamSelection::DistGen { decay_fraction: 0.08 },
+            seed: 11,
+            ..Default::default()
+        };
+        let dataset = PatternGenerator::generate(config);
+        let term = dataset.patterned_terms()[0];
+        let series: Vec<(StreamId, Vec<f64>)> = (0..n_streams)
+            .map(|s| (StreamId(s as u32), dataset.series(term, s)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("mine_term", n_streams), &series, |b, series| {
+            b.iter(|| black_box(STComb::new().mine_series(series)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stcomb);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmark: a full STLocal streaming pass for one term (48 snapshots, as
+//! in the Topix corpus).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use stb_core::{STLocal, STLocalConfig};
+use stb_datagen::{GeneratorConfig, PatternGenerator, StreamSelection};
+
+fn bench_stlocal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stlocal");
+    group.sample_size(10);
+    for &n_streams in &[50usize, 181] {
+        let config = GeneratorConfig {
+            n_streams,
+            timeline: 48,
+            n_terms: 20,
+            n_patterns: 10,
+            selection: StreamSelection::DistGen { decay_fraction: 0.08 },
+            seed: 23,
+            ..Default::default()
+        };
+        let dataset = PatternGenerator::generate(config);
+        let term = dataset.patterned_terms()[0];
+        let snapshots: Vec<Vec<f64>> = (0..dataset.timeline())
+            .map(|ts| dataset.snapshot(term, ts))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("stream_term", n_streams),
+            &snapshots,
+            |b, snapshots| {
+                b.iter(|| {
+                    let mut miner =
+                        STLocal::new(dataset.positions().to_vec(), STLocalConfig::default());
+                    for snap in snapshots {
+                        miner.step(snap);
+                    }
+                    black_box(miner.finish())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stlocal);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Benchmark backing Figure 7: per-timestamp processing cost of STLocal and
+//! STComb on (a reduced version of) the Topix corpus, for one event term.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use stb_bench::experiments::stcomb_miner;
+use stb_core::{STLocal, STLocalConfig};
+use stb_corpus::StreamId;
+use stb_datagen::{TopixConfig, TopixCorpus};
+
+fn bench_topix_streaming(c: &mut Criterion) {
+    let corpus = TopixCorpus::generate(TopixConfig::small());
+    let collection = corpus.collection();
+    // Event 15 (Tsvangirai): a localized query term.
+    let term = corpus.query_terms(14)[0];
+    let snapshots: Vec<Vec<f64>> = (0..collection.timeline_len())
+        .map(|ts| collection.term_snapshot(term, ts).frequencies)
+        .collect();
+    let series: Vec<(StreamId, Vec<f64>)> = collection
+        .streams_with_term(term)
+        .into_iter()
+        .map(|s| (s, collection.term_stream_series(term, s)))
+        .collect();
+
+    let mut group = c.benchmark_group("topix_streaming");
+    group.sample_size(10);
+    group.bench_function("stlocal_full_stream", |b| {
+        b.iter(|| {
+            let mut miner = STLocal::new(collection.positions(), STLocalConfig::default());
+            for snap in &snapshots {
+                miner.step(snap);
+            }
+            black_box(miner.finish())
+        })
+    });
+    group.bench_function("stcomb_full_stream", |b| {
+        b.iter(|| black_box(stcomb_miner().mine_series(&series)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topix_streaming);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 5 — Distribution of the number of bursty rectangles per term per
+//! timestamp for STLocal on the Topix corpus.
+//!
+//! The paper renders this as a pie chart; we print the same population as a
+//! histogram over the paper's bins.
+//!
+//! ```text
+//! cargo run --release -p stb-bench --bin figure5 [-- --full]
+//! ```
+
+use stb_bench::experiments::{rectangle_histogram, sample_terms, streaming_statistics, topix_corpus};
+use stb_bench::{ExperimentCtx, TableWriter};
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    eprintln!("[figure5] generating synthetic Topix corpus...");
+    let corpus = topix_corpus(&ctx);
+    let n_background = if ctx.full { 300 } else { 80 };
+    let terms = sample_terms(&corpus, n_background);
+    eprintln!("[figure5] streaming {} terms with STLocal...", terms.len());
+    let stats = streaming_statistics(&corpus, &terms);
+    let bins = rectangle_histogram(&stats.avg_rectangles_per_term);
+
+    let mut table = TableWriter::new("Figure 5: Avg # bursty rectangles per term per timestamp");
+    table.header(["Bin", "% of terms"]);
+    for (label, pct) in [("0 - 1", bins[0]), ("1 - 2", bins[1]), ("2 - 3", bins[2]), (">= 3", bins[3])] {
+        table.row([label.to_string(), format!("{pct:.1}%")]);
+    }
+    table.print();
+
+    println!();
+    println!(
+        "Terms sampled: {} (all 18 event queries + {} background terms).",
+        terms.len(),
+        n_background
+    );
+    println!(
+        "Paper's observation: for the vast majority of terms (92%) the average number of \
+         rectangles per timestamp lies in [0, 1), far below the worst-case n = 181."
+    );
+}

@@ -1,0 +1,45 @@
+//! Figure 7 — Running time (ms) per timestamp for STComb and STLocal on the
+//! Topix corpus, averaged over the sampled terms.
+//!
+//! ```text
+//! cargo run --release -p stb-bench --bin figure7 [-- --full]
+//! ```
+
+use stb_bench::experiments::{sample_terms, timing_per_timestamp, topix_corpus};
+use stb_bench::{ExperimentCtx, TableWriter};
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    eprintln!("[figure7] generating synthetic Topix corpus...");
+    let corpus = topix_corpus(&ctx);
+    let n_background = if ctx.full { 100 } else { 30 };
+    let terms = sample_terms(&corpus, n_background);
+    eprintln!(
+        "[figure7] replaying the stream and timing {} terms per timestamp...",
+        terms.len()
+    );
+    let timing = timing_per_timestamp(&corpus, &terms);
+
+    let mut table = TableWriter::new("Figure 7: Running time (ms) per timestamp, per term");
+    table.header(["Timestamp", "STComb (ms)", "STLocal (ms)"]);
+    for ts in 0..timing.stlocal_ms.len() {
+        table.row([
+            ts.to_string(),
+            format!("{:.3}", timing.stcomb_ms[ts]),
+            format!("{:.3}", timing.stlocal_ms[ts]),
+        ]);
+    }
+    table.print();
+
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!();
+    println!(
+        "Averages: STComb {:.3} ms/timestamp/term, STLocal {:.3} ms/timestamp/term.",
+        avg(&timing.stcomb_ms),
+        avg(&timing.stlocal_ms)
+    );
+    println!(
+        "Expected shape (paper, Figure 7): the online STLocal stays roughly flat and cheap, \
+         while STComb grows with the prefix length because it reprocesses the entire stream."
+    );
+}

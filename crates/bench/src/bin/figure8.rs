@@ -1,0 +1,39 @@
+//! Figure 8 — Running time vs number of streams on distGen data.
+//!
+//! ```text
+//! cargo run --release -p stb-bench --bin figure8 [-- --full]
+//! ```
+//!
+//! The default sweep stops at 4,000 streams so the binary finishes quickly;
+//! `--full` runs the paper's sweep up to 128,000 streams (slow).
+
+use stb_bench::experiments::{scalability_experiment, scalability_stream_counts};
+use stb_bench::{ExperimentCtx, TableWriter};
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    let counts = scalability_stream_counts(ctx.full);
+    let terms_per_point = if ctx.full { 20 } else { 10 };
+    eprintln!(
+        "[figure8] sweeping stream counts {:?} with {} timed terms per point...",
+        counts, terms_per_point
+    );
+    let points = scalability_experiment(&ctx, &counts, terms_per_point);
+
+    let mut table = TableWriter::new("Figure 8: Running time (s per term) vs number of streams (distGen)");
+    table.header(["# streams", "STComb (s)", "STLocal (s)"]);
+    for p in &points {
+        table.row([
+            p.n_streams.to_string(),
+            format!("{:.3}", p.stcomb_secs),
+            format!("{:.3}", p.stlocal_secs),
+        ]);
+    }
+    table.print();
+
+    println!();
+    println!(
+        "Expected shape (paper, Figure 8): both approaches grow close to linearly with the \
+         number of streams, with STLocal consistently the faster of the two."
+    );
+}

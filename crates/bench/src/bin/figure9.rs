@@ -1,0 +1,52 @@
+//! Figure 9 (Appendix B) — Weibull PDF curves for different shape/scale
+//! parameters, the burst profiles used by the data generators.
+//!
+//! ```text
+//! cargo run --release -p stb-bench --bin figure9
+//! ```
+
+use stb_bench::TableWriter;
+use stb_datagen::Weibull;
+
+fn main() {
+    // Parameter combinations in the spirit of the paper's Figure 9: sharp
+    // unexpected events, slow build-ups, and long-lived stories.
+    let curves = [
+        (1.5, 5.0),
+        (2.0, 10.0),
+        (3.0, 15.0),
+        (5.0, 20.0),
+    ];
+    let xs: Vec<f64> = (0..=40).map(|i| i as f64).collect();
+
+    let mut table = TableWriter::new("Figure 9: Weibull PDF curves f(x; c, k)");
+    table.header(
+        std::iter::once("x".to_string())
+            .chain(curves.iter().map(|(k, c)| format!("k={k}, c={c}")))
+            .collect::<Vec<_>>(),
+    );
+    for &x in &xs {
+        let mut row = vec![format!("{x:.0}")];
+        for &(k, c) in &curves {
+            row.push(format!("{:.4}", Weibull::new(k, c).pdf(x)));
+        }
+        table.row(row);
+    }
+    table.print();
+
+    println!();
+    println!("ASCII sketch (each row is one curve, scaled to its own peak):");
+    for &(k, c) in &curves {
+        let w = Weibull::new(k, c);
+        let values: Vec<f64> = xs.iter().map(|&x| w.pdf(x)).collect();
+        let max = values.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
+        let line: String = values
+            .iter()
+            .map(|v| {
+                let level = (v / max * 8.0).round() as usize;
+                [" ", ".", ":", "-", "=", "+", "*", "#", "@"][level.min(8)]
+            })
+            .collect();
+        println!("  k={k:<3} c={c:<4} |{line}|");
+    }
+}

@@ -1,0 +1,46 @@
+//! Table 3 — Precision in the top-10 documents of the bursty-document
+//! search engine, for TB (temporal-only), STLocal and STComb patterns,
+//! plus the pairwise overlap of their top-10 sets (Section 6.3).
+//!
+//! ```text
+//! cargo run --release -p stb-bench --bin table3 [-- --full]
+//! ```
+
+use stb_bench::experiments::{evaluate_search, topix_corpus};
+use stb_bench::{ExperimentCtx, TableWriter};
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    eprintln!("[table3] generating synthetic Topix corpus...");
+    let corpus = topix_corpus(&ctx);
+    eprintln!("[table3] mining patterns and retrieving top-10 documents per query...");
+    let (evaluations, overlaps) = evaluate_search(&corpus, 10);
+
+    let mut table = TableWriter::new("Table 3: Precision in top-10 documents");
+    table.header(["#", "Query", "TB", "STLocal", "STComb"]);
+    for e in &evaluations {
+        table.row([
+            e.event.id.to_string(),
+            e.event.query.to_string(),
+            format!("{:.1}", e.tb_precision),
+            format!("{:.1}", e.stlocal_precision),
+            format!("{:.1}", e.stcomb_precision),
+        ]);
+    }
+    table.print();
+
+    let avg = |f: &dyn Fn(&stb_bench::experiments::SearchEvaluation) -> f64| {
+        evaluations.iter().map(f).sum::<f64>() / evaluations.len().max(1) as f64
+    };
+    println!();
+    println!(
+        "Average precision:  TB {:.2}   STLocal {:.2}   STComb {:.2}",
+        avg(&|e| e.tb_precision),
+        avg(&|e| e.stlocal_precision),
+        avg(&|e| e.stcomb_precision)
+    );
+    println!(
+        "Top-10 set overlap: STComb-TB {:.2}   STComb-STLocal {:.2}   TB-STLocal {:.2}",
+        overlaps.stcomb_tb, overlaps.stcomb_stlocal, overlaps.tb_stlocal
+    );
+}

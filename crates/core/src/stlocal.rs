@@ -1,0 +1,604 @@
+//! `STLocal`: regional spatiotemporal patterns via streaming maximal windows
+//! (Section 4, Algorithm 2).
+//!
+//! `STLocal` processes a collection one snapshot (timestamp) at a time. For
+//! every new snapshot it:
+//!
+//! 1. computes the per-stream burstiness `B(t, D_x[i]) = observed − expected`
+//!    (Eq. 7) using a pluggable expected-frequency baseline,
+//! 2. runs `R-Bursty` to find the bursty rectangles of the snapshot
+//!    (Algorithm 1),
+//! 3. starts a score *sequence* for every newly seen bursty region, appends
+//!    the region's current r-score to every tracked sequence, and
+//! 4. maintains the maximal spatiotemporal windows of every sequence with
+//!    the online Ruzzo–Tompa algorithm (`GetMax`), retiring sequences whose
+//!    running total drops below zero (they can never again extend a maximal
+//!    window).
+//!
+//! One `STLocal` instance tracks one term; terms are independent, so a
+//! driver can process many terms in parallel (see [`STLocal::mine_collection_parallel`]).
+
+use crate::pattern::RegionalPattern;
+use stb_corpus::{Collection, StreamId, TermId};
+use stb_discrepancy::{RBursty, WPoint};
+use stb_geo::{Mbr, Point2D, Rect};
+use stb_timeseries::{BaselineModel, OnlineMaxSeg, TimeInterval};
+
+/// Choice of expected-frequency baseline `E_x[i][t]` (see
+/// [`stb_timeseries::baseline`]). The paper leaves this open; the default is
+/// the running mean of all history, which is also the paper's default
+/// suggestion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineKind {
+    /// Mean of all observations so far.
+    RunningMean,
+    /// Mean of the last `n` observations.
+    SlidingWindow(usize),
+    /// Exponentially weighted moving average with the given smoothing factor.
+    Ewma(f64),
+    /// Seasonal mean with the given period length.
+    Seasonal(usize),
+}
+
+/// Configuration of the `STLocal` miner.
+#[derive(Debug, Clone)]
+pub struct STLocalConfig {
+    /// Expected-frequency baseline used for the per-stream burstiness.
+    pub baseline: BaselineKind,
+    /// Minimum r-score for a rectangle to be reported by R-Bursty. The paper
+    /// uses 0 (strictly positive); raising it suppresses noise rectangles.
+    pub min_rectangle_score: f64,
+    /// Minimum w-score for a maximal window to be reported as a pattern.
+    pub min_window_score: f64,
+    /// A member stream is reported as *included* in a pattern only if its
+    /// total burstiness contribution within the window exceeds this fraction
+    /// of the strongest member's contribution. This implements the paper's
+    /// remark (Section 4, "Discussion on proximity") that the non-bursty
+    /// "false positives" contained in a bursty rectangle are remembered and
+    /// ultimately excluded from the pattern. Set to 0 to keep every member
+    /// with any positive contribution.
+    pub min_member_contribution_ratio: f64,
+}
+
+impl Default for STLocalConfig {
+    fn default() -> Self {
+        Self {
+            baseline: BaselineKind::RunningMean,
+            min_rectangle_score: 0.0,
+            min_window_score: 0.0,
+            min_member_contribution_ratio: 0.05,
+        }
+    }
+}
+
+/// Runtime statistics collected while streaming, matching the quantities the
+/// paper reports in Figures 5 and 6.
+#[derive(Debug, Clone, Default)]
+pub struct STLocalStats {
+    /// Number of bursty rectangles found at each processed timestamp
+    /// (Figure 5 histogram input).
+    pub rectangles_per_timestamp: Vec<usize>,
+    /// Number of open (still tracked) spatiotemporal windows after each
+    /// processed timestamp (Figure 6).
+    pub open_windows_per_timestamp: Vec<usize>,
+    /// Number of active region sequences after each processed timestamp.
+    pub active_sequences_per_timestamp: Vec<usize>,
+}
+
+/// A tracked region: the set of streams it covers, its rectangle, and the
+/// online maximal-segment state of its r-score sequence.
+#[derive(Debug, Clone)]
+struct RegionSequence {
+    /// Sorted stream indices inside the region (identity of the region).
+    members: Vec<usize>,
+    /// Per member, the prefix sums of its burstiness contributions over the
+    /// sequence's lifetime (`contrib_prefix[m][k]` = contribution of member
+    /// `m` over the first `k` appended snapshots). Used to exclude, per
+    /// reported window, the member streams that did not contribute positive
+    /// burstiness — the "false positives" the paper's Section 4 discussion
+    /// says are remembered and ultimately excluded from each pattern.
+    contrib_prefix: Vec<Vec<f64>>,
+    /// The rectangle reported by R-Bursty when the region was first seen.
+    rect: Rect,
+    /// Timestamp at which the sequence started.
+    start_ts: usize,
+    /// Online Ruzzo–Tompa state over the region's r-scores.
+    maxseg: OnlineMaxSeg,
+}
+
+impl RegionSequence {
+    fn windows(&self, min_score: f64, min_member_ratio: f64) -> Vec<RegionalPattern> {
+        self.maxseg
+            .maximal_segments()
+            .into_iter()
+            .filter(|seg| seg.score > min_score)
+            .map(|seg| {
+                // Contributing streams of this window: members whose total
+                // burstiness within the window is positive and not
+                // negligible compared to the strongest contributor.
+                let contributions: Vec<f64> = self
+                    .contrib_prefix
+                    .iter()
+                    .map(|prefix| prefix[seg.end() + 1] - prefix[seg.start()])
+                    .collect();
+                let max_contribution = contributions.iter().copied().fold(0.0f64, f64::max);
+                let cutoff = max_contribution * min_member_ratio;
+                let core: Vec<StreamId> = self
+                    .members
+                    .iter()
+                    .zip(&contributions)
+                    .filter(|(_, &c)| c > 0.0 && c >= cutoff)
+                    .map(|(&i, _)| StreamId(i as u32))
+                    .collect();
+                RegionalPattern::with_region(
+                    self.rect,
+                    core,
+                    self.members.iter().map(|&i| StreamId(i as u32)).collect(),
+                    TimeInterval::new(self.start_ts + seg.start(), self.start_ts + seg.end()),
+                    seg.score,
+                )
+            })
+            .collect()
+    }
+}
+
+/// The streaming `STLocal` miner for a single term.
+#[derive(Debug, Clone)]
+pub struct STLocal {
+    config: STLocalConfig,
+    positions: Vec<Point2D>,
+    baselines: Vec<BaselineState>,
+    sequences: Vec<RegionSequence>,
+    retired: Vec<RegionalPattern>,
+    timestamp: usize,
+    stats: STLocalStats,
+}
+
+/// Concrete baseline state instantiated from a [`BaselineKind`].
+#[derive(Debug, Clone)]
+enum BaselineState {
+    RunningMean(stb_timeseries::RunningMean),
+    SlidingWindow(stb_timeseries::SlidingWindowMean),
+    Ewma(stb_timeseries::Ewma),
+    Seasonal(stb_timeseries::Seasonal),
+}
+
+impl BaselineState {
+    fn new(kind: &BaselineKind) -> Self {
+        match kind {
+            BaselineKind::RunningMean => BaselineState::RunningMean(stb_timeseries::RunningMean::new()),
+            BaselineKind::SlidingWindow(w) => {
+                BaselineState::SlidingWindow(stb_timeseries::SlidingWindowMean::new(*w))
+            }
+            BaselineKind::Ewma(a) => BaselineState::Ewma(stb_timeseries::Ewma::new(*a)),
+            BaselineKind::Seasonal(p) => BaselineState::Seasonal(stb_timeseries::Seasonal::new(*p)),
+        }
+    }
+
+    fn expected(&self) -> Option<f64> {
+        match self {
+            BaselineState::RunningMean(m) => m.expected(),
+            BaselineState::SlidingWindow(m) => m.expected(),
+            BaselineState::Ewma(m) => m.expected(),
+            BaselineState::Seasonal(m) => m.expected(),
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        match self {
+            BaselineState::RunningMean(m) => m.observe(v),
+            BaselineState::SlidingWindow(m) => m.observe(v),
+            BaselineState::Ewma(m) => m.observe(v),
+            BaselineState::Seasonal(m) => m.observe(v),
+        }
+    }
+}
+
+impl STLocal {
+    /// Creates a miner for streams at the given map positions (one position
+    /// per stream, indexed by stream index).
+    pub fn new(positions: Vec<Point2D>, config: STLocalConfig) -> Self {
+        let baselines = positions
+            .iter()
+            .map(|_| BaselineState::new(&config.baseline))
+            .collect();
+        Self {
+            config,
+            positions,
+            baselines,
+            sequences: Vec::new(),
+            retired: Vec::new(),
+            timestamp: 0,
+            stats: STLocalStats::default(),
+        }
+    }
+
+    /// Number of streams the miner was configured with.
+    pub fn n_streams(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of snapshots processed so far.
+    pub fn timestamps_processed(&self) -> usize {
+        self.timestamp
+    }
+
+    /// The streaming statistics collected so far.
+    pub fn stats(&self) -> &STLocalStats {
+        &self.stats
+    }
+
+    /// Processes one snapshot: the observed frequency of the term in every
+    /// stream at the current timestamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observed.len()` does not match the number of streams.
+    pub fn step(&mut self, observed: &[f64]) {
+        assert_eq!(
+            observed.len(),
+            self.positions.len(),
+            "snapshot must provide one frequency per stream"
+        );
+        // 1. Per-stream burstiness (Eq. 7).
+        let mut burstiness = vec![0.0f64; observed.len()];
+        for (x, &obs) in observed.iter().enumerate() {
+            burstiness[x] = match self.baselines[x].expected() {
+                Some(e) => obs - e,
+                None => 0.0,
+            };
+            self.baselines[x].observe(obs);
+        }
+
+        // 2. Bursty rectangles of this snapshot (Algorithm 1).
+        let points: Vec<WPoint> = self
+            .positions
+            .iter()
+            .zip(&burstiness)
+            .map(|(p, &w)| WPoint::at(*p, w))
+            .collect();
+        let rbursty = RBursty::new().with_min_score(self.config.min_rectangle_score);
+        let rects = rbursty.find(&points);
+        self.stats.rectangles_per_timestamp.push(rects.len());
+
+        // 3. Start sequences for regions not already tracked (Line 7 of
+        //    Algorithm 2). Region identity is its set of member streams.
+        for rect in &rects {
+            let mut members = rect.members.clone();
+            members.sort_unstable();
+            let already_tracked = self.sequences.iter().any(|s| s.members == members);
+            if !already_tracked {
+                let n_members = members.len();
+                self.sequences.push(RegionSequence {
+                    members,
+                    contrib_prefix: vec![vec![0.0]; n_members],
+                    rect: rect.rect,
+                    start_ts: self.timestamp,
+                    maxseg: OnlineMaxSeg::new(),
+                });
+            }
+        }
+
+        // 4. Append the current r-score to every tracked sequence (Line 9)
+        //    and retire sequences whose running total went negative
+        //    (Lines 11-12).
+        let min_window_score = self.config.min_window_score;
+        let min_member_ratio = self.config.min_member_contribution_ratio;
+        let mut still_active = Vec::with_capacity(self.sequences.len());
+        for mut seq in std::mem::take(&mut self.sequences) {
+            let r_score: f64 = seq.members.iter().map(|&x| burstiness[x]).sum();
+            for (m, &x) in seq.members.iter().enumerate() {
+                let last = *seq.contrib_prefix[m].last().expect("prefix starts with 0");
+                seq.contrib_prefix[m].push(last + burstiness[x]);
+            }
+            seq.maxseg.push(r_score);
+            if seq.maxseg.total() < 0.0 {
+                self.retired
+                    .extend(seq.windows(min_window_score, min_member_ratio));
+            } else {
+                still_active.push(seq);
+            }
+        }
+        self.sequences = still_active;
+
+        let open_windows: usize = self.sequences.iter().map(|s| s.maxseg.candidate_count()).sum();
+        self.stats.open_windows_per_timestamp.push(open_windows);
+        self.stats
+            .active_sequences_per_timestamp
+            .push(self.sequences.len());
+        self.timestamp += 1;
+    }
+
+    /// The maximal windows accumulated so far (retired sequences plus the
+    /// current windows of the still-active sequences), strongest first.
+    pub fn patterns(&self) -> Vec<RegionalPattern> {
+        let mut out = self.retired.clone();
+        for seq in &self.sequences {
+            out.extend(seq.windows(
+                self.config.min_window_score,
+                self.config.min_member_contribution_ratio,
+            ));
+        }
+        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Consumes the miner and returns all maximal windows, strongest first.
+    pub fn finish(self) -> Vec<RegionalPattern> {
+        self.patterns()
+    }
+
+    /// The single strongest pattern seen so far, if any.
+    pub fn top_pattern(&self) -> Option<RegionalPattern> {
+        self.patterns().into_iter().next()
+    }
+
+    /// Convenience driver: streams an entire collection for one term and
+    /// returns the mined patterns with the streaming statistics.
+    pub fn mine_collection(
+        collection: &Collection,
+        term: TermId,
+        config: STLocalConfig,
+    ) -> (Vec<RegionalPattern>, STLocalStats) {
+        let mut miner = STLocal::new(collection.positions(), config);
+        for ts in 0..collection.timeline_len() {
+            let snapshot = collection.term_snapshot(term, ts);
+            miner.step(&snapshot.frequencies);
+        }
+        let stats = miner.stats.clone();
+        (miner.finish(), stats)
+    }
+
+    /// Parallel driver: mines several terms of a collection concurrently
+    /// (terms are independent, as the paper notes when discussing the
+    /// complexity of `STLocal`). Results are returned in the order of the
+    /// input terms.
+    pub fn mine_collection_parallel(
+        collection: &Collection,
+        terms: &[TermId],
+        config: &STLocalConfig,
+        n_threads: usize,
+    ) -> Vec<(TermId, Vec<RegionalPattern>)> {
+        let n_threads = n_threads.max(1);
+        let results = parking_lot::Mutex::new(vec![None; terms.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..n_threads {
+                scope.spawn(|_| loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= terms.len() {
+                        break;
+                    }
+                    let term = terms[idx];
+                    let (patterns, _) = STLocal::mine_collection(collection, term, config.clone());
+                    results.lock()[idx] = Some((term, patterns));
+                });
+            }
+        })
+        .expect("worker thread panicked");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every term processed"))
+            .collect()
+    }
+
+    /// The minimum bounding rectangle of the streams of a pattern, expressed
+    /// in the miner's map coordinates, together with the number of streams
+    /// (of all streams known to the miner) that fall inside it. Used by the
+    /// Table 1 experiment for the "# countries in MBR" column.
+    pub fn mbr_stream_count(&self, pattern_streams: &[StreamId]) -> usize {
+        let mbr = Mbr::from_points(
+            pattern_streams
+                .iter()
+                .map(|s| self.positions[s.index()]),
+        );
+        mbr.count_contained(&self.positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Positions forming two well-separated clusters of three streams each.
+    fn cluster_positions() -> Vec<Point2D> {
+        vec![
+            Point2D::new(0.0, 0.0),
+            Point2D::new(1.0, 0.5),
+            Point2D::new(0.5, 1.0),
+            Point2D::new(100.0, 100.0),
+            Point2D::new(101.0, 100.5),
+            Point2D::new(100.5, 101.0),
+        ]
+    }
+
+    /// Streams a synthetic term: background frequency 1 everywhere, with a
+    /// burst of `peak` in the given streams during `burst_ts`.
+    fn run_scenario(
+        positions: Vec<Point2D>,
+        timeline: usize,
+        burst_streams: &[usize],
+        burst_ts: std::ops::Range<usize>,
+        peak: f64,
+    ) -> STLocal {
+        let mut miner = STLocal::new(positions.clone(), STLocalConfig::default());
+        for ts in 0..timeline {
+            let mut obs = vec![1.0; positions.len()];
+            if burst_ts.contains(&ts) {
+                for &s in burst_streams {
+                    obs[s] = peak;
+                }
+            }
+            miner.step(&obs);
+        }
+        miner
+    }
+
+    #[test]
+    fn detects_localized_burst() {
+        let miner = run_scenario(cluster_positions(), 30, &[0, 1, 2], 10..15, 20.0);
+        let top = miner.top_pattern().expect("a pattern should be found");
+        assert_eq!(
+            top.streams,
+            vec![StreamId(0), StreamId(1), StreamId(2)],
+            "the pattern should cover exactly the bursty cluster"
+        );
+        assert!(top.timeframe.start >= 10 && top.timeframe.start <= 11);
+        assert!(top.timeframe.end >= 13 && top.timeframe.end <= 15);
+        assert!(top.score > 0.0);
+    }
+
+    #[test]
+    fn quiet_stream_produces_no_patterns() {
+        let positions = cluster_positions();
+        let mut miner = STLocal::new(positions, STLocalConfig::default());
+        for _ in 0..20 {
+            miner.step(&[2.0; 6]);
+        }
+        assert!(miner.top_pattern().is_none());
+        assert!(miner.finish().is_empty());
+    }
+
+    #[test]
+    fn two_separate_regions_yield_two_patterns() {
+        let positions = cluster_positions();
+        let mut miner = STLocal::new(positions.clone(), STLocalConfig::default());
+        for ts in 0..40 {
+            let mut obs = vec![1.0; positions.len()];
+            if (8..12).contains(&ts) {
+                for s in 0..3 {
+                    obs[s] = 15.0;
+                }
+            }
+            if (25..30).contains(&ts) {
+                for s in 3..6 {
+                    obs[s] = 15.0;
+                }
+            }
+            miner.step(&obs);
+        }
+        let patterns = miner.finish();
+        assert!(patterns.len() >= 2);
+        let first_cluster: Vec<StreamId> = vec![StreamId(0), StreamId(1), StreamId(2)];
+        let second_cluster: Vec<StreamId> = vec![StreamId(3), StreamId(4), StreamId(5)];
+        assert!(patterns.iter().any(|p| p.streams == first_cluster));
+        assert!(patterns.iter().any(|p| p.streams == second_cluster));
+    }
+
+    #[test]
+    fn stats_are_recorded_per_timestamp() {
+        let miner = run_scenario(cluster_positions(), 25, &[0, 1], 5..8, 10.0);
+        let stats = miner.stats();
+        assert_eq!(stats.rectangles_per_timestamp.len(), 25);
+        assert_eq!(stats.open_windows_per_timestamp.len(), 25);
+        assert_eq!(stats.active_sequences_per_timestamp.len(), 25);
+        // During the burst at least one rectangle must be found.
+        assert!(stats.rectangles_per_timestamp[5..8].iter().any(|&c| c > 0));
+        // No burstiness on the very first timestamp (no history yet).
+        assert_eq!(stats.rectangles_per_timestamp[0], 0);
+    }
+
+    #[test]
+    fn sequences_are_pruned_after_burst_fades() {
+        let miner = run_scenario(cluster_positions(), 60, &[0, 1, 2], 10..13, 25.0);
+        let stats = miner.stats();
+        // Long after the burst the negative r-scores must have retired the
+        // sequence.
+        assert_eq!(*stats.active_sequences_per_timestamp.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn pattern_timeframe_is_within_processed_range() {
+        let miner = run_scenario(cluster_positions(), 30, &[3, 4, 5], 20..25, 12.0);
+        for p in miner.patterns() {
+            assert!(p.timeframe.end < 30);
+            assert!(p.timeframe.start <= p.timeframe.end);
+        }
+    }
+
+    #[test]
+    fn mine_collection_driver_works() {
+        use stb_corpus::CollectionBuilder;
+        use stb_geo::GeoPoint;
+        use std::collections::HashMap;
+
+        let mut b = CollectionBuilder::new(20);
+        let quake = b.dict_mut().intern("quake");
+        let s0 = b.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let s1 = b.add_stream("B", GeoPoint::new(1.0, 1.0));
+        let s2 = b.add_stream("C", GeoPoint::new(60.0, 60.0));
+        for ts in 0..20 {
+            for &s in &[s0, s1, s2] {
+                let mut counts = HashMap::new();
+                counts.insert(quake, 1);
+                b.add_document(s, ts, counts);
+            }
+        }
+        for ts in 8..11 {
+            for &s in &[s0, s1] {
+                let mut counts = HashMap::new();
+                counts.insert(quake, 30);
+                b.add_document(s, ts, counts);
+            }
+        }
+        let c = b.build();
+        let (patterns, stats) = STLocal::mine_collection(&c, quake, STLocalConfig::default());
+        assert!(!patterns.is_empty());
+        assert_eq!(stats.rectangles_per_timestamp.len(), 20);
+        assert_eq!(patterns[0].streams, vec![s0, s1]);
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential() {
+        use stb_corpus::CollectionBuilder;
+        use stb_geo::GeoPoint;
+        use std::collections::HashMap;
+
+        let mut b = CollectionBuilder::new(15);
+        let t1 = b.dict_mut().intern("alpha");
+        let t2 = b.dict_mut().intern("beta");
+        let s0 = b.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let s1 = b.add_stream("B", GeoPoint::new(2.0, 2.0));
+        for ts in 0..15 {
+            for &s in &[s0, s1] {
+                let mut counts = HashMap::new();
+                counts.insert(t1, if ts == 7 && s == s0 { 20 } else { 1 });
+                counts.insert(t2, if ts == 3 && s == s1 { 25 } else { 1 });
+                b.add_document(s, ts, counts);
+            }
+        }
+        let c = b.build();
+        let config = STLocalConfig::default();
+        let par = STLocal::mine_collection_parallel(&c, &[t1, t2], &config, 2);
+        for (term, patterns) in par {
+            let (seq, _) = STLocal::mine_collection(&c, term, config.clone());
+            assert_eq!(patterns.len(), seq.len());
+            for (a, b) in patterns.iter().zip(&seq) {
+                assert_eq!(a.streams, b.streams);
+                assert_eq!(a.timeframe, b.timeframe);
+                assert!((a.score - b.score).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mbr_count_covers_intermediate_streams() {
+        let positions = vec![
+            Point2D::new(0.0, 0.0),
+            Point2D::new(10.0, 10.0),
+            Point2D::new(5.0, 5.0),   // inside the MBR of 0 and 1
+            Point2D::new(50.0, 50.0), // outside
+        ];
+        let miner = STLocal::new(positions, STLocalConfig::default());
+        let count = miner.mbr_stream_count(&[StreamId(0), StreamId(1)]);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_snapshot_size_panics() {
+        let mut miner = STLocal::new(cluster_positions(), STLocalConfig::default());
+        miner.step(&[1.0, 2.0]);
+    }
+}

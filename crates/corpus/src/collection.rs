@@ -1,0 +1,441 @@
+//! Spatiotemporal collections: streams × timestamps × terms.
+//!
+//! A [`Collection`] is the paper's `D = {D_1[·], ..., D_n[·]}` (Section 2):
+//! a fixed set of geostamped document streams observed over a shared
+//! discrete timeline. It stores the documents themselves (needed by the
+//! search engine) and maintains the per-term frequency tensors the mining
+//! algorithms consume:
+//!
+//! * `D_x[i][t]` — the frequency of term `t` in the documents of stream `x`
+//!   at timestamp `i` (Eq. 6), available as per-stream series
+//!   ([`Collection::term_stream_series`]) and as per-timestamp snapshots
+//!   across streams ([`Collection::term_snapshot`]).
+//! * per-stream totals (all terms), used by detectors that need the overall
+//!   traffic volume (e.g. the Kleinberg automaton).
+
+use crate::dictionary::{TermDict, TermId};
+use crate::document::{DocId, Document};
+use std::collections::{BTreeMap, HashMap};
+
+use stb_geo::{GeoPoint, Point2D};
+
+/// Dense identifier of a stream within a collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The stream id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Discrete timestamp (index into the collection's timeline).
+pub type Timestamp = usize;
+
+/// Metadata of a document stream: a name, a geostamp, and the planar map
+/// position used by the regional mining (typically obtained by projecting
+/// the geostamps with MDS).
+#[derive(Debug, Clone)]
+pub struct StreamMeta {
+    /// Identifier of the stream.
+    pub id: StreamId,
+    /// Human-readable name (e.g. a country or city name).
+    pub name: String,
+    /// Geographic location of the stream.
+    pub geostamp: GeoPoint,
+    /// Position of the stream on the planar map.
+    pub position: Point2D,
+}
+
+/// A per-term snapshot `D[i]` of the collection: the frequency of one term
+/// in every stream at a single timestamp.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The timestamp of the snapshot.
+    pub timestamp: Timestamp,
+    /// Frequency of the term per stream, indexed by [`StreamId::index`].
+    pub frequencies: Vec<f64>,
+}
+
+/// Sparse per-term storage: for each stream that mentions the term, the
+/// (timestamp, frequency) pairs sorted by timestamp.
+type TermOccurrences = BTreeMap<StreamId, Vec<(Timestamp, f64)>>;
+
+/// A spatiotemporal document collection.
+#[derive(Debug, Clone)]
+pub struct Collection {
+    dict: TermDict,
+    streams: Vec<StreamMeta>,
+    timeline_len: usize,
+    documents: Vec<Document>,
+    term_freqs: HashMap<TermId, TermOccurrences>,
+    stream_totals: Vec<Vec<f64>>,
+}
+
+impl Collection {
+    /// Number of streams `n = |D|`.
+    pub fn n_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Length of the timeline `|L|` (number of timestamps).
+    pub fn timeline_len(&self) -> usize {
+        self.timeline_len
+    }
+
+    /// The term dictionary of the collection.
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Metadata of one stream.
+    pub fn stream(&self, id: StreamId) -> &StreamMeta {
+        &self.streams[id.index()]
+    }
+
+    /// Metadata of all streams, indexed by [`StreamId::index`].
+    pub fn streams(&self) -> &[StreamMeta] {
+        &self.streams
+    }
+
+    /// Planar positions of all streams, indexed by [`StreamId::index`].
+    pub fn positions(&self) -> Vec<Point2D> {
+        self.streams.iter().map(|s| s.position).collect()
+    }
+
+    /// All documents of the collection.
+    pub fn documents(&self) -> &[Document] {
+        &self.documents
+    }
+
+    /// A single document by id.
+    pub fn document(&self, id: DocId) -> &Document {
+        &self.documents[id.index()]
+    }
+
+    /// Iterates over every term that occurs at least once in the collection.
+    pub fn terms(&self) -> impl Iterator<Item = TermId> + '_ {
+        let mut ids: Vec<TermId> = self.term_freqs.keys().copied().collect();
+        ids.sort();
+        ids.into_iter()
+    }
+
+    /// Number of distinct terms that occur in the collection.
+    pub fn n_terms(&self) -> usize {
+        self.term_freqs.len()
+    }
+
+    /// The streams in which `term` occurs at least once, sorted by id.
+    pub fn streams_with_term(&self, term: TermId) -> Vec<StreamId> {
+        self.term_freqs
+            .get(&term)
+            .map(|m| m.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Dense frequency series of `term` in `stream` over the whole timeline
+    /// (`D_x[·][t]`). Timestamps with no occurrence are zero.
+    pub fn term_stream_series(&self, term: TermId, stream: StreamId) -> Vec<f64> {
+        let mut series = vec![0.0; self.timeline_len];
+        if let Some(per_stream) = self.term_freqs.get(&term) {
+            if let Some(entries) = per_stream.get(&stream) {
+                for &(ts, f) in entries {
+                    if ts < self.timeline_len {
+                        series[ts] += f;
+                    }
+                }
+            }
+        }
+        series
+    }
+
+    /// Frequency of `term` in every stream at `timestamp` (`D[i]` restricted
+    /// to one term), indexed by [`StreamId::index`].
+    pub fn term_snapshot(&self, term: TermId, timestamp: Timestamp) -> Snapshot {
+        let mut frequencies = vec![0.0; self.n_streams()];
+        if let Some(per_stream) = self.term_freqs.get(&term) {
+            for (stream, entries) in per_stream {
+                // There is at most one entry per timestamp (the builder
+                // aggregates), so a binary search lookup suffices.
+                if let Ok(idx) = entries.binary_search_by_key(&timestamp, |e| e.0) {
+                    frequencies[stream.index()] = entries[idx].1;
+                }
+            }
+        }
+        Snapshot {
+            timestamp,
+            frequencies,
+        }
+    }
+
+    /// Aggregated frequency series of `term` over *all* streams merged into
+    /// one (used by the temporal-only `TB` baseline of the paper).
+    pub fn term_merged_series(&self, term: TermId) -> Vec<f64> {
+        let mut series = vec![0.0; self.timeline_len];
+        if let Some(per_stream) = self.term_freqs.get(&term) {
+            for entries in per_stream.values() {
+                for &(ts, f) in entries {
+                    if ts < self.timeline_len {
+                        series[ts] += f;
+                    }
+                }
+            }
+        }
+        series
+    }
+
+    /// Total term occurrences (all terms) of `stream` per timestamp.
+    pub fn stream_total_series(&self, stream: StreamId) -> &[f64] {
+        &self.stream_totals[stream.index()]
+    }
+
+    /// Total number of term occurrences in the whole collection.
+    pub fn total_tokens(&self) -> f64 {
+        self.stream_totals.iter().flatten().sum()
+    }
+}
+
+/// Incremental builder of a [`Collection`].
+#[derive(Debug, Clone)]
+pub struct CollectionBuilder {
+    dict: TermDict,
+    streams: Vec<StreamMeta>,
+    timeline_len: usize,
+    documents: Vec<Document>,
+}
+
+impl CollectionBuilder {
+    /// Creates a builder for a collection with the given timeline length.
+    pub fn new(timeline_len: usize) -> Self {
+        Self {
+            dict: TermDict::new(),
+            streams: Vec::new(),
+            timeline_len,
+            documents: Vec::new(),
+        }
+    }
+
+    /// Mutable access to the term dictionary (for interning query terms or
+    /// generator vocabularies up front).
+    pub fn dict_mut(&mut self) -> &mut TermDict {
+        &mut self.dict
+    }
+
+    /// Read access to the term dictionary.
+    pub fn dict(&self) -> &TermDict {
+        &self.dict
+    }
+
+    /// Registers a stream with an explicit planar position.
+    pub fn add_stream_with_position(
+        &mut self,
+        name: &str,
+        geostamp: GeoPoint,
+        position: Point2D,
+    ) -> StreamId {
+        let id = StreamId(self.streams.len() as u32);
+        self.streams.push(StreamMeta {
+            id,
+            name: name.to_string(),
+            geostamp,
+            position,
+        });
+        id
+    }
+
+    /// Registers a stream whose planar position will be derived from its
+    /// geostamp by equirectangular projection (longitude → x, latitude → y).
+    ///
+    /// For a projection that better preserves pairwise distances, compute an
+    /// MDS embedding with [`stb_geo::classical_mds`] and use
+    /// [`CollectionBuilder::add_stream_with_position`].
+    pub fn add_stream(&mut self, name: &str, geostamp: GeoPoint) -> StreamId {
+        self.add_stream_with_position(name, geostamp, Point2D::new(geostamp.lon, geostamp.lat))
+    }
+
+    /// Number of streams registered so far.
+    pub fn n_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Adds a document given its term-frequency bag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is unknown or the timestamp is outside the
+    /// timeline.
+    pub fn add_document(
+        &mut self,
+        stream: StreamId,
+        timestamp: Timestamp,
+        counts: HashMap<TermId, u32>,
+    ) -> DocId {
+        assert!(stream.index() < self.streams.len(), "unknown stream");
+        assert!(timestamp < self.timeline_len, "timestamp beyond timeline");
+        let id = DocId(self.documents.len() as u32);
+        self.documents
+            .push(Document::new(id, stream, timestamp, counts));
+        id
+    }
+
+    /// Adds a document given its raw text, tokenizing with `tokenizer`.
+    pub fn add_text_document(
+        &mut self,
+        stream: StreamId,
+        timestamp: Timestamp,
+        text: &str,
+        tokenizer: &crate::tokenizer::Tokenizer,
+    ) -> DocId {
+        let counts = tokenizer.term_counts(text, &mut self.dict);
+        self.add_document(stream, timestamp, counts)
+    }
+
+    /// Finalizes the collection, computing the per-term frequency tensors.
+    pub fn build(self) -> Collection {
+        let mut term_freqs: HashMap<TermId, TermOccurrences> = HashMap::new();
+        let mut stream_totals = vec![vec![0.0; self.timeline_len]; self.streams.len()];
+        // Aggregate per (term, stream, timestamp).
+        let mut agg: HashMap<(TermId, StreamId, Timestamp), f64> = HashMap::new();
+        for doc in &self.documents {
+            for (&term, &count) in &doc.counts {
+                *agg.entry((term, doc.stream, doc.timestamp)).or_insert(0.0) += count as f64;
+                stream_totals[doc.stream.index()][doc.timestamp] += count as f64;
+            }
+        }
+        for ((term, stream, ts), freq) in agg {
+            term_freqs
+                .entry(term)
+                .or_default()
+                .entry(stream)
+                .or_default()
+                .push((ts, freq));
+        }
+        for per_stream in term_freqs.values_mut() {
+            for entries in per_stream.values_mut() {
+                entries.sort_by_key(|e| e.0);
+            }
+        }
+        Collection {
+            dict: self.dict,
+            streams: self.streams,
+            timeline_len: self.timeline_len,
+            documents: self.documents,
+            term_freqs,
+            stream_totals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+
+    fn build_sample() -> Collection {
+        let mut b = CollectionBuilder::new(5);
+        let tok = Tokenizer::new();
+        let s0 = b.add_stream("Athens", GeoPoint::new(38.0, 23.7));
+        let s1 = b.add_stream("Lima", GeoPoint::new(-12.0, -77.0));
+        b.add_text_document(s0, 0, "earthquake earthquake damage", &tok);
+        b.add_text_document(s0, 2, "earthquake relief", &tok);
+        b.add_text_document(s1, 2, "earthquake Fujimori trial", &tok);
+        b.add_text_document(s1, 3, "Fujimori sentenced", &tok);
+        b.build()
+    }
+
+    #[test]
+    fn dimensions() {
+        let c = build_sample();
+        assert_eq!(c.n_streams(), 2);
+        assert_eq!(c.timeline_len(), 5);
+        assert_eq!(c.documents().len(), 4);
+        assert!(c.n_terms() >= 5);
+    }
+
+    #[test]
+    fn term_stream_series_is_dense() {
+        let c = build_sample();
+        let quake = c.dict().get("earthquake").unwrap();
+        let series = c.term_stream_series(quake, StreamId(0));
+        assert_eq!(series, vec![2.0, 0.0, 1.0, 0.0, 0.0]);
+        let series1 = c.term_stream_series(quake, StreamId(1));
+        assert_eq!(series1, vec![0.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn term_snapshot_across_streams() {
+        let c = build_sample();
+        let quake = c.dict().get("earthquake").unwrap();
+        let snap = c.term_snapshot(quake, 2);
+        assert_eq!(snap.frequencies, vec![1.0, 1.0]);
+        let snap0 = c.term_snapshot(quake, 0);
+        assert_eq!(snap0.frequencies, vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn merged_series_sums_streams() {
+        let c = build_sample();
+        let quake = c.dict().get("earthquake").unwrap();
+        assert_eq!(c.term_merged_series(quake), vec![2.0, 0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn streams_with_term() {
+        let c = build_sample();
+        let fuji = c.dict().get("fujimori").unwrap();
+        assert_eq!(c.streams_with_term(fuji), vec![StreamId(1)]);
+        let quake = c.dict().get("earthquake").unwrap();
+        assert_eq!(c.streams_with_term(quake), vec![StreamId(0), StreamId(1)]);
+    }
+
+    #[test]
+    fn stream_totals() {
+        let c = build_sample();
+        // Athens: t0 has 3 tokens, t2 has 2 tokens.
+        let totals = c.stream_total_series(StreamId(0));
+        assert_eq!(totals[0], 3.0);
+        assert_eq!(totals[2], 2.0);
+        assert_eq!(c.total_tokens(), 10.0);
+    }
+
+    #[test]
+    fn unknown_term_has_empty_series() {
+        let c = build_sample();
+        let unknown = TermId(9999);
+        assert_eq!(c.term_stream_series(unknown, StreamId(0)), vec![0.0; 5]);
+        assert!(c.streams_with_term(unknown).is_empty());
+    }
+
+    #[test]
+    fn document_lookup() {
+        let c = build_sample();
+        let d = c.document(DocId(0));
+        assert_eq!(d.stream, StreamId(0));
+        assert_eq!(d.timestamp, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn timestamp_out_of_range_panics() {
+        let mut b = CollectionBuilder::new(3);
+        let s = b.add_stream("X", GeoPoint::new(0.0, 0.0));
+        b.add_document(s, 3, HashMap::new());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_stream_panics() {
+        let mut b = CollectionBuilder::new(3);
+        b.add_document(StreamId(0), 0, HashMap::new());
+    }
+
+    #[test]
+    fn terms_iterator_sorted() {
+        let c = build_sample();
+        let terms: Vec<_> = c.terms().collect();
+        let mut sorted = terms.clone();
+        sorted.sort();
+        assert_eq!(terms, sorted);
+    }
+}

@@ -1,0 +1,256 @@
+//! Minimal tab-separated persistence for collections.
+//!
+//! The format is intentionally simple and dependency-free: one file, three
+//! record types distinguished by their first column.
+//!
+//! ```text
+//! C   <timeline_len>
+//! S   <stream_id> <name> <lat> <lon> <x> <y>
+//! D   <stream_id> <timestamp> <term>:<count> <term>:<count> ...
+//! ```
+//!
+//! Term strings must not contain tabs or colons; the writer replaces both
+//! with spaces. This is sufficient for checkpointing synthetic corpora and
+//! for shipping small example datasets with the repository.
+
+use crate::collection::{Collection, CollectionBuilder, StreamId};
+use crate::dictionary::TermId;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use stb_geo::{GeoPoint, Point2D};
+
+/// Errors produced while reading a TSV collection.
+#[derive(Debug)]
+pub enum TsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed record, with the 1-based line number and a description.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for TsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsvError::Io(e) => write!(f, "i/o error: {e}"),
+            TsvError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+impl From<std::io::Error> for TsvError {
+    fn from(e: std::io::Error) -> Self {
+        TsvError::Io(e)
+    }
+}
+
+fn sanitize(term: &str) -> String {
+    term.replace(['\t', ':', '\n'], " ")
+}
+
+/// Writes a collection in the TSV format described in the module docs.
+pub fn write_collection<W: Write>(collection: &Collection, mut out: W) -> Result<(), TsvError> {
+    writeln!(out, "C\t{}", collection.timeline_len())?;
+    for s in collection.streams() {
+        writeln!(
+            out,
+            "S\t{}\t{}\t{}\t{}\t{}\t{}",
+            s.id.0,
+            sanitize(&s.name),
+            s.geostamp.lat,
+            s.geostamp.lon,
+            s.position.x,
+            s.position.y
+        )?;
+    }
+    for d in collection.documents() {
+        write!(out, "D\t{}\t{}", d.stream.0, d.timestamp)?;
+        let mut terms: Vec<(&TermId, &u32)> = d.counts.iter().collect();
+        terms.sort_by_key(|(t, _)| **t);
+        for (term, count) in terms {
+            let name = collection
+                .dict()
+                .resolve(*term)
+                .map(sanitize)
+                .unwrap_or_else(|| format!("term{}", term.0));
+            write!(out, "\t{name}:{count}")?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Reads a collection previously written by [`write_collection`].
+pub fn read_collection<R: BufRead>(input: R) -> Result<Collection, TsvError> {
+    let mut timeline_len: Option<usize> = None;
+    let mut builder: Option<CollectionBuilder> = None;
+    let mut stream_map: HashMap<u32, StreamId> = HashMap::new();
+    let mut pending_docs: Vec<(u32, usize, Vec<(String, u32)>)> = Vec::new();
+
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let lineno = lineno + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let err = |message: &str| TsvError::Parse {
+            line: lineno,
+            message: message.to_string(),
+        };
+        match fields[0] {
+            "C" => {
+                let len: usize = fields
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("invalid timeline length"))?;
+                timeline_len = Some(len);
+                builder = Some(CollectionBuilder::new(len));
+            }
+            "S" => {
+                let b = builder.as_mut().ok_or_else(|| err("S record before C record"))?;
+                if fields.len() < 7 {
+                    return Err(err("S record needs 7 fields"));
+                }
+                let ext_id: u32 = fields[1].parse().map_err(|_| err("invalid stream id"))?;
+                let name = fields[2];
+                let lat: f64 = fields[3].parse().map_err(|_| err("invalid latitude"))?;
+                let lon: f64 = fields[4].parse().map_err(|_| err("invalid longitude"))?;
+                let x: f64 = fields[5].parse().map_err(|_| err("invalid x"))?;
+                let y: f64 = fields[6].parse().map_err(|_| err("invalid y"))?;
+                let id = b.add_stream_with_position(name, GeoPoint::new(lat, lon), Point2D::new(x, y));
+                stream_map.insert(ext_id, id);
+            }
+            "D" => {
+                if builder.is_none() {
+                    return Err(err("D record before C record"));
+                }
+                if fields.len() < 3 {
+                    return Err(err("D record needs at least 3 fields"));
+                }
+                let stream: u32 = fields[1].parse().map_err(|_| err("invalid stream id"))?;
+                let ts: usize = fields[2].parse().map_err(|_| err("invalid timestamp"))?;
+                if ts >= timeline_len.unwrap_or(0) {
+                    return Err(err("timestamp beyond timeline"));
+                }
+                let mut counts = Vec::new();
+                for field in &fields[3..] {
+                    let (term, count) = field
+                        .rsplit_once(':')
+                        .ok_or_else(|| err("term field missing ':'"))?;
+                    let count: u32 = count.parse().map_err(|_| err("invalid term count"))?;
+                    counts.push((term.to_string(), count));
+                }
+                pending_docs.push((stream, ts, counts));
+            }
+            other => {
+                return Err(TsvError::Parse {
+                    line: lineno,
+                    message: format!("unknown record type '{other}'"),
+                });
+            }
+        }
+    }
+
+    let mut builder = builder.ok_or(TsvError::Parse {
+        line: 0,
+        message: "missing C record".to_string(),
+    })?;
+    for (ext_stream, ts, counts) in pending_docs {
+        let stream = *stream_map.get(&ext_stream).ok_or(TsvError::Parse {
+            line: 0,
+            message: format!("document references unknown stream {ext_stream}"),
+        })?;
+        let mut bag = HashMap::new();
+        for (term, count) in counts {
+            let id = builder.dict_mut().intern(&term);
+            *bag.entry(id).or_insert(0) += count;
+        }
+        builder.add_document(stream, ts, bag);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+    use std::io::Cursor;
+
+    fn sample() -> Collection {
+        let mut b = CollectionBuilder::new(4);
+        let tok = Tokenizer::new();
+        let s0 = b.add_stream("Athens", GeoPoint::new(38.0, 23.7));
+        let s1 = b.add_stream("Lima", GeoPoint::new(-12.0, -77.0));
+        b.add_text_document(s0, 0, "ceasefire announced today", &tok);
+        b.add_text_document(s1, 3, "piracy piracy somalia", &tok);
+        b.build()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let original = sample();
+        let mut buf = Vec::new();
+        write_collection(&original, &mut buf).unwrap();
+        let restored = read_collection(Cursor::new(buf)).unwrap();
+
+        assert_eq!(restored.n_streams(), original.n_streams());
+        assert_eq!(restored.timeline_len(), original.timeline_len());
+        assert_eq!(restored.documents().len(), original.documents().len());
+        assert_eq!(restored.n_terms(), original.n_terms());
+
+        let piracy_orig = original.dict().get("piracy").unwrap();
+        let piracy_rest = restored.dict().get("piracy").unwrap();
+        assert_eq!(
+            original.term_merged_series(piracy_orig),
+            restored.term_merged_series(piracy_rest)
+        );
+        assert_eq!(restored.stream(StreamId(0)).name, "Athens");
+        assert!((restored.stream(StreamId(1)).geostamp.lon - -77.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let bad = "X\tfoo\n";
+        assert!(read_collection(Cursor::new(bad)).is_err());
+    }
+
+    #[test]
+    fn rejects_document_before_header() {
+        let bad = "D\t0\t0\tfoo:1\n";
+        assert!(read_collection(Cursor::new(bad)).is_err());
+    }
+
+    #[test]
+    fn rejects_timestamp_beyond_timeline() {
+        let bad = "C\t2\nS\t0\tA\t0\t0\t0\t0\nD\t0\t5\tfoo:1\n";
+        assert!(read_collection(Cursor::new(bad)).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let bad = "";
+        assert!(read_collection(Cursor::new(bad)).is_err());
+    }
+
+    #[test]
+    fn sanitize_strips_separators() {
+        assert_eq!(sanitize("a:b\tc"), "a b c");
+    }
+
+    #[test]
+    fn empty_document_is_allowed() {
+        let data = "C\t2\nS\t0\tA\t0\t0\t0\t0\nD\t0\t1\n";
+        let c = read_collection(Cursor::new(data)).unwrap();
+        assert_eq!(c.documents().len(), 1);
+        assert_eq!(c.documents()[0].distinct_terms(), 0);
+    }
+}

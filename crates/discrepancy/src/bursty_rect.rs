@@ -1,0 +1,230 @@
+//! `R-Bursty`: all non-overlapping positive-score rectangles (Algorithm 1).
+//!
+//! Given a term's per-stream burstiness values at one timestamp (weighted
+//! points on the map), Algorithm 1 of the paper repeatedly extracts the
+//! maximum-score rectangle, reports it, masks the streams it contains with
+//! `-inf` weights, and stops once the best remaining rectangle has a
+//! non-positive score. The result is the set of *Bursty Rectangles*
+//! (Definition 1): non-overlapping (in terms of contained streams),
+//! positive-score regions, at most `n` of them.
+
+use crate::max_rect::{max_weight_rect, MaxRect};
+use crate::weighted_point::WPoint;
+use stb_geo::Rect;
+
+/// One bursty rectangle reported by [`RBursty`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurstyRectangle {
+    /// The reported region.
+    pub rect: Rect,
+    /// Indices (into the input point slice, i.e. stream indices) of the
+    /// streams contained in the rectangle.
+    pub members: Vec<usize>,
+    /// The r-score of the rectangle (sum of member burstiness values);
+    /// strictly positive.
+    pub score: f64,
+}
+
+/// Configuration of the R-Bursty extraction.
+#[derive(Debug, Clone)]
+pub struct RBursty {
+    /// Upper bound on the number of rectangles reported. The theoretical
+    /// bound is the number of streams; lowering this trades completeness for
+    /// speed. `None` means no limit beyond the theoretical one.
+    pub max_rectangles: Option<usize>,
+    /// Minimum r-score for a rectangle to be reported. The paper uses 0
+    /// (strictly positive scores); raising it suppresses noise-level
+    /// rectangles.
+    pub min_score: f64,
+}
+
+impl Default for RBursty {
+    fn default() -> Self {
+        Self {
+            max_rectangles: None,
+            min_score: 0.0,
+        }
+    }
+}
+
+impl RBursty {
+    /// Creates the default configuration (no rectangle cap, strictly
+    /// positive scores).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Limits the number of reported rectangles.
+    pub fn with_max_rectangles(mut self, max: usize) -> Self {
+        self.max_rectangles = Some(max);
+        self
+    }
+
+    /// Sets the minimum reported r-score.
+    pub fn with_min_score(mut self, min_score: f64) -> Self {
+        self.min_score = min_score.max(0.0);
+        self
+    }
+
+    /// Runs Algorithm 1 on the given weighted points (one per stream) and
+    /// returns all non-overlapping bursty rectangles, strongest first.
+    pub fn find(&self, points: &[WPoint]) -> Vec<BurstyRectangle> {
+        let mut working: Vec<WPoint> = points.to_vec();
+        let mut out = Vec::new();
+        let cap = self.max_rectangles.unwrap_or(points.len());
+        while out.len() < cap {
+            let Some(MaxRect { rect, score, members }) = max_weight_rect(&working) else {
+                break;
+            };
+            if score <= self.min_score {
+                break;
+            }
+            // Mask the members so no later rectangle can contain them
+            // (Algorithm 1, step 2).
+            for &m in &members {
+                working[m].weight = f64::NEG_INFINITY;
+            }
+            out.push(BurstyRectangle {
+                rect,
+                members,
+                score,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn wp(x: f64, y: f64, w: f64) -> WPoint {
+        WPoint::new(x, y, w)
+    }
+
+    #[test]
+    fn empty_input_gives_no_rectangles() {
+        assert!(RBursty::new().find(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_non_positive_gives_no_rectangles() {
+        let pts = vec![wp(0.0, 0.0, 0.0), wp(1.0, 1.0, -3.0)];
+        assert!(RBursty::new().find(&pts).is_empty());
+    }
+
+    #[test]
+    fn single_cluster_reported_once() {
+        let pts = vec![
+            wp(0.0, 0.0, 2.0),
+            wp(1.0, 0.5, 3.0),
+            wp(0.5, 1.0, 1.0),
+            wp(50.0, 50.0, -1.0),
+        ];
+        let rects = RBursty::new().find(&pts);
+        assert_eq!(rects.len(), 1);
+        assert_eq!(rects[0].members, vec![0, 1, 2]);
+        assert!((rects[0].score - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_distant_clusters_reported_separately() {
+        let pts = vec![
+            // Cluster A around the origin.
+            wp(0.0, 0.0, 2.0),
+            wp(1.0, 1.0, 2.0),
+            // A strongly negative gap point.
+            wp(25.0, 25.0, -50.0),
+            // Cluster B far away.
+            wp(50.0, 50.0, 3.0),
+            wp(51.0, 51.0, 3.0),
+        ];
+        let rects = RBursty::new().find(&pts);
+        assert_eq!(rects.len(), 2);
+        // Strongest first: cluster B has score 6, cluster A has 4.
+        assert_eq!(rects[0].members, vec![3, 4]);
+        assert!((rects[0].score - 6.0).abs() < 1e-12);
+        assert_eq!(rects[1].members, vec![0, 1]);
+        assert!((rects[1].score - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reported_rectangles_never_share_streams() {
+        let pts: Vec<WPoint> = (0..20)
+            .map(|i| wp((i % 5) as f64, (i / 5) as f64, if i % 3 == 0 { 2.0 } else { -0.5 }))
+            .collect();
+        let rects = RBursty::new().find(&pts);
+        let mut seen: HashSet<usize> = HashSet::new();
+        for r in &rects {
+            for &m in &r.members {
+                assert!(seen.insert(m), "stream {m} reported twice");
+            }
+            assert!(r.score > 0.0);
+        }
+    }
+
+    #[test]
+    fn scores_are_non_increasing() {
+        let pts: Vec<WPoint> = (0..15)
+            .map(|i| wp(i as f64 * 3.0, (i * 7 % 11) as f64, (i % 4) as f64 - 1.0))
+            .collect();
+        let rects = RBursty::new().find(&pts);
+        for w in rects.windows(2) {
+            assert!(w[0].score >= w[1].score - 1e-12);
+        }
+    }
+
+    #[test]
+    fn rectangle_count_bounded_by_streams() {
+        let pts: Vec<WPoint> = (0..30).map(|i| wp(i as f64, 0.0, 1.0)).collect();
+        let rects = RBursty::new().find(&pts);
+        assert!(rects.len() <= pts.len());
+        // All-positive points on a line are absorbed into one rectangle.
+        assert_eq!(rects.len(), 1);
+        assert_eq!(rects[0].members.len(), 30);
+    }
+
+    #[test]
+    fn max_rectangles_cap_is_respected() {
+        let pts = vec![
+            wp(0.0, 0.0, 1.0),
+            wp(100.0, 0.0, -5.0),
+            wp(200.0, 0.0, 1.0),
+            wp(300.0, 0.0, -5.0),
+            wp(400.0, 0.0, 1.0),
+        ];
+        let all = RBursty::new().find(&pts);
+        assert_eq!(all.len(), 3);
+        let capped = RBursty::new().with_max_rectangles(2).find(&pts);
+        assert_eq!(capped.len(), 2);
+    }
+
+    #[test]
+    fn min_score_threshold_filters_weak_rectangles() {
+        let pts = vec![
+            wp(0.0, 0.0, 10.0),
+            wp(100.0, 100.0, -1.0),
+            wp(200.0, 200.0, 0.2),
+        ];
+        let all = RBursty::new().find(&pts);
+        assert_eq!(all.len(), 2);
+        let strong = RBursty::new().with_min_score(1.0).find(&pts);
+        assert_eq!(strong.len(), 1);
+        assert_eq!(strong[0].members, vec![0]);
+    }
+
+    #[test]
+    fn splits_region_when_splitting_beats_bridging() {
+        // Automatic decision discussed in Section 4: two positives separated
+        // by a heavy negative should be two rectangles, not one.
+        let pts = vec![wp(0.0, 0.0, 3.0), wp(5.0, 0.0, -10.0), wp(10.0, 0.0, 3.0)];
+        let rects = RBursty::new().find(&pts);
+        assert_eq!(rects.len(), 2);
+        // And with a mild negative it should be a single bridged rectangle.
+        let pts2 = vec![wp(0.0, 0.0, 3.0), wp(5.0, 0.0, -0.5), wp(10.0, 0.0, 3.0)];
+        let rects2 = RBursty::new().find(&pts2);
+        assert_eq!(rects2.len(), 1);
+        assert_eq!(rects2[0].members.len(), 3);
+    }
+}

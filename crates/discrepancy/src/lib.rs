@@ -1,0 +1,33 @@
+//! Spatial discrepancy maximization: max-weight rectangles and `R-Bursty`.
+//!
+//! The regional pattern mining of the paper (Section 4) needs, for every
+//! snapshot of the collection, the set of *all non-overlapping axis-aligned
+//! rectangles with positive r-score* — where the r-score of a rectangle is
+//! the sum of the per-stream burstiness values of the streams falling inside
+//! it (Eq. 8). The paper obtains the single best rectangle with the
+//! bichromatic-discrepancy algorithm of Dobkin, Gunopulos & Maass and then
+//! iterates (Algorithm 1, `R-Bursty`).
+//!
+//! This crate provides:
+//!
+//! * [`WPoint`] — a weighted planar point (a stream's map position and its
+//!   burstiness at the current timestamp).
+//! * [`max_weight_rect`] — an exact maximizer of the rectangle score over
+//!   all axis-aligned rectangles (coordinate-compressed Kadane sweep,
+//!   `O(m^3)` in the number of distinct points). A brute-force
+//!   `O(m^4)` oracle ([`max_weight_rect_naive`]) and a grid-restricted
+//!   approximation ([`max_weight_rect_grid`]) are provided for testing and
+//!   ablation.
+//! * [`RBursty`] — Algorithm 1: iteratively report the best rectangle and
+//!   mask its streams until no positive-score rectangle remains.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bursty_rect;
+pub mod max_rect;
+pub mod weighted_point;
+
+pub use bursty_rect::{BurstyRectangle, RBursty};
+pub use max_rect::{max_weight_rect, max_weight_rect_grid, max_weight_rect_naive, MaxRect};
+pub use weighted_point::WPoint;

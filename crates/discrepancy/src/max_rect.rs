@@ -1,0 +1,369 @@
+//! Maximum-weight axis-aligned rectangle over weighted points.
+//!
+//! This is the numeric core of the regional mining: given the per-stream
+//! burstiness values at one timestamp (as weighted points on the map), find
+//! the axis-aligned rectangle whose contained points have the largest total
+//! weight. The paper uses the bichromatic-discrepancy algorithm of Dobkin,
+//! Gunopulos & Maass (`O(m^2 log m)`); we provide an exact coordinate-
+//! compressed sweep ([`max_weight_rect`], `O(m_x^2 · (m_y + m))` ≈ `O(m^3)`)
+//! that returns the same maximizer, a brute-force `O(m^4)` oracle used in
+//! tests ([`max_weight_rect_naive`]), and a grid-restricted approximation
+//! ([`max_weight_rect_grid`]) for ablation studies. See DESIGN.md §4 for the
+//! substitution argument.
+
+use crate::weighted_point::WPoint;
+use stb_geo::Rect;
+
+/// Result of a maximum-weight rectangle search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaxRect {
+    /// The maximizing rectangle (boundaries lie on point coordinates).
+    pub rect: Rect,
+    /// Total weight of the points contained in the rectangle.
+    pub score: f64,
+    /// Indices (into the input slice) of the points contained in the
+    /// rectangle.
+    pub members: Vec<usize>,
+}
+
+fn members_of(points: &[WPoint], rect: &Rect) -> Vec<usize> {
+    points
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| rect.contains(&p.position()))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn dedup_sorted(values: &mut Vec<f64>) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    values.dedup();
+}
+
+/// Exact maximum-weight axis-aligned rectangle.
+///
+/// Returns `None` when the input is empty or every point has non-positive
+/// weight (no rectangle can achieve a positive score, and the burstiness
+/// semantics only care about positive-score regions).
+///
+/// The algorithm fixes every pair of x-boundaries taken from the distinct
+/// point x-coordinates (left boundary swept outer, right boundary extended
+/// incrementally), accumulates per-y-coordinate weight buckets, and runs a
+/// 1-D maximum-sum subarray (Kadane) over the y-buckets. Masked points
+/// (`-inf` weight) poison any rectangle containing them, exactly as intended
+/// by Algorithm 1 of the paper.
+pub fn max_weight_rect(points: &[WPoint]) -> Option<MaxRect> {
+    if points.is_empty() {
+        return None;
+    }
+    // Zero-weight points can neither help nor hurt any rectangle, and the
+    // optimal rectangle can always be shrunk to the bounding box of its
+    // non-zero contents, so they are excluded from the candidate boundary
+    // coordinates. They are still counted as members when they fall inside
+    // the winning rectangle (see `members_of` below). This makes the search
+    // cost scale with the number of streams that actually carry signal for
+    // the term, which on real corpora is a small fraction of all streams.
+    let active: Vec<&WPoint> = points.iter().filter(|p| p.weight != 0.0).collect();
+    if active.is_empty() {
+        return None;
+    }
+    let mut xs: Vec<f64> = active.iter().map(|p| p.x).collect();
+    let mut ys: Vec<f64> = active.iter().map(|p| p.y).collect();
+    dedup_sorted(&mut xs);
+    dedup_sorted(&mut ys);
+    let y_index = |y: f64| -> usize {
+        ys.binary_search_by(|v| v.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("y coordinate must be present")
+    };
+
+    // Points grouped by x-coordinate index for incremental inclusion.
+    let mut by_x: Vec<Vec<(usize, f64)>> = vec![Vec::new(); xs.len()];
+    for p in &active {
+        let xi = xs
+            .binary_search_by(|v| v.partial_cmp(&p.x).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("x coordinate must be present");
+        by_x[xi].push((y_index(p.y), p.weight));
+    }
+
+    let mut best: Option<(f64, Rect)> = None;
+    let mut buckets = vec![0.0f64; ys.len()];
+
+    for left in 0..xs.len() {
+        buckets.iter_mut().for_each(|b| *b = 0.0);
+        for right in left..xs.len() {
+            for &(yi, w) in &by_x[right] {
+                buckets[yi] += w;
+            }
+            // Kadane over the y-buckets.
+            let mut cur_sum = 0.0;
+            let mut cur_start = 0usize;
+            for (yi, &b) in buckets.iter().enumerate() {
+                if cur_sum <= 0.0 {
+                    cur_sum = b;
+                    cur_start = yi;
+                } else {
+                    cur_sum += b;
+                }
+                if cur_sum > 0.0 && best.as_ref().map_or(true, |(s, _)| cur_sum > *s) {
+                    let rect = Rect::new(xs[left], ys[cur_start], xs[right], ys[yi]);
+                    best = Some((cur_sum, rect));
+                }
+            }
+        }
+    }
+
+    best.map(|(score, rect)| MaxRect {
+        members: members_of(points, &rect),
+        rect,
+        score,
+    })
+}
+
+/// Brute-force maximum-weight rectangle: enumerates every candidate rectangle
+/// whose boundaries are point coordinates. `O(m^4)` pairs of corners with an
+/// `O(m)` containment scan each — strictly a test oracle.
+pub fn max_weight_rect_naive(points: &[WPoint]) -> Option<MaxRect> {
+    if points.is_empty() {
+        return None;
+    }
+    let mut xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+    let mut ys: Vec<f64> = points.iter().map(|p| p.y).collect();
+    dedup_sorted(&mut xs);
+    dedup_sorted(&mut ys);
+    let mut best: Option<(f64, Rect)> = None;
+    for (i, &x1) in xs.iter().enumerate() {
+        for &x2 in &xs[i..] {
+            for (j, &y1) in ys.iter().enumerate() {
+                for &y2 in &ys[j..] {
+                    let rect = Rect::new(x1, y1, x2, y2);
+                    let score: f64 = points
+                        .iter()
+                        .filter(|p| rect.contains(&p.position()))
+                        .map(|p| p.weight)
+                        .sum();
+                    if score > 0.0 && best.as_ref().map_or(true, |(s, _)| score > *s) {
+                        best = Some((score, rect));
+                    }
+                }
+            }
+        }
+    }
+    best.map(|(score, rect)| MaxRect {
+        members: members_of(points, &rect),
+        rect,
+        score,
+    })
+}
+
+/// Grid-restricted approximate maximum-weight rectangle.
+///
+/// Aggregates point weights into a `resolution x resolution` uniform grid
+/// over the bounding box of the points and finds the best rectangle whose
+/// boundaries are grid lines. Much cheaper when `resolution` is small
+/// compared to the number of distinct coordinates, at the cost of missing
+/// maximizers whose boundaries fall strictly between grid lines. Used as an
+/// ablation of the exact algorithm (see EXPERIMENTS.md).
+pub fn max_weight_rect_grid(points: &[WPoint], resolution: usize) -> Option<MaxRect> {
+    if points.is_empty() || resolution == 0 {
+        return None;
+    }
+    let min_x = points.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+    let max_x = points.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+    let min_y = points.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+    let max_y = points.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+    let width = (max_x - min_x).max(f64::MIN_POSITIVE);
+    let height = (max_y - min_y).max(f64::MIN_POSITIVE);
+
+    // Cell weight accumulation.
+    let mut cells = vec![vec![0.0f64; resolution]; resolution];
+    for p in points {
+        let cx = (((p.x - min_x) / width * resolution as f64) as usize).min(resolution - 1);
+        let cy = (((p.y - min_y) / height * resolution as f64) as usize).min(resolution - 1);
+        cells[cx][cy] += p.weight;
+    }
+
+    let cell_w = width / resolution as f64;
+    let cell_h = height / resolution as f64;
+    let mut best: Option<(f64, Rect)> = None;
+    let mut buckets = vec![0.0f64; resolution];
+    for left in 0..resolution {
+        buckets.iter_mut().for_each(|b| *b = 0.0);
+        for right in left..resolution {
+            for (cy, bucket) in buckets.iter_mut().enumerate() {
+                *bucket += cells[right][cy];
+            }
+            let mut cur_sum = 0.0;
+            let mut cur_start = 0usize;
+            for (cy, &b) in buckets.iter().enumerate() {
+                if cur_sum <= 0.0 {
+                    cur_sum = b;
+                    cur_start = cy;
+                } else {
+                    cur_sum += b;
+                }
+                if cur_sum > 0.0 && best.as_ref().map_or(true, |(s, _)| cur_sum > *s) {
+                    let rect = Rect::new(
+                        min_x + left as f64 * cell_w,
+                        min_y + cur_start as f64 * cell_h,
+                        min_x + (right + 1) as f64 * cell_w,
+                        min_y + (cy + 1) as f64 * cell_h,
+                    );
+                    best = Some((cur_sum, rect));
+                }
+            }
+        }
+    }
+    best.map(|(score, rect)| MaxRect {
+        members: members_of(points, &rect),
+        rect,
+        score,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wp(x: f64, y: f64, w: f64) -> WPoint {
+        WPoint::new(x, y, w)
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(max_weight_rect(&[]).is_none());
+        assert!(max_weight_rect_naive(&[]).is_none());
+        assert!(max_weight_rect_grid(&[], 4).is_none());
+    }
+
+    #[test]
+    fn all_negative_weights() {
+        let pts = vec![wp(0.0, 0.0, -1.0), wp(1.0, 1.0, -2.0)];
+        assert!(max_weight_rect(&pts).is_none());
+        assert!(max_weight_rect_naive(&pts).is_none());
+    }
+
+    #[test]
+    fn single_positive_point() {
+        let pts = vec![wp(3.0, 4.0, 2.5)];
+        let r = max_weight_rect(&pts).unwrap();
+        assert_eq!(r.score, 2.5);
+        assert_eq!(r.members, vec![0]);
+        assert!(r.rect.contains(&pts[0].position()));
+    }
+
+    #[test]
+    fn excludes_negative_point_when_beneficial() {
+        // Two positive points far apart with a very negative point between
+        // them: the best rectangle picks only one side.
+        let pts = vec![
+            wp(0.0, 0.0, 5.0),
+            wp(5.0, 0.0, -100.0),
+            wp(10.0, 0.0, 6.0),
+        ];
+        let r = max_weight_rect(&pts).unwrap();
+        assert_eq!(r.score, 6.0);
+        assert_eq!(r.members, vec![2]);
+    }
+
+    #[test]
+    fn includes_negative_point_when_bridging_pays_off() {
+        // Including a slightly negative point lets the rectangle span two
+        // strong positives.
+        let pts = vec![
+            wp(0.0, 0.0, 5.0),
+            wp(5.0, 0.0, -1.0),
+            wp(10.0, 0.0, 6.0),
+        ];
+        let r = max_weight_rect(&pts).unwrap();
+        assert!((r.score - 10.0).abs() < 1e-12);
+        assert_eq!(r.members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rectangle_uses_both_dimensions() {
+        // A cluster of positives in one corner, negatives elsewhere.
+        let pts = vec![
+            wp(0.0, 0.0, 3.0),
+            wp(1.0, 0.5, 2.0),
+            wp(0.5, 1.0, 1.0),
+            wp(8.0, 8.0, -4.0),
+            wp(0.5, 8.0, -4.0),
+            wp(8.0, 0.5, -4.0),
+        ];
+        let r = max_weight_rect(&pts).unwrap();
+        assert!((r.score - 6.0).abs() < 1e-12);
+        assert_eq!(r.members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_naive_on_fixed_configurations() {
+        let configs: Vec<Vec<WPoint>> = vec![
+            vec![wp(0.0, 0.0, 1.0), wp(1.0, 1.0, 1.0), wp(2.0, 2.0, -3.0), wp(3.0, 3.0, 2.0)],
+            vec![wp(0.0, 0.0, -1.0), wp(0.0, 1.0, 2.0), wp(1.0, 0.0, 2.0), wp(1.0, 1.0, -1.0)],
+            vec![
+                wp(0.0, 0.0, 1.5),
+                wp(2.0, 0.0, -0.5),
+                wp(4.0, 0.0, 2.5),
+                wp(2.0, 3.0, 4.0),
+                wp(4.0, 3.0, -2.0),
+            ],
+        ];
+        for pts in configs {
+            let fast = max_weight_rect(&pts).unwrap();
+            let slow = max_weight_rect_naive(&pts).unwrap();
+            assert!((fast.score - slow.score).abs() < 1e-9, "{pts:?}");
+        }
+    }
+
+    #[test]
+    fn masked_points_are_never_profitably_included() {
+        let pts = vec![
+            wp(0.0, 0.0, 5.0),
+            wp(1.0, 0.0, f64::NEG_INFINITY),
+            wp(2.0, 0.0, 7.0),
+        ];
+        let r = max_weight_rect(&pts).unwrap();
+        // Best is the single point with weight 7 (bridging over the masked
+        // point would poison the rectangle).
+        assert_eq!(r.score, 7.0);
+        assert_eq!(r.members, vec![2]);
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_aggregated() {
+        let pts = vec![wp(1.0, 1.0, 2.0), wp(1.0, 1.0, 3.0), wp(5.0, 5.0, -1.0)];
+        let r = max_weight_rect(&pts).unwrap();
+        assert!((r.score - 5.0).abs() < 1e-12);
+        assert_eq!(r.members, vec![0, 1]);
+    }
+
+    #[test]
+    fn grid_score_never_exceeds_exact() {
+        let pts = vec![
+            wp(0.0, 0.0, 1.0),
+            wp(0.3, 0.7, 2.0),
+            wp(4.0, 4.0, -1.0),
+            wp(6.0, 2.0, 3.0),
+            wp(9.0, 9.0, 1.5),
+        ];
+        let exact = max_weight_rect(&pts).unwrap().score;
+        for res in [1, 2, 4, 8, 16] {
+            if let Some(g) = max_weight_rect_grid(&pts, res) {
+                assert!(g.score <= exact + 1e-9, "resolution {res}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_converges_to_exact_with_fine_resolution() {
+        let pts = vec![
+            wp(0.0, 0.0, 2.0),
+            wp(1.0, 1.0, 2.0),
+            wp(5.0, 5.0, -10.0),
+            wp(9.0, 9.0, 3.0),
+        ];
+        let exact = max_weight_rect(&pts).unwrap().score;
+        let grid = max_weight_rect_grid(&pts, 64).unwrap().score;
+        assert!((exact - grid).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,71 @@
+//! Weighted planar points.
+
+use stb_geo::Point2D;
+
+/// A planar point carrying a weight.
+///
+/// In the regional mining, each stream contributes one weighted point per
+/// snapshot: its position on the map and its burstiness `B(t, D_x[i])` for
+/// the term under consideration (Eq. 7 of the paper). Masked streams (those
+/// already absorbed into a reported rectangle) carry weight `-inf` so that no
+/// later rectangle can profitably contain them — this is exactly the masking
+/// step of Algorithm 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WPoint {
+    /// Horizontal map coordinate.
+    pub x: f64,
+    /// Vertical map coordinate.
+    pub y: f64,
+    /// Weight (burstiness) of the point; may be negative or `-inf`.
+    pub weight: f64,
+}
+
+impl WPoint {
+    /// Creates a weighted point.
+    pub fn new(x: f64, y: f64, weight: f64) -> Self {
+        Self { x, y, weight }
+    }
+
+    /// Creates a weighted point at a [`Point2D`] position.
+    pub fn at(pos: Point2D, weight: f64) -> Self {
+        Self::new(pos.x, pos.y, weight)
+    }
+
+    /// The position of the point.
+    pub fn position(&self) -> Point2D {
+        Point2D::new(self.x, self.y)
+    }
+
+    /// Whether the point is masked (weight is negative infinity).
+    pub fn is_masked(&self) -> bool {
+        self.weight == f64::NEG_INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_position() {
+        let p = WPoint::new(1.0, 2.0, 3.5);
+        assert_eq!(p.position(), Point2D::new(1.0, 2.0));
+        assert!(!p.is_masked());
+    }
+
+    #[test]
+    fn at_builds_from_point2d() {
+        let p = WPoint::at(Point2D::new(-1.0, 4.0), 0.5);
+        assert_eq!(p.x, -1.0);
+        assert_eq!(p.y, 4.0);
+        assert_eq!(p.weight, 0.5);
+    }
+
+    #[test]
+    fn masked_detection() {
+        let p = WPoint::new(0.0, 0.0, f64::NEG_INFINITY);
+        assert!(p.is_masked());
+        let q = WPoint::new(0.0, 0.0, -1e300);
+        assert!(!q.is_masked());
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the spatial discrepancy substrate.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use stb_discrepancy::{max_weight_rect, max_weight_rect_grid, max_weight_rect_naive, RBursty, WPoint};
+
+fn arb_points() -> impl Strategy<Value = Vec<WPoint>> {
+    prop::collection::vec(
+        (-50.0f64..50.0, -50.0f64..50.0, -5.0f64..5.0).prop_map(|(x, y, w)| WPoint::new(x, y, w)),
+        0..14,
+    )
+}
+
+fn arb_points_larger() -> impl Strategy<Value = Vec<WPoint>> {
+    prop::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0, -3.0f64..3.0).prop_map(|(x, y, w)| WPoint::new(x, y, w)),
+        0..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn exact_matches_naive_oracle(points in arb_points()) {
+        let fast = max_weight_rect(&points);
+        let slow = max_weight_rect_naive(&points);
+        match (fast, slow) {
+            (None, None) => {}
+            (Some(f), Some(s)) => prop_assert!((f.score - s.score).abs() < 1e-9,
+                "fast {} vs naive {}", f.score, s.score),
+            (f, s) => prop_assert!(false, "presence mismatch: {f:?} vs {s:?}"),
+        }
+    }
+
+    #[test]
+    fn reported_score_equals_member_weight_sum(points in arb_points_larger()) {
+        if let Some(r) = max_weight_rect(&points) {
+            let sum: f64 = r.members.iter().map(|&i| points[i].weight).sum();
+            prop_assert!((sum - r.score).abs() < 1e-9);
+            prop_assert!(r.score > 0.0);
+            for &i in &r.members {
+                prop_assert!(r.rect.contains(&points[i].position()));
+            }
+            // Points outside the rectangle are not members.
+            for (i, p) in points.iter().enumerate() {
+                if r.rect.contains(&p.position()) {
+                    prop_assert!(r.members.contains(&i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_at_least_as_good_as_any_single_point(points in arb_points_larger()) {
+        let best_single = points.iter().map(|p| p.weight).fold(f64::NEG_INFINITY, f64::max);
+        if best_single > 0.0 {
+            let r = max_weight_rect(&points).expect("a positive point guarantees a rectangle");
+            prop_assert!(r.score >= best_single - 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid_never_beats_exact(points in arb_points_larger(), resolution in 1usize..20) {
+        let exact = max_weight_rect(&points).map(|r| r.score).unwrap_or(0.0);
+        let grid = max_weight_rect_grid(&points, resolution).map(|r| r.score).unwrap_or(0.0);
+        prop_assert!(grid <= exact + 1e-9);
+    }
+
+    #[test]
+    fn rbursty_rectangles_are_disjoint_positive_sorted(points in arb_points_larger()) {
+        let rects = RBursty::new().find(&points);
+        let mut seen: HashSet<usize> = HashSet::new();
+        for r in &rects {
+            prop_assert!(r.score > 0.0);
+            let sum: f64 = r.members.iter().map(|&i| points[i].weight).sum();
+            prop_assert!((sum - r.score).abs() < 1e-9);
+            for &m in &r.members {
+                prop_assert!(seen.insert(m), "stream reported in two rectangles");
+            }
+        }
+        for w in rects.windows(2) {
+            prop_assert!(w[0].score >= w[1].score - 1e-9);
+        }
+        prop_assert!(rects.len() <= points.len());
+    }
+
+    #[test]
+    fn rbursty_total_score_bounded_by_positive_mass(points in arb_points_larger()) {
+        let rects = RBursty::new().find(&points);
+        let total: f64 = rects.iter().map(|r| r.score).sum();
+        let positive_mass: f64 = points.iter().map(|p| p.weight.max(0.0)).sum();
+        prop_assert!(total <= positive_mass + 1e-9);
+    }
+
+    #[test]
+    fn rbursty_first_rect_is_global_max(points in arb_points_larger()) {
+        let rects = RBursty::new().find(&points);
+        if let Some(best) = max_weight_rect(&points) {
+            prop_assert!(!rects.is_empty());
+            prop_assert!((rects[0].score - best.score).abs() < 1e-9);
+        } else {
+            prop_assert!(rects.is_empty());
+        }
+    }
+}

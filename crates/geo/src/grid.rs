@@ -1,0 +1,232 @@
+//! Grid partitioning of the planar map.
+//!
+//! Section 2 of the paper ("Granularity") notes that when the number of raw
+//! sources is overwhelming (e.g. millions of Twitter users), one can
+//! partition the map with a grid and treat every cell as a single aggregate
+//! stream. [`Grid`] implements that partitioning: it maps planar points to
+//! cell indices and exposes the cell rectangles so that aggregated streams
+//! can be given a geostamp (the cell center).
+
+use crate::point::Point2D;
+use crate::rect::Rect;
+
+/// Identifier of a grid cell: `(column, row)` with the origin at the
+/// bottom-left corner of the gridded area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridCell {
+    /// Column index (x direction), 0-based.
+    pub col: usize,
+    /// Row index (y direction), 0-based.
+    pub row: usize,
+}
+
+/// A uniform grid over an axis-aligned bounding area.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    bounds: Rect,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+}
+
+impl Grid {
+    /// Creates a grid with `cols x rows` cells covering `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols` or `rows` is zero, or if `bounds` is degenerate in a
+    /// dimension that is subdivided into more than one cell.
+    pub fn new(bounds: Rect, cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "grid must have at least one cell");
+        let cell_w = bounds.width() / cols as f64;
+        let cell_h = bounds.height() / rows as f64;
+        assert!(
+            (cell_w > 0.0 || cols == 1) && (cell_h > 0.0 || rows == 1),
+            "degenerate bounds cannot be subdivided"
+        );
+        Self {
+            bounds,
+            cols,
+            rows,
+            cell_w,
+            cell_h,
+        }
+    }
+
+    /// Creates the smallest grid with square-ish cells of side at most
+    /// `cell_size` covering `bounds`.
+    pub fn with_cell_size(bounds: Rect, cell_size: f64) -> Self {
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let cols = (bounds.width() / cell_size).ceil().max(1.0) as usize;
+        let rows = (bounds.height() / cell_size).ceil().max(1.0) as usize;
+        Self::new(bounds, cols, rows)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Whether the grid has no cells (never true: construction requires at
+    /// least one cell; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bounding area covered by the grid.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Maps a point to its cell, or `None` if the point lies outside the
+    /// grid bounds.
+    ///
+    /// Points exactly on the right/top boundary belong to the last cell.
+    pub fn cell_of(&self, p: &Point2D) -> Option<GridCell> {
+        if !self.bounds.contains(p) {
+            return None;
+        }
+        let col = if self.cell_w == 0.0 {
+            0
+        } else {
+            (((p.x - self.bounds.min_x) / self.cell_w) as usize).min(self.cols - 1)
+        };
+        let row = if self.cell_h == 0.0 {
+            0
+        } else {
+            (((p.y - self.bounds.min_y) / self.cell_h) as usize).min(self.rows - 1)
+        };
+        Some(GridCell { col, row })
+    }
+
+    /// The rectangle covered by a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is out of range.
+    pub fn cell_rect(&self, cell: GridCell) -> Rect {
+        assert!(cell.col < self.cols && cell.row < self.rows, "cell out of range");
+        let min_x = self.bounds.min_x + cell.col as f64 * self.cell_w;
+        let min_y = self.bounds.min_y + cell.row as f64 * self.cell_h;
+        Rect::new(min_x, min_y, min_x + self.cell_w, min_y + self.cell_h)
+    }
+
+    /// The center of a cell, usable as the geostamp of the aggregate stream.
+    pub fn cell_center(&self, cell: GridCell) -> Point2D {
+        self.cell_rect(cell).center()
+    }
+
+    /// Groups point indices by the cell they fall into. Points outside the
+    /// bounds are dropped.
+    pub fn assign(&self, points: &[Point2D]) -> Vec<(GridCell, Vec<usize>)> {
+        use std::collections::BTreeMap;
+        let mut map: BTreeMap<GridCell, Vec<usize>> = BTreeMap::new();
+        for (i, p) in points.iter().enumerate() {
+            if let Some(cell) = self.cell_of(p) {
+                map.entry(cell).or_default().push(i);
+            }
+        }
+        map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_grid() -> Grid {
+        Grid::new(Rect::new(0.0, 0.0, 10.0, 10.0), 5, 2)
+    }
+
+    #[test]
+    fn dimensions() {
+        let g = unit_grid();
+        assert_eq!(g.cols(), 5);
+        assert_eq!(g.rows(), 2);
+        assert_eq!(g.len(), 10);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn cell_of_interior_point() {
+        let g = unit_grid();
+        assert_eq!(g.cell_of(&Point2D::new(0.5, 0.5)), Some(GridCell { col: 0, row: 0 }));
+        assert_eq!(g.cell_of(&Point2D::new(9.5, 9.5)), Some(GridCell { col: 4, row: 1 }));
+        assert_eq!(g.cell_of(&Point2D::new(4.0, 6.0)), Some(GridCell { col: 2, row: 1 }));
+    }
+
+    #[test]
+    fn boundary_points_belong_to_last_cell() {
+        let g = unit_grid();
+        assert_eq!(g.cell_of(&Point2D::new(10.0, 10.0)), Some(GridCell { col: 4, row: 1 }));
+    }
+
+    #[test]
+    fn outside_points_are_none() {
+        let g = unit_grid();
+        assert_eq!(g.cell_of(&Point2D::new(10.1, 5.0)), None);
+        assert_eq!(g.cell_of(&Point2D::new(-0.1, 5.0)), None);
+    }
+
+    #[test]
+    fn cell_rect_covers_its_points() {
+        let g = unit_grid();
+        let p = Point2D::new(3.3, 7.7);
+        let cell = g.cell_of(&p).unwrap();
+        assert!(g.cell_rect(cell).contains(&p));
+    }
+
+    #[test]
+    fn cell_centers_are_inside_bounds() {
+        let g = unit_grid();
+        for col in 0..g.cols() {
+            for row in 0..g.rows() {
+                let c = g.cell_center(GridCell { col, row });
+                assert!(g.bounds().contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn with_cell_size_covers_bounds() {
+        let g = Grid::with_cell_size(Rect::new(0.0, 0.0, 10.0, 4.0), 3.0);
+        assert_eq!(g.cols(), 4);
+        assert_eq!(g.rows(), 2);
+    }
+
+    #[test]
+    fn assign_groups_points() {
+        let g = unit_grid();
+        let pts = vec![
+            Point2D::new(0.5, 0.5),
+            Point2D::new(0.7, 0.1),
+            Point2D::new(9.0, 9.0),
+            Point2D::new(50.0, 50.0), // outside
+        ];
+        let groups = g.assign(&pts);
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, 3);
+        let first = groups
+            .iter()
+            .find(|(c, _)| *c == GridCell { col: 0, row: 0 })
+            .unwrap();
+        assert_eq!(first.1, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cells_panics() {
+        Grid::new(Rect::new(0.0, 0.0, 1.0, 1.0), 0, 1);
+    }
+}

@@ -1,0 +1,338 @@
+//! The bursty-document search engine (Section 5, Problem 2).
+//!
+//! The engine combines three ingredients:
+//!
+//! 1. a document collection (for term frequencies and document metadata),
+//! 2. the spatiotemporal patterns mined per term by one of the miners
+//!    (`STComb`, `STLocal`, or the temporal-only `TB` baseline) — the engine
+//!    handles one pattern source at a time, as in the paper,
+//! 3. a scoring configuration (relevance strategy, burstiness aggregation,
+//!    no-pattern policy).
+//!
+//! For every query term it builds a posting list whose per-document score is
+//! `relevance(d, t) × burstiness(d, t)` (Eq. 10–11) and evaluates the top-k
+//! with Fagin's Threshold Algorithm.
+
+use crate::burstiness::{BurstinessAgg, NoPatternPolicy};
+use crate::index::InvertedIndex;
+use crate::relevance::Relevance;
+use crate::threshold::{threshold_topk, ScoredDoc};
+use std::collections::HashMap;
+
+use stb_core::Pattern;
+use stb_corpus::{Collection, DocId, TermId, Timestamp};
+use stb_corpus::StreamId;
+use stb_timeseries::TimeInterval;
+
+/// A search hit: a document and its total score for the query.
+pub type SearchResult = ScoredDoc;
+
+/// Scoring configuration of the engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Relevance strategy (default: `log(freq + 1)`).
+    pub relevance: Relevance,
+    /// Burstiness aggregation over overlapping patterns (default: maximum).
+    pub aggregation: BurstinessAgg,
+    /// Behaviour for documents with no overlapping pattern (default:
+    /// exclude, per Eq. 11).
+    pub no_pattern: NoPatternPolicy,
+}
+
+/// A pattern reduced to what the engine needs: which stream/timestamp pairs
+/// it covers and how strong it is.
+#[derive(Debug, Clone)]
+struct StoredPattern {
+    streams: Vec<StreamId>,
+    timeframe: TimeInterval,
+    score: f64,
+}
+
+impl StoredPattern {
+    fn overlaps(&self, stream: StreamId, ts: Timestamp) -> bool {
+        self.timeframe.contains(ts) && self.streams.binary_search(&stream).is_ok()
+    }
+}
+
+/// The bursty-document search engine.
+pub struct BurstySearchEngine<'a> {
+    collection: &'a Collection,
+    config: EngineConfig,
+    patterns: HashMap<TermId, Vec<StoredPattern>>,
+    /// Corpus-level inverted lists: term → documents containing it.
+    term_docs: HashMap<TermId, Vec<DocId>>,
+}
+
+impl<'a> BurstySearchEngine<'a> {
+    /// Creates an engine over a collection with the given scoring
+    /// configuration. Patterns must be registered per term with
+    /// [`BurstySearchEngine::set_patterns`] before searching.
+    pub fn new(collection: &'a Collection, config: EngineConfig) -> Self {
+        let mut term_docs: HashMap<TermId, Vec<DocId>> = HashMap::new();
+        for doc in collection.documents() {
+            for &term in doc.counts.keys() {
+                term_docs.entry(term).or_default().push(doc.id);
+            }
+        }
+        for docs in term_docs.values_mut() {
+            docs.sort();
+            docs.dedup();
+        }
+        Self {
+            collection,
+            config,
+            patterns: HashMap::new(),
+            term_docs,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Registers the mined patterns of a term, replacing any previous ones.
+    /// Accepts any pattern type (`CombinatorialPattern`, `RegionalPattern`, …).
+    pub fn set_patterns<P: Pattern>(&mut self, term: TermId, patterns: &[P]) {
+        let stored = patterns
+            .iter()
+            .map(|p| StoredPattern {
+                streams: p.streams().to_vec(),
+                timeframe: p.timeframe(),
+                score: p.score(),
+            })
+            .collect();
+        self.patterns.insert(term, stored);
+    }
+
+    /// Number of documents that contain the term.
+    pub fn doc_freq(&self, term: TermId) -> usize {
+        self.term_docs.get(&term).map(Vec::len).unwrap_or(0)
+    }
+
+    /// `burstiness(d, t)` of Eq. 11: aggregates the scores of the patterns of
+    /// `term` that overlap the document, or `None` if no pattern overlaps.
+    pub fn document_burstiness(&self, term: TermId, doc: DocId) -> Option<f64> {
+        let document = self.collection.document(doc);
+        let overlapping: Vec<f64> = self
+            .patterns
+            .get(&term)?
+            .iter()
+            .filter(|p| p.overlaps(document.stream, document.timestamp))
+            .map(|p| p.score)
+            .collect();
+        self.config.aggregation.aggregate(&overlapping)
+    }
+
+    /// Builds the per-term inverted index (Eq. 10 per-term scores) for a set
+    /// of query terms.
+    pub fn build_index(&self, query: &[TermId]) -> InvertedIndex {
+        let n_docs = self.collection.documents().len();
+        let mut index = InvertedIndex::new();
+        for &term in query {
+            let Some(docs) = self.term_docs.get(&term) else {
+                continue;
+            };
+            let doc_freq = docs.len();
+            for &doc_id in docs {
+                let doc = self.collection.document(doc_id);
+                let relevance = self.config.relevance.score(doc.freq(term), doc_freq, n_docs);
+                match self.document_burstiness(term, doc_id) {
+                    Some(burst) => index.insert(term, doc_id, relevance * burst),
+                    None => {
+                        if self.config.no_pattern == NoPatternPolicy::Zero {
+                            // The term contributes nothing but the document
+                            // stays eligible for the rest of the query.
+                            index.insert(term, doc_id, 0.0);
+                        }
+                        // Under Exclude the document is simply absent from
+                        // this term's posting list, which the Threshold
+                        // Algorithm interprets as -inf.
+                    }
+                }
+            }
+        }
+        index.finalize();
+        index
+    }
+
+    /// Answers a query: the top-`k` documents by Eq. 10, best first.
+    pub fn search(&self, query: &[TermId], k: usize) -> Vec<SearchResult> {
+        let index = self.build_index(query);
+        threshold_topk(&index, query, k, self.config.no_pattern)
+    }
+
+    /// Convenience: answers a query given as raw strings, resolving them
+    /// against the collection's dictionary (unknown terms are dropped).
+    pub fn search_text(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        let terms: Vec<TermId> = query
+            .split_whitespace()
+            .filter_map(|w| self.collection.dict().get(&w.to_lowercase()))
+            .collect();
+        self.search(&terms, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stb_core::CombinatorialPattern;
+    use stb_corpus::CollectionBuilder;
+    use stb_geo::GeoPoint;
+    use std::collections::HashMap as StdHashMap;
+
+    /// Three streams, 10 timestamps. "flood" bursts in streams 0 and 1
+    /// during timestamps 4..=6; documents elsewhere mention it sporadically.
+    fn build_fixture() -> (Collection, TermId) {
+        let mut b = CollectionBuilder::new(10);
+        let flood = b.dict_mut().intern("flood");
+        let other = b.dict_mut().intern("cricket");
+        let s0 = b.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let s1 = b.add_stream("B", GeoPoint::new(1.0, 1.0));
+        let s2 = b.add_stream("C", GeoPoint::new(50.0, 50.0));
+        for ts in 0..10 {
+            for &s in &[s0, s1, s2] {
+                let mut counts = StdHashMap::new();
+                counts.insert(other, 3);
+                if ts % 3 == 0 {
+                    counts.insert(flood, 1);
+                }
+                b.add_document(s, ts, counts);
+            }
+        }
+        // Burst documents.
+        for ts in 4..=6 {
+            for &s in &[s0, s1] {
+                let mut counts = StdHashMap::new();
+                counts.insert(flood, 10);
+                b.add_document(s, ts, counts);
+            }
+        }
+        (b.build(), flood)
+    }
+
+    fn flood_pattern() -> CombinatorialPattern {
+        CombinatorialPattern::new(
+            vec![StreamId(0), StreamId(1)],
+            TimeInterval::new(4, 6),
+            1.5,
+            vec![],
+        )
+    }
+
+    #[test]
+    fn search_returns_burst_documents_first() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        engine.set_patterns(flood, &[flood_pattern()]);
+        let results = engine.search(&[flood], 6);
+        assert_eq!(results.len(), 6);
+        for r in &results {
+            let d = c.document(r.doc);
+            // Under the Exclude policy every returned document must overlap
+            // the pattern.
+            assert!((4..=6).contains(&d.timestamp));
+            assert!(d.stream == StreamId(0) || d.stream == StreamId(1));
+            assert!(r.score > 0.0);
+        }
+        // The strongest hits are the high-frequency burst documents.
+        let top_doc = c.document(results[0].doc);
+        assert_eq!(top_doc.freq(flood), 10);
+    }
+
+    #[test]
+    fn zero_policy_keeps_non_overlapping_documents() {
+        let (c, flood) = build_fixture();
+        let config = EngineConfig {
+            no_pattern: NoPatternPolicy::Zero,
+            ..Default::default()
+        };
+        let mut engine = BurstySearchEngine::new(&c, config);
+        engine.set_patterns(flood, &[flood_pattern()]);
+        let strict_count = {
+            let mut strict = BurstySearchEngine::new(&c, EngineConfig::default());
+            strict.set_patterns(flood, &[flood_pattern()]);
+            strict.search(&[flood], 100).len()
+        };
+        let lenient_count = engine.search(&[flood], 100).len();
+        // Zero policy can only return at least as many documents; documents
+        // outside the pattern score 0 and are still filtered from the top-k
+        // (non-positive scores are never returned), so the counts match here.
+        assert!(lenient_count >= strict_count);
+    }
+
+    #[test]
+    fn no_patterns_means_no_results_under_exclude() {
+        let (c, flood) = build_fixture();
+        let engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        assert!(engine.search(&[flood], 10).is_empty());
+    }
+
+    #[test]
+    fn document_burstiness_uses_max_aggregation() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        let weak = CombinatorialPattern::new(
+            vec![StreamId(0), StreamId(1)],
+            TimeInterval::new(4, 6),
+            0.5,
+            vec![],
+        );
+        engine.set_patterns(flood, &[weak, flood_pattern()]);
+        // Find a burst document.
+        let doc = c
+            .documents()
+            .iter()
+            .find(|d| d.freq(flood) == 10)
+            .unwrap()
+            .id;
+        assert_eq!(engine.document_burstiness(flood, doc), Some(1.5));
+    }
+
+    #[test]
+    fn search_text_resolves_terms() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        engine.set_patterns(flood, &[flood_pattern()]);
+        let by_id = engine.search(&[flood], 5);
+        let by_text = engine.search_text("Flood unknownterm", 5);
+        assert_eq!(by_id.len(), by_text.len());
+        for (a, b) in by_id.iter().zip(&by_text) {
+            assert_eq!(a.doc, b.doc);
+        }
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let (c, flood) = build_fixture();
+        let engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        // "flood" appears in documents at ts 0,3,6,9 for 3 streams (12 docs)
+        // plus 6 burst documents.
+        assert_eq!(engine.doc_freq(flood), 18);
+    }
+
+    #[test]
+    fn multi_term_query_requires_all_terms_under_exclude() {
+        let (c, flood) = build_fixture();
+        let cricket = c.dict().get("cricket").unwrap();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        engine.set_patterns(flood, &[flood_pattern()]);
+        engine.set_patterns(
+            cricket,
+            &[CombinatorialPattern::new(
+                vec![StreamId(0), StreamId(1), StreamId(2)],
+                TimeInterval::new(0, 9),
+                0.3,
+                vec![],
+            )],
+        );
+        let results = engine.search(&[flood, cricket], 10);
+        // Burst documents contain only "flood", background documents contain
+        // "cricket" and sometimes "flood": only documents containing both
+        // terms and overlapping both patterns qualify.
+        for r in &results {
+            let d = c.document(r.doc);
+            assert!(d.freq(flood) > 0 && d.freq(cricket) > 0);
+        }
+    }
+}

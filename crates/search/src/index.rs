@@ -1,0 +1,162 @@
+//! Inverted index with sorted and random access.
+//!
+//! Section 5 of the paper: "An inverted index is first built, mapping each
+//! term to the documents that include it, ranked by their respective
+//! scores. The popular Threshold Algorithm for top-k evaluation can then be
+//! applied." This module is exactly that index: per-term posting lists
+//! sorted by score (for sorted access) plus a per-term hash map (for the
+//! random access the Threshold Algorithm needs).
+
+use std::collections::HashMap;
+
+use stb_corpus::{DocId, TermId};
+
+/// One entry of a posting list: a document and its score for the term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Posting {
+    /// The document.
+    pub doc: DocId,
+    /// The document's per-term score (relevance × burstiness).
+    pub score: f64,
+}
+
+/// A per-term inverted index over per-document scores.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<TermId, Vec<Posting>>,
+    random_access: HashMap<TermId, HashMap<DocId, f64>>,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or overwrites) the score of `doc` for `term`.
+    ///
+    /// Posting lists are re-sorted lazily by [`InvertedIndex::finalize`];
+    /// always call it after the last insertion.
+    pub fn insert(&mut self, term: TermId, doc: DocId, score: f64) {
+        self.postings
+            .entry(term)
+            .or_default()
+            .push(Posting { doc, score });
+        self.random_access.entry(term).or_default().insert(doc, score);
+    }
+
+    /// Sorts every posting list by descending score (ties broken by doc id
+    /// for determinism). Must be called after the last insertion and before
+    /// querying.
+    pub fn finalize(&mut self) {
+        for list in self.postings.values_mut() {
+            list.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.doc.cmp(&b.doc))
+            });
+            // If the same document was inserted twice the random-access map
+            // keeps the last value; deduplicate the sorted list accordingly.
+            list.dedup_by_key(|p| p.doc);
+        }
+    }
+
+    /// The posting list of a term, sorted by descending score. Empty slice
+    /// for unknown terms.
+    pub fn postings(&self, term: TermId) -> &[Posting] {
+        self.postings.get(&term).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Random access: the score of `doc` for `term`, if the document appears
+    /// in the term's posting list.
+    pub fn score(&self, term: TermId, doc: DocId) -> Option<f64> {
+        self.random_access.get(&term).and_then(|m| m.get(&doc)).copied()
+    }
+
+    /// Number of terms with at least one posting.
+    pub fn n_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Number of postings of a term.
+    pub fn doc_freq(&self, term: TermId) -> usize {
+        self.postings.get(&term).map(Vec::len).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn term(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    fn doc(i: u32) -> DocId {
+        DocId(i)
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = InvertedIndex::new();
+        assert_eq!(idx.n_terms(), 0);
+        assert!(idx.postings(term(0)).is_empty());
+        assert_eq!(idx.score(term(0), doc(0)), None);
+        assert_eq!(idx.doc_freq(term(0)), 0);
+    }
+
+    #[test]
+    fn postings_sorted_by_score_desc() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(term(1), doc(10), 0.5);
+        idx.insert(term(1), doc(11), 2.0);
+        idx.insert(term(1), doc(12), 1.0);
+        idx.finalize();
+        let scores: Vec<f64> = idx.postings(term(1)).iter().map(|p| p.score).collect();
+        assert_eq!(scores, vec![2.0, 1.0, 0.5]);
+    }
+
+    #[test]
+    fn ties_broken_by_doc_id() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(term(1), doc(7), 1.0);
+        idx.insert(term(1), doc(3), 1.0);
+        idx.finalize();
+        let docs: Vec<DocId> = idx.postings(term(1)).iter().map(|p| p.doc).collect();
+        assert_eq!(docs, vec![doc(3), doc(7)]);
+    }
+
+    #[test]
+    fn random_access_matches_postings() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(term(2), doc(0), 0.25);
+        idx.insert(term(2), doc(1), 0.75);
+        idx.finalize();
+        assert_eq!(idx.score(term(2), doc(0)), Some(0.25));
+        assert_eq!(idx.score(term(2), doc(1)), Some(0.75));
+        assert_eq!(idx.score(term(2), doc(2)), None);
+        assert_eq!(idx.doc_freq(term(2)), 2);
+    }
+
+    #[test]
+    fn reinsert_overwrites() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(term(0), doc(0), 1.0);
+        idx.insert(term(0), doc(0), 3.0);
+        idx.finalize();
+        assert_eq!(idx.score(term(0), doc(0)), Some(3.0));
+        assert_eq!(idx.doc_freq(term(0)), 1);
+    }
+
+    #[test]
+    fn multiple_terms_are_independent() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(term(0), doc(0), 1.0);
+        idx.insert(term(1), doc(1), 2.0);
+        idx.finalize();
+        assert_eq!(idx.n_terms(), 2);
+        assert_eq!(idx.postings(term(0)).len(), 1);
+        assert_eq!(idx.postings(term(1)).len(), 1);
+    }
+}

@@ -1,0 +1,34 @@
+//! Bursty-document search engine (Section 5 of the paper).
+//!
+//! Given the spatiotemporal burstiness patterns mined for each term (by
+//! `STComb`, `STLocal`, or the temporal-only `TB` baseline), this crate
+//! ranks documents for a multi-term query by
+//!
+//! ```text
+//! score(q, d) = Σ_{t ∈ q} relevance(d, t) × burstiness(d, t)      (Eq. 10)
+//! ```
+//!
+//! where `relevance` is a normalized term frequency (the paper found
+//! `log(freq + 1)` to work best) and `burstiness(d, t)` aggregates the
+//! scores of the patterns of `t` that *overlap* the document — i.e. contain
+//! both its stream of origin and its timestamp (Eq. 11; the paper found the
+//! maximum to work best).
+//!
+//! Retrieval uses a classic IR architecture: an [`InvertedIndex`] with
+//! per-term postings sorted by score, queried with Fagin's Threshold
+//! Algorithm ([`threshold_topk`]) for early-terminating top-k evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burstiness;
+pub mod engine;
+pub mod index;
+pub mod relevance;
+pub mod threshold;
+
+pub use burstiness::{BurstinessAgg, NoPatternPolicy};
+pub use engine::{BurstySearchEngine, EngineConfig, SearchResult};
+pub use index::{InvertedIndex, Posting};
+pub use relevance::Relevance;
+pub use threshold::threshold_topk;

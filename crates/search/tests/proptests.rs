@@ -1,0 +1,63 @@
+//! Property-based tests for the search engine: the Threshold Algorithm must
+//! always agree with exhaustive evaluation.
+
+use proptest::prelude::*;
+use stb_corpus::{DocId, TermId};
+use stb_search::threshold::exhaustive_topk;
+use stb_search::{threshold_topk, InvertedIndex, NoPatternPolicy};
+
+fn arb_index() -> impl Strategy<Value = InvertedIndex> {
+    // Up to 4 terms, up to 30 docs, sparse random scores.
+    prop::collection::vec(
+        (0u32..4, 0u32..30, -1.0f64..5.0).prop_map(|(t, d, s)| (TermId(t), DocId(d), s)),
+        0..80,
+    )
+    .prop_map(|entries| {
+        let mut idx = InvertedIndex::new();
+        for (t, d, s) in entries {
+            idx.insert(t, d, s);
+        }
+        idx.finalize();
+        idx
+    })
+}
+
+proptest! {
+    #[test]
+    fn threshold_algorithm_matches_exhaustive(
+        idx in arb_index(),
+        k in 1usize..12,
+        n_query in 1usize..4,
+        exclude in proptest::bool::ANY
+    ) {
+        let query: Vec<TermId> = (0..n_query as u32).map(TermId).collect();
+        let policy = if exclude { NoPatternPolicy::Exclude } else { NoPatternPolicy::Zero };
+        let ta = threshold_topk(&idx, &query, k, policy);
+        let ex = exhaustive_topk(&idx, &query, k, policy);
+        prop_assert_eq!(ta.len(), ex.len());
+        for (a, b) in ta.iter().zip(&ex) {
+            // Scores must agree exactly; document identity may differ only on
+            // exact score ties, which both sides break by doc id.
+            prop_assert!((a.score - b.score).abs() < 1e-9);
+            prop_assert_eq!(a.doc, b.doc);
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_positive_and_unique(idx in arb_index(), k in 1usize..12) {
+        let query = vec![TermId(0), TermId(1), TermId(2)];
+        let results = threshold_topk(&idx, &query, k, NoPatternPolicy::Zero);
+        prop_assert!(results.len() <= k);
+        for w in results.windows(2) {
+            prop_assert!(w[0].score >= w[1].score - 1e-12);
+        }
+        let mut docs: Vec<DocId> = results.iter().map(|r| r.doc).collect();
+        let before = docs.len();
+        docs.sort();
+        docs.dedup();
+        prop_assert_eq!(docs.len(), before);
+        for r in &results {
+            prop_assert!(r.score > 0.0);
+        }
+    }
+}

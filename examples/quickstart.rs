@@ -1,0 +1,100 @@
+//! Quickstart: mine spatiotemporal burstiness patterns from a handful of
+//! geostamped document streams.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a tiny collection of five city streams over 30 days, injects a
+//! burst of the term "earthquake" in two nearby cities, and shows what the
+//! two miners of the paper report: the combinatorial pattern (STComb) and
+//! the regional pattern (STLocal).
+
+use std::collections::HashMap;
+
+use stburst::core::{Pattern, STComb, STLocal, STLocalConfig};
+use stburst::corpus::CollectionBuilder;
+use stburst::geo::GeoPoint;
+
+fn main() {
+    // 1. Build a collection: five streams (cities), 30 daily timestamps.
+    let mut builder = CollectionBuilder::new(30);
+    let quake = builder.dict_mut().intern("earthquake");
+    let weather = builder.dict_mut().intern("weather");
+
+    let cities = [
+        ("San Jose (CR)", 9.9, -84.1),
+        ("Alajuela (CR)", 10.0, -84.2),
+        ("Lima", -12.0, -77.0),
+        ("Athens", 38.0, 23.7),
+        ("Tokyo", 35.7, 139.7),
+    ];
+    let streams: Vec<_> = cities
+        .iter()
+        .map(|(name, lat, lon)| builder.add_stream(name, GeoPoint::new(*lat, *lon)))
+        .collect();
+
+    // 2. Background traffic: every city mentions "weather" daily and
+    //    "earthquake" once in a while.
+    for day in 0..30 {
+        for &s in &streams {
+            let mut counts = HashMap::new();
+            counts.insert(weather, 5);
+            if day % 9 == 0 {
+                counts.insert(quake, 1);
+            }
+            builder.add_document(s, day, counts);
+        }
+    }
+    // 3. The event: days 12-16, the two Costa Rican cities are flooded with
+    //    earthquake coverage.
+    for day in 12..=16 {
+        for &s in &streams[..2] {
+            let mut counts = HashMap::new();
+            counts.insert(quake, 25);
+            builder.add_document(s, day, counts);
+        }
+    }
+    let collection = builder.build();
+
+    // 4. STComb: which streams were simultaneously bursty, and when?
+    println!("== STComb (combinatorial patterns) ==");
+    for pattern in STComb::new().mine_collection(&collection, quake) {
+        let names: Vec<&str> = pattern
+            .streams
+            .iter()
+            .map(|&s| collection.stream(s).name.as_str())
+            .collect();
+        println!(
+            "  streams {names:?}  days {}..{}  burstiness {:.2}",
+            pattern.timeframe.start, pattern.timeframe.end, pattern.score
+        );
+    }
+
+    // 5. STLocal: which map regions stayed bursty, over which window?
+    println!("== STLocal (regional patterns) ==");
+    let (patterns, _stats) = STLocal::mine_collection(&collection, quake, STLocalConfig::default());
+    for pattern in patterns.iter().take(3) {
+        let names: Vec<&str> = pattern
+            .streams
+            .iter()
+            .map(|&s| collection.stream(s).name.as_str())
+            .collect();
+        println!(
+            "  region {}  streams {names:?}  days {}..{}  w-score {:.2}",
+            pattern.rect, pattern.timeframe.start, pattern.timeframe.end, pattern.score
+        );
+    }
+
+    // 6. Patterns know how to test document overlap (used by the search
+    //    engine): a document from San Jose on day 14 overlaps the top
+    //    pattern, one from Tokyo does not.
+    if let Some(top) = patterns.first() {
+        println!("== Overlap checks on the top regional pattern ==");
+        println!(
+            "  San Jose, day 14 -> {}",
+            top.overlaps(streams[0], 14)
+        );
+        println!("  Tokyo,    day 14 -> {}", top.overlaps(streams[4], 14));
+    }
+}

@@ -1,0 +1,76 @@
+//! Streaming monitoring with STLocal: process snapshots one timestamp at a
+//! time (as they would arrive from a live feed) and print an alert whenever
+//! a new bursty region appears for the monitored term.
+//!
+//! ```text
+//! cargo run --release --example streaming_monitor
+//! ```
+
+use stburst::core::{STLocal, STLocalConfig};
+use stburst::datagen::{GeneratorConfig, PatternGenerator, StreamSelection};
+
+fn main() {
+    // Simulated feed: 60 streams, 90 timestamps, a few injected events.
+    let config = GeneratorConfig {
+        n_streams: 60,
+        timeline: 90,
+        n_terms: 40,
+        n_patterns: 5,
+        selection: StreamSelection::DistGen { decay_fraction: 0.1 },
+        max_streams_per_pattern: 15,
+        seed: 17,
+        ..Default::default()
+    };
+    let dataset = PatternGenerator::generate(config);
+    let term = dataset.patterned_terms()[0];
+    println!(
+        "Monitoring term {term} over {} streams ({} injected patterns on this term).\n",
+        dataset.n_streams(),
+        dataset.patterns_of_term(term).len()
+    );
+
+    let mut miner = STLocal::new(dataset.positions().to_vec(), STLocalConfig::default());
+    let mut known_patterns = 0usize;
+    for ts in 0..dataset.timeline() {
+        // In a real deployment this snapshot would come from the live feed.
+        let snapshot = dataset.snapshot(term, ts);
+        miner.step(&snapshot);
+
+        let stats = miner.stats();
+        let rectangles = stats.rectangles_per_timestamp[ts];
+        let open_windows = stats.open_windows_per_timestamp[ts];
+        let patterns = miner.patterns();
+        if patterns.len() > known_patterns {
+            let top = &patterns[0];
+            println!(
+                "t={ts:>3}  ALERT: {} maximal window(s) tracked (best: {} streams, \
+                 window {}..{}, w-score {:.1}) | {} rectangles, {} open windows",
+                patterns.len(),
+                top.n_streams(),
+                top.timeframe.start,
+                top.timeframe.end,
+                top.score,
+                rectangles,
+                open_windows
+            );
+            known_patterns = patterns.len();
+        }
+    }
+
+    println!("\nFinal report — maximal spatiotemporal windows:");
+    for (i, p) in miner.finish().iter().take(8).enumerate() {
+        println!(
+            "  {:>2}. streams {:?} window {}..{} w-score {:.1}",
+            i + 1,
+            p.streams.iter().map(|s| s.0).collect::<Vec<_>>(),
+            p.timeframe.start,
+            p.timeframe.end,
+            p.score
+        );
+    }
+    println!("\nGround truth injected on this term:");
+    for &pid in dataset.patterns_of_term(term) {
+        let p = &dataset.patterns()[pid];
+        println!("   streams {:?} window {}..{}", p.streams, p.interval.start, p.interval.end);
+    }
+}

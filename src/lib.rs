@@ -1,0 +1,31 @@
+//! # stburst — spatiotemporal term burstiness
+//!
+//! A from-scratch Rust implementation of *"On the Spatiotemporal Burstiness
+//! of Terms"* (Lappas, Vieira, Gunopulos, Tsotras — VLDB 2012): mining
+//! combinatorial (`STComb`) and regional (`STLocal`) spatiotemporal
+//! burstiness patterns from geostamped document streams, and using them to
+//! power a bursty-document search engine.
+//!
+//! This facade crate simply re-exports the workspace crates under one roof;
+//! see the individual modules for the full documentation:
+//!
+//! * [`geo`] — geographic primitives, MDS projection, country gazetteer.
+//! * [`timeseries`] — temporal burst detection (discrepancy & Kleinberg),
+//!   Ruzzo–Tompa maximal segments.
+//! * [`corpus`] — documents, streams, spatiotemporal collections.
+//! * [`discrepancy`] — max-weight rectangles and the R-Bursty algorithm.
+//! * [`core`] — the paper's contribution: STComb, STLocal, baselines,
+//!   evaluation metrics.
+//! * [`search`] — the bursty-document search engine.
+//! * [`datagen`] — synthetic data generators (distGen, randGen, Topix-like
+//!   corpus).
+
+#![forbid(unsafe_code)]
+
+pub use stb_corpus as corpus;
+pub use stb_core as core;
+pub use stb_datagen as datagen;
+pub use stb_discrepancy as discrepancy;
+pub use stb_geo as geo;
+pub use stb_search as search;
+pub use stb_timeseries as timeseries;

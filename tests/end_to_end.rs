@@ -1,0 +1,130 @@
+//! Cross-crate integration test: synthetic data generation → pattern mining
+//! (both miners and both baselines) → evaluation metrics.
+
+use stburst::core::{
+    jaccard_similarity, Base, STComb, STCombConfig, STLocal, STLocalConfig, TB,
+};
+use stburst::corpus::StreamId;
+use stburst::datagen::{GeneratorConfig, PatternGenerator, StreamSelection};
+
+fn dataset() -> stburst::datagen::SyntheticDataset {
+    PatternGenerator::generate(GeneratorConfig {
+        n_streams: 24,
+        timeline: 90,
+        n_terms: 40,
+        n_patterns: 6,
+        selection: StreamSelection::DistGen { decay_fraction: 0.1 },
+        max_streams_per_pattern: 8,
+        seed: 77,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn stcomb_recovers_injected_patterns() {
+    let data = dataset();
+    let miner = STComb::with_config(STCombConfig {
+        min_interval_score: 0.2,
+        ..Default::default()
+    });
+    let mut hits = 0usize;
+    for truth in data.patterns() {
+        let series: Vec<(StreamId, Vec<f64>)> = (0..data.n_streams())
+            .map(|s| (StreamId(s as u32), data.series(truth.term, s)))
+            .collect();
+        let mined = miner.mine_series(&series);
+        let truth_streams: Vec<StreamId> =
+            truth.streams.iter().map(|&s| StreamId(s as u32)).collect();
+        if let Some(best) = mined.first() {
+            // The top pattern must overlap the injected timeframe and share
+            // streams with it.
+            if best.timeframe.overlaps(&truth.interval)
+                && jaccard_similarity(&best.streams, &truth_streams) > 0.3
+            {
+                hits += 1;
+            }
+        }
+    }
+    assert!(
+        hits >= data.patterns().len() - 1,
+        "STComb recovered only {hits}/{} injected patterns",
+        data.patterns().len()
+    );
+}
+
+#[test]
+fn stlocal_recovers_injected_timeframes() {
+    let data = dataset();
+    let mut recovered = 0usize;
+    for truth in data.patterns() {
+        let mut miner = STLocal::new(data.positions().to_vec(), STLocalConfig::default());
+        for ts in 0..data.timeline() {
+            miner.step(&data.snapshot(truth.term, ts));
+        }
+        if let Some(best) = miner.finish().into_iter().next() {
+            if best.timeframe.overlaps(&truth.interval) {
+                recovered += 1;
+            }
+        }
+    }
+    assert!(
+        recovered >= data.patterns().len() - 1,
+        "STLocal recovered only {recovered}/{} timeframes",
+        data.patterns().len()
+    );
+}
+
+#[test]
+fn baselines_produce_consistent_patterns() {
+    let data = dataset();
+    let truth = &data.patterns()[0];
+    let series: Vec<(StreamId, Vec<f64>)> = (0..data.n_streams())
+        .map(|s| (StreamId(s as u32), data.series(truth.term, s)))
+        .collect();
+
+    // Base: every pattern covers at least one stream and a valid timeframe.
+    for p in Base::new().mine_series(&series) {
+        assert!(!p.streams.is_empty());
+        assert!(p.timeframe.end < data.timeline());
+    }
+
+    // TB: patterns cover all streams and have positive scores.
+    let mut merged = vec![0.0; data.timeline()];
+    for (_, s) in &series {
+        for (ts, v) in s.iter().enumerate() {
+            merged[ts] += v;
+        }
+    }
+    let all: Vec<StreamId> = (0..data.n_streams() as u32).map(StreamId).collect();
+    for p in TB::new().mine_merged_series(&merged, &all) {
+        assert_eq!(p.n_streams(), data.n_streams());
+        assert!(p.score > 0.0);
+    }
+}
+
+#[test]
+fn miners_agree_on_quiet_terms() {
+    let data = dataset();
+    // A term with no injected pattern should produce no strong patterns.
+    let quiet = (0..40)
+        .find(|t| data.patterns_of_term(*t).is_empty())
+        .expect("some term has no injected pattern");
+    let series: Vec<(StreamId, Vec<f64>)> = (0..data.n_streams())
+        .map(|s| (StreamId(s as u32), data.series(quiet, s)))
+        .collect();
+    let miner = STComb::with_config(STCombConfig {
+        min_interval_score: 0.35,
+        min_streams: 3,
+        ..Default::default()
+    });
+    let strong: Vec<_> = miner
+        .mine_series(&series)
+        .into_iter()
+        .filter(|p| p.score > 2.0)
+        .collect();
+    assert!(
+        strong.len() <= 1,
+        "quiet term produced {} strong patterns",
+        strong.len()
+    );
+}

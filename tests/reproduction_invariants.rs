@@ -1,0 +1,119 @@
+//! Integration tests asserting the qualitative findings of the paper's
+//! evaluation at a miniature scale, so the key experimental claims are
+//! continuously checked by `cargo test --workspace`.
+
+use stburst::core::{STComb, STCombConfig, STLocal, STLocalConfig};
+use stburst::datagen::{TopixConfig, TopixCorpus};
+use stburst::geo::Mbr;
+
+fn corpus() -> TopixCorpus {
+    TopixCorpus::generate(TopixConfig::small())
+}
+
+/// Section 6.2 / Table 1: for a *global* event both miners report patterns
+/// spanning a large share of the available sources.
+#[test]
+fn global_events_cover_most_of_the_world() {
+    let corpus = corpus();
+    let collection = corpus.collection();
+    // Event 5 (index 4): the swine-flu pandemic.
+    let term = corpus.query_terms(4)[0];
+
+    let comb = STComb::with_config(STCombConfig {
+        min_interval_score: 0.2,
+        ..Default::default()
+    })
+    .top_pattern(collection, term)
+    .expect("a global event must produce a combinatorial pattern");
+    assert!(
+        comb.n_streams() > collection.n_streams() / 2,
+        "STComb covered only {}/{} countries for a global event",
+        comb.n_streams(),
+        collection.n_streams()
+    );
+
+    let (local, _) = STLocal::mine_collection(collection, term, STLocalConfig::default());
+    let top = local.first().expect("a regional pattern must exist");
+    assert!(
+        top.n_streams() > collection.n_streams() / 2,
+        "STLocal covered only {}/{} countries for a global event",
+        top.n_streams(),
+        collection.n_streams()
+    );
+}
+
+/// Section 6.2 / Table 1: for a *localized* event the regional pattern stays
+/// small while the MBR of the combinatorial pattern spans a large part of
+/// the map.
+#[test]
+fn localized_events_stay_local_for_stlocal() {
+    let corpus = corpus();
+    let collection = corpus.collection();
+    // Event 16 (index 15): Rajoelina / Madagascar.
+    let term = corpus.query_terms(15)[0];
+    let n = collection.n_streams();
+
+    let (local, _) = STLocal::mine_collection(collection, term, STLocalConfig::default());
+    let top_local = local.first().expect("a regional pattern must exist");
+    assert!(
+        top_local.n_streams() < n / 3,
+        "STLocal reported {}/{} countries for a localized event",
+        top_local.n_streams(),
+        n
+    );
+
+    let comb = STComb::with_config(STCombConfig {
+        min_interval_score: 0.2,
+        ..Default::default()
+    })
+    .top_pattern(collection, term)
+    .expect("a combinatorial pattern must exist");
+    let positions = collection.positions();
+    let mbr = Mbr::from_points(comb.streams.iter().map(|s| positions[s.index()]));
+    let mbr_count = mbr.count_contained(&positions);
+    assert!(
+        mbr_count > top_local.n_streams(),
+        "the MBR of the STComb pattern ({mbr_count}) should exceed the STLocal count ({})",
+        top_local.n_streams()
+    );
+}
+
+/// Figures 5 and 6: the per-term bookkeeping of STLocal stays far below the
+/// worst-case bounds (few bursty rectangles per timestamp, few open
+/// windows).
+#[test]
+fn stlocal_bookkeeping_is_far_below_worst_case() {
+    let corpus = corpus();
+    let collection = corpus.collection();
+    let term = corpus.query_terms(9)[0]; // piracy
+    let (_, stats) = STLocal::mine_collection(collection, term, STLocalConfig::default());
+
+    let n = collection.n_streams();
+    let avg_rects = stats.rectangles_per_timestamp.iter().sum::<usize>() as f64
+        / stats.rectangles_per_timestamp.len() as f64;
+    assert!(
+        avg_rects < 3.0,
+        "average rectangles per timestamp {avg_rects} is not far below n = {n}"
+    );
+    let max_open = stats.open_windows_per_timestamp.iter().max().copied().unwrap_or(0);
+    assert!(
+        max_open < n,
+        "open windows ({max_open}) should stay far below the worst-case bound"
+    );
+}
+
+/// Section 6.2.1 / Figure 4: reported timeframes are plausible — within the
+/// timeline and no longer than a few times the nominal event duration.
+#[test]
+fn reported_timeframes_are_within_the_timeline() {
+    let corpus = corpus();
+    let collection = corpus.collection();
+    for event_idx in [13usize, 16] {
+        for &term in corpus.query_terms(event_idx) {
+            let (patterns, _) = STLocal::mine_collection(collection, term, STLocalConfig::default());
+            for p in patterns.iter().take(3) {
+                assert!(p.timeframe.end < collection.timeline_len());
+            }
+        }
+    }
+}

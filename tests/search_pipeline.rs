@@ -1,0 +1,92 @@
+//! Cross-crate integration test: the full bursty-document search pipeline on
+//! the synthetic Topix corpus — generation, mining, indexing, Threshold
+//! Algorithm retrieval, and precision against the generator's ground truth.
+
+use std::collections::HashSet;
+
+use stburst::core::{STComb, STCombConfig, STLocal, STLocalConfig};
+use stburst::datagen::{TopixConfig, TopixCorpus};
+use stburst::search::{BurstySearchEngine, EngineConfig};
+
+fn corpus() -> TopixCorpus {
+    TopixCorpus::generate(TopixConfig::small())
+}
+
+/// Index of a localized event (15: Tsvangirai / Zimbabwe) — small enough to
+/// mine quickly in debug builds.
+const EVENT_IDX: usize = 14;
+
+#[test]
+fn stcomb_backed_search_finds_relevant_documents() {
+    let corpus = corpus();
+    let collection = corpus.collection();
+    let query = corpus.query_terms(EVENT_IDX).to_vec();
+    let relevant: HashSet<_> = corpus.relevant_docs(EVENT_IDX).clone();
+    assert!(!relevant.is_empty());
+
+    let miner = STComb::with_config(STCombConfig {
+        min_interval_score: 0.2,
+        ..Default::default()
+    });
+    let mut engine = BurstySearchEngine::new(collection, EngineConfig::default());
+    for &term in &query {
+        engine.set_patterns(term, &miner.mine_collection(collection, term));
+    }
+    let hits = engine.search(&query, 10);
+    assert!(!hits.is_empty(), "the engine returned no documents");
+    let precision =
+        hits.iter().filter(|h| relevant.contains(&h.doc)).count() as f64 / hits.len() as f64;
+    assert!(
+        precision >= 0.8,
+        "precision@{} = {precision} is below 0.8",
+        hits.len()
+    );
+}
+
+#[test]
+fn stlocal_backed_search_focuses_on_the_epicenter_region() {
+    let corpus = corpus();
+    let collection = corpus.collection();
+    let event = &corpus.events()[EVENT_IDX];
+    let query = corpus.query_terms(EVENT_IDX).to_vec();
+
+    let mut engine = BurstySearchEngine::new(collection, EngineConfig::default());
+    for &term in &query {
+        let (patterns, _) = STLocal::mine_collection(collection, term, STLocalConfig::default());
+        assert!(!patterns.is_empty(), "STLocal found no patterns for the event term");
+        engine.set_patterns(term, &patterns);
+    }
+    let hits = engine.search(&query, 10);
+    assert!(!hits.is_empty());
+
+    // Every returned document must mention the query term and fall inside
+    // the event's burst period (including the local-coverage tail).
+    for hit in &hits {
+        let doc = collection.document(hit.doc);
+        assert!(query.iter().any(|&t| doc.freq(t) > 0));
+        assert!(doc.timestamp >= event.start_week);
+        assert!(doc.timestamp <= event.start_week + 2 * event.duration_weeks);
+    }
+}
+
+#[test]
+fn results_are_ranked_and_deterministic() {
+    let corpus = corpus();
+    let collection = corpus.collection();
+    let query = corpus.query_terms(EVENT_IDX).to_vec();
+    let miner = STComb::new();
+    let mut engine = BurstySearchEngine::new(collection, EngineConfig::default());
+    for &term in &query {
+        engine.set_patterns(term, &miner.mine_collection(collection, term));
+    }
+    let a = engine.search(&query, 10);
+    let b = engine.search(&query, 10);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.doc, y.doc);
+        assert_eq!(x.score, y.score);
+    }
+    for w in a.windows(2) {
+        assert!(w[0].score >= w[1].score);
+    }
+}
