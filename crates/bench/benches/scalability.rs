@@ -15,7 +15,9 @@ fn bench_scalability(c: &mut Criterion) {
             timeline: 120,
             n_terms: 200,
             n_patterns: 30,
-            selection: StreamSelection::DistGen { decay_fraction: 0.08 },
+            selection: StreamSelection::DistGen {
+                decay_fraction: 0.08,
+            },
             background_density: (120.0 / n_streams as f64).min(1.0),
             seed: 31,
             ..Default::default()

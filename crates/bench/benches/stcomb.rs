@@ -15,7 +15,9 @@ fn bench_stcomb(c: &mut Criterion) {
             timeline: 365,
             n_terms: 50,
             n_patterns: 20,
-            selection: StreamSelection::DistGen { decay_fraction: 0.08 },
+            selection: StreamSelection::DistGen {
+                decay_fraction: 0.08,
+            },
             seed: 11,
             ..Default::default()
         };
@@ -24,9 +26,11 @@ fn bench_stcomb(c: &mut Criterion) {
         let series: Vec<(StreamId, Vec<f64>)> = (0..n_streams)
             .map(|s| (StreamId(s as u32), dataset.series(term, s)))
             .collect();
-        group.bench_with_input(BenchmarkId::new("mine_term", n_streams), &series, |b, series| {
-            b.iter(|| black_box(STComb::new().mine_series(series)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mine_term", n_streams),
+            &series,
+            |b, series| b.iter(|| black_box(STComb::new().mine_series(series))),
+        );
     }
     group.finish();
 }

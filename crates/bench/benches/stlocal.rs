@@ -14,7 +14,9 @@ fn bench_stlocal(c: &mut Criterion) {
             timeline: 48,
             n_terms: 20,
             n_patterns: 10,
-            selection: StreamSelection::DistGen { decay_fraction: 0.08 },
+            selection: StreamSelection::DistGen {
+                decay_fraction: 0.08,
+            },
             seed: 23,
             ..Default::default()
         };

@@ -15,7 +15,8 @@ fn main() {
     eprintln!("[figure4] mining top patterns...");
     let analyses = analyze_all_events(&corpus);
 
-    let mut table = TableWriter::new("Figure 4: Timeframe (weeks) of the top-scoring pattern per query");
+    let mut table =
+        TableWriter::new("Figure 4: Timeframe (weeks) of the top-scoring pattern per query");
     table.header(["#", "Query", "STLocal weeks", "STComb weeks"]);
     for a in &analyses {
         table.row([
@@ -31,8 +32,17 @@ fn main() {
     println!("Bar-chart series (query index: STLocal | STComb):");
     for a in &analyses {
         let bars = |n: usize| "#".repeat(n.min(60));
-        println!("  {:>2} STLocal {:<30} ({:>2})", a.event.id, bars(a.stlocal_weeks), a.stlocal_weeks);
-        println!("     STComb  {:<30} ({:>2})", bars(a.stcomb_weeks), a.stcomb_weeks);
+        println!(
+            "  {:>2} STLocal {:<30} ({:>2})",
+            a.event.id,
+            bars(a.stlocal_weeks),
+            a.stlocal_weeks
+        );
+        println!(
+            "     STComb  {:<30} ({:>2})",
+            bars(a.stcomb_weeks),
+            a.stcomb_weeks
+        );
     }
     let longer = analyses
         .iter()

@@ -8,7 +8,9 @@
 //! cargo run --release -p stb-bench --bin figure5 [-- --full]
 //! ```
 
-use stb_bench::experiments::{rectangle_histogram, sample_terms, streaming_statistics, topix_corpus};
+use stb_bench::experiments::{
+    rectangle_histogram, sample_terms, streaming_statistics, topix_corpus,
+};
 use stb_bench::{ExperimentCtx, TableWriter};
 
 fn main() {
@@ -23,7 +25,12 @@ fn main() {
 
     let mut table = TableWriter::new("Figure 5: Avg # bursty rectangles per term per timestamp");
     table.header(["Bin", "% of terms"]);
-    for (label, pct) in [("0 - 1", bins[0]), ("1 - 2", bins[1]), ("2 - 3", bins[2]), (">= 3", bins[3])] {
+    for (label, pct) in [
+        ("0 - 1", bins[0]),
+        ("1 - 2", bins[1]),
+        ("2 - 3", bins[2]),
+        (">= 3", bins[3]),
+    ] {
         table.row([label.to_string(), format!("{pct:.1}%")]);
     }
     table.print();

@@ -17,7 +17,8 @@ fn main() {
     eprintln!("[figure6] streaming {} terms with STLocal...", terms.len());
     let stats = streaming_statistics(&corpus, &terms);
 
-    let mut table = TableWriter::new("Figure 6: Open spatiotemporal windows per term (average) vs upper bound");
+    let mut table =
+        TableWriter::new("Figure 6: Open spatiotemporal windows per term (average) vs upper bound");
     table.header(["Timestamp", "Upper bound", "STLocal (avg open windows)"]);
     for (i, (&ub, &open)) in stats
         .upper_bound

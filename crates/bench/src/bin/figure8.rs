@@ -20,7 +20,8 @@ fn main() {
     );
     let points = scalability_experiment(&ctx, &counts, terms_per_point);
 
-    let mut table = TableWriter::new("Figure 8: Running time (s per term) vs number of streams (distGen)");
+    let mut table =
+        TableWriter::new("Figure 8: Running time (s per term) vs number of streams (distGen)");
     table.header(["# streams", "STComb (s)", "STLocal (s)"]);
     for p in &points {
         table.row([

@@ -11,12 +11,7 @@ use stb_datagen::Weibull;
 fn main() {
     // Parameter combinations in the spirit of the paper's Figure 9: sharp
     // unexpected events, slow build-ups, and long-lived stories.
-    let curves = [
-        (1.5, 5.0),
-        (2.0, 10.0),
-        (3.0, 15.0),
-        (5.0, 20.0),
-    ];
+    let curves = [(1.5, 5.0), (2.0, 10.0), (3.0, 15.0), (5.0, 20.0)];
     let xs: Vec<f64> = (0..=40).map(|i| i as f64).collect();
 
     let mut table = TableWriter::new("Figure 9: Weibull PDF curves f(x; c, k)");

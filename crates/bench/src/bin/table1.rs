@@ -69,12 +69,17 @@ fn main() {
     table.print();
 
     // Qualitative summary, mirroring the paper's discussion of Table 1.
-    let tier_avg = |lo: usize, hi: usize, f: &dyn Fn(&stb_bench::experiments::EventAnalysis) -> usize| {
-        analyses[lo..hi].iter().map(f).sum::<usize>() as f64 / (hi - lo) as f64
-    };
+    let tier_avg =
+        |lo: usize, hi: usize, f: &dyn Fn(&stb_bench::experiments::EventAnalysis) -> usize| {
+            analyses[lo..hi].iter().map(f).sum::<usize>() as f64 / (hi - lo) as f64
+        };
     println!();
     println!("Tier averages (STLocal / STComb / MBR):");
-    for (label, lo, hi) in [("global", 0, 6), ("multi-country", 6, 12), ("localized", 12, 18)] {
+    for (label, lo, hi) in [
+        ("global", 0, 6),
+        ("multi-country", 6, 12),
+        ("localized", 12, 18),
+    ] {
         println!(
             "  {label:<13} {:6.1} / {:6.1} / {:6.1}",
             tier_avg(lo, hi, &|a| a.stlocal_countries),

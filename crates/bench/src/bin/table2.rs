@@ -26,7 +26,13 @@ fn main() {
     ];
 
     let mut table = TableWriter::new("Table 2: Spatiotemporal pattern retrieval");
-    table.header(["Approach", "Dataset", "JaccardSim", "Start-Error", "End-Error"]);
+    table.header([
+        "Approach",
+        "Dataset",
+        "JaccardSim",
+        "Start-Error",
+        "End-Error",
+    ]);
     for approach in [Approach::STLocal, Approach::STComb, Approach::Base] {
         for (name, dataset) in &datasets {
             eprintln!("[table2] evaluating {} on {name}...", approach.name());

@@ -123,13 +123,13 @@ pub fn analyze_event(corpus: &TopixCorpus, event_idx: usize) -> EventAnalysis {
     let mut best_local: Option<(RegionalPattern, TermId)> = None;
     for &term in corpus.query_terms(event_idx) {
         if let Some(p) = stcomb.top_pattern(collection, term) {
-            if best_comb.as_ref().map_or(true, |b| p.score > b.score) {
+            if best_comb.as_ref().is_none_or(|b| p.score > b.score) {
                 best_comb = Some(p);
             }
         }
         let (patterns, _) = STLocal::mine_collection(collection, term, stlocal_config.clone());
         if let Some(p) = patterns.into_iter().next() {
-            if best_local.as_ref().map_or(true, |(b, _)| p.score > b.score) {
+            if best_local.as_ref().is_none_or(|(b, _)| p.score > b.score) {
                 best_local = Some((p, term));
             }
         }
@@ -218,7 +218,9 @@ pub fn table2_configs(ctx: &ExperimentCtx) -> (GeneratorConfig, GeneratorConfig)
         }
     };
     let dist = GeneratorConfig {
-        selection: StreamSelection::DistGen { decay_fraction: 0.08 },
+        selection: StreamSelection::DistGen {
+            decay_fraction: 0.08,
+        },
         ..base.clone()
     };
     let rand = GeneratorConfig {

@@ -120,7 +120,11 @@ impl Base {
     /// order keeps results reproducible — callers can shuffle the series
     /// themselves via [`Base::mine_series`] if they want the paper's exact
     /// randomized behaviour).
-    pub fn mine_collection(&self, collection: &Collection, term: TermId) -> Vec<CombinatorialPattern> {
+    pub fn mine_collection(
+        &self,
+        collection: &Collection,
+        term: TermId,
+    ) -> Vec<CombinatorialPattern> {
         let series: Vec<(StreamId, Vec<f64>)> = collection
             .streams_with_term(term)
             .into_iter()
@@ -139,7 +143,7 @@ impl Base {
                 let mut best: Option<(usize, f64)> = None;
                 for (i, cand) in candidates.iter().enumerate() {
                     let j = cand.interval.jaccard(&interval);
-                    if j >= self.config.delta && best.map_or(true, |(_, bj)| j > bj) {
+                    if j >= self.config.delta && best.is_none_or(|(_, bj)| j > bj) {
                         best = Some((i, j));
                     }
                 }
@@ -170,7 +174,11 @@ impl Base {
                 CombinatorialPattern::new(c.streams, c.interval, score, intervals)
             })
             .collect();
-        patterns.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        patterns.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         patterns
     }
 }

@@ -68,7 +68,7 @@ pub fn max_weight_interval_clique(intervals: &[WeightedInterval]) -> Option<Inte
         events.push((wi.interval.start, wi.weight));
         events.push((wi.interval.end + 1, -wi.weight));
     }
-    events.sort_by(|a, b| a.0.cmp(&b.0));
+    events.sort_by_key(|a| a.0);
 
     let mut active = 0.0f64;
     let mut best: Option<(f64, usize)> = None;
@@ -84,7 +84,7 @@ pub fn max_weight_interval_clique(intervals: &[WeightedInterval]) -> Option<Inte
         // events) visits every distinct coverage value at its earliest
         // attaining timestamp. With negative weights allowed the maximum may
         // sit right after an interval ends, so end points are candidates too.
-        if best.map_or(true, |(w, _)| active > w + 1e-15) {
+        if best.is_none_or(|(w, _)| active > w + 1e-15) {
             best = Some((active, t));
         }
     }
@@ -102,7 +102,10 @@ pub fn max_weight_interval_clique(intervals: &[WeightedInterval]) -> Option<Inte
     let common = members
         .iter()
         .map(|&i| intervals[i].interval)
-        .reduce(|a, b| a.intersection(&b).expect("clique intervals share the sweep point"))?;
+        .reduce(|a, b| {
+            a.intersection(&b)
+                .expect("clique intervals share the sweep point")
+        })?;
     Some(IntervalClique {
         members,
         common,
@@ -126,7 +129,7 @@ pub fn max_weight_clique_naive(intervals: &[WeightedInterval]) -> Option<Interva
             continue;
         }
         let weight: f64 = members.iter().map(|&i| intervals[i].weight).sum();
-        if weight > 0.0 && best.as_ref().map_or(true, |b| weight > b.weight + 1e-15) {
+        if weight > 0.0 && best.as_ref().is_none_or(|b| weight > b.weight + 1e-15) {
             let common = members
                 .iter()
                 .map(|&i| intervals[i].interval)
@@ -220,8 +223,18 @@ mod tests {
     #[test]
     fn matches_naive_on_fixed_cases() {
         let cases = vec![
-            vec![wi(0, 2, 0.5, 0), wi(1, 4, 0.6, 1), wi(3, 6, 0.9, 2), wi(5, 8, 0.1, 3)],
-            vec![wi(0, 9, 0.1, 0), wi(2, 3, 0.7, 1), wi(2, 3, 0.7, 2), wi(5, 9, 1.2, 3)],
+            vec![
+                wi(0, 2, 0.5, 0),
+                wi(1, 4, 0.6, 1),
+                wi(3, 6, 0.9, 2),
+                wi(5, 8, 0.1, 3),
+            ],
+            vec![
+                wi(0, 9, 0.1, 0),
+                wi(2, 3, 0.7, 1),
+                wi(2, 3, 0.7, 2),
+                wi(5, 9, 1.2, 3),
+            ],
             vec![wi(1, 1, 0.3, 0), wi(1, 1, 0.3, 1), wi(1, 1, 0.3, 2)],
         ];
         for case in cases {

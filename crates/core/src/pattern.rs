@@ -27,8 +27,7 @@ pub trait Pattern {
     /// the pattern (Section 5: both the stream of origin and the timestamp
     /// must be included).
     fn overlaps(&self, stream: StreamId, timestamp: Timestamp) -> bool {
-        self.timeframe().contains(timestamp)
-            && self.streams().binary_search(&stream).is_ok()
+        self.timeframe().contains(timestamp) && self.streams().binary_search(&stream).is_ok()
     }
 }
 

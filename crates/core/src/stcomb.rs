@@ -74,7 +74,11 @@ impl STComb {
     ///
     /// Every stream in which the term occurs contributes its bursty temporal
     /// intervals; patterns are returned strongest first.
-    pub fn mine_collection(&self, collection: &Collection, term: TermId) -> Vec<CombinatorialPattern> {
+    pub fn mine_collection(
+        &self,
+        collection: &Collection,
+        term: TermId,
+    ) -> Vec<CombinatorialPattern> {
         let series: Vec<(StreamId, Vec<f64>)> = collection
             .streams_with_term(term)
             .into_iter()
@@ -117,15 +121,12 @@ impl STComb {
                 })
                 .collect();
             let streams: Vec<StreamId> = member_intervals.iter().map(|(s, _, _)| *s).collect();
-            let pattern = CombinatorialPattern::new(
-                streams,
-                clique.common,
-                clique.weight,
-                member_intervals,
-            );
+            let pattern =
+                CombinatorialPattern::new(streams, clique.common, clique.weight, member_intervals);
             // Remove the clique's intervals from the pool before iterating
             // ("Getting Multiple Patterns", Section 3).
-            let member_set: std::collections::HashSet<usize> = clique.members.iter().copied().collect();
+            let member_set: std::collections::HashSet<usize> =
+                clique.members.iter().copied().collect();
             pool = pool
                 .into_iter()
                 .enumerate()
@@ -141,7 +142,11 @@ impl STComb {
 
     /// Convenience: the single highest-scoring pattern for a term (the HSS
     /// problem, Problem 1 of the paper).
-    pub fn top_pattern(&self, collection: &Collection, term: TermId) -> Option<CombinatorialPattern> {
+    pub fn top_pattern(
+        &self,
+        collection: &Collection,
+        term: TermId,
+    ) -> Option<CombinatorialPattern> {
         let mut limited = self.clone();
         limited.config.max_patterns = 1;
         limited.mine_collection(collection, term).into_iter().next()

@@ -166,7 +166,9 @@ enum BaselineState {
 impl BaselineState {
     fn new(kind: &BaselineKind) -> Self {
         match kind {
-            BaselineKind::RunningMean => BaselineState::RunningMean(stb_timeseries::RunningMean::new()),
+            BaselineKind::RunningMean => {
+                BaselineState::RunningMean(stb_timeseries::RunningMean::new())
+            }
             BaselineKind::SlidingWindow(w) => {
                 BaselineState::SlidingWindow(stb_timeseries::SlidingWindowMean::new(*w))
             }
@@ -301,7 +303,11 @@ impl STLocal {
         }
         self.sequences = still_active;
 
-        let open_windows: usize = self.sequences.iter().map(|s| s.maxseg.candidate_count()).sum();
+        let open_windows: usize = self
+            .sequences
+            .iter()
+            .map(|s| s.maxseg.candidate_count())
+            .sum();
         self.stats.open_windows_per_timestamp.push(open_windows);
         self.stats
             .active_sequences_per_timestamp
@@ -319,7 +325,11 @@ impl STLocal {
                 self.config.min_member_contribution_ratio,
             ));
         }
-        out.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         out
     }
 
@@ -360,24 +370,24 @@ impl STLocal {
         n_threads: usize,
     ) -> Vec<(TermId, Vec<RegionalPattern>)> {
         let n_threads = n_threads.max(1);
-        let results = parking_lot::Mutex::new(vec![None; terms.len()]);
+        let results = std::sync::Mutex::new(vec![None; terms.len()]);
         let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..n_threads {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if idx >= terms.len() {
                         break;
                     }
                     let term = terms[idx];
                     let (patterns, _) = STLocal::mine_collection(collection, term, config.clone());
-                    results.lock()[idx] = Some((term, patterns));
+                    results.lock().unwrap()[idx] = Some((term, patterns));
                 });
             }
-        })
-        .expect("worker thread panicked");
+        });
         results
             .into_inner()
+            .unwrap()
             .into_iter()
             .map(|r| r.expect("every term processed"))
             .collect()
@@ -388,11 +398,7 @@ impl STLocal {
     /// (of all streams known to the miner) that fall inside it. Used by the
     /// Table 1 experiment for the "# countries in MBR" column.
     pub fn mbr_stream_count(&self, pattern_streams: &[StreamId]) -> usize {
-        let mbr = Mbr::from_points(
-            pattern_streams
-                .iter()
-                .map(|s| self.positions[s.index()]),
-        );
+        let mbr = Mbr::from_points(pattern_streams.iter().map(|s| self.positions[s.index()]));
         mbr.count_contained(&self.positions)
     }
 }

@@ -49,7 +49,11 @@ impl TB {
     /// Mines temporal-burst patterns for one term: the per-stream series are
     /// merged into one and its bursty intervals are reported as patterns
     /// covering every stream of the collection.
-    pub fn mine_collection(&self, collection: &Collection, term: TermId) -> Vec<CombinatorialPattern> {
+    pub fn mine_collection(
+        &self,
+        collection: &Collection,
+        term: TermId,
+    ) -> Vec<CombinatorialPattern> {
         let merged = collection.term_merged_series(term);
         let all_streams: Vec<StreamId> = (0..collection.n_streams())
             .map(|i| StreamId(i as u32))
@@ -65,7 +69,11 @@ impl TB {
         streams: &[StreamId],
     ) -> Vec<CombinatorialPattern> {
         let mut bursts = bursty_intervals_with_threshold(merged, self.config.min_interval_score);
-        bursts.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        bursts.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         bursts
             .into_iter()
             .take(self.config.max_patterns)

@@ -9,8 +9,9 @@ use stb_timeseries::TimeInterval;
 
 fn arb_weighted_intervals() -> impl Strategy<Value = Vec<WeightedInterval>> {
     prop::collection::vec(
-        (0usize..40, 0usize..10, 0.01f64..2.0, 0usize..8)
-            .prop_map(|(start, len, w, tag)| WeightedInterval::new(TimeInterval::new(start, start + len), w, tag)),
+        (0usize..40, 0usize..10, 0.01f64..2.0, 0usize..8).prop_map(|(start, len, w, tag)| {
+            WeightedInterval::new(TimeInterval::new(start, start + len), w, tag)
+        }),
         0..15,
     )
 }

@@ -119,7 +119,10 @@ mod tests {
         let mut d = TermDict::new();
         d.intern("x");
         d.intern("y");
-        let items: Vec<_> = d.iter().map(|(id, s)| (id.index(), s.to_string())).collect();
+        let items: Vec<_> = d
+            .iter()
+            .map(|(id, s)| (id.index(), s.to_string()))
+            .collect();
         assert_eq!(items, vec![(0, "x".to_string()), (1, "y".to_string())]);
     }
 

@@ -12,8 +12,8 @@ use std::collections::HashMap;
 /// Default English stop words filtered by [`Tokenizer::default`].
 const DEFAULT_STOPWORDS: &[&str] = &[
     "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "from", "has", "have", "he",
-    "her", "his", "in", "is", "it", "its", "of", "on", "or", "she", "that", "the", "their",
-    "they", "this", "to", "was", "were", "will", "with",
+    "her", "his", "in", "is", "it", "its", "of", "on", "or", "she", "that", "the", "their", "they",
+    "this", "to", "was", "were", "will", "with",
 ];
 
 /// Configurable tokenizer producing term-frequency bags.

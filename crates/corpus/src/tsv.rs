@@ -88,12 +88,16 @@ pub fn write_collection<W: Write>(collection: &Collection, mut out: W) -> Result
     Ok(())
 }
 
+/// A parsed `D` record waiting for the full stream table: external stream
+/// id, timestamp, and the (term, count) pairs.
+type PendingDoc = (u32, usize, Vec<(String, u32)>);
+
 /// Reads a collection previously written by [`write_collection`].
 pub fn read_collection<R: BufRead>(input: R) -> Result<Collection, TsvError> {
     let mut timeline_len: Option<usize> = None;
     let mut builder: Option<CollectionBuilder> = None;
     let mut stream_map: HashMap<u32, StreamId> = HashMap::new();
-    let mut pending_docs: Vec<(u32, usize, Vec<(String, u32)>)> = Vec::new();
+    let mut pending_docs: Vec<PendingDoc> = Vec::new();
 
     for (lineno, line) in input.lines().enumerate() {
         let line = line?;
@@ -116,7 +120,9 @@ pub fn read_collection<R: BufRead>(input: R) -> Result<Collection, TsvError> {
                 builder = Some(CollectionBuilder::new(len));
             }
             "S" => {
-                let b = builder.as_mut().ok_or_else(|| err("S record before C record"))?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err("S record before C record"))?;
                 if fields.len() < 7 {
                     return Err(err("S record needs 7 fields"));
                 }
@@ -126,7 +132,8 @@ pub fn read_collection<R: BufRead>(input: R) -> Result<Collection, TsvError> {
                 let lon: f64 = fields[4].parse().map_err(|_| err("invalid longitude"))?;
                 let x: f64 = fields[5].parse().map_err(|_| err("invalid x"))?;
                 let y: f64 = fields[6].parse().map_err(|_| err("invalid y"))?;
-                let id = b.add_stream_with_position(name, GeoPoint::new(lat, lon), Point2D::new(x, y));
+                let id =
+                    b.add_stream_with_position(name, GeoPoint::new(lat, lon), Point2D::new(x, y));
                 stream_map.insert(ext_id, id);
             }
             "D" => {
@@ -215,6 +222,60 @@ mod tests {
         );
         assert_eq!(restored.stream(StreamId(0)).name, "Athens");
         assert!((restored.stream(StreamId(1)).geostamp.lon - -77.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serialize_parse_serialize_is_a_fixpoint() {
+        // After one round trip the text form must be stable byte-for-byte:
+        // writer output is deterministic (sorted term ids, fixed field
+        // order), so a second round trip cannot drift.
+        let original = sample();
+        let mut first = Vec::new();
+        write_collection(&original, &mut first).unwrap();
+        let restored = read_collection(Cursor::new(first.clone())).unwrap();
+        let mut second = Vec::new();
+        write_collection(&restored, &mut second).unwrap();
+        assert_eq!(
+            String::from_utf8(first).unwrap(),
+            String::from_utf8(second).unwrap()
+        );
+    }
+
+    #[test]
+    fn round_trip_sanitizes_hostile_term_and_stream_names() {
+        let mut b = CollectionBuilder::new(2);
+        let s = b.add_stream("Tab\tCity", GeoPoint::new(1.0, 2.0));
+        let weird = b.dict_mut().intern("a:b\tc");
+        let plain = b.dict_mut().intern("plain");
+        let mut counts = HashMap::new();
+        counts.insert(weird, 3);
+        counts.insert(plain, 1);
+        b.add_document(s, 0, counts);
+        let original = b.build();
+
+        let mut buf = Vec::new();
+        write_collection(&original, &mut buf).unwrap();
+        let restored = read_collection(Cursor::new(buf)).unwrap();
+        assert_eq!(restored.documents().len(), 1);
+        // The hostile separators were replaced by spaces but the term count
+        // survives under the sanitized name.
+        let sanitized = restored.dict().get("a b c").unwrap();
+        assert_eq!(restored.documents()[0].counts.get(&sanitized), Some(&3));
+        assert_eq!(restored.stream(StreamId(0)).name, "Tab City");
+    }
+
+    #[test]
+    fn rejects_malformed_term_count() {
+        let bad = "C\t2\nS\t0\tA\t0\t0\t0\t0\nD\t0\t0\tfoo:bar\n";
+        assert!(read_collection(Cursor::new(bad)).is_err());
+        let missing_colon = "C\t2\nS\t0\tA\t0\t0\t0\t0\nD\t0\t0\tfoo\n";
+        assert!(read_collection(Cursor::new(missing_colon)).is_err());
+    }
+
+    #[test]
+    fn rejects_document_for_unknown_stream() {
+        let bad = "C\t2\nS\t0\tA\t0\t0\t0\t0\nD\t9\t0\tfoo:1\n";
+        assert!(read_collection(Cursor::new(bad)).is_err());
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl Weibull {
     ///
     /// Panics if either parameter is not strictly positive.
     pub fn new(shape: f64, scale: f64) -> Self {
-        assert!(shape > 0.0 && scale > 0.0, "Weibull parameters must be positive");
+        assert!(
+            shape > 0.0 && scale > 0.0,
+            "Weibull parameters must be positive"
+        );
         Self { shape, scale }
     }
 

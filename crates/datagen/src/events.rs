@@ -261,7 +261,11 @@ mod tests {
     #[test]
     fn epicenters_exist_in_the_gazetteer() {
         for e in major_events() {
-            assert!(by_code(e.epicenter).is_some(), "missing country {}", e.epicenter);
+            assert!(
+                by_code(e.epicenter).is_some(),
+                "missing country {}",
+                e.epicenter
+            );
         }
     }
 

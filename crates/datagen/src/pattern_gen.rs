@@ -85,7 +85,9 @@ impl Default for GeneratorConfig {
             timeline: 365,
             n_terms: 10_000,
             n_patterns: 1_000,
-            selection: StreamSelection::DistGen { decay_fraction: 0.08 },
+            selection: StreamSelection::DistGen {
+                decay_fraction: 0.08,
+            },
             background_mean: 1.0,
             peak_range: (30.0, 80.0),
             min_pattern_len: 5,
@@ -145,7 +147,10 @@ impl PatternGenerator {
     /// Generates a dataset from the configuration.
     pub fn generate(config: GeneratorConfig) -> SyntheticDataset {
         assert!(config.n_streams > 0, "need at least one stream");
-        assert!(config.timeline > 1, "timeline must have at least two timestamps");
+        assert!(
+            config.timeline > 1,
+            "timeline must have at least two timestamps"
+        );
         assert!(config.n_terms > 0, "need at least one term");
         assert!(
             config.min_pattern_len >= 1 && config.min_pattern_len <= config.max_pattern_len,
@@ -169,7 +174,8 @@ impl PatternGenerator {
         for _ in 0..config.n_patterns {
             // Term and timeframe, uniformly at random.
             let term = rng.gen_range(0..config.n_terms);
-            let len = rng.gen_range(config.min_pattern_len..=config.max_pattern_len.min(config.timeline));
+            let len =
+                rng.gen_range(config.min_pattern_len..=config.max_pattern_len.min(config.timeline));
             let start = rng.gen_range(0..config.timeline - len + 1);
             let interval = TimeInterval::new(start, start + len - 1);
 
@@ -223,7 +229,9 @@ fn select_dist_gen(
     let mut streams = vec![seed_stream];
     // Visit the other streams in order of increasing distance so the cap
     // keeps the nearest (most realistic) ones.
-    let mut order: Vec<usize> = (0..config.n_streams).filter(|&i| i != seed_stream).collect();
+    let mut order: Vec<usize> = (0..config.n_streams)
+        .filter(|&i| i != seed_stream)
+        .collect();
     order.sort_by(|&a, &b| {
         let da = positions[a].distance_sq(&positions[seed_stream]);
         let db = positions[b].distance_sq(&positions[seed_stream]);
@@ -411,7 +419,12 @@ mod tests {
 
     #[test]
     fn patterns_are_within_bounds() {
-        for sel in [StreamSelection::RandGen, StreamSelection::DistGen { decay_fraction: 0.1 }] {
+        for sel in [
+            StreamSelection::RandGen,
+            StreamSelection::DistGen {
+                decay_fraction: 0.1,
+            },
+        ] {
             let d = PatternGenerator::generate(small_config(sel));
             for p in d.patterns() {
                 assert!(p.term < 50);
@@ -431,7 +444,9 @@ mod tests {
 
     #[test]
     fn distgen_patterns_are_spatially_compact() {
-        let mut config = small_config(StreamSelection::DistGen { decay_fraction: 0.05 });
+        let mut config = small_config(StreamSelection::DistGen {
+            decay_fraction: 0.05,
+        });
         config.n_streams = 100;
         config.n_patterns = 40;
         config.max_streams_per_pattern = 100;
@@ -470,13 +485,20 @@ mod tests {
         let series = d.series(p.term, stream);
         let inside: f64 = (p.interval.start..=p.interval.end).map(|t| series[t]).sum();
         let inside_len = p.interval.len() as f64;
-        let outside: f64 = series
-            .iter()
-            .enumerate()
-            .filter(|(t, _)| !p.interval.contains(*t))
-            .map(|(_, v)| v)
-            .sum();
-        let outside_len = (series.len() - p.interval.len()) as f64;
+        // "Outside" must be pure background: a term may carry several
+        // injected patterns, so timestamps covered by any *other* same-term
+        // pattern that also includes this stream are excluded.
+        let background_only = |t: usize| {
+            !p.interval.contains(t)
+                && d.patterns_of_term(p.term).iter().all(|&pid| {
+                    let q = &d.patterns()[pid];
+                    !q.interval.contains(t) || q.streams.binary_search(&stream).is_err()
+                })
+        };
+        let outside_ts: Vec<usize> = (0..series.len()).filter(|&t| background_only(t)).collect();
+        assert!(!outside_ts.is_empty(), "no pure-background timestamps left");
+        let outside: f64 = outside_ts.iter().map(|&t| series[t]).sum();
+        let outside_len = outside_ts.len() as f64;
         // The average frequency inside the pattern is much larger than the
         // background average outside it.
         assert!(inside / inside_len > 5.0 * (outside / outside_len));

@@ -73,7 +73,12 @@ impl RBursty {
         let mut out = Vec::new();
         let cap = self.max_rectangles.unwrap_or(points.len());
         while out.len() < cap {
-            let Some(MaxRect { rect, score, members }) = max_weight_rect(&working) else {
+            let Some(MaxRect {
+                rect,
+                score,
+                members,
+            }) = max_weight_rect(&working)
+            else {
                 break;
             };
             if score <= self.min_score {
@@ -152,7 +157,13 @@ mod tests {
     #[test]
     fn reported_rectangles_never_share_streams() {
         let pts: Vec<WPoint> = (0..20)
-            .map(|i| wp((i % 5) as f64, (i / 5) as f64, if i % 3 == 0 { 2.0 } else { -0.5 }))
+            .map(|i| {
+                wp(
+                    (i % 5) as f64,
+                    (i / 5) as f64,
+                    if i % 3 == 0 { 2.0 } else { -0.5 },
+                )
+            })
             .collect();
         let rects = RBursty::new().find(&pts);
         let mut seen: HashSet<usize> = HashSet::new();

@@ -104,7 +104,7 @@ pub fn max_weight_rect(points: &[WPoint]) -> Option<MaxRect> {
                 } else {
                     cur_sum += b;
                 }
-                if cur_sum > 0.0 && best.as_ref().map_or(true, |(s, _)| cur_sum > *s) {
+                if cur_sum > 0.0 && best.as_ref().is_none_or(|(s, _)| cur_sum > *s) {
                     let rect = Rect::new(xs[left], ys[cur_start], xs[right], ys[yi]);
                     best = Some((cur_sum, rect));
                 }
@@ -141,7 +141,7 @@ pub fn max_weight_rect_naive(points: &[WPoint]) -> Option<MaxRect> {
                         .filter(|p| rect.contains(&p.position()))
                         .map(|p| p.weight)
                         .sum();
-                    if score > 0.0 && best.as_ref().map_or(true, |(s, _)| score > *s) {
+                    if score > 0.0 && best.as_ref().is_none_or(|(s, _)| score > *s) {
                         best = Some((score, rect));
                     }
                 }
@@ -201,7 +201,7 @@ pub fn max_weight_rect_grid(points: &[WPoint], resolution: usize) -> Option<MaxR
                 } else {
                     cur_sum += b;
                 }
-                if cur_sum > 0.0 && best.as_ref().map_or(true, |(s, _)| cur_sum > *s) {
+                if cur_sum > 0.0 && best.as_ref().is_none_or(|(s, _)| cur_sum > *s) {
                     let rect = Rect::new(
                         min_x + left as f64 * cell_w,
                         min_y + cur_start as f64 * cell_h,
@@ -255,11 +255,7 @@ mod tests {
     fn excludes_negative_point_when_beneficial() {
         // Two positive points far apart with a very negative point between
         // them: the best rectangle picks only one side.
-        let pts = vec![
-            wp(0.0, 0.0, 5.0),
-            wp(5.0, 0.0, -100.0),
-            wp(10.0, 0.0, 6.0),
-        ];
+        let pts = vec![wp(0.0, 0.0, 5.0), wp(5.0, 0.0, -100.0), wp(10.0, 0.0, 6.0)];
         let r = max_weight_rect(&pts).unwrap();
         assert_eq!(r.score, 6.0);
         assert_eq!(r.members, vec![2]);
@@ -269,11 +265,7 @@ mod tests {
     fn includes_negative_point_when_bridging_pays_off() {
         // Including a slightly negative point lets the rectangle span two
         // strong positives.
-        let pts = vec![
-            wp(0.0, 0.0, 5.0),
-            wp(5.0, 0.0, -1.0),
-            wp(10.0, 0.0, 6.0),
-        ];
+        let pts = vec![wp(0.0, 0.0, 5.0), wp(5.0, 0.0, -1.0), wp(10.0, 0.0, 6.0)];
         let r = max_weight_rect(&pts).unwrap();
         assert!((r.score - 10.0).abs() < 1e-12);
         assert_eq!(r.members, vec![0, 1, 2]);
@@ -298,8 +290,18 @@ mod tests {
     #[test]
     fn matches_naive_on_fixed_configurations() {
         let configs: Vec<Vec<WPoint>> = vec![
-            vec![wp(0.0, 0.0, 1.0), wp(1.0, 1.0, 1.0), wp(2.0, 2.0, -3.0), wp(3.0, 3.0, 2.0)],
-            vec![wp(0.0, 0.0, -1.0), wp(0.0, 1.0, 2.0), wp(1.0, 0.0, 2.0), wp(1.0, 1.0, -1.0)],
+            vec![
+                wp(0.0, 0.0, 1.0),
+                wp(1.0, 1.0, 1.0),
+                wp(2.0, 2.0, -3.0),
+                wp(3.0, 3.0, 2.0),
+            ],
+            vec![
+                wp(0.0, 0.0, -1.0),
+                wp(0.0, 1.0, 2.0),
+                wp(1.0, 0.0, 2.0),
+                wp(1.0, 1.0, -1.0),
+            ],
             vec![
                 wp(0.0, 0.0, 1.5),
                 wp(2.0, 0.0, -0.5),

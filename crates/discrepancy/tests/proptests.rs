@@ -1,8 +1,10 @@
 //! Property-based tests for the spatial discrepancy substrate.
 
 use proptest::prelude::*;
+use stb_discrepancy::{
+    max_weight_rect, max_weight_rect_grid, max_weight_rect_naive, RBursty, WPoint,
+};
 use std::collections::HashSet;
-use stb_discrepancy::{max_weight_rect, max_weight_rect_grid, max_weight_rect_naive, RBursty, WPoint};
 
 fn arb_points() -> impl Strategy<Value = Vec<WPoint>> {
     prop::collection::vec(
@@ -13,7 +15,8 @@ fn arb_points() -> impl Strategy<Value = Vec<WPoint>> {
 
 fn arb_points_larger() -> impl Strategy<Value = Vec<WPoint>> {
     prop::collection::vec(
-        (-100.0f64..100.0, -100.0f64..100.0, -3.0f64..3.0).prop_map(|(x, y, w)| WPoint::new(x, y, w)),
+        (-100.0f64..100.0, -100.0f64..100.0, -3.0f64..3.0)
+            .prop_map(|(x, y, w)| WPoint::new(x, y, w)),
         0..40,
     )
 }

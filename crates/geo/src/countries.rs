@@ -43,9 +43,7 @@ pub fn by_code(code: &str) -> Option<&'static Country> {
 
 /// Looks up a country by its English short name (case-insensitive).
 pub fn by_name(name: &str) -> Option<&'static Country> {
-    COUNTRIES
-        .iter()
-        .find(|c| c.name.eq_ignore_ascii_case(name))
+    COUNTRIES.iter().find(|c| c.name.eq_ignore_ascii_case(name))
 }
 
 macro_rules! country {

@@ -116,7 +116,10 @@ impl Grid {
     ///
     /// Panics if the cell is out of range.
     pub fn cell_rect(&self, cell: GridCell) -> Rect {
-        assert!(cell.col < self.cols && cell.row < self.rows, "cell out of range");
+        assert!(
+            cell.col < self.cols && cell.row < self.rows,
+            "cell out of range"
+        );
         let min_x = self.bounds.min_x + cell.col as f64 * self.cell_w;
         let min_y = self.bounds.min_y + cell.row as f64 * self.cell_h;
         Rect::new(min_x, min_y, min_x + self.cell_w, min_y + self.cell_h)
@@ -161,15 +164,27 @@ mod tests {
     #[test]
     fn cell_of_interior_point() {
         let g = unit_grid();
-        assert_eq!(g.cell_of(&Point2D::new(0.5, 0.5)), Some(GridCell { col: 0, row: 0 }));
-        assert_eq!(g.cell_of(&Point2D::new(9.5, 9.5)), Some(GridCell { col: 4, row: 1 }));
-        assert_eq!(g.cell_of(&Point2D::new(4.0, 6.0)), Some(GridCell { col: 2, row: 1 }));
+        assert_eq!(
+            g.cell_of(&Point2D::new(0.5, 0.5)),
+            Some(GridCell { col: 0, row: 0 })
+        );
+        assert_eq!(
+            g.cell_of(&Point2D::new(9.5, 9.5)),
+            Some(GridCell { col: 4, row: 1 })
+        );
+        assert_eq!(
+            g.cell_of(&Point2D::new(4.0, 6.0)),
+            Some(GridCell { col: 2, row: 1 })
+        );
     }
 
     #[test]
     fn boundary_points_belong_to_last_cell() {
         let g = unit_grid();
-        assert_eq!(g.cell_of(&Point2D::new(10.0, 10.0)), Some(GridCell { col: 4, row: 1 }));
+        assert_eq!(
+            g.cell_of(&Point2D::new(10.0, 10.0)),
+            Some(GridCell { col: 4, row: 1 })
+        );
     }
 
     #[test]

@@ -105,6 +105,42 @@ mod tests {
     }
 
     #[test]
+    fn analytic_reference_distances() {
+        // One degree of longitude at the equator is exactly pi*R/180.
+        let deg = haversine_km(&GeoPoint::new(0.0, 0.0), &GeoPoint::new(0.0, 1.0));
+        assert!(
+            (deg - std::f64::consts::PI * EARTH_RADIUS_KM / 180.0).abs() < 1e-6,
+            "got {deg}"
+        );
+        // Pole to equator is exactly a quarter circumference.
+        let quarter = haversine_km(&GeoPoint::new(90.0, 0.0), &GeoPoint::new(0.0, 0.0));
+        assert!(
+            (quarter - std::f64::consts::PI * EARTH_RADIUS_KM / 2.0).abs() < 1e-6,
+            "got {quarter}"
+        );
+    }
+
+    #[test]
+    fn known_city_pair_distances() {
+        // Published great-circle distances; tolerance 1% covers coordinate
+        // rounding and the spherical-Earth approximation.
+        let cases = [
+            // (city A, city B, expected km)
+            ((40.7128, -74.0060), (51.5074, -0.1278), 5570.0), // New York - London
+            ((35.6762, 139.6503), (-33.8688, 151.2093), 7823.0), // Tokyo - Sydney
+            ((30.0444, 31.2357), (-33.9249, 18.4241), 7239.0), // Cairo - Cape Town
+            ((-12.0464, -77.0428), (9.9281, -84.0907), 2565.0), // Lima - San Jose (CR)
+        ];
+        for ((alat, alon), (blat, blon), expected) in cases {
+            let d = haversine_km(&GeoPoint::new(alat, alon), &GeoPoint::new(blat, blon));
+            assert!(
+                (d - expected).abs() < expected * 0.01,
+                "({alat},{alon})-({blat},{blon}): got {d}, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
     fn triangle_inequality_holds_on_sample() {
         let pts = vec![
             GeoPoint::new(37.98, 23.73),

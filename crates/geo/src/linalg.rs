@@ -257,7 +257,11 @@ mod tests {
         let e = m.eigen_jacobi();
         for i in 0..4 {
             for j in 0..4 {
-                let dot: f64 = e.vectors[i].iter().zip(&e.vectors[j]).map(|(a, b)| a * b).sum();
+                let dot: f64 = e.vectors[i]
+                    .iter()
+                    .zip(&e.vectors[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
                 let expect = if i == j { 1.0 } else { 0.0 };
                 assert_close(dot, expect, 1e-8);
             }

@@ -31,7 +31,10 @@ impl fmt::Display for MdsError {
         match self {
             MdsError::NotSquare => write!(f, "distance matrix must be square"),
             MdsError::InvalidDistance { row, col } => {
-                write!(f, "invalid distance at ({row}, {col}): must be finite and non-negative")
+                write!(
+                    f,
+                    "invalid distance at ({row}, {col}): must be finite and non-negative"
+                )
             }
         }
     }
@@ -99,7 +102,10 @@ pub fn classical_mds(distances: &[Vec<f64>]) -> Result<Vec<Point2D>, MdsError> {
     }
 
     // Double centering: B = -1/2 * J * D^2 * J, J = I - 11^T / n.
-    let row_means: Vec<f64> = sq.iter().map(|r| r.iter().sum::<f64>() / n as f64).collect();
+    let row_means: Vec<f64> = sq
+        .iter()
+        .map(|r| r.iter().sum::<f64>() / n as f64)
+        .collect();
     let grand_mean: f64 = row_means.iter().sum::<f64>() / n as f64;
     let mut b = SymMatrix::zeros(n);
     for i in 0..n {

@@ -11,9 +11,10 @@
 
 /// Aggregation function `f(P_{t,d})` over the scores of the overlapping
 /// patterns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BurstinessAgg {
     /// Maximum overlapping pattern score — the paper's best choice (default).
+    #[default]
     Max,
     /// Minimum overlapping pattern score.
     Min,
@@ -21,12 +22,6 @@ pub enum BurstinessAgg {
     Mean,
     /// Median of the overlapping pattern scores.
     Median,
-}
-
-impl Default for BurstinessAgg {
-    fn default() -> Self {
-        BurstinessAgg::Max
-    }
 }
 
 impl BurstinessAgg {
@@ -55,19 +50,14 @@ impl BurstinessAgg {
 }
 
 /// What to do when a document overlaps no pattern of a query term.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NoPatternPolicy {
     /// The paper's Eq. 11: burstiness is `-inf`, i.e. the document is
     /// excluded from the results of any query containing the term (default).
+    #[default]
     Exclude,
     /// The term simply contributes nothing to the document's score.
     Zero,
-}
-
-impl Default for NoPatternPolicy {
-    fn default() -> Self {
-        NoPatternPolicy::Exclude
-    }
 }
 
 #[cfg(test)]

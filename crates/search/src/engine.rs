@@ -20,8 +20,8 @@ use crate::threshold::{threshold_topk, ScoredDoc};
 use std::collections::HashMap;
 
 use stb_core::Pattern;
-use stb_corpus::{Collection, DocId, TermId, Timestamp};
 use stb_corpus::StreamId;
+use stb_corpus::{Collection, DocId, TermId, Timestamp};
 use stb_timeseries::TimeInterval;
 
 /// A search hit: a document and its total score for the query.
@@ -136,7 +136,10 @@ impl<'a> BurstySearchEngine<'a> {
             let doc_freq = docs.len();
             for &doc_id in docs {
                 let doc = self.collection.document(doc_id);
-                let relevance = self.config.relevance.score(doc.freq(term), doc_freq, n_docs);
+                let relevance = self
+                    .config
+                    .relevance
+                    .score(doc.freq(term), doc_freq, n_docs);
                 match self.document_burstiness(term, doc_id) {
                     Some(burst) => index.insert(term, doc_id, relevance * burst),
                     None => {

@@ -42,7 +42,10 @@ impl InvertedIndex {
             .entry(term)
             .or_default()
             .push(Posting { doc, score });
-        self.random_access.entry(term).or_default().insert(doc, score);
+        self.random_access
+            .entry(term)
+            .or_default()
+            .insert(doc, score);
     }
 
     /// Sorts every posting list by descending score (ties broken by doc id
@@ -71,7 +74,10 @@ impl InvertedIndex {
     /// Random access: the score of `doc` for `term`, if the document appears
     /// in the term's posting list.
     pub fn score(&self, term: TermId, doc: DocId) -> Option<f64> {
-        self.random_access.get(&term).and_then(|m| m.get(&doc)).copied()
+        self.random_access
+            .get(&term)
+            .and_then(|m| m.get(&doc))
+            .copied()
     }
 
     /// Number of terms with at least one posting.

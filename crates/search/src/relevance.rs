@@ -6,21 +6,16 @@
 //! alternatives.
 
 /// Strategy for computing `relevance(d, t)` from the term frequency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Relevance {
     /// `ln(freq + 1)` — the paper's best-performing choice (default).
+    #[default]
     LogFreq,
     /// The raw term frequency `freq(t, d)`.
     RawFreq,
     /// `freq * ln(N / df)`: raw frequency damped by inverse document
     /// frequency (`N` documents in total, `df` containing the term).
     TfIdf,
-}
-
-impl Default for Relevance {
-    fn default() -> Self {
-        Relevance::LogFreq
-    }
 }
 
 impl Relevance {

@@ -53,12 +53,7 @@ impl PartialOrd for HeapEntry {
 /// Under [`NoPatternPolicy::Exclude`] a document missing from any query
 /// term's posting list scores `-inf` (it can never enter the results);
 /// under [`NoPatternPolicy::Zero`] missing terms simply contribute nothing.
-fn full_score(
-    index: &InvertedIndex,
-    query: &[TermId],
-    doc: DocId,
-    policy: NoPatternPolicy,
-) -> f64 {
+fn full_score(index: &InvertedIndex, query: &[TermId], doc: DocId, policy: NoPatternPolicy) -> f64 {
     let mut total = 0.0;
     for &t in query {
         match index.score(t, doc) {

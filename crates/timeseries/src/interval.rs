@@ -22,7 +22,10 @@ impl TimeInterval {
         if start <= end {
             Self { start, end }
         } else {
-            Self { start: end, end: start }
+            Self {
+                start: end,
+                end: start,
+            }
         }
     }
 
@@ -145,7 +148,7 @@ mod tests {
 
     #[test]
     fn ordering_is_by_start_then_end() {
-        let mut v = vec![
+        let mut v = [
             TimeInterval::new(5, 6),
             TimeInterval::new(1, 9),
             TimeInterval::new(1, 2),

@@ -74,7 +74,11 @@ impl OnlineMaxSeg {
         self.candidates
             .iter()
             .map(|c| Candidate::to_segment(*c))
-            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
     }
 
     /// Number of candidate segments currently kept. This is the "open

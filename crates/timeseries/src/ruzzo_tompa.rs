@@ -147,7 +147,7 @@ pub fn max_subarray(scores: &[f64]) -> Option<Segment> {
         } else {
             cur_sum += s;
         }
-        if cur_sum > 0.0 && best.map_or(true, |b| cur_sum > b.score) {
+        if cur_sum > 0.0 && best.is_none_or(|b| cur_sum > b.score) {
             best = Some(Segment::new(cur_start, i, cur_sum));
         }
     }

@@ -18,7 +18,9 @@ fn main() {
         timeline: 120,
         n_terms: 100,
         n_patterns: 8,
-        selection: StreamSelection::DistGen { decay_fraction: 0.1 },
+        selection: StreamSelection::DistGen {
+            decay_fraction: 0.1,
+        },
         max_streams_per_pattern: 12,
         seed: 42,
         ..Default::default()
@@ -55,7 +57,10 @@ fn main() {
 
         println!(
             "pattern {i}: term {} | {} streams | days {}..{}",
-            truth.term, truth.streams.len(), truth.interval.start, truth.interval.end
+            truth.term,
+            truth.streams.len(),
+            truth.interval.start,
+            truth.interval.end
         );
         match comb.first() {
             Some(p) => println!(

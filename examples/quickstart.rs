@@ -91,10 +91,7 @@ fn main() {
     //    pattern, one from Tokyo does not.
     if let Some(top) = patterns.first() {
         println!("== Overlap checks on the top regional pattern ==");
-        println!(
-            "  San Jose, day 14 -> {}",
-            top.overlaps(streams[0], 14)
-        );
+        println!("  San Jose, day 14 -> {}", top.overlaps(streams[0], 14));
         println!("  Tokyo,    day 14 -> {}", top.overlaps(streams[4], 14));
     }
 }

@@ -16,7 +16,9 @@ fn main() {
         timeline: 90,
         n_terms: 40,
         n_patterns: 5,
-        selection: StreamSelection::DistGen { decay_fraction: 0.1 },
+        selection: StreamSelection::DistGen {
+            decay_fraction: 0.1,
+        },
         max_streams_per_pattern: 15,
         seed: 17,
         ..Default::default()
@@ -71,6 +73,9 @@ fn main() {
     println!("\nGround truth injected on this term:");
     for &pid in dataset.patterns_of_term(term) {
         let p = &dataset.patterns()[pid];
-        println!("   streams {:?} window {}..{}", p.streams, p.interval.start, p.interval.end);
+        println!(
+            "   streams {:?} window {}..{}",
+            p.streams, p.interval.start, p.interval.end
+        );
     }
 }

@@ -22,8 +22,8 @@
 
 #![forbid(unsafe_code)]
 
-pub use stb_corpus as corpus;
 pub use stb_core as core;
+pub use stb_corpus as corpus;
 pub use stb_datagen as datagen;
 pub use stb_discrepancy as discrepancy;
 pub use stb_geo as geo;

@@ -1,9 +1,7 @@
 //! Cross-crate integration test: synthetic data generation → pattern mining
 //! (both miners and both baselines) → evaluation metrics.
 
-use stburst::core::{
-    jaccard_similarity, Base, STComb, STCombConfig, STLocal, STLocalConfig, TB,
-};
+use stburst::core::{jaccard_similarity, Base, STComb, STCombConfig, STLocal, STLocalConfig, TB};
 use stburst::corpus::StreamId;
 use stburst::datagen::{GeneratorConfig, PatternGenerator, StreamSelection};
 
@@ -13,7 +11,9 @@ fn dataset() -> stburst::datagen::SyntheticDataset {
         timeline: 90,
         n_terms: 40,
         n_patterns: 6,
-        selection: StreamSelection::DistGen { decay_fraction: 0.1 },
+        selection: StreamSelection::DistGen {
+            decay_fraction: 0.1,
+        },
         max_streams_per_pattern: 8,
         seed: 77,
         ..Default::default()

@@ -1,0 +1,151 @@
+//! Smoke test mirroring `examples/quickstart.rs` end-to-end, then extending
+//! it through the search engine: build a collection, mine STComb and
+//! STLocal patterns, and retrieve the bursty documents — the full
+//! datagen → mine → search path of the public API.
+
+use std::collections::HashMap;
+
+use stburst::core::{Pattern, STComb, STLocal, STLocalConfig};
+use stburst::corpus::{CollectionBuilder, StreamId};
+use stburst::datagen::{GeneratorConfig, PatternGenerator, StreamSelection};
+use stburst::geo::GeoPoint;
+use stburst::search::{BurstySearchEngine, EngineConfig};
+
+/// The quickstart scenario: five city streams, 30 days, an earthquake burst
+/// injected into the two Costa Rican cities on days 12–16.
+fn quickstart_collection() -> (
+    stburst::corpus::Collection,
+    stburst::corpus::TermId,
+    Vec<StreamId>,
+) {
+    let mut builder = CollectionBuilder::new(30);
+    let quake = builder.dict_mut().intern("earthquake");
+    let weather = builder.dict_mut().intern("weather");
+
+    let cities = [
+        ("San Jose (CR)", 9.9, -84.1),
+        ("Alajuela (CR)", 10.0, -84.2),
+        ("Lima", -12.0, -77.0),
+        ("Athens", 38.0, 23.7),
+        ("Tokyo", 35.7, 139.7),
+    ];
+    let streams: Vec<StreamId> = cities
+        .iter()
+        .map(|(name, lat, lon)| builder.add_stream(name, GeoPoint::new(*lat, *lon)))
+        .collect();
+
+    for day in 0..30 {
+        for &s in &streams {
+            let mut counts = HashMap::new();
+            counts.insert(weather, 5);
+            if day % 9 == 0 {
+                counts.insert(quake, 1);
+            }
+            builder.add_document(s, day, counts);
+        }
+    }
+    for day in 12..=16 {
+        for &s in &streams[..2] {
+            let mut counts = HashMap::new();
+            counts.insert(quake, 25);
+            builder.add_document(s, day, counts);
+        }
+    }
+    (builder.build(), quake, streams)
+}
+
+#[test]
+fn quickstart_pipeline_finds_the_event_and_ranks_its_documents_first() {
+    let (collection, quake, streams) = quickstart_collection();
+
+    // STComb recovers a combinatorial pattern covering both Costa Rican
+    // streams somewhere inside the injected window.
+    let comb = STComb::new().mine_collection(&collection, quake);
+    assert!(!comb.is_empty(), "STComb found no pattern");
+    let top = &comb[0];
+    assert!(top.streams.contains(&streams[0]) && top.streams.contains(&streams[1]));
+    assert!(
+        top.timeframe.start >= 10 && top.timeframe.end <= 18,
+        "timeframe {:?} should be near the injected days 12..=16",
+        top.timeframe
+    );
+
+    // STLocal finds a regional pattern whose top result overlaps San Jose
+    // during the event but not Tokyo.
+    let (regional, _stats) = STLocal::mine_collection(&collection, quake, STLocalConfig::default());
+    assert!(!regional.is_empty(), "STLocal found no pattern");
+    let best = &regional[0];
+    assert!(best.score > 0.0);
+    assert!(
+        best.overlaps(streams[0], 14),
+        "San Jose day 14 must overlap"
+    );
+    assert!(
+        !best.overlaps(streams[4], 14),
+        "Tokyo day 14 must not overlap"
+    );
+
+    // Search: register the mined patterns and query for "earthquake". Every
+    // top-ranked hit must be an event document (Costa Rica, days 12..=16).
+    let mut engine = BurstySearchEngine::new(&collection, EngineConfig::default());
+    engine.set_patterns(quake, &comb);
+    let hits = engine.search(&[quake], 5);
+    assert!(!hits.is_empty(), "search returned no hits");
+    for hit in &hits {
+        let doc = collection.document(hit.doc);
+        assert!(hit.score > 0.0);
+        assert!(
+            doc.stream == streams[0] || doc.stream == streams[1],
+            "top hit from unexpected stream {:?}",
+            doc.stream
+        );
+        assert!(
+            (12..=16).contains(&doc.timestamp),
+            "top hit outside event window"
+        );
+    }
+}
+
+#[test]
+fn synthetic_datagen_feeds_the_miners() {
+    // datagen → mine: a generated dataset's strongest injected pattern is
+    // recovered by STComb on the merged per-stream series.
+    let config = GeneratorConfig {
+        n_streams: 40,
+        timeline: 90,
+        n_terms: 20,
+        n_patterns: 6,
+        selection: StreamSelection::DistGen {
+            decay_fraction: 0.08,
+        },
+        seed: 2012,
+        ..Default::default()
+    };
+    let dataset = PatternGenerator::generate(config);
+    let term = dataset.patterned_terms()[0];
+    let series: Vec<(StreamId, Vec<f64>)> = (0..dataset.n_streams())
+        .map(|s| (StreamId(s as u32), dataset.series(term, s)))
+        .collect();
+    let mined = STComb::new().mine_series(&series);
+    assert!(!mined.is_empty(), "no patterns mined from synthetic data");
+
+    // At least one mined pattern overlaps a ground-truth pattern of the term
+    // in both time and stream membership.
+    let truths = dataset.patterns_of_term(term);
+    let recovered = mined.iter().any(|p| {
+        truths.iter().any(|&pid| {
+            let truth = &dataset.patterns()[pid];
+            let time_overlap =
+                p.timeframe.start <= truth.interval.end && truth.interval.start <= p.timeframe.end;
+            let stream_overlap = p
+                .streams
+                .iter()
+                .any(|s| truth.streams.contains(&(s.index())));
+            time_overlap && stream_overlap
+        })
+    });
+    assert!(
+        recovered,
+        "no mined pattern matches any injected ground truth"
+    );
+}

@@ -95,7 +95,12 @@ fn stlocal_bookkeeping_is_far_below_worst_case() {
         avg_rects < 3.0,
         "average rectangles per timestamp {avg_rects} is not far below n = {n}"
     );
-    let max_open = stats.open_windows_per_timestamp.iter().max().copied().unwrap_or(0);
+    let max_open = stats
+        .open_windows_per_timestamp
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or(0);
     assert!(
         max_open < n,
         "open windows ({max_open}) should stay far below the worst-case bound"
@@ -110,7 +115,8 @@ fn reported_timeframes_are_within_the_timeline() {
     let collection = corpus.collection();
     for event_idx in [13usize, 16] {
         for &term in corpus.query_terms(event_idx) {
-            let (patterns, _) = STLocal::mine_collection(collection, term, STLocalConfig::default());
+            let (patterns, _) =
+                STLocal::mine_collection(collection, term, STLocalConfig::default());
             for p in patterns.iter().take(3) {
                 assert!(p.timeframe.end < collection.timeline_len());
             }

@@ -53,7 +53,10 @@ fn stlocal_backed_search_focuses_on_the_epicenter_region() {
     let mut engine = BurstySearchEngine::new(collection, EngineConfig::default());
     for &term in &query {
         let (patterns, _) = STLocal::mine_collection(collection, term, STLocalConfig::default());
-        assert!(!patterns.is_empty(), "STLocal found no patterns for the event term");
+        assert!(
+            !patterns.is_empty(),
+            "STLocal found no patterns for the event term"
+        );
         engine.set_patterns(term, &patterns);
     }
     let hits = engine.search(&query, 10);

@@ -1,0 +1,278 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, implementing the subset this workspace's benches use:
+//! [`Criterion::benchmark_group`] / [`Criterion::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's full statistical pipeline it runs a fixed
+//! warmup + timed sample loop and reports mean / best wall-clock time per
+//! iteration on stdout. That keeps `cargo bench` functional (and
+//! `cargo bench --no-run` compiling) with zero dependencies; swap the
+//! workspace `criterion` entry for the real crate to get rigorous numbers.
+//!
+//! Environment knobs: `STB_BENCH_SAMPLES` overrides the per-benchmark sample
+//! count (default 10); `STB_BENCH_FILTER` skips benchmarks whose id does not
+//! contain the given substring (mirroring `cargo bench -- <filter>`, which
+//! also works).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one parameterized benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function_name: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn full(&self, group: &str) -> String {
+        match (group.is_empty(), self.function_name.is_empty()) {
+            (true, _) => format!("{}/{}", self.function_name, self.parameter),
+            (_, true) => format!("{}/{}", group, self.parameter),
+            _ => format!("{}/{}/{}", group, self.function_name, self.parameter),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and best per-iteration time of the measured samples.
+    measured: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine`, running `samples` measured batches after warmup.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and batch sizing: aim for batches of at least ~1ms so the
+        // Instant overhead stays negligible for fast routines.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed();
+        let per_batch = (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1))
+            .clamp(1, 10_000) as usize;
+
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed() / per_batch as u32;
+            total += elapsed;
+            best = best.min(elapsed);
+        }
+        self.measured = Some((total / self.samples as u32, best));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    match nanos {
+        0..=9_999 => format!("{nanos} ns"),
+        10_000..=9_999_999 => format!("{:.2} µs", nanos as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.2} ms", nanos as f64 / 1e6),
+        _ => format!("{:.2} s", nanos as f64 / 1e9),
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("STB_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10usize)
+        .max(1)
+}
+
+fn filter() -> Option<String> {
+    if let Ok(f) = std::env::var("STB_BENCH_FILTER") {
+        return Some(f);
+    }
+    // `cargo bench -- <filter>` passes the filter as a CLI argument; ignore
+    // flag-like arguments (e.g. --bench) that cargo also forwards.
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+fn run_one(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if let Some(filt) = filter() {
+        if !id.contains(&filt) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples,
+        measured: None,
+    };
+    f(&mut b);
+    match b.measured {
+        Some((mean, best)) => println!(
+            "bench: {id:<50} mean {:>12}   best {:>12}",
+            fmt_duration(mean),
+            fmt_duration(best)
+        ),
+        None => println!("bench: {id:<50} (no measurement recorded)"),
+    }
+}
+
+/// Top-level harness handle, one per bench target.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: default_samples(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.samples, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            samples,
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups have run.
+    pub fn final_summary(&self) {}
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = id.full(&self.name);
+        run_one(&full, self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut b = Bencher {
+            samples: 3,
+            measured: None,
+        };
+        b.iter(|| black_box(41 + 1));
+        let (mean, best) = b.measured.expect("iter records timing");
+        assert!(best <= mean);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("mine_term", 500);
+        assert_eq!(id.full("stcomb"), "stcomb/mine_term/500");
+        let id = BenchmarkId::from_parameter(7);
+        assert_eq!(id.full("grp"), "grp/7");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion { samples: 2 };
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            b.iter(|| black_box(1));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,367 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, implementing the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro wrapping `#[test]` functions whose arguments
+//!   are drawn from strategies (`arg in strategy` syntax),
+//! * [`Strategy`] for numeric ranges, tuples of strategies, and
+//!   [`Strategy::prop_map`],
+//! * [`collection::vec`] and [`bool::ANY`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] returning structured failures.
+//!
+//! Differences from the real crate, deliberately accepted for an offline
+//! build: no shrinking (failures report the case number and seed instead of
+//! a minimal counterexample) and a fixed deterministic seed per test name,
+//! so CI runs are exactly reproducible. Case count defaults to 256 and can
+//! be overridden with `PROPTEST_CASES`.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleUniform, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Error produced by a failed `prop_assert!` family macro.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike the real crate there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the RNG state.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($(($($s:ident . $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_tuple! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Length range for collection strategies (half-open internally).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            start: *r.start(),
+            end: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy yielding `true` / `false` with equal probability.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Number of cases each property runs: `PROPTEST_CASES` env var, default 256.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Run one property `cases` times with a per-test deterministic RNG.
+///
+/// The seed is derived only from the test name, so failures reproduce
+/// exactly across runs and machines ("pinned seeds" in CI).
+pub fn run_cases(test_name: &str, mut case: impl FnMut(&mut StdRng) -> TestCaseResult) {
+    // FNV-1a over the test name gives a stable per-test seed.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let cases = case_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..cases {
+        if let Err(e) = case(&mut rng) {
+            panic!(
+                "proptest property `{test_name}` failed at case {i}/{cases} \
+                 (seed 0x{seed:016x}): {e}"
+            );
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__stb_proptest_rng| {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), __stb_proptest_rng);)+
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        // stringify! output goes through an argument, not the format string,
+        // so conditions containing braces don't break the format literal.
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+
+    /// Mirror of the real prelude's `prop` module of strategy re-exports.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps_compose(x in 0usize..10, v in prop::collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!(x < 10);
+            prop_assert!((2..6).contains(&v.len()));
+            for f in &v {
+                prop_assert!((0.0..1.0).contains(f));
+            }
+        }
+
+        #[test]
+        fn tuple_and_prop_map(p in (0i32..5, 10i32..20).prop_map(|(a, b)| a + b)) {
+            prop_assert!((10..25).contains(&p));
+        }
+
+    }
+
+    #[test]
+    fn bool_any_produces_both_values() {
+        let mut seen = [false; 2];
+        crate::run_cases("bool_any", |rng| {
+            let b = crate::Strategy::new_value(&crate::bool::ANY, rng);
+            seen[b as usize] = true;
+            Ok(())
+        });
+        assert!(seen[0] && seen[1], "256 draws must produce both booleans");
+    }
+
+    #[test]
+    fn failures_report_case_and_seed() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases("doomed", |_rng| Err(crate::TestCaseError::fail("nope")));
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("doomed") && msg.contains("case 0") && msg.contains("nope"));
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut collected = Vec::new();
+        for _ in 0..2 {
+            let mut vals = Vec::new();
+            crate::run_cases("det", |rng| {
+                vals.push(crate::Strategy::new_value(&(0u64..1 << 40), rng));
+                Ok(())
+            });
+            collected.push(vals);
+        }
+        assert_eq!(collected[0], collected[1]);
+    }
+}
