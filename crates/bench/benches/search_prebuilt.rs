@@ -1,0 +1,169 @@
+//! Benchmark: the serving path of the bursty-document search engine.
+//!
+//! Contrasts three ways of answering a repeated-query workload (the
+//! ROADMAP's serving scenario) over the same collection and patterns:
+//!
+//! * `cold_rebuild` — the paper's experimental setting: every `search`
+//!   scores the query terms' posting lists from scratch,
+//! * `prebuilt` — the posting index is finalized once up front (off the
+//!   clock); searches only walk prebuilt score-sorted lists,
+//! * `prebuilt_cached` — prebuilt index plus the LRU query-result cache;
+//!   repeated queries short-circuit to a cache hit.
+//!
+//! A second group times the one-off `finalize` build itself, serial vs.
+//! parallel across terms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stb_core::CombinatorialPattern;
+use stb_corpus::{Collection, CollectionBuilder, StreamId, TermId};
+use stb_geo::GeoPoint;
+use stb_search::{BurstySearchEngine, EngineConfig, NoPatternPolicy};
+use stb_timeseries::TimeInterval;
+use std::collections::HashMap;
+
+const N_STREAMS: usize = 40;
+const N_TIMESTAMPS: usize = 90;
+const VOCAB: u32 = 120;
+const TERMS_PER_DOC: usize = 6;
+/// Repeated-query workload: `WORKLOAD_LEN` queries drawn round-robin from
+/// `DISTINCT_QUERIES` distinct two-term queries.
+const DISTINCT_QUERIES: usize = 8;
+const WORKLOAD_LEN: usize = 64;
+const TOP_K: usize = 10;
+
+fn build_collection(seed: u64) -> Collection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CollectionBuilder::new(N_TIMESTAMPS);
+    let terms: Vec<TermId> = (0..VOCAB)
+        .map(|i| b.dict_mut().intern(&format!("term{i}")))
+        .collect();
+    for s in 0..N_STREAMS {
+        b.add_stream(&format!("s{s}"), GeoPoint::new(s as f64, -(s as f64)));
+    }
+    for s in 0..N_STREAMS {
+        for ts in 0..N_TIMESTAMPS {
+            let mut counts = HashMap::new();
+            for _ in 0..TERMS_PER_DOC {
+                let t = terms[rng.gen_range(0..VOCAB as usize)];
+                *counts.entry(t).or_insert(0) += rng.gen_range(1..4u32);
+            }
+            b.add_document(StreamId(s as u32), ts, counts);
+        }
+    }
+    b.build()
+}
+
+/// One synthetic mined pattern per term: a random stream subset bursting
+/// over a random timeframe.
+fn synthetic_patterns(collection: &Collection, seed: u64) -> Vec<(TermId, CombinatorialPattern)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    collection
+        .terms()
+        .map(|term| {
+            let n = rng.gen_range(3..N_STREAMS / 2);
+            let streams: Vec<StreamId> = (0..n)
+                .map(|_| StreamId(rng.gen_range(0..N_STREAMS as u32)))
+                .collect();
+            let start = rng.gen_range(0..N_TIMESTAMPS / 2);
+            let end = start + rng.gen_range(5..N_TIMESTAMPS / 3);
+            let tf = TimeInterval::new(start, end.min(N_TIMESTAMPS - 1));
+            let score = rng.gen_range(0.5..3.0);
+            (term, CombinatorialPattern::new(streams, tf, score, vec![]))
+        })
+        .collect()
+}
+
+fn workload(collection: &Collection) -> Vec<Vec<TermId>> {
+    let terms: Vec<TermId> = collection.terms().collect();
+    let distinct: Vec<Vec<TermId>> = (0..DISTINCT_QUERIES)
+        .map(|i| {
+            vec![
+                terms[(7 * i + 1) % terms.len()],
+                terms[(13 * i + 3) % terms.len()],
+            ]
+        })
+        .collect();
+    (0..WORKLOAD_LEN)
+        .map(|i| distinct[i % DISTINCT_QUERIES].clone())
+        .collect()
+}
+
+fn engine<'a>(
+    collection: &'a Collection,
+    patterns: &[(TermId, CombinatorialPattern)],
+    cache_capacity: usize,
+) -> BurstySearchEngine<'a> {
+    let config = EngineConfig {
+        no_pattern: NoPatternPolicy::Zero,
+        ..Default::default()
+    };
+    let mut e = BurstySearchEngine::new(collection, config);
+    e.set_cache_capacity(cache_capacity);
+    for (term, p) in patterns {
+        e.set_patterns(*term, std::slice::from_ref(p));
+    }
+    e
+}
+
+fn run_workload(e: &BurstySearchEngine<'_>, queries: &[Vec<TermId>]) -> usize {
+    queries.iter().map(|q| e.search(q, TOP_K).len()).sum()
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let collection = build_collection(42);
+    let patterns = synthetic_patterns(&collection, 7);
+    let queries = workload(&collection);
+
+    let cold = engine(&collection, &patterns, 0);
+    let mut prebuilt = engine(&collection, &patterns, 0);
+    prebuilt.finalize();
+    let mut cached = engine(&collection, &patterns, 1024);
+    cached.finalize();
+
+    // All three arms must agree before we compare their speed.
+    let expect = run_workload(&cold, &queries);
+    assert_eq!(run_workload(&prebuilt, &queries), expect);
+    assert_eq!(run_workload(&cached, &queries), expect);
+
+    let mut group = c.benchmark_group("search_serving");
+    group.bench_function("cold_rebuild", |b| {
+        b.iter(|| black_box(run_workload(&cold, &queries)))
+    });
+    group.bench_function("prebuilt", |b| {
+        b.iter(|| black_box(run_workload(&prebuilt, &queries)))
+    });
+    group.bench_function("prebuilt_cached", |b| {
+        b.iter(|| black_box(run_workload(&cached, &queries)))
+    });
+    group.finish();
+}
+
+fn bench_finalize(c: &mut Criterion) {
+    let collection = build_collection(42);
+    let patterns = synthetic_patterns(&collection, 7);
+    let n_par = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("index_build");
+    group.bench_function("finalize_serial", |b| {
+        let mut e = engine(&collection, &patterns, 0);
+        b.iter(|| {
+            e.finalize_with_threads(1);
+            black_box(e.is_finalized())
+        })
+    });
+    group.bench_function(format!("finalize_parallel_{n_par}").as_str(), |b| {
+        let mut e = engine(&collection, &patterns, 0);
+        b.iter(|| {
+            e.finalize_with_threads(n_par);
+            black_box(e.is_finalized())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving, bench_finalize);
+criterion_main!(benches);

@@ -27,6 +27,7 @@
 pub mod base;
 pub mod evaluation;
 pub mod interval_clique;
+pub mod parallel;
 pub mod pattern;
 pub mod stcomb;
 pub mod stlocal;
@@ -35,7 +36,8 @@ pub mod tb;
 pub use base::{Base, BaseConfig};
 pub use evaluation::{end_error, jaccard_similarity, precision, start_error, topk_overlap};
 pub use interval_clique::{max_weight_interval_clique, WeightedInterval};
-pub use pattern::{CombinatorialPattern, Pattern, RegionalPattern};
+pub use parallel::parallel_map;
+pub use pattern::{CombinatorialPattern, Pattern, PatternSource, RegionalPattern};
 pub use stcomb::{STComb, STCombConfig};
 pub use stlocal::{BaselineKind, STLocal, STLocalConfig, STLocalStats};
 pub use tb::{TBConfig, TB};

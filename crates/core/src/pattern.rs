@@ -8,7 +8,9 @@
 //! the engine works uniformly over combinatorial patterns, regional
 //! patterns, and the temporal-only baseline.
 
-use stb_corpus::{StreamId, Timestamp};
+use std::collections::HashMap;
+
+use stb_corpus::{StreamId, TermId, Timestamp};
 use stb_geo::Rect;
 use stb_timeseries::TimeInterval;
 
@@ -165,6 +167,86 @@ impl Pattern for RegionalPattern {
     }
 }
 
+/// A per-term batch of mined patterns, ready to feed an index builder.
+///
+/// Mining drivers naturally produce "patterns of many terms" collections —
+/// `STLocal::mine_collection_parallel` and `STComb::mine_collection_parallel`
+/// return `Vec<(TermId, Vec<P>)>`, ad-hoc callers often hold a
+/// `HashMap<TermId, Vec<P>>` — and the search engine wants to ingest them
+/// wholesale rather than term by term. This trait is the plumbing between
+/// the two: both shapes implement it, so any miner output can be handed to
+/// `BurstySearchEngine::set_patterns_from` directly.
+pub trait PatternSource {
+    /// The concrete pattern type carried per term.
+    type P: Pattern;
+
+    /// Every term the source has patterns for, in a deterministic order and
+    /// without duplicates.
+    fn terms(&self) -> Vec<TermId>;
+
+    /// The patterns of one term (empty slice for terms not in the source).
+    /// If the source carries several entries for the same term, the last
+    /// one wins — matching the replace semantics of registering patterns
+    /// term by term.
+    fn term_patterns(&self, term: TermId) -> &[Self::P];
+
+    /// Visits every `(term, patterns)` entry in source order. Consumers
+    /// ingesting a whole source should prefer this over
+    /// `terms()`/`term_patterns()` round-trips: sources with cheap
+    /// sequential access (like the `Vec` of a mining run) override it to
+    /// O(n), and duplicate term entries replay in order, so "last wins"
+    /// falls out of the replace semantics of the consumer.
+    fn for_each_term(&self, f: &mut dyn FnMut(TermId, &[Self::P])) {
+        for term in self.terms() {
+            f(term, self.term_patterns(term));
+        }
+    }
+}
+
+impl<P: Pattern> PatternSource for Vec<(TermId, Vec<P>)> {
+    type P = P;
+
+    fn terms(&self) -> Vec<TermId> {
+        let mut seen = Vec::new();
+        for (t, _) in self {
+            if !seen.contains(t) {
+                seen.push(*t);
+            }
+        }
+        seen
+    }
+
+    fn term_patterns(&self, term: TermId) -> &[P] {
+        // Last entry wins when a term appears more than once (e.g. two
+        // concatenated mining runs).
+        self.iter()
+            .rev()
+            .find(|(t, _)| *t == term)
+            .map(|(_, ps)| ps.as_slice())
+            .unwrap_or(&[])
+    }
+
+    fn for_each_term(&self, f: &mut dyn FnMut(TermId, &[P])) {
+        for (term, patterns) in self {
+            f(*term, patterns);
+        }
+    }
+}
+
+impl<P: Pattern> PatternSource for HashMap<TermId, Vec<P>> {
+    type P = P;
+
+    fn terms(&self) -> Vec<TermId> {
+        let mut ids: Vec<TermId> = self.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    fn term_patterns(&self, term: TermId) -> &[P] {
+        self.get(&term).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +293,45 @@ mod tests {
         assert!(!p.overlaps(StreamId(0), 3));
         assert_eq!(p.score(), 4.2);
         assert_eq!(p.timeframe(), TimeInterval::new(3, 8));
+    }
+
+    #[test]
+    fn pattern_source_shapes_agree() {
+        let p = sample_comb();
+        let as_vec: Vec<(TermId, Vec<CombinatorialPattern>)> =
+            vec![(TermId(4), vec![p.clone()]), (TermId(1), vec![])];
+        let as_map: HashMap<TermId, Vec<CombinatorialPattern>> = as_vec.iter().cloned().collect();
+        // The vec form preserves input order; the map form sorts.
+        assert_eq!(as_vec.terms(), vec![TermId(4), TermId(1)]);
+        assert_eq!(as_map.terms(), vec![TermId(1), TermId(4)]);
+        for source in [
+            &as_vec as &dyn PatternSource<P = CombinatorialPattern>,
+            &as_map,
+        ] {
+            assert_eq!(source.term_patterns(TermId(4)), std::slice::from_ref(&p));
+            assert!(source.term_patterns(TermId(1)).is_empty());
+            assert!(source.term_patterns(TermId(99)).is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_term_entries_last_wins() {
+        let weak =
+            CombinatorialPattern::new(vec![StreamId(0)], TimeInterval::new(0, 1), 0.5, vec![]);
+        let strong =
+            CombinatorialPattern::new(vec![StreamId(1)], TimeInterval::new(2, 3), 2.0, vec![]);
+        let source: Vec<(TermId, Vec<CombinatorialPattern>)> =
+            vec![(TermId(7), vec![weak]), (TermId(7), vec![strong.clone()])];
+        // terms() dedupes; term_patterns() keeps the last entry.
+        assert_eq!(source.terms(), vec![TermId(7)]);
+        assert_eq!(
+            source.term_patterns(TermId(7)),
+            std::slice::from_ref(&strong)
+        );
+        // for_each_term replays both entries in order (last wins downstream).
+        let mut replay = Vec::new();
+        source.for_each_term(&mut |t, ps| replay.push((t, ps.len())));
+        assert_eq!(replay, vec![(TermId(7), 1), (TermId(7), 1)]);
     }
 
     #[test]

@@ -49,6 +49,30 @@ impl Default for STCombConfig {
 }
 
 /// The `STComb` miner.
+///
+/// # Example
+///
+/// Two streams burst together over timestamps 3..=5, a third stays flat;
+/// `STComb` reports one pattern spanning exactly the two bursty streams:
+///
+/// ```
+/// use stb_core::STComb;
+/// use stb_corpus::StreamId;
+///
+/// let quiet = vec![1.0; 10];
+/// let mut bursty = quiet.clone();
+/// for t in 3..=5 {
+///     bursty[t] = 9.0;
+/// }
+/// let series = vec![
+///     (StreamId(0), bursty.clone()),
+///     (StreamId(1), bursty),
+///     (StreamId(2), quiet),
+/// ];
+/// let patterns = STComb::new().mine_series(&series);
+/// assert_eq!(patterns[0].streams, vec![StreamId(0), StreamId(1)]);
+/// assert!(patterns[0].timeframe.contains(4));
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct STComb {
     config: STCombConfig,
@@ -140,6 +164,23 @@ impl STComb {
         patterns
     }
 
+    /// Parallel driver: mines several terms of a collection concurrently
+    /// (terms are independent). Results are returned in the order of the
+    /// input terms; the output shape implements
+    /// [`crate::PatternSource`], so it can be handed to the search engine's
+    /// index builder directly.
+    pub fn mine_collection_parallel(
+        &self,
+        collection: &Collection,
+        terms: &[TermId],
+        n_threads: usize,
+    ) -> Vec<(TermId, Vec<CombinatorialPattern>)> {
+        crate::parallel_map(terms.len(), n_threads, |i| {
+            let term = terms[i];
+            (term, self.mine_collection(collection, term))
+        })
+    }
+
     /// Convenience: the single highest-scoring pattern for a term (the HSS
     /// problem, Problem 1 of the paper).
     pub fn top_pattern(
@@ -198,6 +239,19 @@ mod tests {
         assert!(top.timeframe.start >= 9 && top.timeframe.start <= 11);
         assert!(top.timeframe.end >= 11 && top.timeframe.end <= 13);
         assert!(top.score > 1.0);
+    }
+
+    #[test]
+    fn parallel_driver_matches_serial_mining() {
+        let (c, storm) = bursty_collection();
+        let calm = c.dict().get("calm").unwrap();
+        let miner = STComb::new();
+        let par = miner.mine_collection_parallel(&c, &[storm, calm], 3);
+        assert_eq!(par.len(), 2);
+        assert_eq!(par[0].0, storm);
+        assert_eq!(par[1].0, calm);
+        assert_eq!(par[0].1, miner.mine_collection(&c, storm));
+        assert!(par[1].1.is_empty());
     }
 
     #[test]

@@ -143,6 +143,31 @@ impl RegionSequence {
 }
 
 /// The streaming `STLocal` miner for a single term.
+///
+/// # Example
+///
+/// Stream per-snapshot frequencies for two co-located streams that burst
+/// together at timestamps 2..=4 while a distant third stays flat; `STLocal`
+/// reports a regional pattern covering the bursty pair:
+///
+/// ```
+/// use stb_core::{STLocal, STLocalConfig};
+/// use stb_geo::Point2D;
+///
+/// let positions = vec![
+///     Point2D::new(0.0, 0.0),
+///     Point2D::new(1.0, 1.0),
+///     Point2D::new(100.0, 100.0),
+/// ];
+/// let mut miner = STLocal::new(positions, STLocalConfig::default());
+/// for ts in 0..8 {
+///     let f = if (2..=4).contains(&ts) { 10.0 } else { 1.0 };
+///     miner.step(&[f, f, 1.0]); // one frequency per stream
+/// }
+/// let top = miner.top_pattern().expect("burst detected");
+/// assert_eq!(top.streams.len(), 2);
+/// assert!(top.timeframe.contains(3));
+/// ```
 #[derive(Debug, Clone)]
 pub struct STLocal {
     config: STLocalConfig,
@@ -369,28 +394,11 @@ impl STLocal {
         config: &STLocalConfig,
         n_threads: usize,
     ) -> Vec<(TermId, Vec<RegionalPattern>)> {
-        let n_threads = n_threads.max(1);
-        let results = std::sync::Mutex::new(vec![None; terms.len()]);
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..n_threads {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= terms.len() {
-                        break;
-                    }
-                    let term = terms[idx];
-                    let (patterns, _) = STLocal::mine_collection(collection, term, config.clone());
-                    results.lock().unwrap()[idx] = Some((term, patterns));
-                });
-            }
-        });
-        results
-            .into_inner()
-            .unwrap()
-            .into_iter()
-            .map(|r| r.expect("every term processed"))
-            .collect()
+        crate::parallel_map(terms.len(), n_threads, |i| {
+            let term = terms[i];
+            let (patterns, _) = STLocal::mine_collection(collection, term, config.clone());
+            (term, patterns)
+        })
     }
 
     /// The minimum bounding rectangle of the streams of a pattern, expressed

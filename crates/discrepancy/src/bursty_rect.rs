@@ -26,6 +26,25 @@ pub struct BurstyRectangle {
 }
 
 /// Configuration of the R-Bursty extraction.
+///
+/// # Example
+///
+/// Two positive-burstiness streams close together, one negative outlier far
+/// away: Algorithm 1 reports a single rectangle containing the pair.
+///
+/// ```
+/// use stb_discrepancy::{RBursty, WPoint};
+///
+/// let points = vec![
+///     WPoint::new(0.0, 0.0, 2.0),
+///     WPoint::new(1.0, 1.0, 1.5),
+///     WPoint::new(50.0, 50.0, -1.0),
+/// ];
+/// let rects = RBursty::new().find(&points);
+/// assert_eq!(rects.len(), 1);
+/// assert_eq!(rects[0].members, vec![0, 1]);
+/// assert!((rects[0].score - 3.5).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone)]
 pub struct RBursty {
     /// Upper bound on the number of rectangles reported. The theoretical

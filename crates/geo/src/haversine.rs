@@ -1,7 +1,7 @@
 //! Great-circle distances between geostamps.
 //!
 //! The paper projects the Topix sources onto a plane via Multidimensional
-//! Scaling of their pairwise geographic distances (Section 6.1, ref [30]).
+//! Scaling of their pairwise geographic distances (Section 6.1, ref \[30\]).
 //! We use the haversine formulation, which is numerically stable for the
 //! city/country-scale distances involved and accurate to well under 0.5%
 //! relative to a full ellipsoidal (Vincenty) solution — far below the

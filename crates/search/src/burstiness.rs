@@ -11,7 +11,7 @@
 
 /// Aggregation function `f(P_{t,d})` over the scores of the overlapping
 /// patterns.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BurstinessAgg {
     /// Maximum overlapping pattern score — the paper's best choice (default).
     #[default]
@@ -50,7 +50,7 @@ impl BurstinessAgg {
 }
 
 /// What to do when a document overlaps no pattern of a query term.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum NoPatternPolicy {
     /// The paper's Eq. 11: burstiness is `-inf`, i.e. the document is
     /// excluded from the results of any query containing the term (default).

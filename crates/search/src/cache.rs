@@ -1,0 +1,256 @@
+//! LRU cache of query results for the serving path.
+//!
+//! The prebuilt posting index (see [`crate::engine::BurstySearchEngine`])
+//! makes individual queries cheap; real query workloads are additionally
+//! highly repetitive, so the engine keeps a small LRU cache of fully
+//! evaluated top-k result lists. Entries are keyed on the complete query
+//! identity — the (sorted) term multiset, `k`, and the scoring
+//! configuration — and are invalidated per term whenever
+//! [`crate::engine::BurstySearchEngine::set_patterns`] changes that term's
+//! patterns, so a hit is always equivalent to re-running the query.
+//!
+//! The cache is internally synchronized (a `Mutex` around the map, atomic
+//! hit/miss counters), so a finalized engine can serve `&self` queries from
+//! multiple threads.
+
+use crate::engine::{EngineConfig, SearchResult};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use stb_corpus::TermId;
+
+/// Identity of a cached query: term multiset (sorted), result size, and the
+/// engine configuration that produced the results.
+///
+/// Terms are sorted because Eq. 10 sums per-term contributions — queries
+/// that are permutations of each other have identical results. Duplicate
+/// terms are kept: a repeated term contributes twice to the score.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    terms: Vec<TermId>,
+    k: usize,
+    config: EngineConfig,
+}
+
+impl QueryKey {
+    /// Builds the key for a query, normalizing term order.
+    pub fn new(query: &[TermId], k: usize, config: EngineConfig) -> Self {
+        let mut terms = query.to_vec();
+        terms.sort();
+        Self { terms, k, config }
+    }
+
+    /// Whether the key's query involves `term` (used for invalidation).
+    fn involves(&self, term: TermId) -> bool {
+        self.terms.binary_search(&term).is_ok()
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    results: Vec<SearchResult>,
+    /// Logical timestamp of the last access (monotone counter, not wall
+    /// clock), used for least-recently-used eviction.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<QueryKey, Entry>,
+    clock: u64,
+}
+
+/// An LRU cache of top-k query results with per-term invalidation.
+///
+/// Capacity 0 disables the cache entirely (every lookup misses, nothing is
+/// stored). Eviction scans for the least-recently-used entry, which is
+/// `O(capacity)` per insertion past capacity — fine for the intended
+/// capacities (hundreds to a few thousand distinct queries).
+#[derive(Debug)]
+pub struct QueryCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` distinct queries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of cached queries (0 = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a query, refreshing its recency on a hit.
+    pub fn get(&self, key: &QueryKey) -> Option<Vec<SearchResult>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.results.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a query's results, evicting the least-recently-used entry if
+    /// the cache is full.
+    pub fn put(&self, key: QueryKey, results: Vec<SearchResult>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.clock += 1;
+        let clock = inner.clock;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(lru) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&lru);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                results,
+                last_used: clock,
+            },
+        );
+    }
+
+    /// Drops every cached query that involves `term`.
+    pub fn invalidate_term(&self, term: TermId) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.map.retain(|key, _| !key.involves(term));
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().map.clear();
+    }
+
+    /// Number of currently cached queries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of lookups answered from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that missed since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stb_corpus::DocId;
+
+    fn key(terms: &[u32], k: usize) -> QueryKey {
+        let terms: Vec<TermId> = terms.iter().map(|&t| TermId(t)).collect();
+        QueryKey::new(&terms, k, EngineConfig::default())
+    }
+
+    fn results(n: u32) -> Vec<SearchResult> {
+        (0..n)
+            .map(|i| SearchResult {
+                doc: DocId(i),
+                score: f64::from(n),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = QueryCache::new(4);
+        assert_eq!(cache.get(&key(&[1], 5)), None);
+        cache.put(key(&[1], 5), results(2));
+        assert_eq!(cache.get(&key(&[1], 5)), Some(results(2)));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn key_is_order_insensitive_but_k_sensitive() {
+        let cache = QueryCache::new(4);
+        cache.put(key(&[2, 1], 5), results(1));
+        assert!(cache.get(&key(&[1, 2], 5)).is_some());
+        assert!(cache.get(&key(&[1, 2], 6)).is_none());
+        // Duplicate terms are a different query than the deduplicated one.
+        assert!(cache.get(&key(&[1, 2, 2], 5)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = QueryCache::new(0);
+        cache.put(key(&[1], 5), results(1));
+        assert_eq!(cache.get(&key(&[1], 5)), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recent_entries() {
+        let cache = QueryCache::new(2);
+        cache.put(key(&[1], 5), results(1));
+        cache.put(key(&[2], 5), results(2));
+        // Touch [1] so [2] becomes the LRU entry.
+        assert!(cache.get(&key(&[1], 5)).is_some());
+        cache.put(key(&[3], 5), results(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(&[1], 5)).is_some());
+        assert!(cache.get(&key(&[2], 5)).is_none());
+        assert!(cache.get(&key(&[3], 5)).is_some());
+    }
+
+    #[test]
+    fn invalidate_term_drops_only_involving_queries() {
+        let cache = QueryCache::new(8);
+        cache.put(key(&[1, 2], 5), results(1));
+        cache.put(key(&[2, 3], 5), results(2));
+        cache.put(key(&[3, 4], 5), results(3));
+        cache.invalidate_term(TermId(2));
+        assert!(cache.get(&key(&[1, 2], 5)).is_none());
+        assert!(cache.get(&key(&[2, 3], 5)).is_none());
+        assert!(cache.get(&key(&[3, 4], 5)).is_some());
+    }
+
+    #[test]
+    fn clear_empties_the_cache() {
+        let cache = QueryCache::new(8);
+        cache.put(key(&[1], 5), results(1));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

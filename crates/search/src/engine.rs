@@ -9,17 +9,38 @@
 //! 3. a scoring configuration (relevance strategy, burstiness aggregation,
 //!    no-pattern policy).
 //!
-//! For every query term it builds a posting list whose per-document score is
-//! `relevance(d, t) × burstiness(d, t)` (Eq. 10–11) and evaluates the top-k
-//! with Fagin's Threshold Algorithm.
+//! For every query term the engine needs a posting list whose per-document
+//! score is `relevance(d, t) × burstiness(d, t)` (Eq. 10–11); the top-k is
+//! then evaluated with Fagin's Threshold Algorithm.
+//!
+//! # Serving path
+//!
+//! The engine has two modes. In *cold* mode (the paper's experimental
+//! setting) every [`BurstySearchEngine::search`] call scores the query
+//! terms' posting lists from scratch. For serving repeated query traffic,
+//! call [`BurstySearchEngine::finalize`] once after registering patterns:
+//! it materializes the score-sorted posting list of **every** term in the
+//! collection — built in parallel across terms, which are independent —
+//! so subsequent searches only walk prebuilt lists. On top of the prebuilt
+//! index sit
+//!
+//! * an LRU cache of evaluated top-k result lists, keyed on
+//!   (terms, k, config) and invalidated per term by
+//!   [`BurstySearchEngine::set_patterns`],
+//! * an incremental per-term rebuild: updating one term's patterns after
+//!   finalization re-scores only that term's posting list, and
+//! * a batched [`BurstySearchEngine::search_many`] that amortizes index
+//!   construction (cold mode) or cache traffic (finalized mode) over a
+//!   whole workload.
 
 use crate::burstiness::{BurstinessAgg, NoPatternPolicy};
-use crate::index::InvertedIndex;
+use crate::cache::{QueryCache, QueryKey};
+use crate::index::{InvertedIndex, Posting};
 use crate::relevance::Relevance;
 use crate::threshold::{threshold_topk, ScoredDoc};
 use std::collections::HashMap;
 
-use stb_core::Pattern;
+use stb_core::{parallel_map, Pattern, PatternSource};
 use stb_corpus::StreamId;
 use stb_corpus::{Collection, DocId, TermId, Timestamp};
 use stb_timeseries::TimeInterval;
@@ -27,8 +48,11 @@ use stb_timeseries::TimeInterval;
 /// A search hit: a document and its total score for the query.
 pub type SearchResult = ScoredDoc;
 
+/// Default capacity of the engine's query-result cache (distinct queries).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
 /// Scoring configuration of the engine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct EngineConfig {
     /// Relevance strategy (default: `log(freq + 1)`).
     pub relevance: Relevance,
@@ -55,12 +79,56 @@ impl StoredPattern {
 }
 
 /// The bursty-document search engine.
+///
+/// # Example
+///
+/// Build a tiny two-stream collection, register one mined pattern, prebuild
+/// the posting index, and search:
+///
+/// ```
+/// use std::collections::HashMap;
+/// use stb_core::CombinatorialPattern;
+/// use stb_corpus::CollectionBuilder;
+/// use stb_geo::GeoPoint;
+/// use stb_search::{BurstySearchEngine, EngineConfig};
+/// use stb_timeseries::TimeInterval;
+///
+/// // "earthquake" bursts in Athens during timestamps 2..=3.
+/// let mut b = CollectionBuilder::new(5);
+/// let quake = b.dict_mut().intern("earthquake");
+/// let athens = b.add_stream("Athens", GeoPoint::new(38.0, 23.7));
+/// let lima = b.add_stream("Lima", GeoPoint::new(-12.0, -77.0));
+/// for ts in 0..5 {
+///     let f = if ts == 2 || ts == 3 { 8 } else { 1 };
+///     b.add_document(athens, ts, HashMap::from([(quake, f)]));
+///     b.add_document(lima, ts, HashMap::from([(quake, 1)]));
+/// }
+/// let collection = b.build();
+///
+/// let mut engine = BurstySearchEngine::new(&collection, EngineConfig::default());
+/// let pattern =
+///     CombinatorialPattern::new(vec![athens], TimeInterval::new(2, 3), 2.0, vec![]);
+/// engine.set_patterns(quake, &[pattern]);
+/// engine.finalize(); // prebuild the score-sorted posting index, in parallel
+///
+/// let top = engine.search(&[quake], 2);
+/// assert_eq!(top.len(), 2); // the two Athens burst documents
+/// assert!(top[0].score >= top[1].score);
+/// // A repeated query is now answered from the result cache.
+/// assert_eq!(engine.search(&[quake], 2), top);
+/// assert!(engine.cache_hits() >= 1);
+/// ```
 pub struct BurstySearchEngine<'a> {
     collection: &'a Collection,
     config: EngineConfig,
     patterns: HashMap<TermId, Vec<StoredPattern>>,
     /// Corpus-level inverted lists: term → documents containing it.
     term_docs: HashMap<TermId, Vec<DocId>>,
+    /// The full-collection scored posting index, present after
+    /// [`BurstySearchEngine::finalize`].
+    prebuilt: Option<InvertedIndex>,
+    /// LRU cache of evaluated top-k result lists.
+    cache: QueryCache,
 }
 
 impl<'a> BurstySearchEngine<'a> {
@@ -83,6 +151,8 @@ impl<'a> BurstySearchEngine<'a> {
             config,
             patterns: HashMap::new(),
             term_docs,
+            prebuilt: None,
+            cache: QueryCache::new(DEFAULT_CACHE_CAPACITY),
         }
     }
 
@@ -93,6 +163,10 @@ impl<'a> BurstySearchEngine<'a> {
 
     /// Registers the mined patterns of a term, replacing any previous ones.
     /// Accepts any pattern type (`CombinatorialPattern`, `RegionalPattern`, …).
+    ///
+    /// On a finalized engine this incrementally re-scores the posting list
+    /// of `term` alone (the rest of the prebuilt index is untouched) and
+    /// invalidates the cached results of every query involving the term.
     pub fn set_patterns<P: Pattern>(&mut self, term: TermId, patterns: &[P]) {
         let stored = patterns
             .iter()
@@ -103,6 +177,24 @@ impl<'a> BurstySearchEngine<'a> {
             })
             .collect();
         self.patterns.insert(term, stored);
+        if self.prebuilt.is_some() {
+            let list = self.term_postings(term);
+            if let Some(index) = self.prebuilt.as_mut() {
+                index.set_postings(term, list);
+            }
+        }
+        self.cache.invalidate_term(term);
+    }
+
+    /// Registers the patterns of every term of a [`PatternSource`] — e.g.
+    /// the output of `STLocal::mine_collection_parallel` or
+    /// `STComb::mine_collection_parallel` — so a mining run can feed the
+    /// index builder directly.
+    /// Sources are replayed in order, so a term appearing twice keeps its
+    /// last entry, exactly as two [`BurstySearchEngine::set_patterns`] calls
+    /// would.
+    pub fn set_patterns_from<S: PatternSource>(&mut self, source: &S) {
+        source.for_each_term(&mut |term, patterns| self.set_patterns(term, patterns));
     }
 
     /// Number of documents that contain the term.
@@ -124,45 +216,188 @@ impl<'a> BurstySearchEngine<'a> {
         self.config.aggregation.aggregate(&overlapping)
     }
 
+    /// The Eq. 10–11 scored posting list of one term (unsorted).
+    fn term_postings(&self, term: TermId) -> Vec<Posting> {
+        let n_docs = self.collection.documents().len();
+        let Some(docs) = self.term_docs.get(&term) else {
+            return Vec::new();
+        };
+        let doc_freq = docs.len();
+        let mut list = Vec::new();
+        for &doc_id in docs {
+            let doc = self.collection.document(doc_id);
+            let relevance = self
+                .config
+                .relevance
+                .score(doc.freq(term), doc_freq, n_docs);
+            match self.document_burstiness(term, doc_id) {
+                Some(burst) => list.push(Posting {
+                    doc: doc_id,
+                    score: relevance * burst,
+                }),
+                None => {
+                    if self.config.no_pattern == NoPatternPolicy::Zero {
+                        // The term contributes nothing but the document
+                        // stays eligible for the rest of the query.
+                        list.push(Posting {
+                            doc: doc_id,
+                            score: 0.0,
+                        });
+                    }
+                    // Under Exclude the document is simply absent from
+                    // this term's posting list, which the Threshold
+                    // Algorithm interprets as -inf.
+                }
+            }
+        }
+        list
+    }
+
     /// Builds the per-term inverted index (Eq. 10 per-term scores) for a set
     /// of query terms.
     pub fn build_index(&self, query: &[TermId]) -> InvertedIndex {
-        let n_docs = self.collection.documents().len();
+        let mut terms = query.to_vec();
+        terms.sort();
+        terms.dedup();
         let mut index = InvertedIndex::new();
-        for &term in query {
-            let Some(docs) = self.term_docs.get(&term) else {
-                continue;
-            };
-            let doc_freq = docs.len();
-            for &doc_id in docs {
-                let doc = self.collection.document(doc_id);
-                let relevance = self
-                    .config
-                    .relevance
-                    .score(doc.freq(term), doc_freq, n_docs);
-                match self.document_burstiness(term, doc_id) {
-                    Some(burst) => index.insert(term, doc_id, relevance * burst),
-                    None => {
-                        if self.config.no_pattern == NoPatternPolicy::Zero {
-                            // The term contributes nothing but the document
-                            // stays eligible for the rest of the query.
-                            index.insert(term, doc_id, 0.0);
-                        }
-                        // Under Exclude the document is simply absent from
-                        // this term's posting list, which the Threshold
-                        // Algorithm interprets as -inf.
-                    }
-                }
-            }
+        for term in terms {
+            index.set_postings(term, self.term_postings(term));
         }
         index.finalize();
         index
     }
 
+    /// Prebuilds the score-sorted posting index of **every** term in the
+    /// collection, in parallel across all available cores. See
+    /// [`BurstySearchEngine::finalize_with_threads`].
+    pub fn finalize(&mut self) {
+        let n_threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.finalize_with_threads(n_threads);
+    }
+
+    /// Prebuilds the full-collection posting index with an explicit worker
+    /// count.
+    ///
+    /// Terms are scored independently (exactly the independence `STLocal`'s
+    /// parallel mining driver exploits), so the build distributes term ids
+    /// over `n_threads` scoped threads and merges the finished lists into
+    /// one [`InvertedIndex`]. The result is deterministic regardless of the
+    /// thread count. Any previously cached query results are dropped.
+    ///
+    /// Calling this again after more [`BurstySearchEngine::set_patterns`]
+    /// calls rebuilds from the current patterns; for single-term updates the
+    /// incremental path inside `set_patterns` is cheaper.
+    pub fn finalize_with_threads(&mut self, n_threads: usize) {
+        let mut terms: Vec<TermId> = self.term_docs.keys().copied().collect();
+        terms.sort();
+        let this = &*self;
+        let lists = parallel_map(terms.len(), n_threads, |i| this.term_postings(terms[i]));
+        let mut index = InvertedIndex::new();
+        for (term, list) in terms.iter().zip(lists) {
+            index.set_postings(*term, list);
+        }
+        index.finalize();
+        self.prebuilt = Some(index);
+        self.cache.clear();
+    }
+
+    /// Whether the full-collection posting index has been prebuilt.
+    pub fn is_finalized(&self) -> bool {
+        self.prebuilt.is_some()
+    }
+
+    /// The prebuilt full-collection posting index, if
+    /// [`BurstySearchEngine::finalize`] has run.
+    pub fn prebuilt_index(&self) -> Option<&InvertedIndex> {
+        self.prebuilt.as_ref()
+    }
+
+    /// Replaces the query-result cache with an empty one of the given
+    /// capacity (0 disables caching).
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache = QueryCache::new(capacity);
+    }
+
+    /// Number of searches answered from the query-result cache.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Number of searches that had to be evaluated.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Number of query results currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Answers a query: the top-`k` documents by Eq. 10, best first.
+    ///
+    /// On a finalized engine this reads the prebuilt posting lists (and the
+    /// result cache); otherwise the query terms' lists are scored on the
+    /// fly, as in the paper's experiments.
     pub fn search(&self, query: &[TermId], k: usize) -> Vec<SearchResult> {
-        let index = self.build_index(query);
-        threshold_topk(&index, query, k, self.config.no_pattern)
+        let key = QueryKey::new(query, k, self.config);
+        if let Some(hit) = self.cache.get(&key) {
+            return hit;
+        }
+        let results = match &self.prebuilt {
+            Some(index) => threshold_topk(index, query, k, self.config.no_pattern),
+            None => {
+                let index = self.build_index(query);
+                threshold_topk(&index, query, k, self.config.no_pattern)
+            }
+        };
+        self.cache.put(key, results.clone());
+        results
+    }
+
+    /// Answers a batch of queries with one shared index, returning one
+    /// result list per query (same order as the input).
+    ///
+    /// On a cold engine this scores the union of all query terms once
+    /// instead of once per query; on a finalized engine the prebuilt index
+    /// already amortizes that, and repeated queries in the batch hit the
+    /// cache.
+    pub fn search_many(&self, queries: &[Vec<TermId>], k: usize) -> Vec<Vec<SearchResult>> {
+        if self.prebuilt.is_some() {
+            return queries.iter().map(|q| self.search(q, k)).collect();
+        }
+        // Consult the cache first, so a cold engine only scores the terms of
+        // the queries that actually missed.
+        let mut results: Vec<Option<Vec<SearchResult>>> = queries
+            .iter()
+            .map(|query| self.cache.get(&QueryKey::new(query, k, self.config)))
+            .collect();
+        let mut union: Vec<TermId> = queries
+            .iter()
+            .zip(&results)
+            .filter(|(_, cached)| cached.is_none())
+            .flat_map(|(query, _)| query.iter().copied())
+            .collect();
+        union.sort();
+        union.dedup();
+        if !union.is_empty() {
+            let index = self.build_index(&union);
+            for (query, slot) in queries.iter().zip(&mut results) {
+                if slot.is_none() {
+                    // Re-check the cache: an identical query earlier in this
+                    // batch may have just been evaluated and stored.
+                    let key = QueryKey::new(query, k, self.config);
+                    let evaluated = self.cache.get(&key).unwrap_or_else(|| {
+                        let fresh = threshold_topk(&index, query, k, self.config.no_pattern);
+                        self.cache.put(key.clone(), fresh.clone());
+                        fresh
+                    });
+                    *slot = Some(evaluated);
+                }
+            }
+        }
+        results.into_iter().map(|r| r.unwrap_or_default()).collect()
     }
 
     /// Convenience: answers a query given as raw strings, resolving them
@@ -221,6 +456,14 @@ mod tests {
             1.5,
             vec![],
         )
+    }
+
+    fn assert_same_results(a: &[SearchResult], b: &[SearchResult]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.doc, y.doc);
+            assert!((x.score - y.score).abs() < 1e-12);
+        }
     }
 
     #[test]
@@ -336,6 +579,172 @@ mod tests {
         for r in &results {
             let d = c.document(r.doc);
             assert!(d.freq(flood) > 0 && d.freq(cricket) > 0);
+        }
+    }
+
+    #[test]
+    fn finalized_engine_matches_cold_engine() {
+        let (c, flood) = build_fixture();
+        let cricket = c.dict().get("cricket").unwrap();
+        let all_streams = CombinatorialPattern::new(
+            vec![StreamId(0), StreamId(1), StreamId(2)],
+            TimeInterval::new(0, 9),
+            0.3,
+            vec![],
+        );
+        for config in [
+            EngineConfig::default(),
+            EngineConfig {
+                no_pattern: NoPatternPolicy::Zero,
+                ..Default::default()
+            },
+        ] {
+            let mut cold = BurstySearchEngine::new(&c, config);
+            cold.set_cache_capacity(0);
+            cold.set_patterns(flood, &[flood_pattern()]);
+            cold.set_patterns(cricket, std::slice::from_ref(&all_streams));
+
+            let mut hot = BurstySearchEngine::new(&c, config);
+            hot.set_patterns(flood, &[flood_pattern()]);
+            hot.set_patterns(cricket, std::slice::from_ref(&all_streams));
+            hot.finalize_with_threads(3);
+            assert!(hot.is_finalized());
+
+            for query in [vec![flood], vec![cricket], vec![flood, cricket]] {
+                for k in [1, 5, 50] {
+                    assert_same_results(&cold.search(&query, k), &hot.search(&query, k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn finalize_thread_count_does_not_change_results() {
+        let (c, flood) = build_fixture();
+        let mut one = BurstySearchEngine::new(&c, EngineConfig::default());
+        one.set_patterns(flood, &[flood_pattern()]);
+        one.finalize_with_threads(1);
+        let mut many = BurstySearchEngine::new(&c, EngineConfig::default());
+        many.set_patterns(flood, &[flood_pattern()]);
+        many.finalize_with_threads(8);
+        assert_same_results(&one.search(&[flood], 10), &many.search(&[flood], 10));
+        // The prebuilt indexes are structurally identical too.
+        let (a, b) = (
+            one.prebuilt_index().unwrap(),
+            many.prebuilt_index().unwrap(),
+        );
+        assert_eq!(a.n_terms(), b.n_terms());
+        assert_eq!(a.n_postings(), b.n_postings());
+    }
+
+    #[test]
+    fn repeated_search_hits_the_cache() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        engine.set_patterns(flood, &[flood_pattern()]);
+        engine.finalize();
+        let first = engine.search(&[flood], 5);
+        assert_eq!(engine.cache_hits(), 0);
+        let second = engine.search(&[flood], 5);
+        assert_eq!(engine.cache_hits(), 1);
+        assert_same_results(&first, &second);
+        // Different k is a different cache entry.
+        let _ = engine.search(&[flood], 6);
+        assert_eq!(engine.cache_hits(), 1);
+        assert_eq!(engine.cache_len(), 2);
+    }
+
+    #[test]
+    fn set_patterns_after_finalize_rebuilds_incrementally() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        engine.set_patterns(flood, &[flood_pattern()]);
+        engine.finalize();
+        let before = engine.search(&[flood], 10);
+        assert!(!before.is_empty());
+
+        // Strengthen the pattern: cached results must not survive.
+        let stronger = CombinatorialPattern::new(
+            vec![StreamId(0), StreamId(1)],
+            TimeInterval::new(4, 6),
+            3.0,
+            vec![],
+        );
+        engine.set_patterns(flood, &[stronger]);
+        let after = engine.search(&[flood], 10);
+        assert_eq!(before.len(), after.len());
+        for (b, a) in before.iter().zip(&after) {
+            assert!(
+                (a.score - 2.0 * b.score).abs() < 1e-9,
+                "doubled pattern score"
+            );
+        }
+
+        // Dropping the patterns empties the term's posting list in place.
+        engine.set_patterns(flood, &[] as &[CombinatorialPattern]);
+        assert!(engine.search(&[flood], 10).is_empty());
+    }
+
+    #[test]
+    fn search_many_cold_reuses_cache_on_repeat() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        engine.set_patterns(flood, &[flood_pattern()]);
+        let queries = vec![vec![flood], vec![flood]];
+        let first = engine.search_many(&queries, 5);
+        // Within one batch the second (identical) query hits the cache.
+        assert_eq!(engine.cache_hits(), 1);
+        // A repeated batch is answered entirely from the cache — no index
+        // is rebuilt for it.
+        let second = engine.search_many(&queries, 5);
+        assert_eq!(engine.cache_hits(), 3);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn set_patterns_from_duplicate_terms_last_wins() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        let source = vec![
+            (flood, vec![flood_pattern()]),
+            (flood, Vec::new()), // a later run retracts the pattern
+        ];
+        engine.set_patterns_from(&source);
+        assert!(engine.search(&[flood], 10).is_empty());
+    }
+
+    #[test]
+    fn search_many_matches_individual_searches() {
+        let (c, flood) = build_fixture();
+        let cricket = c.dict().get("cricket").unwrap();
+        let all_streams = CombinatorialPattern::new(
+            vec![StreamId(0), StreamId(1), StreamId(2)],
+            TimeInterval::new(0, 9),
+            0.3,
+            vec![],
+        );
+        let queries = vec![
+            vec![flood],
+            vec![cricket],
+            vec![flood, cricket],
+            vec![flood],
+        ];
+        for finalized in [false, true] {
+            let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+            engine.set_patterns(flood, &[flood_pattern()]);
+            engine.set_patterns(cricket, std::slice::from_ref(&all_streams));
+            if finalized {
+                engine.finalize();
+            }
+            let batch = engine.search_many(&queries, 7);
+            assert_eq!(batch.len(), queries.len());
+            let mut reference = BurstySearchEngine::new(&c, EngineConfig::default());
+            reference.set_cache_capacity(0);
+            reference.set_patterns(flood, &[flood_pattern()]);
+            reference.set_patterns(cricket, std::slice::from_ref(&all_streams));
+            for (q, got) in queries.iter().zip(&batch) {
+                assert_same_results(got, &reference.search(q, 7));
+            }
         }
     }
 }

@@ -6,6 +6,36 @@
 //! applied." This module is exactly that index: per-term posting lists
 //! sorted by score (for sorted access) plus a per-term hash map (for the
 //! random access the Threshold Algorithm needs).
+//!
+//! # Lifecycle
+//!
+//! The index distinguishes a *loading* state from a *finalized* state.
+//! [`InvertedIndex::insert`] appends postings without maintaining sort
+//! order; [`InvertedIndex::finalize`] sorts and deduplicates every posting
+//! list. Sorted access ([`InvertedIndex::postings`]) before finalization is
+//! a logic error — the Threshold Algorithm's early-termination bound is
+//! only valid over sorted lists — and is caught by a `debug_assert!`.
+//! `finalize` is idempotent: calling it twice (or on an empty index) is
+//! free, and a fresh index is vacuously finalized.
+//!
+//! Already-scored whole lists can be bulk-loaded with
+//! [`InvertedIndex::set_postings`], which keeps the per-term invariants
+//! without touching the rest of the index — this is what the search
+//! engine's incremental per-term rebuild uses.
+//!
+//! ```
+//! use stb_search::InvertedIndex;
+//! use stb_corpus::{DocId, TermId};
+//!
+//! let mut idx = InvertedIndex::new();
+//! idx.insert(TermId(0), DocId(7), 1.5);
+//! idx.insert(TermId(0), DocId(3), 4.0);
+//! idx.finalize();
+//! // Sorted access: best document first.
+//! assert_eq!(idx.postings(TermId(0))[0].doc, DocId(3));
+//! // Random access: score lookup by (term, doc).
+//! assert_eq!(idx.score(TermId(0), DocId(7)), Some(1.5));
+//! ```
 
 use std::collections::HashMap;
 
@@ -21,10 +51,43 @@ pub struct Posting {
 }
 
 /// A per-term inverted index over per-document scores.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct InvertedIndex {
     postings: HashMap<TermId, Vec<Posting>>,
     random_access: HashMap<TermId, HashMap<DocId, f64>>,
+    /// Whether every posting list is currently sorted and deduplicated. A
+    /// fresh (empty) index is vacuously finalized; `insert` clears the flag.
+    finalized: bool,
+}
+
+impl Default for InvertedIndex {
+    fn default() -> Self {
+        Self {
+            postings: HashMap::new(),
+            random_access: HashMap::new(),
+            finalized: true,
+        }
+    }
+}
+
+/// Sorts a posting list by descending score (ties broken by doc id for
+/// determinism) and deduplicates by document, keeping `keep` as the score of
+/// a duplicated document.
+fn sort_posting_list(list: &mut Vec<Posting>, keep: &HashMap<DocId, f64>) {
+    for p in list.iter_mut() {
+        // If the same document was inserted twice the random-access map
+        // keeps the last value; make every copy agree before deduplicating.
+        if let Some(&s) = keep.get(&p.doc) {
+            p.score = s;
+        }
+    }
+    list.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.doc.cmp(&b.doc))
+    });
+    list.dedup_by_key(|p| p.doc);
 }
 
 impl InvertedIndex {
@@ -38,6 +101,7 @@ impl InvertedIndex {
     /// Posting lists are re-sorted lazily by [`InvertedIndex::finalize`];
     /// always call it after the last insertion.
     pub fn insert(&mut self, term: TermId, doc: DocId, score: f64) {
+        self.finalized = false;
         self.postings
             .entry(term)
             .or_default()
@@ -48,31 +112,64 @@ impl InvertedIndex {
             .insert(doc, score);
     }
 
-    /// Sorts every posting list by descending score (ties broken by doc id
-    /// for determinism). Must be called after the last insertion and before
-    /// querying.
-    pub fn finalize(&mut self) {
-        for list in self.postings.values_mut() {
-            list.sort_by(|a, b| {
-                b.score
-                    .partial_cmp(&a.score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.doc.cmp(&b.doc))
-            });
-            // If the same document was inserted twice the random-access map
-            // keeps the last value; deduplicate the sorted list accordingly.
-            list.dedup_by_key(|p| p.doc);
+    /// Replaces the whole posting list of `term` in one step, keeping the
+    /// sorted/deduplicated invariant for that list. An empty `list` removes
+    /// the term entirely.
+    ///
+    /// Unlike [`InvertedIndex::insert`] this does *not* un-finalize the
+    /// index: it is the building block of the engine's incremental per-term
+    /// rebuild, where the rest of the index stays valid.
+    pub fn set_postings(&mut self, term: TermId, mut list: Vec<Posting>) {
+        if list.is_empty() {
+            self.postings.remove(&term);
+            self.random_access.remove(&term);
+            return;
         }
+        let map: HashMap<DocId, f64> = list.iter().map(|p| (p.doc, p.score)).collect();
+        sort_posting_list(&mut list, &map);
+        self.postings.insert(term, list);
+        self.random_access.insert(term, map);
+    }
+
+    /// Sorts every posting list by descending score (ties broken by doc id
+    /// for determinism) and deduplicates repeated documents (last inserted
+    /// score wins). Must be called after the last insertion and before
+    /// sorted access.
+    ///
+    /// Idempotent: on an already-finalized index this is a no-op.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        for (term, list) in &mut self.postings {
+            sort_posting_list(list, &self.random_access[term]);
+        }
+        self.finalized = true;
+    }
+
+    /// Whether the index is finalized (sorted access is allowed).
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
     }
 
     /// The posting list of a term, sorted by descending score. Empty slice
     /// for unknown terms.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if called before [`InvertedIndex::finalize`]:
+    /// sorted access over unsorted lists would silently break the Threshold
+    /// Algorithm's early-termination bound.
     pub fn postings(&self, term: TermId) -> &[Posting] {
+        debug_assert!(
+            self.finalized,
+            "sorted access before InvertedIndex::finalize()"
+        );
         self.postings.get(&term).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Random access: the score of `doc` for `term`, if the document appears
-    /// in the term's posting list.
+    /// in the term's posting list. Allowed in any state.
     pub fn score(&self, term: TermId, doc: DocId) -> Option<f64> {
         self.random_access
             .get(&term)
@@ -83,6 +180,11 @@ impl InvertedIndex {
     /// Number of terms with at least one posting.
     pub fn n_terms(&self) -> usize {
         self.postings.len()
+    }
+
+    /// Total number of postings over all terms.
+    pub fn n_postings(&self) -> usize {
+        self.postings.values().map(Vec::len).sum()
     }
 
     /// Number of postings of a term.
@@ -106,6 +208,7 @@ mod tests {
     #[test]
     fn empty_index() {
         let idx = InvertedIndex::new();
+        assert!(idx.is_finalized());
         assert_eq!(idx.n_terms(), 0);
         assert!(idx.postings(term(0)).is_empty());
         assert_eq!(idx.score(term(0), doc(0)), None);
@@ -153,6 +256,8 @@ mod tests {
         idx.finalize();
         assert_eq!(idx.score(term(0), doc(0)), Some(3.0));
         assert_eq!(idx.doc_freq(term(0)), 1);
+        // The surviving posting carries the surviving score.
+        assert_eq!(idx.postings(term(0))[0].score, 3.0);
     }
 
     #[test]
@@ -164,5 +269,77 @@ mod tests {
         assert_eq!(idx.n_terms(), 2);
         assert_eq!(idx.postings(term(0)).len(), 1);
         assert_eq!(idx.postings(term(1)).len(), 1);
+        assert_eq!(idx.n_postings(), 2);
+    }
+
+    #[test]
+    fn finalize_is_idempotent() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(term(0), doc(1), 1.0);
+        idx.insert(term(0), doc(2), 2.0);
+        idx.finalize();
+        let before: Vec<Posting> = idx.postings(term(0)).to_vec();
+        idx.finalize();
+        idx.finalize();
+        assert_eq!(idx.postings(term(0)), before.as_slice());
+    }
+
+    #[test]
+    fn insert_unfinalizes() {
+        let mut idx = InvertedIndex::new();
+        assert!(idx.is_finalized());
+        idx.insert(term(0), doc(0), 1.0);
+        assert!(!idx.is_finalized());
+        idx.finalize();
+        assert!(idx.is_finalized());
+        idx.insert(term(0), doc(1), 2.0);
+        assert!(!idx.is_finalized());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted access before")]
+    #[cfg(debug_assertions)]
+    fn sorted_access_before_finalize_panics() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(term(0), doc(0), 1.0);
+        let _ = idx.postings(term(0));
+    }
+
+    #[test]
+    fn set_postings_replaces_one_term() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(term(0), doc(0), 1.0);
+        idx.insert(term(1), doc(1), 2.0);
+        idx.finalize();
+        idx.set_postings(
+            term(0),
+            vec![
+                Posting {
+                    doc: doc(5),
+                    score: 0.5,
+                },
+                Posting {
+                    doc: doc(6),
+                    score: 5.0,
+                },
+            ],
+        );
+        assert!(idx.is_finalized());
+        let docs: Vec<DocId> = idx.postings(term(0)).iter().map(|p| p.doc).collect();
+        assert_eq!(docs, vec![doc(6), doc(5)]);
+        assert_eq!(idx.score(term(0), doc(0)), None);
+        assert_eq!(idx.score(term(0), doc(5)), Some(0.5));
+        // The other term is untouched.
+        assert_eq!(idx.score(term(1), doc(1)), Some(2.0));
+    }
+
+    #[test]
+    fn set_postings_empty_removes_term() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(term(0), doc(0), 1.0);
+        idx.finalize();
+        idx.set_postings(term(0), Vec::new());
+        assert_eq!(idx.n_terms(), 0);
+        assert_eq!(idx.score(term(0), doc(0)), None);
     }
 }

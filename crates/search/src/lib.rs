@@ -17,18 +17,24 @@
 //! Retrieval uses a classic IR architecture: an [`InvertedIndex`] with
 //! per-term postings sorted by score, queried with Fagin's Threshold
 //! Algorithm ([`threshold_topk`]) for early-terminating top-k evaluation.
+//! For serving repeated query traffic, [`BurstySearchEngine::finalize`]
+//! prebuilds the whole collection's scored posting lists in parallel, an
+//! LRU [`cache::QueryCache`] short-circuits repeated queries, and
+//! [`BurstySearchEngine::search_many`] batches whole workloads.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod burstiness;
+pub mod cache;
 pub mod engine;
 pub mod index;
 pub mod relevance;
 pub mod threshold;
 
 pub use burstiness::{BurstinessAgg, NoPatternPolicy};
-pub use engine::{BurstySearchEngine, EngineConfig, SearchResult};
+pub use cache::{QueryCache, QueryKey};
+pub use engine::{BurstySearchEngine, EngineConfig, SearchResult, DEFAULT_CACHE_CAPACITY};
 pub use index::{InvertedIndex, Posting};
 pub use relevance::Relevance;
 pub use threshold::threshold_topk;

@@ -6,7 +6,7 @@
 //! alternatives.
 
 /// Strategy for computing `relevance(d, t)` from the term frequency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Relevance {
     /// `ln(freq + 1)` — the paper's best-performing choice (default).
     #[default]

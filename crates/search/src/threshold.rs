@@ -7,6 +7,14 @@
 //! access), and stops as soon as the `k`-th best score so far is at least
 //! the *threshold* — the sum of the scores at the current read depth, which
 //! upper-bounds the score of any document not yet seen.
+//!
+//! The index handed in must be finalized (see [`InvertedIndex::finalize`]):
+//! the early-termination bound is only sound over score-sorted posting
+//! lists, which unfinalized indexes do not guarantee — in debug builds the
+//! index asserts this on sorted access. Both the engine's per-query indexes
+//! and its prebuilt full-collection index satisfy the invariant; the
+//! algorithm itself is agnostic to which one it walks, since it only ever
+//! touches the query terms' lists.
 
 use crate::burstiness::NoPatternPolicy;
 use crate::index::InvertedIndex;

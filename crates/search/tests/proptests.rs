@@ -1,10 +1,18 @@
 //! Property-based tests for the search engine: the Threshold Algorithm must
-//! always agree with exhaustive evaluation.
+//! always agree with exhaustive evaluation, and the serving path (prebuilt
+//! index + query cache) must be indistinguishable from cold evaluation.
 
 use proptest::prelude::*;
-use stb_corpus::{DocId, TermId};
+use proptest::TestCaseError;
+use stb_core::CombinatorialPattern;
+use stb_corpus::{Collection, CollectionBuilder, DocId, StreamId, TermId};
+use stb_geo::GeoPoint;
 use stb_search::threshold::exhaustive_topk;
-use stb_search::{threshold_topk, InvertedIndex, NoPatternPolicy};
+use stb_search::{
+    threshold_topk, BurstySearchEngine, EngineConfig, InvertedIndex, NoPatternPolicy,
+};
+use stb_timeseries::TimeInterval;
+use std::collections::HashMap;
 
 fn arb_index() -> impl Strategy<Value = InvertedIndex> {
     // Up to 4 terms, up to 30 docs, sparse random scores.
@@ -20,6 +28,171 @@ fn arb_index() -> impl Strategy<Value = InvertedIndex> {
         idx.finalize();
         idx
     })
+}
+
+/// Document blueprint: (stream, timestamp, bag of (term, count)).
+type DocSpec = (u32, usize, Vec<(u32, u32)>);
+/// Pattern blueprint: (term, stream bitmask, start, extra length, score).
+type PatternSpec = (u32, u8, usize, usize, f64);
+
+const N_STREAMS: u32 = 4;
+const N_TERMS: u32 = 4;
+const TIMELINE: usize = 8;
+
+fn arb_docs() -> impl Strategy<Value = Vec<DocSpec>> {
+    prop::collection::vec(
+        (
+            0..N_STREAMS,
+            0..TIMELINE,
+            prop::collection::vec((0..N_TERMS, 1u32..9), 1..4),
+        ),
+        1..40,
+    )
+}
+
+fn arb_patterns() -> impl Strategy<Value = Vec<PatternSpec>> {
+    prop::collection::vec(
+        (0..N_TERMS, 1u8..16, 0..TIMELINE, 0usize..4, 0.1f64..3.0),
+        0..8,
+    )
+}
+
+fn build_collection(docs: &[DocSpec]) -> Collection {
+    let mut b = CollectionBuilder::new(TIMELINE);
+    // Intern the whole vocabulary up front so TermId(0..N_TERMS) all exist.
+    for t in 0..N_TERMS {
+        b.dict_mut().intern(&format!("t{t}"));
+    }
+    for s in 0..N_STREAMS {
+        b.add_stream(&format!("s{s}"), GeoPoint::new(f64::from(s), 0.0));
+    }
+    for (stream, ts, counts) in docs {
+        let mut bag = HashMap::new();
+        for (term, count) in counts {
+            *bag.entry(TermId(*term)).or_insert(0) += *count;
+        }
+        b.add_document(StreamId(*stream), *ts, bag);
+    }
+    b.build()
+}
+
+fn patterns_by_term(specs: &[PatternSpec]) -> HashMap<TermId, Vec<CombinatorialPattern>> {
+    let mut by_term: HashMap<TermId, Vec<CombinatorialPattern>> = HashMap::new();
+    for &(term, mask, start, extra, score) in specs {
+        let streams: Vec<StreamId> = (0..N_STREAMS)
+            .filter(|s| mask & (1 << s) != 0)
+            .map(StreamId)
+            .collect();
+        let timeframe = TimeInterval::new(start, (start + extra).min(TIMELINE - 1));
+        by_term
+            .entry(TermId(term))
+            .or_default()
+            .push(CombinatorialPattern::new(streams, timeframe, score, vec![]));
+    }
+    by_term
+}
+
+fn sample_queries() -> [Vec<TermId>; 4] {
+    [
+        vec![TermId(0)],
+        vec![TermId(1), TermId(2)],
+        vec![TermId(0), TermId(3)],
+        vec![TermId(0), TermId(1), TermId(2), TermId(3)],
+    ]
+}
+
+fn assert_same(
+    a: &[stb_search::SearchResult],
+    b: &[stb_search::SearchResult],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        prop_assert_eq!(x.doc, y.doc);
+        prop_assert!((x.score - y.score).abs() < 1e-9);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn cached_and_uncached_search_return_identical_topk(
+        docs in arb_docs(),
+        specs in arb_patterns(),
+        k in 1usize..8,
+        zero in proptest::bool::ANY
+    ) {
+        let collection = build_collection(&docs);
+        let by_term = patterns_by_term(&specs);
+        let config = EngineConfig {
+            no_pattern: if zero { NoPatternPolicy::Zero } else { NoPatternPolicy::Exclude },
+            ..Default::default()
+        };
+
+        // Reference: cold engine, caching disabled — every search is a
+        // from-scratch evaluation.
+        let mut cold = BurstySearchEngine::new(&collection, config);
+        cold.set_cache_capacity(0);
+        cold.set_patterns_from(&by_term);
+
+        // Serving path: prebuilt index + result cache.
+        let mut hot = BurstySearchEngine::new(&collection, config);
+        hot.set_patterns_from(&by_term);
+        hot.finalize_with_threads(2);
+
+        // Two rounds: the second round is answered from the cache and must
+        // still agree with the cold engine.
+        for _round in 0..2 {
+            for query in &sample_queries() {
+                assert_same(&cold.search(query, k), &hot.search(query, k))?;
+            }
+        }
+        prop_assert!(hot.cache_hits() >= sample_queries().len() as u64);
+    }
+
+    #[test]
+    fn set_patterns_after_finalize_invalidates_stale_entries(
+        docs in arb_docs(),
+        specs in arb_patterns(),
+        k in 1usize..8
+    ) {
+        let collection = build_collection(&docs);
+        let mut by_term = patterns_by_term(&specs);
+        let config = EngineConfig::default();
+
+        let mut hot = BurstySearchEngine::new(&collection, config);
+        hot.set_patterns_from(&by_term);
+        hot.finalize_with_threads(2);
+        // Populate the cache with results for the original patterns.
+        for query in &sample_queries() {
+            let _ = hot.search(query, k);
+        }
+
+        // Change TermId(0)'s patterns: double scores, or create a pattern
+        // where none existed.
+        let entry = by_term.entry(TermId(0)).or_default();
+        if entry.is_empty() {
+            entry.push(CombinatorialPattern::new(
+                (0..N_STREAMS).map(StreamId).collect(),
+                TimeInterval::new(0, TIMELINE - 1),
+                1.0,
+                vec![],
+            ));
+        } else {
+            for p in entry.iter_mut() {
+                p.score *= 2.0;
+            }
+        }
+        hot.set_patterns(TermId(0), &by_term[&TermId(0)]);
+
+        // A fresh cold engine with the updated patterns is the oracle: the
+        // finalized engine must serve the new results, not stale cache hits.
+        let mut reference = BurstySearchEngine::new(&collection, config);
+        reference.set_cache_capacity(0);
+        reference.set_patterns_from(&by_term);
+        for query in &sample_queries() {
+            assert_same(&reference.search(query, k), &hot.search(query, k))?;
+        }
+    }
 }
 
 proptest! {

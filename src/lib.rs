@@ -21,6 +21,7 @@
 //!   corpus).
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use stb_core as core;
 pub use stb_corpus as corpus;
