@@ -1,0 +1,163 @@
+//! Kernel-scaling harness for the maximum-weight rectangle search.
+//!
+//! Runs every rectangle kernel on the same random point sets at
+//! `m ∈ {64, 256, 1024}`, checks that the exact kernels agree on the
+//! optimal score, prints a comparison table, and writes
+//! `BENCH_maxrect.json` with per-kernel nanoseconds and the tree-vs-sweep
+//! speedup. The default (quick) mode times a couple of repetitions so CI
+//! can exercise the perf path cheaply; pass `--full` for more repetitions
+//! and `--seed <n>` to vary the workload.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stb_bench::{ExperimentCtx, TableWriter};
+use stb_discrepancy::{
+    max_weight_rect_grid, max_weight_rect_naive, max_weight_rect_with, MaxRect, RectKernel, WPoint,
+};
+use std::time::Instant;
+
+/// Sizes the issue pins for the scaling comparison.
+const SIZES: [usize; 3] = [64, 256, 1024];
+/// The naive `O(m^5)` oracle is only affordable at the smallest size.
+const NAIVE_CAP: usize = 64;
+
+fn points(n: usize, seed: u64) -> Vec<WPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            WPoint::new(
+                rng.gen_range(0.0..1000.0),
+                rng.gen_range(0.0..1000.0),
+                rng.gen_range(-1.0..1.5),
+            )
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall-clock nanoseconds of `f`, with one warmup run.
+/// Returns the timing and the last result for score cross-checking.
+fn time_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> (u128, T) {
+    let mut out = f();
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        out = f();
+        best = best.min(start.elapsed().as_nanos());
+    }
+    (best, out)
+}
+
+/// One size's measurements, in nanoseconds per invocation.
+struct SizeResult {
+    m: usize,
+    tree_ns: u128,
+    sweep_ns: u128,
+    grid16_ns: u128,
+    naive_ns: Option<u128>,
+}
+
+impl SizeResult {
+    fn speedup(&self) -> f64 {
+        self.sweep_ns as f64 / self.tree_ns.max(1) as f64
+    }
+}
+
+fn score_of(r: &Option<MaxRect>) -> f64 {
+    r.as_ref().map(|m| m.score).unwrap_or(0.0)
+}
+
+fn run_size(m: usize, seed: u64, reps: usize) -> SizeResult {
+    let pts = points(m, seed);
+    let (tree_ns, tree) = time_ns(reps, || max_weight_rect_with(&pts, RectKernel::Tree));
+    let (sweep_ns, sweep) = time_ns(reps, || max_weight_rect_with(&pts, RectKernel::Sweep));
+    let (grid16_ns, _) = time_ns(reps, || max_weight_rect_grid(&pts, 16));
+    let naive_ns = (m <= NAIVE_CAP).then(|| {
+        let (ns, naive) = time_ns(1, || max_weight_rect_naive(&pts));
+        assert!(
+            (score_of(&tree) - score_of(&naive)).abs() < 1e-6,
+            "tree kernel disagrees with the naive oracle at m={m}"
+        );
+        ns
+    });
+    assert!(
+        (score_of(&tree) - score_of(&sweep)).abs() < 1e-6,
+        "exact kernels disagree at m={m}: tree {} vs sweep {}",
+        score_of(&tree),
+        score_of(&sweep)
+    );
+    SizeResult {
+        m,
+        tree_ns,
+        sweep_ns,
+        grid16_ns,
+        naive_ns,
+    }
+}
+
+fn render_json(ctx: &ExperimentCtx, results: &[SizeResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"maxrect_kernels\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if ctx.full { "full" } else { "quick" }
+    ));
+    out.push_str(&format!("  \"seed\": {},\n", ctx.seed));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"m\": {}, \"tree_ns\": {}, \"sweep_ns\": {}, \"grid16_ns\": {}, \
+             \"naive_ns\": {}, \"speedup_tree_vs_sweep\": {:.2}}}{}\n",
+            r.m,
+            r.tree_ns,
+            r.sweep_ns,
+            r.grid16_ns,
+            r.naive_ns
+                .map(|ns| ns.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    let reps = if ctx.full { 7 } else { 2 };
+    println!(
+        "max-rect kernel scaling (mode: {}, seed {}, best of {reps})",
+        if ctx.full { "full" } else { "quick" },
+        ctx.seed
+    );
+
+    let results: Vec<SizeResult> = SIZES.iter().map(|&m| run_size(m, ctx.seed, reps)).collect();
+
+    let mut table = TableWriter::new("max_weight_rect kernels: ns per call");
+    table.header(["m", "tree", "sweep", "grid16", "naive", "tree vs sweep"]);
+    for r in &results {
+        table.row([
+            r.m.to_string(),
+            r.tree_ns.to_string(),
+            r.sweep_ns.to_string(),
+            r.grid16_ns.to_string(),
+            r.naive_ns
+                .map(|ns| ns.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let json = render_json(&ctx, &results);
+    let path = "BENCH_maxrect.json";
+    std::fs::write(path, &json).expect("write BENCH_maxrect.json");
+    println!("wrote {path}");
+
+    let largest = results.last().expect("at least one size");
+    println!(
+        "largest size m={}: tree is {:.2}x faster than sweep",
+        largest.m,
+        largest.speedup()
+    );
+}

@@ -38,6 +38,7 @@ pub use evaluation::{end_error, jaccard_similarity, precision, start_error, topk
 pub use interval_clique::{max_weight_interval_clique, WeightedInterval};
 pub use parallel::parallel_map;
 pub use pattern::{CombinatorialPattern, Pattern, PatternSource, RegionalPattern};
+pub use stb_discrepancy::RectKernel;
 pub use stcomb::{STComb, STCombConfig};
 pub use stlocal::{BaselineKind, STLocal, STLocalConfig, STLocalStats};
 pub use tb::{TBConfig, TB};

@@ -20,7 +20,7 @@
 
 use crate::pattern::RegionalPattern;
 use stb_corpus::{Collection, StreamId, TermId};
-use stb_discrepancy::{RBursty, WPoint};
+use stb_discrepancy::{RBursty, RectKernel, WPoint};
 use stb_geo::{Mbr, Point2D, Rect};
 use stb_timeseries::{BaselineModel, OnlineMaxSeg, TimeInterval};
 
@@ -58,6 +58,12 @@ pub struct STLocalConfig {
     /// ultimately excluded from the pattern. Set to 0 to keep every member
     /// with any positive contribution.
     pub min_member_contribution_ratio: f64,
+    /// Exact maximum-weight rectangle kernel driving every R-Bursty
+    /// extraction round (per snapshot, per term). The default
+    /// [`RectKernel::Tree`] is the `O(m^2 log m)` DGM-style kernel; the
+    /// `O(m^3)` [`RectKernel::Sweep`] is kept for A/B validation and for
+    /// tiny collections where its lower constants win.
+    pub rect_kernel: RectKernel,
 }
 
 impl Default for STLocalConfig {
@@ -67,6 +73,7 @@ impl Default for STLocalConfig {
             min_rectangle_score: 0.0,
             min_window_score: 0.0,
             min_member_contribution_ratio: 0.05,
+            rect_kernel: RectKernel::default(),
         }
     }
 }
@@ -284,7 +291,9 @@ impl STLocal {
             .zip(&burstiness)
             .map(|(p, &w)| WPoint::at(*p, w))
             .collect();
-        let rbursty = RBursty::new().with_min_score(self.config.min_rectangle_score);
+        let rbursty = RBursty::new()
+            .with_min_score(self.config.min_rectangle_score)
+            .with_kernel(self.config.rect_kernel);
         let rects = rbursty.find(&points);
         self.stats.rectangles_per_timestamp.push(rects.len());
 
@@ -461,6 +470,40 @@ mod tests {
         assert!(top.timeframe.start >= 10 && top.timeframe.start <= 11);
         assert!(top.timeframe.end >= 13 && top.timeframe.end <= 15);
         assert!(top.score > 0.0);
+    }
+
+    #[test]
+    fn rect_kernel_choice_does_not_change_mined_patterns() {
+        let mut reference: Option<Vec<RegionalPattern>> = None;
+        for kernel in [RectKernel::Tree, RectKernel::Sweep] {
+            let config = STLocalConfig {
+                rect_kernel: kernel,
+                ..STLocalConfig::default()
+            };
+            let mut miner = STLocal::new(cluster_positions(), config);
+            for ts in 0..30 {
+                let mut obs = vec![1.0; 6];
+                if (10..15).contains(&ts) {
+                    for s in 0..3 {
+                        obs[s] = 20.0;
+                    }
+                }
+                miner.step(&obs);
+            }
+            let patterns = miner.finish();
+            assert!(!patterns.is_empty(), "{kernel:?}");
+            match &reference {
+                None => reference = Some(patterns),
+                Some(expected) => {
+                    assert_eq!(expected.len(), patterns.len(), "{kernel:?}");
+                    for (a, b) in expected.iter().zip(&patterns) {
+                        assert_eq!(a.streams, b.streams, "{kernel:?}");
+                        assert_eq!(a.timeframe, b.timeframe, "{kernel:?}");
+                        assert!((a.score - b.score).abs() < 1e-9, "{kernel:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -7,8 +7,16 @@
 //! non-positive score. The result is the set of *Bursty Rectangles*
 //! (Definition 1): non-overlapping (in terms of contained streams),
 //! positive-score regions, at most `n` of them.
+//!
+//! The extraction loop is *incremental*: one [`RectWorkspace`] (coordinate
+//! compression, per-column point lists, kernel scratch state) is built up
+//! front and reused across every round, with masking applied as `O(1)`
+//! point-weight updates instead of re-collecting and re-compressing the
+//! whole input after each reported rectangle. The reference from-scratch
+//! loop is kept as [`RBursty::find_from_scratch`] and property-tested to
+//! produce byte-identical rectangle sequences.
 
-use crate::max_rect::{max_weight_rect, MaxRect};
+use crate::max_rect::{RectKernel, RectWorkspace};
 use crate::weighted_point::WPoint;
 use stb_geo::Rect;
 
@@ -55,6 +63,9 @@ pub struct RBursty {
     /// (strictly positive scores); raising it suppresses noise-level
     /// rectangles.
     pub min_score: f64,
+    /// The exact maximum-weight rectangle kernel driving each extraction
+    /// round (see [`RectKernel`]).
+    pub kernel: RectKernel,
 }
 
 impl Default for RBursty {
@@ -62,13 +73,14 @@ impl Default for RBursty {
         Self {
             max_rectangles: None,
             min_score: 0.0,
+            kernel: RectKernel::default(),
         }
     }
 }
 
 impl RBursty {
     /// Creates the default configuration (no rectangle cap, strictly
-    /// positive scores).
+    /// positive scores, the [`RectKernel::Tree`] kernel).
     pub fn new() -> Self {
         Self::default()
     }
@@ -85,28 +97,42 @@ impl RBursty {
         self
     }
 
+    /// Selects the exact rectangle kernel.
+    pub fn with_kernel(mut self, kernel: RectKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// Runs Algorithm 1 on the given weighted points (one per stream) and
     /// returns all non-overlapping bursty rectangles, strongest first.
+    ///
+    /// The search state is built once and reused across extraction rounds;
+    /// masking a reported rectangle's members is an `O(1)`-per-point weight
+    /// update on the shared workspace.
+    ///
+    /// Zero-weight streams deserve a note: they contribute nothing to any
+    /// score, so they are reported as members of the *first* rectangle
+    /// that geometrically covers them and never again (a claimed set, not
+    /// a `-inf` mask — masking them would make their location poison later
+    /// rectangles, letting a stream with no burstiness at all veto a
+    /// nearby region's shape). Member disjointness across the reported
+    /// rectangles is preserved either way.
     pub fn find(&self, points: &[WPoint]) -> Vec<BurstyRectangle> {
-        let mut working: Vec<WPoint> = points.to_vec();
+        let Some(mut ws) = RectWorkspace::new(points) else {
+            return Vec::new();
+        };
+        let mut claimed = vec![false; points.len()];
         let mut out = Vec::new();
         let cap = self.max_rectangles.unwrap_or(points.len());
         while out.len() < cap {
-            let Some(MaxRect {
-                rect,
-                score,
-                members,
-            }) = max_weight_rect(&working)
-            else {
+            let Some((score, rect)) = ws.best_rect(self.kernel, self.min_score) else {
                 break;
             };
-            if score <= self.min_score {
-                break;
-            }
+            let members = claim_members(points, &rect, &mut claimed);
             // Mask the members so no later rectangle can contain them
             // (Algorithm 1, step 2).
             for &m in &members {
-                working[m].weight = f64::NEG_INFINITY;
+                ws.mask(m);
             }
             out.push(BurstyRectangle {
                 rect,
@@ -116,6 +142,63 @@ impl RBursty {
         }
         out
     }
+
+    /// Reference implementation of [`RBursty::find`] that rebuilds the
+    /// entire search state from scratch after every masking round, the way
+    /// Algorithm 1 is usually read (the paper does not specify state
+    /// reuse; both paths implement the same extract-mask-repeat semantics,
+    /// including the zero-weight claiming rule documented on
+    /// [`RBursty::find`]).
+    ///
+    /// Kept for testing and benchmarking: it produces byte-identical
+    /// rectangle sequences to the incremental path (property-tested), at
+    /// the cost of re-collecting, re-sorting, and re-allocating the input
+    /// every round.
+    pub fn find_from_scratch(&self, points: &[WPoint]) -> Vec<BurstyRectangle> {
+        let mut working: Vec<WPoint> = points.to_vec();
+        let mut claimed = vec![false; points.len()];
+        let mut out = Vec::new();
+        let cap = self.max_rectangles.unwrap_or(points.len());
+        while out.len() < cap {
+            let Some(mut ws) = RectWorkspace::new(&working) else {
+                break;
+            };
+            let Some((score, rect)) = ws.best_rect(self.kernel, self.min_score) else {
+                break;
+            };
+            let members = claim_members(points, &rect, &mut claimed);
+            for &m in &members {
+                // Zero-weight members carry no mass to mask; leaving them
+                // untouched keeps the rebuilt search domain identical to
+                // the incremental workspace (which never indexes them).
+                if working[m].weight != 0.0 {
+                    working[m].weight = f64::NEG_INFINITY;
+                }
+            }
+            out.push(BurstyRectangle {
+                rect,
+                members,
+                score,
+            });
+        }
+        out
+    }
+}
+
+/// The not-yet-claimed points contained in `rect`, in input order; marks
+/// them claimed. A winning rectangle can never contain a masked (`-inf`)
+/// point, so claiming matters only for zero-weight points, which would
+/// otherwise be reported as members of every rectangle that geometrically
+/// covers them.
+fn claim_members(points: &[WPoint], rect: &Rect, claimed: &mut [bool]) -> Vec<usize> {
+    let mut members = Vec::new();
+    for (i, p) in points.iter().enumerate() {
+        if !claimed[i] && rect.contains(&p.position()) {
+            claimed[i] = true;
+            members.push(i);
+        }
+    }
+    members
 }
 
 #[cfg(test)]
@@ -130,6 +213,7 @@ mod tests {
     #[test]
     fn empty_input_gives_no_rectangles() {
         assert!(RBursty::new().find(&[]).is_empty());
+        assert!(RBursty::new().find_from_scratch(&[]).is_empty());
     }
 
     #[test]
@@ -256,5 +340,88 @@ mod tests {
         let rects2 = RBursty::new().find(&pts2);
         assert_eq!(rects2.len(), 1);
         assert_eq!(rects2[0].members.len(), 3);
+    }
+
+    /// Fixed configurations exercising multi-round extraction, zero-weight
+    /// members, duplicates, and pre-masked input.
+    fn tricky_configs() -> Vec<Vec<WPoint>> {
+        vec![
+            // Three clusters, extracted over three rounds.
+            vec![
+                wp(0.0, 0.0, 1.0),
+                wp(100.0, 0.0, -5.0),
+                wp(200.0, 0.0, 2.0),
+                wp(300.0, 0.0, -5.0),
+                wp(400.0, 0.0, 3.0),
+            ],
+            // A zero-weight point inside the first reported rectangle.
+            vec![
+                wp(0.0, 0.0, 2.0),
+                wp(1.0, 1.0, 0.0),
+                wp(2.0, 2.0, 2.0),
+                wp(50.0, 50.0, 1.0),
+            ],
+            // Duplicate coordinates and a pre-masked point.
+            vec![
+                wp(1.0, 1.0, 2.0),
+                wp(1.0, 1.0, 3.0),
+                wp(2.0, 2.0, f64::NEG_INFINITY),
+                wp(10.0, 10.0, 1.5),
+            ],
+            // All mass in one column, split by a deep negative.
+            vec![
+                wp(0.0, 0.0, 4.0),
+                wp(0.0, 1.0, -9.0),
+                wp(0.0, 2.0, 5.0),
+                wp(0.0, 3.0, 0.0),
+            ],
+        ]
+    }
+
+    #[test]
+    fn incremental_workspace_matches_from_scratch_path() {
+        for pts in tricky_configs() {
+            for kernel in [RectKernel::Tree, RectKernel::Sweep] {
+                let rb = RBursty::new().with_kernel(kernel);
+                assert_eq!(
+                    rb.find(&pts),
+                    rb.find_from_scratch(&pts),
+                    "kernel {kernel:?} on {pts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_rectangle_scores() {
+        for pts in tricky_configs() {
+            let tree = RBursty::new().with_kernel(RectKernel::Tree).find(&pts);
+            let sweep = RBursty::new().with_kernel(RectKernel::Sweep).find(&pts);
+            assert_eq!(tree.len(), sweep.len(), "{pts:?}");
+            for (a, b) in tree.iter().zip(&sweep) {
+                assert!((a.score - b.score).abs() < 1e-9, "{pts:?}");
+                assert_eq!(a.members, b.members, "{pts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_member_is_claimed_exactly_once() {
+        // The zero-weight point at (1, 1) sits inside the first reported
+        // rectangle; it must be a member there and never reappear.
+        let pts = vec![
+            wp(0.0, 0.0, 2.0),
+            wp(1.0, 1.0, 0.0),
+            wp(2.0, 2.0, 2.0),
+            wp(0.5, 1.5, 3.0),
+        ];
+        let rects = RBursty::new().find(&pts);
+        let mut seen: HashSet<usize> = HashSet::new();
+        for r in &rects {
+            for &m in &r.members {
+                assert!(seen.insert(m), "stream {m} reported twice");
+            }
+        }
+        assert!(rects[0].members.contains(&1));
     }
 }

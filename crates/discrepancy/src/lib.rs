@@ -13,21 +13,31 @@
 //! * [`WPoint`] — a weighted planar point (a stream's map position and its
 //!   burstiness at the current timestamp).
 //! * [`max_weight_rect`] — an exact maximizer of the rectangle score over
-//!   all axis-aligned rectangles (coordinate-compressed Kadane sweep,
-//!   `O(m^3)` in the number of distinct points). A brute-force
-//!   `O(m^4)` oracle ([`max_weight_rect_naive`]) and a grid-restricted
-//!   approximation ([`max_weight_rect_grid`]) are provided for testing and
-//!   ablation.
+//!   all axis-aligned rectangles. Two exact kernels are selectable through
+//!   [`RectKernel`]: the default DGM-style max-subsegment-tree sweep
+//!   ([`MaxSegTree`], `O(m^2 log m)`) and the Kadane re-scan sweep
+//!   (`O(m^3)`); both share a prefix-sum upper-bound pruner and a reusable
+//!   [`RectWorkspace`]. A brute-force oracle ([`max_weight_rect_naive`])
+//!   and a grid-restricted approximation ([`max_weight_rect_grid`]) are
+//!   provided for testing and ablation — see [`max_rect`] for the full
+//!   complexity table.
 //! * [`RBursty`] — Algorithm 1: iteratively report the best rectangle and
-//!   mask its streams until no positive-score rectangle remains.
+//!   mask its streams until no positive-score rectangle remains. The
+//!   extraction loop reuses one workspace across rounds, applying masking
+//!   as `O(1)` point-weight updates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bursty_rect;
 pub mod max_rect;
+pub mod maxseg_tree;
 pub mod weighted_point;
 
 pub use bursty_rect::{BurstyRectangle, RBursty};
-pub use max_rect::{max_weight_rect, max_weight_rect_grid, max_weight_rect_naive, MaxRect};
+pub use max_rect::{
+    max_weight_rect, max_weight_rect_grid, max_weight_rect_naive, max_weight_rect_with, MaxRect,
+    RectKernel, RectWorkspace,
+};
+pub use maxseg_tree::MaxSegTree;
 pub use weighted_point::WPoint;

@@ -20,10 +20,38 @@ pub struct WPoint {
     pub weight: f64,
 }
 
+/// Collapses `-0.0` to `+0.0` so coordinate compression, which orders by
+/// [`f64::total_cmp`] (where `-0.0 < +0.0`), never sees two distinct zeros.
+fn canonical(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else {
+        v
+    }
+}
+
 impl WPoint {
     /// Creates a weighted point.
+    ///
+    /// Coordinates must be finite and the weight must not be `NaN` or
+    /// `+inf` (`-inf` marks a masked point); both are debug-asserted. The
+    /// rectangle kernels index coordinates with a total order, so a `NaN`
+    /// coordinate would otherwise silently corrupt the search rather than
+    /// fail loudly.
     pub fn new(x: f64, y: f64, weight: f64) -> Self {
-        Self { x, y, weight }
+        debug_assert!(
+            x.is_finite() && y.is_finite(),
+            "WPoint coordinates must be finite, got ({x}, {y})"
+        );
+        debug_assert!(
+            !weight.is_nan() && weight != f64::INFINITY,
+            "WPoint weight must be finite or -inf, got {weight}"
+        );
+        Self {
+            x: canonical(x),
+            y: canonical(y),
+            weight,
+        }
     }
 
     /// Creates a weighted point at a [`Point2D`] position.
@@ -59,6 +87,28 @@ mod tests {
         assert_eq!(p.x, -1.0);
         assert_eq!(p.y, 4.0);
         assert_eq!(p.weight, 0.5);
+    }
+
+    #[test]
+    fn negative_zero_coordinates_are_canonicalized() {
+        let p = WPoint::new(-0.0, -0.0, 1.0);
+        assert!(p.x.is_sign_positive());
+        assert!(p.y.is_sign_positive());
+        assert_eq!(p.x.total_cmp(&0.0), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "coordinates must be finite")]
+    fn nan_coordinates_are_rejected() {
+        let _ = WPoint::new(f64::NAN, 0.0, 1.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "weight must be finite or -inf")]
+    fn nan_weight_is_rejected() {
+        let _ = WPoint::new(0.0, 0.0, f64::NAN);
     }
 
     #[test]

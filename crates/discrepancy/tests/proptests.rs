@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use stb_discrepancy::{
-    max_weight_rect, max_weight_rect_grid, max_weight_rect_naive, RBursty, WPoint,
+    max_weight_rect, max_weight_rect_grid, max_weight_rect_naive, max_weight_rect_with, RBursty,
+    RectKernel, WPoint,
 };
 use std::collections::HashSet;
 
@@ -18,6 +19,23 @@ fn arb_points_larger() -> impl Strategy<Value = Vec<WPoint>> {
         (-100.0f64..100.0, -100.0f64..100.0, -3.0f64..3.0)
             .prop_map(|(x, y, w)| WPoint::new(x, y, w)),
         0..40,
+    )
+}
+
+/// Hostile configurations for the exact kernels: coordinates drawn from a
+/// tiny grid (forcing duplicates in both dimensions), and weights that are
+/// routinely zero or `-inf` (pre-masked points) besides ordinary values.
+fn arb_messy_points() -> impl Strategy<Value = Vec<WPoint>> {
+    prop::collection::vec(
+        (0usize..6, 0usize..6, 0usize..6, -4.0f64..4.0).prop_map(|(xi, yi, kind, w)| {
+            let weight = match kind {
+                0 => 0.0,
+                1 => f64::NEG_INFINITY,
+                _ => w,
+            };
+            WPoint::new(xi as f64, yi as f64, weight)
+        }),
+        0..22,
     )
 }
 
@@ -102,6 +120,64 @@ proptest! {
             prop_assert!((rects[0].score - best.score).abs() < 1e-9);
         } else {
             prop_assert!(rects.is_empty());
+        }
+    }
+
+    #[test]
+    fn exact_kernels_match_naive_on_messy_configs(points in arb_messy_points()) {
+        // Duplicate coordinates, zero weights, and -inf masked points must
+        // not break either exact kernel: same optimal score as the oracle
+        // and a valid maximizer (score == weight of contained points).
+        let slow = max_weight_rect_naive(&points);
+        for kernel in [RectKernel::Tree, RectKernel::Sweep] {
+            let fast = max_weight_rect_with(&points, kernel);
+            match (&fast, &slow) {
+                (None, None) => {}
+                (Some(f), Some(s)) => {
+                    prop_assert!((f.score - s.score).abs() < 1e-9,
+                        "{kernel:?}: {} vs naive {}", f.score, s.score);
+                    let contained: f64 = points.iter()
+                        .filter(|p| f.rect.contains(&p.position()))
+                        .map(|p| p.weight)
+                        .sum();
+                    prop_assert!((contained - f.score).abs() < 1e-9,
+                        "{kernel:?}: rect weight {contained} vs score {}", f.score);
+                }
+                (f, s) => prop_assert!(false, "{kernel:?} presence mismatch: {f:?} vs {s:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tree_and_sweep_kernels_agree(points in arb_points_larger()) {
+        let tree = max_weight_rect_with(&points, RectKernel::Tree);
+        let sweep = max_weight_rect_with(&points, RectKernel::Sweep);
+        match (tree, sweep) {
+            (None, None) => {}
+            (Some(t), Some(s)) => prop_assert!((t.score - s.score).abs() < 1e-9,
+                "tree {} vs sweep {}", t.score, s.score),
+            (t, s) => prop_assert!(false, "presence mismatch: {t:?} vs {s:?}"),
+        }
+    }
+
+    #[test]
+    fn rbursty_incremental_is_byte_identical_to_scratch(points in arb_messy_points()) {
+        for kernel in [RectKernel::Tree, RectKernel::Sweep] {
+            let rb = RBursty::new().with_kernel(kernel);
+            let incremental = rb.find(&points);
+            let scratch = rb.find_from_scratch(&points);
+            prop_assert_eq!(&incremental, &scratch, "kernel {:?}", kernel);
+        }
+    }
+
+    #[test]
+    fn rbursty_kernels_agree_on_scores(points in arb_points_larger()) {
+        let tree = RBursty::new().with_kernel(RectKernel::Tree).find(&points);
+        let sweep = RBursty::new().with_kernel(RectKernel::Sweep).find(&points);
+        prop_assert_eq!(tree.len(), sweep.len());
+        for (t, s) in tree.iter().zip(&sweep) {
+            prop_assert!((t.score - s.score).abs() < 1e-9,
+                "tree {} vs sweep {}", t.score, s.score);
         }
     }
 }
