@@ -22,6 +22,7 @@ use stb_geo::GeoPoint;
 use stb_search::{BurstySearchEngine, EngineConfig, NoPatternPolicy};
 use stb_timeseries::TimeInterval;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const N_STREAMS: usize = 40;
 const N_TIMESTAMPS: usize = 90;
@@ -90,16 +91,16 @@ fn workload(collection: &Collection) -> Vec<Vec<TermId>> {
         .collect()
 }
 
-fn engine<'a>(
-    collection: &'a Collection,
+fn engine(
+    collection: &Arc<Collection>,
     patterns: &[(TermId, CombinatorialPattern)],
     cache_capacity: usize,
-) -> BurstySearchEngine<'a> {
+) -> BurstySearchEngine {
     let config = EngineConfig {
         no_pattern: NoPatternPolicy::Zero,
         ..Default::default()
     };
-    let mut e = BurstySearchEngine::new(collection, config);
+    let mut e = BurstySearchEngine::new(Arc::clone(collection), config);
     e.set_cache_capacity(cache_capacity);
     for (term, p) in patterns {
         e.set_patterns(*term, std::slice::from_ref(p));
@@ -107,12 +108,12 @@ fn engine<'a>(
     e
 }
 
-fn run_workload(e: &BurstySearchEngine<'_>, queries: &[Vec<TermId>]) -> usize {
+fn run_workload(e: &BurstySearchEngine, queries: &[Vec<TermId>]) -> usize {
     queries.iter().map(|q| e.search(q, TOP_K).len()).sum()
 }
 
 fn bench_serving(c: &mut Criterion) {
-    let collection = build_collection(42);
+    let collection = Arc::new(build_collection(42));
     let patterns = synthetic_patterns(&collection, 7);
     let queries = workload(&collection);
 
@@ -141,7 +142,7 @@ fn bench_serving(c: &mut Criterion) {
 }
 
 fn bench_finalize(c: &mut Criterion) {
-    let collection = build_collection(42);
+    let collection = Arc::new(build_collection(42));
     let patterns = synthetic_patterns(&collection, 7);
     let n_par = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)

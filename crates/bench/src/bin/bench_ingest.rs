@@ -1,0 +1,365 @@
+//! Live-ingestion harness: sustained ingest throughput, query latency
+//! under ingest, pattern-freshness lag, and the incremental-vs-full-rebuild
+//! speedup.
+//!
+//! Drives the same synthetic workload through two arms:
+//!
+//! * **incremental** — one `IngestPipeline`: per tick, stage the tick's
+//!   documents and `commit_tick()` (apply docs, advance online burst state,
+//!   re-mine dirty terms, apply per-term index deltas). After every commit
+//!   a fixed query set is answered through the live `SearchHandle`.
+//! * **full rebuild** — the batch path from scratch at every tick: rebuild
+//!   the collection from all documents so far, mine **every** term, build a
+//!   fresh engine, and finalize the posting index.
+//!
+//! The two arms are cross-checked at the final tick (byte-identical top-k)
+//! and the per-tick timings are reported as a table plus
+//! `BENCH_ingest.json`. Quick mode (the default, run by CI) uses a small
+//! workload; `--full` scales it up, `--seed <n>` varies it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stb_bench::{ExperimentCtx, TableWriter};
+use stb_core::{STLocal, STLocalConfig};
+use stb_corpus::{CollectionBuilder, StreamId, TermId};
+use stb_geo::GeoPoint;
+use stb_ingest::{IngestConfig, IngestPipeline, MinerKind};
+use stb_search::{BurstySearchEngine, EngineConfig, SearchResult};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One tick's documents: (stream, term bag).
+type TickDocs = Vec<(StreamId, HashMap<TermId, u32>)>;
+
+struct Workload {
+    n_streams: usize,
+    timeline: usize,
+    /// Term ids are dense 0..vocab, interned as "term{i}" in id order.
+    vocab: usize,
+    /// Per tick, the documents arriving at that tick.
+    ticks: Vec<TickDocs>,
+    /// The fixed query set answered after every tick.
+    queries: Vec<Vec<TermId>>,
+}
+
+/// Two spatial clusters of streams; a burst term erupts in the first
+/// cluster over the middle third of the timeline while background terms
+/// hum everywhere.
+fn build_workload(ctx: &ExperimentCtx) -> Workload {
+    let (n_streams, timeline, vocab, docs_per_tick) = if ctx.full {
+        (40, 90, 160, 30)
+    } else {
+        (16, 36, 80, 10)
+    };
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let burst_term = TermId(0);
+    let burst_window = (timeline / 3)..(timeline / 2);
+    let mut ticks = Vec::with_capacity(timeline);
+    for t in 0..timeline {
+        let mut docs: TickDocs = Vec::with_capacity(docs_per_tick);
+        for _ in 0..docs_per_tick {
+            let stream = StreamId(rng.gen_range(0..n_streams as u32));
+            let mut counts = HashMap::new();
+            for _ in 0..2 {
+                let term = TermId(rng.gen_range(1..vocab as u32));
+                *counts.entry(term).or_insert(0) += rng.gen_range(1..4u32);
+            }
+            // The burst: cluster-A streams mention the burst term heavily.
+            if burst_window.contains(&t) && stream.index() < n_streams / 2 {
+                *counts.entry(burst_term).or_insert(0) += rng.gen_range(15..30u32);
+            } else if rng.gen_range(0..10) == 0 {
+                counts.insert(burst_term, 1); // background chatter
+            }
+            docs.push((stream, counts));
+        }
+        ticks.push(docs);
+    }
+    let queries = vec![
+        vec![burst_term],
+        vec![burst_term, TermId(1)],
+        vec![TermId(2)],
+        vec![TermId(3), TermId(4)],
+    ];
+    Workload {
+        n_streams,
+        timeline,
+        vocab,
+        ticks,
+        queries,
+    }
+}
+
+fn stream_geo(i: usize, n: usize) -> GeoPoint {
+    // First half clustered near the origin, second half far away.
+    if i < n / 2 {
+        GeoPoint::new(i as f64 * 0.3, i as f64 * 0.2)
+    } else {
+        GeoPoint::new(60.0 + i as f64 * 0.3, 60.0)
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct Summary {
+    p50: f64,
+    p99: f64,
+    mean: f64,
+}
+
+fn summarize(mut samples: Vec<f64>) -> Summary {
+    let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+    samples.sort_by(f64::total_cmp);
+    Summary {
+        p50: percentile(&samples, 0.50),
+        p99: percentile(&samples, 0.99),
+        mean,
+    }
+}
+
+struct IncrementalRun {
+    commit_ms: Vec<f64>,
+    query_ms: Vec<f64>,
+    /// Results of the fixed queries at the final tick (for cross-checking).
+    final_results: Vec<Vec<SearchResult>>,
+    answered_at_every_tick: bool,
+    docs_total: u64,
+}
+
+fn run_incremental(w: &Workload) -> IncrementalRun {
+    let mut pipeline = IngestPipeline::new(IngestConfig {
+        timeline_capacity: w.timeline,
+        miner: MinerKind::STLocal(STLocalConfig::default()),
+        engine: EngineConfig::default(),
+        cache_capacity: 1024,
+    });
+    for s in 0..w.n_streams {
+        pipeline.add_stream(&format!("s{s}"), stream_geo(s, w.n_streams));
+    }
+    for i in 0..w.vocab {
+        pipeline.intern(&format!("term{i}"));
+    }
+    let handle = pipeline.search_handle();
+    let mut commit_ms = Vec::with_capacity(w.timeline);
+    let mut query_ms = Vec::new();
+    let mut answered_at_every_tick = true;
+    let mut docs_total = 0u64;
+    for tick in &w.ticks {
+        for (stream, counts) in tick {
+            pipeline.stage_document(*stream, counts.clone());
+            docs_total += 1;
+        }
+        let receipt = pipeline.commit_tick();
+        commit_ms.push(receipt.commit_ms);
+        // Queries under ingest: the fixed set, timed individually.
+        let mut any = false;
+        for query in &w.queries {
+            let start = Instant::now();
+            let hits = handle.search(query, 10);
+            query_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+            any |= !hits.is_empty();
+        }
+        // Once the burst has begun, the burst query must return documents.
+        if receipt.tick >= w.timeline / 3 && !any {
+            answered_at_every_tick = false;
+        }
+    }
+    let final_results = w.queries.iter().map(|q| handle.search(q, 10)).collect();
+    IncrementalRun {
+        commit_ms,
+        query_ms,
+        final_results,
+        answered_at_every_tick,
+        docs_total,
+    }
+}
+
+/// The batch path from scratch: everything the incremental commit makes
+/// unnecessary — collection build, mining of every term, engine + index
+/// finalize.
+fn full_rebuild(w: &Workload, upto_tick: usize) -> (f64, Vec<Vec<SearchResult>>) {
+    let start = Instant::now();
+    let mut b = CollectionBuilder::new(w.timeline);
+    for i in 0..w.vocab {
+        b.dict_mut().intern(&format!("term{i}"));
+    }
+    for s in 0..w.n_streams {
+        b.add_stream(&format!("s{s}"), stream_geo(s, w.n_streams));
+    }
+    for (ts, tick) in w.ticks.iter().take(upto_tick + 1).enumerate() {
+        for (stream, counts) in tick {
+            b.add_document(*stream, ts, counts.clone());
+        }
+    }
+    let collection = Arc::new(b.build());
+    let mut engine = BurstySearchEngine::new(Arc::clone(&collection), EngineConfig::default());
+    engine.set_cache_capacity(1024);
+    for term in collection.terms() {
+        let (patterns, _) = STLocal::mine_collection(&collection, term, STLocalConfig::default());
+        engine.set_patterns(term, &patterns);
+    }
+    engine.finalize_with_threads(1);
+    let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+    let results = w.queries.iter().map(|q| engine.search(q, 10)).collect();
+    (elapsed, results)
+}
+
+fn assert_identical(expect: &[Vec<SearchResult>], got: &[Vec<SearchResult>]) {
+    for (e_list, g_list) in expect.iter().zip(got) {
+        assert_eq!(e_list.len(), g_list.len(), "result counts diverge");
+        for (e, g) in e_list.iter().zip(g_list) {
+            assert_eq!(e.doc, g.doc, "documents diverge");
+            assert_eq!(
+                e.score.to_bits(),
+                g.score.to_bits(),
+                "scores diverge: {} vs {}",
+                e.score,
+                g.score
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    ctx: &ExperimentCtx,
+    w: &Workload,
+    docs_per_sec: f64,
+    commit: &Summary,
+    query: &Summary,
+    incr_mean: f64,
+    full_mean: f64,
+    speedup: f64,
+    answered: bool,
+) -> String {
+    format!(
+        "{{\n  \"bench\": \"ingest_pipeline\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \
+         \"workload\": {{\"streams\": {}, \"ticks\": {}, \"vocab\": {}, \"docs\": {}}},\n  \
+         \"docs_per_sec\": {:.0},\n  \
+         \"commit_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}, \"mean\": {:.3}}},\n  \
+         \"query_ms_under_ingest\": {{\"p50\": {:.4}, \"p99\": {:.4}, \"mean\": {:.4}}},\n  \
+         \"incremental_tick_ms_mean\": {:.3},\n  \"full_rebuild_ms_mean\": {:.3},\n  \
+         \"speedup_incremental_vs_full\": {:.1},\n  \"answered_at_every_tick\": {}\n}}\n",
+        if ctx.full { "full" } else { "quick" },
+        ctx.seed,
+        w.n_streams,
+        w.timeline,
+        w.vocab,
+        w.ticks.iter().map(Vec::len).sum::<usize>(),
+        docs_per_sec,
+        commit.p50,
+        commit.p99,
+        commit.mean,
+        query.p50,
+        query.p99,
+        query.mean,
+        incr_mean,
+        full_mean,
+        speedup,
+        answered,
+    )
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    let w = build_workload(&ctx);
+    println!(
+        "live-ingest harness (mode: {}, seed {}): {} streams, {} ticks, {} docs",
+        if ctx.full { "full" } else { "quick" },
+        ctx.seed,
+        w.n_streams,
+        w.timeline,
+        w.ticks.iter().map(Vec::len).sum::<usize>(),
+    );
+
+    // Incremental arm.
+    let incr = run_incremental(&w);
+    let commit = summarize(incr.commit_ms.clone());
+    let query = summarize(incr.query_ms.clone());
+    let total_commit_ms: f64 = incr.commit_ms.iter().sum();
+    let docs_per_sec = incr.docs_total as f64 / (total_commit_ms / 1000.0);
+
+    // Full-rebuild arm: rebuild from scratch at every tick (the cost a
+    // batch-only system pays for the same freshness), sampled every other
+    // tick in quick mode to keep CI fast.
+    let stride = if ctx.full { 1 } else { 2 };
+    let mut full_ms = Vec::new();
+    let mut full_final = None;
+    let mut t = 0;
+    while t < w.timeline {
+        let last = t + stride >= w.timeline;
+        let tick = if last { w.timeline - 1 } else { t };
+        let (ms, results) = full_rebuild(&w, tick);
+        full_ms.push(ms);
+        if last {
+            full_final = Some(results);
+        }
+        t += stride;
+    }
+    let full = summarize(full_ms.clone());
+
+    // The two arms must agree exactly at the final tick.
+    assert_identical(&full_final.expect("final rebuild"), &incr.final_results);
+    assert!(
+        incr.final_results.iter().any(|r| !r.is_empty()),
+        "the burst query must return documents"
+    );
+
+    let speedup = full.mean / commit.mean.max(1e-9);
+    let mut table = TableWriter::new("live ingest: per-tick cost (ms)");
+    table.header(["arm", "p50", "p99", "mean"]);
+    table.row([
+        "incremental commit".to_string(),
+        format!("{:.3}", commit.p50),
+        format!("{:.3}", commit.p99),
+        format!("{:.3}", commit.mean),
+    ]);
+    table.row([
+        "full rebuild".to_string(),
+        format!("{:.3}", full.p50),
+        format!("{:.3}", full.p99),
+        format!("{:.3}", full.mean),
+    ]);
+    table.row([
+        "query under ingest".to_string(),
+        format!("{:.4}", query.p50),
+        format!("{:.4}", query.p99),
+        format!("{:.4}", query.mean),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "sustained ingest: {docs_per_sec:.0} docs/sec; freshness lag p99 {:.3} ms; \
+         incremental is {speedup:.1}x faster per tick than a full rebuild",
+        commit.p99
+    );
+
+    let json = render_json(
+        &ctx,
+        &w,
+        docs_per_sec,
+        &commit,
+        &query,
+        commit.mean,
+        full.mean,
+        speedup,
+        incr.answered_at_every_tick,
+    );
+    let path = "BENCH_ingest.json";
+    std::fs::write(path, &json).expect("write BENCH_ingest.json");
+    println!("wrote {path}");
+
+    assert!(
+        incr.answered_at_every_tick,
+        "queries must be answerable at every tick"
+    );
+    assert!(
+        speedup >= 5.0,
+        "incremental per-tick update must beat the full rebuild by >= 5x (got {speedup:.1}x)"
+    );
+}

@@ -7,6 +7,7 @@
 
 use crate::harness::{measure_ms, ExperimentCtx};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use stb_core::{
     jaccard_similarity, precision, Base, CombinatorialPattern, Pattern, RegionalPattern, STComb,
@@ -363,12 +364,14 @@ pub struct OverlapSummary {
 }
 
 fn search_with<P: Pattern>(
-    collection: &Collection,
+    collection: &Arc<Collection>,
     query: &[TermId],
     patterns_per_term: &[(TermId, Vec<P>)],
     k: usize,
 ) -> Vec<DocId> {
-    let mut engine = BurstySearchEngine::new(collection, EngineConfig::default());
+    // Engines share one collection handle; cloning the Arc is O(1), so the
+    // per-(event, method) engine construction never copies the corpus.
+    let mut engine = BurstySearchEngine::new(Arc::clone(collection), EngineConfig::default());
     for (term, patterns) in patterns_per_term {
         engine.set_patterns(*term, patterns);
     }
@@ -381,6 +384,8 @@ fn search_with<P: Pattern>(
 /// relevance labels.
 pub fn evaluate_search(corpus: &TopixCorpus, k: usize) -> (Vec<SearchEvaluation>, OverlapSummary) {
     let collection = corpus.collection();
+    // One shared handle for every engine built below (3 methods x N events).
+    let shared: Arc<Collection> = collection.into();
     let stcomb = stcomb_miner();
     let tb = TB::new();
     let stlocal_config = STLocalConfig::default();
@@ -407,9 +412,9 @@ pub fn evaluate_search(corpus: &TopixCorpus, k: usize) -> (Vec<SearchEvaluation>
             })
             .collect();
 
-        let tb_docs = search_with(collection, &query, &tb_patterns, k);
-        let comb_docs = search_with(collection, &query, &comb_patterns, k);
-        let local_docs = search_with(collection, &query, &local_patterns, k);
+        let tb_docs = search_with(&shared, &query, &tb_patterns, k);
+        let comb_docs = search_with(&shared, &query, &comb_patterns, k);
+        let local_docs = search_with(&shared, &query, &local_patterns, k);
 
         overlaps[0] += stb_core::topk_overlap(&comb_docs, &tb_docs);
         overlaps[1] += stb_core::topk_overlap(&comb_docs, &local_docs);

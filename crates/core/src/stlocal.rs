@@ -284,17 +284,27 @@ impl STLocal {
             self.baselines[x].observe(obs);
         }
 
-        // 2. Bursty rectangles of this snapshot (Algorithm 1).
-        let points: Vec<WPoint> = self
-            .positions
-            .iter()
-            .zip(&burstiness)
-            .map(|(p, &w)| WPoint::at(*p, w))
-            .collect();
-        let rbursty = RBursty::new()
-            .with_min_score(self.config.min_rectangle_score)
-            .with_kernel(self.config.rect_kernel);
-        let rects = rbursty.find(&points);
+        // 2. Bursty rectangles of this snapshot (Algorithm 1). Fast path:
+        //    a bursty rectangle needs a strictly positive r-score (R-Bursty
+        //    clamps its minimum score at 0), which requires at least one
+        //    stream with positive burstiness — so a quiet snapshot (e.g. a
+        //    tick in which a streamed term does not occur at all) skips the
+        //    rectangle search entirely. This is what keeps the live ingest
+        //    pipeline's "advance every tracked term each tick" step cheap.
+        let rects = if burstiness.iter().any(|&b| b > 0.0) {
+            let points: Vec<WPoint> = self
+                .positions
+                .iter()
+                .zip(&burstiness)
+                .map(|(p, &w)| WPoint::at(*p, w))
+                .collect();
+            let rbursty = RBursty::new()
+                .with_min_score(self.config.min_rectangle_score)
+                .with_kernel(self.config.rect_kernel);
+            rbursty.find(&points)
+        } else {
+            Vec::new()
+        };
         self.stats.rectangles_per_timestamp.push(rects.len());
 
         // 3. Start sequences for regions not already tracked (Line 7 of

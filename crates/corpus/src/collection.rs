@@ -16,6 +16,7 @@
 use crate::dictionary::{TermDict, TermId};
 use crate::document::{DocId, Document};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use stb_geo::{GeoPoint, Point2D};
 
@@ -193,6 +194,111 @@ impl Collection {
     /// Total number of term occurrences in the whole collection.
     pub fn total_tokens(&self) -> f64 {
         self.stream_totals.iter().flatten().sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Live mutation.
+    //
+    // A built collection is not frozen: the ingest pipeline
+    // (`stb-ingest`) appends streams, timeline ticks, and documents after
+    // construction, maintaining the same frequency-tensor invariants the
+    // batch [`CollectionBuilder`] establishes. A collection mutated
+    // through these methods is indistinguishable from one built in a
+    // single batch from the same documents (term counts are integral, so
+    // the `f64` aggregation is exact in any order).
+    // ------------------------------------------------------------------
+
+    /// Mutable access to the term dictionary, so live ingestion can intern
+    /// previously-unseen terms after construction.
+    pub fn dict_mut(&mut self) -> &mut TermDict {
+        &mut self.dict
+    }
+
+    /// Registers a new stream after construction, with an explicit planar
+    /// position. The new stream has no documents yet; every existing
+    /// per-term series simply gains a zero row.
+    pub fn add_stream_with_position(
+        &mut self,
+        name: &str,
+        geostamp: GeoPoint,
+        position: Point2D,
+    ) -> StreamId {
+        let id = StreamId(self.streams.len() as u32);
+        self.streams.push(StreamMeta {
+            id,
+            name: name.to_string(),
+            geostamp,
+            position,
+        });
+        self.stream_totals.push(vec![0.0; self.timeline_len]);
+        id
+    }
+
+    /// Registers a new stream after construction, deriving its planar
+    /// position from the geostamp by equirectangular projection (as
+    /// [`CollectionBuilder::add_stream`] does).
+    pub fn add_stream(&mut self, name: &str, geostamp: GeoPoint) -> StreamId {
+        self.add_stream_with_position(name, geostamp, Point2D::new(geostamp.lon, geostamp.lat))
+    }
+
+    /// Grows the timeline to `new_len` timestamps (a no-op if the timeline
+    /// is already at least that long). New timestamps hold no documents.
+    pub fn extend_timeline(&mut self, new_len: usize) {
+        if new_len <= self.timeline_len {
+            return;
+        }
+        for totals in &mut self.stream_totals {
+            totals.resize(new_len, 0.0);
+        }
+        self.timeline_len = new_len;
+    }
+
+    /// Appends a document after construction, incrementally updating the
+    /// per-term frequency tensors and per-stream totals. Returns the new
+    /// document's id (dense, in arrival order — exactly the ids the batch
+    /// builder would have assigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is unknown or the timestamp is outside the
+    /// timeline (grow it first with [`Collection::extend_timeline`]).
+    pub fn push_document(
+        &mut self,
+        stream: StreamId,
+        timestamp: Timestamp,
+        counts: HashMap<TermId, u32>,
+    ) -> DocId {
+        assert!(stream.index() < self.streams.len(), "unknown stream");
+        assert!(timestamp < self.timeline_len, "timestamp beyond timeline");
+        let id = DocId(self.documents.len() as u32);
+        for (&term, &count) in &counts {
+            let entries = self
+                .term_freqs
+                .entry(term)
+                .or_default()
+                .entry(stream)
+                .or_default();
+            // Keep the one-entry-per-timestamp, sorted-by-timestamp
+            // invariant the batch builder establishes.
+            match entries.binary_search_by_key(&timestamp, |e| e.0) {
+                Ok(idx) => entries[idx].1 += count as f64,
+                Err(idx) => entries.insert(idx, (timestamp, count as f64)),
+            }
+            self.stream_totals[stream.index()][timestamp] += count as f64;
+        }
+        self.documents
+            .push(Document::new(id, stream, timestamp, counts));
+        id
+    }
+}
+
+impl From<&Collection> for Arc<Collection> {
+    /// Clones the collection into a fresh shared handle. This keeps
+    /// pre-ownership call sites (`BurstySearchEngine::new(&collection, …)`)
+    /// working; callers that share one collection across engines or with an
+    /// ingest pipeline should build the `Arc` once and clone the handle.
+    fn from(collection: &Collection) -> Self {
+        Arc::new(collection.clone())
     }
 }
 
@@ -437,5 +543,150 @@ mod tests {
         let mut sorted = terms.clone();
         sorted.sort();
         assert_eq!(terms, sorted);
+    }
+
+    /// A document plan: (stream index, timestamp, [(term index, count)]).
+    type DocPlan = (usize, Timestamp, Vec<(usize, u32)>);
+
+    /// Applies the same plan once through the batch builder and once through
+    /// post-build mutation, and asserts the two collections are
+    /// observationally identical.
+    fn assert_incremental_matches_batch(plan: &[DocPlan], timeline: usize, n_streams: usize) {
+        let terms = ["alpha", "beta", "gamma", "delta"];
+        let mut batch = CollectionBuilder::new(timeline);
+        let mut live = CollectionBuilder::new(timeline).build();
+        for s in 0..n_streams {
+            let geo = GeoPoint::new(s as f64, -(s as f64));
+            batch.add_stream(&format!("s{s}"), geo);
+            live.add_stream(&format!("s{s}"), geo);
+        }
+        for &(stream, ts, ref bag) in plan {
+            let mut batch_counts = HashMap::new();
+            let mut live_counts = HashMap::new();
+            for &(t, count) in bag {
+                let b_id = batch.dict_mut().intern(terms[t]);
+                let l_id = live.dict_mut().intern(terms[t]);
+                assert_eq!(b_id, l_id, "interning order must agree");
+                *batch_counts.entry(b_id).or_insert(0) += count;
+                *live_counts.entry(l_id).or_insert(0) += count;
+            }
+            batch.add_document(StreamId(stream as u32), ts, batch_counts);
+            live.push_document(StreamId(stream as u32), ts, live_counts);
+        }
+        let batch = batch.build();
+
+        assert_eq!(batch.n_streams(), live.n_streams());
+        assert_eq!(batch.timeline_len(), live.timeline_len());
+        assert_eq!(batch.documents().len(), live.documents().len());
+        assert_eq!(batch.n_terms(), live.n_terms());
+        assert_eq!(batch.total_tokens(), live.total_tokens());
+        let term_ids: Vec<TermId> = batch.terms().collect();
+        assert_eq!(term_ids, live.terms().collect::<Vec<_>>());
+        for &term in &term_ids {
+            assert_eq!(batch.streams_with_term(term), live.streams_with_term(term));
+            for s in 0..n_streams {
+                assert_eq!(
+                    batch.term_stream_series(term, StreamId(s as u32)),
+                    live.term_stream_series(term, StreamId(s as u32))
+                );
+            }
+            for ts in 0..timeline {
+                assert_eq!(
+                    batch.term_snapshot(term, ts).frequencies,
+                    live.term_snapshot(term, ts).frequencies
+                );
+            }
+        }
+        for s in 0..n_streams {
+            assert_eq!(
+                batch.stream_total_series(StreamId(s as u32)),
+                live.stream_total_series(StreamId(s as u32))
+            );
+        }
+    }
+
+    #[test]
+    fn push_document_matches_batch_builder() {
+        let plan: Vec<DocPlan> = vec![
+            (0, 0, vec![(0, 2), (1, 1)]),
+            (1, 0, vec![(0, 3)]),
+            (0, 2, vec![(2, 5), (0, 1)]),
+            (0, 2, vec![(0, 4)]), // same (term, stream, ts) twice: aggregates
+            (1, 4, vec![(3, 1), (1, 2), (0, 1)]),
+            (0, 1, vec![(1, 7)]), // out-of-timestamp-order arrival
+        ];
+        assert_incremental_matches_batch(&plan, 5, 2);
+    }
+
+    #[test]
+    fn add_stream_after_build_starts_empty() {
+        let mut c = build_sample();
+        let n = c.n_streams();
+        let s = c.add_stream("Tokyo", GeoPoint::new(35.7, 139.7));
+        assert_eq!(s.index(), n);
+        assert_eq!(c.n_streams(), n + 1);
+        assert_eq!(c.stream(s).name, "Tokyo");
+        assert_eq!(
+            c.stream_total_series(s),
+            vec![0.0; c.timeline_len()].as_slice()
+        );
+        let quake = c.dict().get("earthquake").unwrap();
+        assert_eq!(c.term_snapshot(quake, 2).frequencies.len(), n + 1);
+        // And it can receive documents right away.
+        let mut counts = HashMap::new();
+        counts.insert(quake, 2);
+        c.push_document(s, 1, counts);
+        assert_eq!(c.term_stream_series(quake, s)[1], 2.0);
+    }
+
+    #[test]
+    fn extend_timeline_grows_with_zeros() {
+        let mut c = build_sample();
+        let quake = c.dict().get("earthquake").unwrap();
+        let before = c.term_merged_series(quake);
+        c.extend_timeline(8);
+        assert_eq!(c.timeline_len(), 8);
+        let after = c.term_merged_series(quake);
+        assert_eq!(&after[..before.len()], before.as_slice());
+        assert_eq!(&after[before.len()..], &[0.0, 0.0, 0.0]);
+        assert_eq!(c.stream_total_series(StreamId(0)).len(), 8);
+        // Shrinking is a no-op.
+        c.extend_timeline(3);
+        assert_eq!(c.timeline_len(), 8);
+        // The grown tick accepts documents.
+        let mut counts = HashMap::new();
+        counts.insert(quake, 1);
+        c.push_document(StreamId(0), 7, counts);
+        assert_eq!(c.term_merged_series(quake)[7], 1.0);
+    }
+
+    #[test]
+    fn new_term_after_build_is_queryable() {
+        let mut c = build_sample();
+        let tsunami = c.dict_mut().intern("tsunami");
+        assert!(c
+            .term_stream_series(tsunami, StreamId(0))
+            .iter()
+            .all(|&f| f == 0.0));
+        let mut counts = HashMap::new();
+        counts.insert(tsunami, 3);
+        c.push_document(StreamId(1), 4, counts);
+        assert_eq!(c.streams_with_term(tsunami), vec![StreamId(1)]);
+        assert_eq!(c.term_stream_series(tsunami, StreamId(1))[4], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "timestamp beyond timeline")]
+    fn push_document_rejects_out_of_timeline() {
+        let mut c = build_sample();
+        c.push_document(StreamId(0), 99, HashMap::new());
+    }
+
+    #[test]
+    fn arc_from_reference_clones() {
+        let c = build_sample();
+        let arc: Arc<Collection> = (&c).into();
+        assert_eq!(arc.n_streams(), c.n_streams());
+        assert_eq!(arc.documents().len(), c.documents().len());
     }
 }

@@ -15,7 +15,14 @@
 //!   per-stream, per-timestamp term frequencies (`D_x[i][t]`, Eq. 6),
 //!   snapshots `D[i]`, and per-term frequency series.
 //! * [`tsv`] — a small tab-separated persistence layer so corpora can be
-//!   saved and reloaded without extra dependencies.
+//!   saved and reloaded without extra dependencies, with both a batch
+//!   loader and a streaming/append-mode record reader
+//!   ([`tsv::TsvStreamReader`]) for tick-by-tick replay.
+//!
+//! Collections are buildable in batch ([`CollectionBuilder`]) and mutable
+//! afterwards (`Collection::{add_stream, extend_timeline, push_document,
+//! dict_mut}`), which is what the live ingestion crate (`stb-ingest`)
+//! builds on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

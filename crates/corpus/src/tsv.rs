@@ -12,6 +12,17 @@
 //! Term strings must not contain tabs or colons; the writer replaces both
 //! with spaces. This is sufficient for checkpointing synthetic corpora and
 //! for shipping small example datasets with the repository.
+//!
+//! Two readers share the same parser:
+//!
+//! * [`read_collection`] — the batch loader: consumes the whole file and
+//!   builds a [`Collection`] (documents may reference streams declared later
+//!   in the file).
+//! * [`TsvStreamReader`] — the streaming/append-mode reader: after the `C`
+//!   header, yields one [`TsvRecord`] at a time, so a live consumer (the
+//!   `stb-ingest` replay driver) can feed a corpus tick-by-tick without
+//!   materializing it, and new `S` records may appear interleaved with
+//!   documents as streams come online.
 
 use crate::collection::{Collection, CollectionBuilder, StreamId};
 use crate::dictionary::TermId;
@@ -88,100 +99,242 @@ pub fn write_collection<W: Write>(collection: &Collection, mut out: W) -> Result
     Ok(())
 }
 
-/// A parsed `D` record waiting for the full stream table: external stream
-/// id, timestamp, and the (term, count) pairs.
-type PendingDoc = (u32, usize, Vec<(String, u32)>);
+/// A `D` record as parsed from the file: the externally-assigned stream id,
+/// the timestamp, and the (term string, count) pairs in file order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawDocument {
+    /// External stream id (the first field of the originating `S` record).
+    pub stream: u32,
+    /// Timestamp of the document.
+    pub timestamp: usize,
+    /// The document's (term, count) pairs, in file order.
+    pub counts: Vec<(String, u32)>,
+}
 
-/// Reads a collection previously written by [`write_collection`].
-pub fn read_collection<R: BufRead>(input: R) -> Result<Collection, TsvError> {
-    let mut timeline_len: Option<usize> = None;
-    let mut builder: Option<CollectionBuilder> = None;
-    let mut stream_map: HashMap<u32, StreamId> = HashMap::new();
-    let mut pending_docs: Vec<PendingDoc> = Vec::new();
+/// One record yielded by [`TsvStreamReader`] (everything after the `C`
+/// header).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsvRecord {
+    /// An `S` record: a stream coming online.
+    Stream {
+        /// Externally-assigned stream id, referenced by `D` records.
+        ext_id: u32,
+        /// Human-readable stream name.
+        name: String,
+        /// Geographic location of the stream.
+        geostamp: GeoPoint,
+        /// Planar map position of the stream.
+        position: Point2D,
+    },
+    /// A `D` record: a document.
+    Document(RawDocument),
+}
 
-    for (lineno, line) in input.lines().enumerate() {
-        let line = line?;
-        let lineno = lineno + 1;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split('\t').collect();
-        let err = |message: &str| TsvError::Parse {
-            line: lineno,
-            message: message.to_string(),
-        };
-        match fields[0] {
-            "C" => {
-                let len: usize = fields
+/// Streaming/append-mode reader of the TSV collection format.
+///
+/// [`TsvStreamReader::new`] consumes the `C` header (the first non-empty
+/// line); the reader is then an iterator of [`TsvRecord`]s, in file order,
+/// without buffering the corpus. `S` records may appear anywhere after the
+/// header, so an append-mode producer can declare new streams as they come
+/// online. Consumers that need the batch semantics (documents may reference
+/// streams declared *later*) should use [`read_collection`], which is built
+/// on this reader.
+///
+/// ```
+/// use stb_corpus::tsv::{TsvRecord, TsvStreamReader};
+/// use std::io::Cursor;
+///
+/// let data = "C\t3\nS\t0\tAthens\t38.0\t23.7\t23.7\t38.0\nD\t0\t1\tquake:2\n";
+/// let mut reader = TsvStreamReader::new(Cursor::new(data)).unwrap();
+/// assert_eq!(reader.timeline_len(), 3);
+/// assert!(matches!(reader.next().unwrap().unwrap(), TsvRecord::Stream { .. }));
+/// match reader.next().unwrap().unwrap() {
+///     TsvRecord::Document(doc) => assert_eq!(doc.counts, vec![("quake".to_string(), 2)]),
+///     other => panic!("expected a document, got {other:?}"),
+/// }
+/// assert!(reader.next().is_none());
+/// ```
+#[derive(Debug)]
+pub struct TsvStreamReader<R: BufRead> {
+    lines: std::io::Lines<R>,
+    lineno: usize,
+    timeline_len: usize,
+}
+
+impl<R: BufRead> TsvStreamReader<R> {
+    /// Opens the stream and parses the `C` header record.
+    pub fn new(input: R) -> Result<Self, TsvError> {
+        let mut lines = input.lines();
+        let mut lineno = 0;
+        loop {
+            let Some(line) = lines.next() else {
+                return Err(TsvError::Parse {
+                    line: 0,
+                    message: "missing C record".to_string(),
+                });
+            };
+            let line = line?;
+            lineno += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields[0] != "C" {
+                return Err(TsvError::Parse {
+                    line: lineno,
+                    message: format!("{} record before C record", fields[0]),
+                });
+            }
+            let timeline_len =
+                fields
                     .get(1)
                     .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("invalid timeline length"))?;
-                timeline_len = Some(len);
-                builder = Some(CollectionBuilder::new(len));
-            }
+                    .ok_or(TsvError::Parse {
+                        line: lineno,
+                        message: "invalid timeline length".to_string(),
+                    })?;
+            return Ok(Self {
+                lines,
+                lineno,
+                timeline_len,
+            });
+        }
+    }
+
+    /// The timeline length declared by the `C` header.
+    pub fn timeline_len(&self) -> usize {
+        self.timeline_len
+    }
+
+    /// 1-based line number of the last record read (for error reporting).
+    pub fn line(&self) -> usize {
+        self.lineno
+    }
+
+    fn parse_record(&self, line: &str) -> Result<TsvRecord, TsvError> {
+        let fields: Vec<&str> = line.split('\t').collect();
+        let err = |message: String| TsvError::Parse {
+            line: self.lineno,
+            message,
+        };
+        match fields[0] {
             "S" => {
-                let b = builder
-                    .as_mut()
-                    .ok_or_else(|| err("S record before C record"))?;
                 if fields.len() < 7 {
-                    return Err(err("S record needs 7 fields"));
+                    return Err(err("S record needs 7 fields".to_string()));
                 }
-                let ext_id: u32 = fields[1].parse().map_err(|_| err("invalid stream id"))?;
-                let name = fields[2];
-                let lat: f64 = fields[3].parse().map_err(|_| err("invalid latitude"))?;
-                let lon: f64 = fields[4].parse().map_err(|_| err("invalid longitude"))?;
-                let x: f64 = fields[5].parse().map_err(|_| err("invalid x"))?;
-                let y: f64 = fields[6].parse().map_err(|_| err("invalid y"))?;
-                let id =
-                    b.add_stream_with_position(name, GeoPoint::new(lat, lon), Point2D::new(x, y));
-                stream_map.insert(ext_id, id);
+                let ext_id: u32 = fields[1]
+                    .parse()
+                    .map_err(|_| err("invalid stream id".to_string()))?;
+                let lat: f64 = fields[3]
+                    .parse()
+                    .map_err(|_| err("invalid latitude".to_string()))?;
+                let lon: f64 = fields[4]
+                    .parse()
+                    .map_err(|_| err("invalid longitude".to_string()))?;
+                let x: f64 = fields[5]
+                    .parse()
+                    .map_err(|_| err("invalid x".to_string()))?;
+                let y: f64 = fields[6]
+                    .parse()
+                    .map_err(|_| err("invalid y".to_string()))?;
+                Ok(TsvRecord::Stream {
+                    ext_id,
+                    name: fields[2].to_string(),
+                    geostamp: GeoPoint::new(lat, lon),
+                    position: Point2D::new(x, y),
+                })
             }
             "D" => {
-                if builder.is_none() {
-                    return Err(err("D record before C record"));
-                }
                 if fields.len() < 3 {
-                    return Err(err("D record needs at least 3 fields"));
+                    return Err(err("D record needs at least 3 fields".to_string()));
                 }
-                let stream: u32 = fields[1].parse().map_err(|_| err("invalid stream id"))?;
-                let ts: usize = fields[2].parse().map_err(|_| err("invalid timestamp"))?;
-                if ts >= timeline_len.unwrap_or(0) {
-                    return Err(err("timestamp beyond timeline"));
+                let stream: u32 = fields[1]
+                    .parse()
+                    .map_err(|_| err("invalid stream id".to_string()))?;
+                let timestamp: usize = fields[2]
+                    .parse()
+                    .map_err(|_| err("invalid timestamp".to_string()))?;
+                if timestamp >= self.timeline_len {
+                    return Err(err("timestamp beyond timeline".to_string()));
                 }
                 let mut counts = Vec::new();
                 for field in &fields[3..] {
                     let (term, count) = field
                         .rsplit_once(':')
-                        .ok_or_else(|| err("term field missing ':'"))?;
-                    let count: u32 = count.parse().map_err(|_| err("invalid term count"))?;
+                        .ok_or_else(|| err("term field missing ':'".to_string()))?;
+                    let count: u32 = count
+                        .parse()
+                        .map_err(|_| err("invalid term count".to_string()))?;
                     counts.push((term.to_string(), count));
                 }
-                pending_docs.push((stream, ts, counts));
+                Ok(TsvRecord::Document(RawDocument {
+                    stream,
+                    timestamp,
+                    counts,
+                }))
             }
-            other => {
-                return Err(TsvError::Parse {
-                    line: lineno,
-                    message: format!("unknown record type '{other}'"),
-                });
+            "C" => Err(err("duplicate C record".to_string())),
+            other => Err(err(format!("unknown record type '{other}'"))),
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for TsvStreamReader<R> {
+    type Item = Result<TsvRecord, TsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => return Some(Err(e.into())),
+            };
+            self.lineno += 1;
+            if line.trim().is_empty() {
+                continue;
             }
+            return Some(self.parse_record(&line));
+        }
+    }
+}
+
+/// Reads a collection previously written by [`write_collection`].
+///
+/// Batch semantics on top of [`TsvStreamReader`]: the whole file is
+/// consumed first, so documents may reference streams declared later in the
+/// file; term interning happens in document order, matching the ids a
+/// tick-by-tick replay of the same file would assign.
+pub fn read_collection<R: BufRead>(input: R) -> Result<Collection, TsvError> {
+    let mut reader = TsvStreamReader::new(input)?;
+    let mut builder = CollectionBuilder::new(reader.timeline_len());
+    let mut stream_map: HashMap<u32, StreamId> = HashMap::new();
+    let mut pending_docs: Vec<RawDocument> = Vec::new();
+
+    for record in reader.by_ref() {
+        match record? {
+            TsvRecord::Stream {
+                ext_id,
+                name,
+                geostamp,
+                position,
+            } => {
+                let id = builder.add_stream_with_position(&name, geostamp, position);
+                stream_map.insert(ext_id, id);
+            }
+            TsvRecord::Document(doc) => pending_docs.push(doc),
         }
     }
 
-    let mut builder = builder.ok_or(TsvError::Parse {
-        line: 0,
-        message: "missing C record".to_string(),
-    })?;
-    for (ext_stream, ts, counts) in pending_docs {
-        let stream = *stream_map.get(&ext_stream).ok_or(TsvError::Parse {
+    for doc in pending_docs {
+        let stream = *stream_map.get(&doc.stream).ok_or(TsvError::Parse {
             line: 0,
-            message: format!("document references unknown stream {ext_stream}"),
+            message: format!("document references unknown stream {}", doc.stream),
         })?;
         let mut bag = HashMap::new();
-        for (term, count) in counts {
+        for (term, count) in doc.counts {
             let id = builder.dict_mut().intern(&term);
             *bag.entry(id).or_insert(0) += count;
         }
-        builder.add_document(stream, ts, bag);
+        builder.add_document(stream, doc.timestamp, bag);
     }
     Ok(builder.build())
 }
@@ -313,5 +466,77 @@ mod tests {
         let c = read_collection(Cursor::new(data)).unwrap();
         assert_eq!(c.documents().len(), 1);
         assert_eq!(c.documents()[0].distinct_terms(), 0);
+    }
+
+    #[test]
+    fn stream_reader_yields_records_in_file_order() {
+        let original = sample();
+        let mut buf = Vec::new();
+        write_collection(&original, &mut buf).unwrap();
+        let reader = TsvStreamReader::new(Cursor::new(buf)).unwrap();
+        assert_eq!(reader.timeline_len(), original.timeline_len());
+        let records: Vec<TsvRecord> = reader.map(Result::unwrap).collect();
+        let n_streams = records
+            .iter()
+            .filter(|r| matches!(r, TsvRecord::Stream { .. }))
+            .count();
+        let docs: Vec<&RawDocument> = records
+            .iter()
+            .filter_map(|r| match r {
+                TsvRecord::Document(d) => Some(d),
+                TsvRecord::Stream { .. } => None,
+            })
+            .collect();
+        assert_eq!(n_streams, original.n_streams());
+        assert_eq!(docs.len(), original.documents().len());
+        // Document term lists are written sorted by term id, so the first
+        // sample document must lead with its first interned term.
+        assert_eq!(docs[0].timestamp, 0);
+        assert_eq!(docs[0].stream, 0);
+        assert_eq!(docs[1].counts.iter().map(|(_, c)| c).sum::<u32>(), 3);
+    }
+
+    #[test]
+    fn stream_reader_allows_streams_interleaved_with_documents() {
+        // Append-mode: a second stream comes online after documents of the
+        // first have been read.
+        let data = "C\t4\nS\t0\tA\t0\t0\t0\t0\nD\t0\t0\tx:1\nS\t1\tB\t1\t1\t1\t1\nD\t1\t2\ty:2\n";
+        let records: Vec<TsvRecord> = TsvStreamReader::new(Cursor::new(data))
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        assert!(matches!(records[0], TsvRecord::Stream { ext_id: 0, .. }));
+        assert!(matches!(records[1], TsvRecord::Document(_)));
+        assert!(matches!(records[2], TsvRecord::Stream { ext_id: 1, .. }));
+        assert!(matches!(records[3], TsvRecord::Document(_)));
+        // The batch loader accepts the same file.
+        let c = read_collection(Cursor::new(data)).unwrap();
+        assert_eq!(c.n_streams(), 2);
+        assert_eq!(c.documents().len(), 2);
+    }
+
+    #[test]
+    fn stream_reader_rejects_header_problems() {
+        assert!(TsvStreamReader::new(Cursor::new("")).is_err());
+        assert!(TsvStreamReader::new(Cursor::new("S\t0\tA\t0\t0\t0\t0\n")).is_err());
+        assert!(TsvStreamReader::new(Cursor::new("C\tnope\n")).is_err());
+        // A duplicate header is a record-level error.
+        let mut reader = TsvStreamReader::new(Cursor::new("C\t2\nC\t3\n")).unwrap();
+        assert!(reader.next().unwrap().is_err());
+    }
+
+    #[test]
+    fn stream_reader_reports_line_numbers() {
+        let data = "C\t2\n\nS\t0\tA\t0\t0\t0\t0\nD\t0\t9\tfoo:1\n";
+        let mut reader = TsvStreamReader::new(Cursor::new(data)).unwrap();
+        assert!(reader.next().unwrap().is_ok()); // the S record
+        let err = reader.next().unwrap().unwrap_err(); // timestamp beyond timeline
+        match err {
+            TsvError::Parse { line, message } => {
+                assert_eq!(line, 4);
+                assert!(message.contains("timestamp"));
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
     }
 }

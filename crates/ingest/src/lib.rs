@@ -1,0 +1,41 @@
+//! Live document ingestion: incremental mining and per-term index deltas.
+//!
+//! The rest of the workspace reproduces the paper's *batch* pipeline:
+//! freeze a collection, mine every term, build the posting index, serve.
+//! This crate turns the same machinery into a **live** system in which
+//! documents, ticks, streams, and previously-unseen terms keep arriving
+//! while queries are being served:
+//!
+//! * [`LiveCollection`] — a mutable collection behind generational
+//!   `Arc<Collection>` snapshots (copy-on-write per generation), sharing
+//!   the frequency-tensor representation with `stb-corpus`.
+//! * [`IngestPipeline`] — stage documents, commit ticks: each commit
+//!   advances the per-(term, stream) online burst state, re-mines only the
+//!   tick's *dirty terms* (the streaming `STLocal` step of Algorithm 2, or
+//!   a dirty-subset `STComb` pass), and applies the resulting
+//!   [`PatternDelta`]s to the shared `BurstySearchEngine` — per-term
+//!   posting re-scores and precise cache invalidation, never a full
+//!   rebuild.
+//! * [`SearchHandle`] — cloneable shared-read query access, so searches
+//!   run concurrently with ingestion.
+//! * [`replay_tsv`] — drive a TSV corpus from disk through the pipeline
+//!   tick-by-tick via the streaming reader in `stb_corpus::tsv`.
+//!
+//! Replay-equivalence is property-tested: ingesting a corpus one document
+//! at a time and then querying is byte-identical to the batch
+//! `CollectionBuilder` + batch-mine + `finalize()` path, for both miners,
+//! with the result cache on and off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod live;
+pub mod pipeline;
+pub mod replay;
+
+pub use live::LiveCollection;
+pub use pipeline::{
+    IngestConfig, IngestPipeline, MinerKind, PatternDelta, PipelineMetrics, SearchHandle,
+    TickReceipt,
+};
+pub use replay::{replay_tsv, ReplayError};

@@ -1,0 +1,810 @@
+//! The live ingestion pipeline: staged documents → tick commit → dirty-term
+//! incremental mining → per-term index deltas.
+//!
+//! [`IngestPipeline`] connects the online machinery the rest of the
+//! workspace already provides into one serving loop:
+//!
+//! 1. Documents are *staged* against the current open tick
+//!    ([`IngestPipeline::stage_document`]); staging is cheap and tracks the
+//!    tick's **dirty terms** (terms occurring in the staged documents).
+//! 2. [`IngestPipeline::commit_tick`] closes the tick: the staged documents
+//!    are applied to the [`LiveCollection`] (one copy-on-write generation),
+//!    every tracked term's per-(term, stream) online burst state advances by
+//!    one snapshot, and only the dirty terms are re-mined — the streaming
+//!    `STLocal` step (Algorithm 2) or a dirty-subset `STComb` pass for the
+//!    combinatorial view.
+//! 3. The resulting [`PatternDelta`]s are applied to the shared
+//!    [`BurstySearchEngine`]: the new collection snapshot is swapped in, the
+//!    prebuilt posting index re-scores only the affected terms, and the LRU
+//!    result cache invalidates precisely the queries involving them.
+//!
+//! Queries are served concurrently through [`SearchHandle`]s (shared-read
+//! access to the engine), so ingestion and search proceed side by side; a
+//! query observes either the previous tick's generation or the new one,
+//! never a half-applied commit.
+//!
+//! # Equivalence with the batch path
+//!
+//! Replaying a corpus tick-by-tick and then querying is *byte-identical* to
+//! batch-building the collection, batch-mining every term, and finalizing
+//! the engine (property-tested in this crate for both miners, cache on and
+//! off). Two ingredients make the dirty-term restriction exact:
+//!
+//! * `STLocal` is streaming by construction: a term absent from a tick has
+//!   non-positive burstiness in every stream, which can neither create
+//!   rectangles nor change any tracked window — its patterns are unchanged.
+//! * `STComb` mines per-term series over a *fixed-length* timeline, so a
+//!   term's output only changes when its own documents arrive. Growing the
+//!   timeline changes every term's `B_T` normalization, so a grow re-dirties
+//!   all terms — pre-size the timeline via `IngestConfig::timeline_capacity`
+//!   to keep per-tick work proportional to the dirty set.
+//!
+//! Terms unseen when a miner's sequence started are caught up by replaying
+//! their (all-zero) history from the collection, so late-arriving terms and
+//! late-registered streams converge to the same state as the batch run.
+
+use crate::live::LiveCollection;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+use stb_core::{
+    CombinatorialPattern, RegionalPattern, STComb, STCombConfig, STLocal, STLocalConfig,
+};
+use stb_corpus::{Collection, DocId, StreamId, TermId, Timestamp, Tokenizer};
+use stb_geo::{GeoPoint, Point2D};
+use stb_search::{
+    BurstySearchEngine, EngineConfig, EngineMetrics, Relevance, SearchResult,
+    DEFAULT_CACHE_CAPACITY,
+};
+
+/// Which miner keeps the patterns fresh while ingesting.
+#[derive(Debug, Clone)]
+pub enum MinerKind {
+    /// The streaming regional miner (Section 4, Algorithm 2): one online
+    /// `STLocal` instance per term, advanced every tick.
+    STLocal(STLocalConfig),
+    /// The combinatorial miner (Section 3): dirty terms are re-mined from
+    /// their full (fixed-timeline) series on each commit.
+    STComb(STCombConfig),
+}
+
+/// Configuration of an [`IngestPipeline`].
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Pre-sized timeline length. Ticks beyond it grow the timeline on
+    /// demand (which re-dirties every term for the `STComb` view — see the
+    /// module docs). 0 means fully dynamic.
+    pub timeline_capacity: usize,
+    /// The miner that keeps patterns fresh.
+    pub miner: MinerKind,
+    /// Scoring configuration of the serving engine.
+    pub engine: EngineConfig,
+    /// Capacity of the engine's query-result cache (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            timeline_capacity: 0,
+            miner: MinerKind::STLocal(STLocalConfig::default()),
+            engine: EngineConfig::default(),
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// A per-term pattern update emitted by a tick commit and applied to the
+/// search engine (`BurstySearchEngine::set_patterns`).
+#[derive(Debug, Clone)]
+pub enum PatternDelta {
+    /// New regional patterns of a term (the `STLocal` view).
+    Regional {
+        /// The re-mined term.
+        term: TermId,
+        /// Its complete current pattern set (replace semantics).
+        patterns: Vec<RegionalPattern>,
+    },
+    /// New combinatorial patterns of a term (the `STComb` view).
+    Combinatorial {
+        /// The re-mined term.
+        term: TermId,
+        /// Its complete current pattern set (replace semantics).
+        patterns: Vec<CombinatorialPattern>,
+    },
+}
+
+impl PatternDelta {
+    /// The term the delta applies to.
+    pub fn term(&self) -> TermId {
+        match self {
+            PatternDelta::Regional { term, .. } | PatternDelta::Combinatorial { term, .. } => *term,
+        }
+    }
+
+    /// Number of patterns the term now has.
+    pub fn n_patterns(&self) -> usize {
+        match self {
+            PatternDelta::Regional { patterns, .. } => patterns.len(),
+            PatternDelta::Combinatorial { patterns, .. } => patterns.len(),
+        }
+    }
+}
+
+/// What one [`IngestPipeline::commit_tick`] did.
+#[derive(Debug, Clone)]
+pub struct TickReceipt {
+    /// The committed tick (timestamp index).
+    pub tick: Timestamp,
+    /// Ids of the documents applied by this commit, in arrival order.
+    pub new_docs: Vec<DocId>,
+    /// The per-term pattern updates applied to the engine.
+    pub deltas: Vec<PatternDelta>,
+    /// Wall-clock milliseconds from commit start to the engine serving the
+    /// new state (the pattern-freshness lag of this tick).
+    pub commit_ms: f64,
+}
+
+/// A point-in-time snapshot of the pipeline's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineMetrics {
+    /// Ticks committed so far.
+    pub ticks_committed: usize,
+    /// Documents applied over the pipeline's lifetime.
+    pub docs_ingested: u64,
+    /// Documents currently staged for the open tick (queue depth).
+    pub staged_docs: usize,
+    /// Dirty terms currently pending for the open tick (queue depth).
+    pub dirty_terms: usize,
+    /// Per-term online miners currently tracked (`STLocal` mode).
+    pub tracked_miners: usize,
+    /// Miners (re)built by replaying collection history — late-arriving
+    /// terms and post-`add_stream` rebuilds.
+    pub catchup_replays: u64,
+    /// Wall-clock milliseconds of the most recent commit.
+    pub last_commit_ms: f64,
+    /// Cumulative wall-clock milliseconds spent in commits.
+    pub total_commit_ms: f64,
+    /// Mutation generation of the live collection.
+    pub generation: u64,
+    /// The serving engine's counters.
+    pub engine: EngineMetrics,
+}
+
+/// A cloneable handle for serving queries concurrently with ingestion.
+///
+/// Handles take shared read access to the engine, so any number of query
+/// threads proceed in parallel; a tick commit briefly takes the write side
+/// while it swaps the snapshot and applies its deltas.
+#[derive(Clone)]
+pub struct SearchHandle {
+    engine: Arc<RwLock<BurstySearchEngine>>,
+}
+
+impl SearchHandle {
+    /// Answers a query: the top-`k` documents, best first.
+    pub fn search(&self, query: &[TermId], k: usize) -> Vec<SearchResult> {
+        self.engine.read().unwrap().search(query, k)
+    }
+
+    /// Answers a whitespace-separated text query against the engine's
+    /// current dictionary snapshot.
+    pub fn search_text(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        self.engine.read().unwrap().search_text(query, k)
+    }
+
+    /// Answers a batch of queries.
+    pub fn search_many(&self, queries: &[Vec<TermId>], k: usize) -> Vec<Vec<SearchResult>> {
+        self.engine.read().unwrap().search_many(queries, k)
+    }
+
+    /// The engine's current collection snapshot.
+    pub fn collection(&self) -> Arc<Collection> {
+        Arc::clone(self.engine.read().unwrap().collection())
+    }
+
+    /// The engine's serving counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        self.engine.read().unwrap().metrics()
+    }
+}
+
+/// A document staged for the open tick.
+#[derive(Debug, Clone)]
+struct StagedDoc {
+    stream: StreamId,
+    counts: HashMap<TermId, u32>,
+}
+
+/// The live ingestion pipeline. See the module docs for the design.
+///
+/// # Example
+///
+/// ```
+/// use stb_ingest::{IngestConfig, IngestPipeline};
+/// use stb_geo::GeoPoint;
+/// use std::collections::HashMap;
+///
+/// let mut pipeline = IngestPipeline::new(IngestConfig {
+///     timeline_capacity: 8,
+///     ..Default::default()
+/// });
+/// let athens = pipeline.add_stream("Athens", GeoPoint::new(38.0, 23.7));
+/// let lima = pipeline.add_stream("Lima", GeoPoint::new(-12.0, -77.0));
+/// let quake = pipeline.intern("earthquake");
+///
+/// let handle = pipeline.search_handle();
+/// for tick in 0..8 {
+///     let f = if (2..=4).contains(&tick) { 20 } else { 1 };
+///     pipeline.stage_document(athens, HashMap::from([(quake, f)]));
+///     pipeline.stage_document(lima, HashMap::from([(quake, 1)]));
+///     let receipt = pipeline.commit_tick();
+///     assert_eq!(receipt.tick, tick);
+///     // Queries are answerable at every tick, concurrently with ingest.
+///     let _ = handle.search(&[quake], 3);
+/// }
+/// let top = handle.search(&[quake], 3);
+/// assert!(!top.is_empty());
+/// // The burst documents come from Athens during the burst window.
+/// let collection = handle.collection();
+/// let best = collection.document(top[0].doc);
+/// assert_eq!(collection.stream(best.stream).name, "Athens");
+/// assert!((2..=4).contains(&best.timestamp));
+/// ```
+pub struct IngestPipeline {
+    live: LiveCollection,
+    engine: Arc<RwLock<BurstySearchEngine>>,
+    miner: MinerKind,
+    /// One online miner per term ever seen (`STLocal` mode only).
+    local_miners: HashMap<TermId, STLocal>,
+    staged: Vec<StagedDoc>,
+    /// Terms occurring in the staged documents of the open tick.
+    dirty: BTreeSet<TermId>,
+    /// A stream was added since the last commit: per-term miner state is
+    /// positional and must be rebuilt from collection history.
+    structural_dirty: bool,
+    /// The timeline length changed (or a structural change happened), so
+    /// every term's `STComb` view is stale.
+    comb_all_dirty: bool,
+    ticks_committed: usize,
+    docs_ingested: u64,
+    catchup_replays: u64,
+    last_commit_ms: f64,
+    total_commit_ms: f64,
+}
+
+impl IngestPipeline {
+    /// Creates an empty pipeline (no streams, no documents). Streams can be
+    /// registered and documents staged immediately.
+    pub fn new(config: IngestConfig) -> Self {
+        let live = LiveCollection::new(config.timeline_capacity);
+        let mut engine = BurstySearchEngine::new(live.snapshot(), config.engine);
+        engine.set_cache_capacity(config.cache_capacity);
+        // Prebuild the (empty) posting index so every later pattern delta
+        // takes the incremental per-term path.
+        engine.finalize_with_threads(1);
+        Self {
+            live,
+            engine: Arc::new(RwLock::new(engine)),
+            miner: config.miner,
+            local_miners: HashMap::new(),
+            staged: Vec::new(),
+            dirty: BTreeSet::new(),
+            structural_dirty: false,
+            comb_all_dirty: false,
+            ticks_committed: 0,
+            docs_ingested: 0,
+            catchup_replays: 0,
+            last_commit_ms: 0.0,
+            total_commit_ms: 0.0,
+        }
+    }
+
+    /// A cloneable query handle sharing the pipeline's engine.
+    pub fn search_handle(&self) -> SearchHandle {
+        SearchHandle {
+            engine: Arc::clone(&self.engine),
+        }
+    }
+
+    /// The live collection's current snapshot (includes staged-but-uncommitted
+    /// ticks' *streams and terms*, but documents only after their commit).
+    pub fn collection(&self) -> Arc<Collection> {
+        self.live.snapshot()
+    }
+
+    /// Number of ticks committed so far — also the index of the open tick.
+    pub fn ticks_committed(&self) -> usize {
+        self.ticks_committed
+    }
+
+    /// Current timeline length of the live collection.
+    pub fn timeline_len(&self) -> usize {
+        self.live.timeline_len()
+    }
+
+    /// Interns a term (new or existing) into the live dictionary.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        self.live.intern(term)
+    }
+
+    /// Registers a new stream; takes effect for miners at the next commit.
+    pub fn add_stream(&mut self, name: &str, geostamp: GeoPoint) -> StreamId {
+        let id = self.live.add_stream(name, geostamp);
+        self.mark_structural();
+        id
+    }
+
+    /// Registers a new stream with an explicit planar position.
+    pub fn add_stream_with_position(
+        &mut self,
+        name: &str,
+        geostamp: GeoPoint,
+        position: Point2D,
+    ) -> StreamId {
+        let id = self.live.add_stream_with_position(name, geostamp, position);
+        self.mark_structural();
+        id
+    }
+
+    fn mark_structural(&mut self) {
+        self.structural_dirty = true;
+        self.comb_all_dirty = true;
+    }
+
+    /// Stages a document for the open tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is unknown.
+    pub fn stage_document(&mut self, stream: StreamId, counts: HashMap<TermId, u32>) {
+        assert!(stream.index() < self.live.n_streams(), "unknown stream");
+        self.dirty.extend(counts.keys().copied());
+        self.staged.push(StagedDoc { stream, counts });
+    }
+
+    /// Stages a raw-text document for the open tick, tokenizing with
+    /// `tokenizer` and interning new terms into the live dictionary.
+    pub fn stage_text_document(&mut self, stream: StreamId, text: &str, tokenizer: &Tokenizer) {
+        let counts = self.live.term_counts(text, tokenizer);
+        self.stage_document(stream, counts);
+    }
+
+    /// Commits the open tick: applies the staged documents, advances every
+    /// tracked term's online burst state, re-mines the dirty terms, and
+    /// publishes the new snapshot plus its [`PatternDelta`]s to the engine.
+    ///
+    /// Committing with no staged documents is valid (an empty tick) and is
+    /// required for batch equivalence: the streaming miners must observe
+    /// every timestamp, occupied or not.
+    pub fn commit_tick(&mut self) -> TickReceipt {
+        let start = Instant::now();
+        let tick = self.ticks_committed;
+
+        // Grow the timeline if the open tick runs past it. This changes the
+        // `B_T` normalization of every term's series, so the combinatorial
+        // view of every term is re-mined below.
+        if tick >= self.live.timeline_len() {
+            self.live.extend_timeline(tick + 1);
+            self.comb_all_dirty = true;
+        }
+
+        // Apply the staged documents (one copy-on-write generation).
+        let staged = std::mem::take(&mut self.staged);
+        let mut new_docs = Vec::with_capacity(staged.len());
+        for doc in staged {
+            new_docs.push(self.live.push_document(doc.stream, tick, doc.counts));
+        }
+        self.docs_ingested += new_docs.len() as u64;
+        self.ticks_committed += 1;
+        let snapshot = self.live.snapshot();
+
+        let mut dirty = std::mem::take(&mut self.dirty);
+        if self.structural_dirty {
+            // Stream positions changed: per-term miner state is positional,
+            // so drop it and re-derive every term from collection history.
+            self.local_miners.clear();
+            dirty.extend(snapshot.terms());
+            self.structural_dirty = false;
+        }
+        if self.comb_all_dirty && matches!(self.miner, MinerKind::STComb(_)) {
+            dirty.extend(snapshot.terms());
+        }
+        self.comb_all_dirty = false;
+
+        // Mine. Dirty terms get fresh patterns; in STLocal mode every
+        // tracked term additionally advances its online state by one tick.
+        let mut deltas = Vec::with_capacity(dirty.len());
+        match &self.miner {
+            MinerKind::STLocal(config) => {
+                for &term in &dirty {
+                    if let std::collections::hash_map::Entry::Vacant(slot) =
+                        self.local_miners.entry(term)
+                    {
+                        // Late-arriving term: replay its (mostly zero)
+                        // history so its miner state matches a batch run.
+                        let mut miner = STLocal::new(snapshot.positions(), config.clone());
+                        for ts in 0..tick {
+                            miner.step(&snapshot.term_snapshot(term, ts).frequencies);
+                        }
+                        slot.insert(miner);
+                        self.catchup_replays += 1;
+                    }
+                }
+                let mut tracked: Vec<TermId> = self.local_miners.keys().copied().collect();
+                tracked.sort();
+                for term in tracked {
+                    let snap = snapshot.term_snapshot(term, tick);
+                    self.local_miners
+                        .get_mut(&term)
+                        .expect("tracked miner")
+                        .step(&snap.frequencies);
+                }
+                for &term in &dirty {
+                    deltas.push(PatternDelta::Regional {
+                        term,
+                        patterns: self.local_miners[&term].patterns(),
+                    });
+                }
+            }
+            MinerKind::STComb(config) => {
+                let miner = STComb::with_config(config.clone());
+                for &term in &dirty {
+                    deltas.push(PatternDelta::Combinatorial {
+                        term,
+                        patterns: miner.mine_collection(&snapshot, term),
+                    });
+                }
+            }
+        }
+
+        // Publish: swap the snapshot in and apply the per-term deltas. Only
+        // this section holds the engine's write lock.
+        {
+            let mut engine = self.engine.write().unwrap();
+            engine.update_collection(Arc::clone(&snapshot), &new_docs);
+            for delta in &deltas {
+                match delta {
+                    PatternDelta::Regional { term, patterns } => {
+                        engine.set_patterns(*term, patterns);
+                    }
+                    PatternDelta::Combinatorial { term, patterns } => {
+                        engine.set_patterns(*term, patterns);
+                    }
+                }
+            }
+            // Under tf-idf every term's relevance depends on the corpus
+            // document count, so new documents stale every posting list.
+            if engine.config().relevance == Relevance::TfIdf && !new_docs.is_empty() {
+                for term in snapshot.terms() {
+                    engine.refresh_term(term);
+                }
+            }
+        }
+
+        let commit_ms = start.elapsed().as_secs_f64() * 1000.0;
+        self.last_commit_ms = commit_ms;
+        self.total_commit_ms += commit_ms;
+        TickReceipt {
+            tick,
+            new_docs,
+            deltas,
+            commit_ms,
+        }
+    }
+
+    /// The pipeline's current mining output for one term: the live
+    /// `STLocal` miner's accumulated windows, or a fresh combinatorial pass
+    /// over the current collection. Useful for inspecting pattern state
+    /// without going through a [`TickReceipt`].
+    pub fn current_patterns(&self, term: TermId) -> PatternDelta {
+        match &self.miner {
+            MinerKind::STLocal(_) => PatternDelta::Regional {
+                term,
+                patterns: self
+                    .local_miners
+                    .get(&term)
+                    .map(STLocal::patterns)
+                    .unwrap_or_default(),
+            },
+            MinerKind::STComb(config) => PatternDelta::Combinatorial {
+                term,
+                patterns: STComb::with_config(config.clone())
+                    .mine_collection(self.live.collection(), term),
+            },
+        }
+    }
+
+    /// A snapshot of the pipeline's counters.
+    pub fn metrics(&self) -> PipelineMetrics {
+        PipelineMetrics {
+            ticks_committed: self.ticks_committed,
+            docs_ingested: self.docs_ingested,
+            staged_docs: self.staged.len(),
+            dirty_terms: self.dirty.len(),
+            tracked_miners: self.local_miners.len(),
+            catchup_replays: self.catchup_replays,
+            last_commit_ms: self.last_commit_ms,
+            total_commit_ms: self.total_commit_ms,
+            generation: self.live.generation(),
+            engine: self.engine.read().unwrap().metrics(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stb_search::NoPatternPolicy;
+
+    fn two_cluster_pipeline(miner: MinerKind, capacity: usize) -> (IngestPipeline, Vec<StreamId>) {
+        let mut pipeline = IngestPipeline::new(IngestConfig {
+            timeline_capacity: capacity,
+            miner,
+            ..Default::default()
+        });
+        let streams = vec![
+            pipeline.add_stream("A", GeoPoint::new(0.0, 0.0)),
+            pipeline.add_stream("B", GeoPoint::new(1.0, 1.0)),
+            pipeline.add_stream("C", GeoPoint::new(50.0, 50.0)),
+        ];
+        (pipeline, streams)
+    }
+
+    fn burst_tick(
+        pipeline: &mut IngestPipeline,
+        streams: &[StreamId],
+        term: TermId,
+        bursting: bool,
+    ) -> TickReceipt {
+        for (i, &s) in streams.iter().enumerate() {
+            let f = if bursting && i < 2 { 25 } else { 1 };
+            pipeline.stage_document(s, HashMap::from([(term, f)]));
+        }
+        pipeline.commit_tick()
+    }
+
+    #[test]
+    fn stlocal_pipeline_detects_burst_and_serves_queries() {
+        let (mut pipeline, streams) =
+            two_cluster_pipeline(MinerKind::STLocal(STLocalConfig::default()), 20);
+        let quake = pipeline.intern("quake");
+        let handle = pipeline.search_handle();
+        for tick in 0..20 {
+            let receipt = burst_tick(&mut pipeline, &streams, quake, (8..11).contains(&tick));
+            assert_eq!(receipt.tick, tick);
+            assert!(receipt.deltas.iter().all(|d| d.term() == quake));
+            // Queries never fail mid-stream.
+            let _ = handle.search(&[quake], 5);
+        }
+        let top = handle.search(&[quake], 6);
+        assert!(!top.is_empty());
+        let collection = handle.collection();
+        for hit in &top {
+            let doc = collection.document(hit.doc);
+            assert!((8..11).contains(&doc.timestamp), "hit outside the burst");
+            assert!(doc.stream == streams[0] || doc.stream == streams[1]);
+        }
+    }
+
+    #[test]
+    fn stcomb_pipeline_detects_burst() {
+        let (mut pipeline, streams) =
+            two_cluster_pipeline(MinerKind::STComb(STCombConfig::default()), 20);
+        let storm = pipeline.intern("storm");
+        for tick in 0..20 {
+            burst_tick(&mut pipeline, &streams, storm, (5..8).contains(&tick));
+        }
+        let handle = pipeline.search_handle();
+        let top = handle.search(&[storm], 6);
+        assert!(!top.is_empty());
+        let collection = handle.collection();
+        for hit in &top {
+            let doc = collection.document(hit.doc);
+            assert!((5..8).contains(&doc.timestamp));
+        }
+    }
+
+    #[test]
+    fn empty_ticks_are_committed() {
+        let (mut pipeline, streams) =
+            two_cluster_pipeline(MinerKind::STLocal(STLocalConfig::default()), 0);
+        let t = pipeline.intern("t");
+        burst_tick(&mut pipeline, &streams, t, false);
+        let receipt = pipeline.commit_tick(); // nothing staged
+        assert_eq!(receipt.tick, 1);
+        assert!(receipt.new_docs.is_empty());
+        assert!(receipt.deltas.is_empty());
+        assert_eq!(pipeline.ticks_committed(), 2);
+        assert_eq!(pipeline.timeline_len(), 2); // grew on demand
+    }
+
+    #[test]
+    fn unseen_term_is_searchable_after_it_arrives() {
+        let (mut pipeline, streams) =
+            two_cluster_pipeline(MinerKind::STLocal(STLocalConfig::default()), 12);
+        let early = pipeline.intern("early");
+        let handle = pipeline.search_handle();
+        for _ in 0..5 {
+            burst_tick(&mut pipeline, &streams, early, false);
+        }
+        // "late" is unknown to the engine's snapshot: empty results, no
+        // panic (Exclude policy).
+        assert!(handle.search_text("late", 5).is_empty());
+
+        let late = pipeline.intern("late");
+        for tick in 5..12 {
+            for &s in &streams[..2] {
+                let f = if (6..9).contains(&tick) { 30 } else { 1 };
+                pipeline.stage_document(s, HashMap::from([(late, f)]));
+            }
+            pipeline.commit_tick();
+        }
+        let hits = handle.search_text("late", 5);
+        assert!(!hits.is_empty(), "late term must score once it arrived");
+        let collection = handle.collection();
+        assert!((6..9).contains(&collection.document(hits[0].doc).timestamp));
+    }
+
+    #[test]
+    fn adding_a_stream_mid_flight_rebuilds_miners() {
+        let (mut pipeline, streams) =
+            two_cluster_pipeline(MinerKind::STLocal(STLocalConfig::default()), 16);
+        let t = pipeline.intern("t");
+        for _ in 0..4 {
+            burst_tick(&mut pipeline, &streams, t, false);
+        }
+        let before = pipeline.metrics().catchup_replays;
+        let d = pipeline.add_stream("D", GeoPoint::new(1.5, 0.5));
+        let mut all = streams.clone();
+        all.push(d);
+        for tick in 4..16 {
+            for (i, &s) in all.iter().enumerate() {
+                let bursty = (6..9).contains(&tick) && (i < 2 || s == d);
+                let f = if bursty { 25 } else { 1 };
+                pipeline.stage_document(s, HashMap::from([(t, f)]));
+            }
+            pipeline.commit_tick();
+        }
+        assert!(
+            pipeline.metrics().catchup_replays > before,
+            "the structural change must have rebuilt miner state"
+        );
+        let handle = pipeline.search_handle();
+        let top = handle.search(&[t], 3);
+        assert!(!top.is_empty());
+        let collection = handle.collection();
+        assert!((6..9).contains(&collection.document(top[0].doc).timestamp));
+    }
+
+    #[test]
+    fn cache_invalidation_is_per_dirty_term() {
+        let (mut pipeline, streams) =
+            two_cluster_pipeline(MinerKind::STLocal(STLocalConfig::default()), 20);
+        let hot = pipeline.intern("hot");
+        let cold = pipeline.intern("cold");
+        let handle = pipeline.search_handle();
+        // Both terms burst early so both have patterns.
+        for tick in 0..10 {
+            for &s in &streams[..2] {
+                let f = if (2..5).contains(&tick) { 20 } else { 1 };
+                pipeline.stage_document(s, HashMap::from([(hot, f), (cold, f)]));
+            }
+            pipeline.commit_tick();
+        }
+        let _ = handle.search(&[hot], 5);
+        let _ = handle.search(&[cold], 5);
+        let misses_before = handle.metrics().cache_misses;
+        // A tick touching only `hot` must keep `cold`'s cached entry.
+        for &s in &streams[..2] {
+            pipeline.stage_document(s, HashMap::from([(hot, 2)]));
+        }
+        pipeline.commit_tick();
+        let _ = handle.search(&[cold], 5); // hit
+        assert_eq!(handle.metrics().cache_misses, misses_before);
+        let _ = handle.search(&[hot], 5); // miss: invalidated by the commit
+        assert_eq!(handle.metrics().cache_misses, misses_before + 1);
+    }
+
+    #[test]
+    fn tfidf_relevance_refreshes_all_terms() {
+        // Under tf-idf the corpus document count enters every score, so the
+        // pipeline must keep non-dirty terms' postings fresh too.
+        let config = IngestConfig {
+            timeline_capacity: 10,
+            engine: EngineConfig {
+                relevance: Relevance::TfIdf,
+                no_pattern: NoPatternPolicy::Zero,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut pipeline = IngestPipeline::new(config.clone());
+        let streams = [
+            pipeline.add_stream("A", GeoPoint::new(0.0, 0.0)),
+            pipeline.add_stream("B", GeoPoint::new(1.0, 1.0)),
+        ];
+        let a = pipeline.intern("a");
+        let b = pipeline.intern("b");
+        for tick in 0..10 {
+            for &s in &streams {
+                let mut counts = HashMap::from([(a, if tick == 3 { 15 } else { 1 })]);
+                if tick < 5 {
+                    counts.insert(b, 1);
+                }
+                pipeline.stage_document(s, counts);
+            }
+            pipeline.commit_tick();
+        }
+        let handle = pipeline.search_handle();
+        let got = handle.search(&[b], 30);
+
+        // Oracle: a cold engine over the final snapshot with the same
+        // patterns must agree, including the tf-idf weights.
+        let collection = handle.collection();
+        let mut reference = BurstySearchEngine::new(Arc::clone(&collection), config.engine);
+        reference.set_cache_capacity(0);
+        let (patterns, _) = STLocal::mine_collection(&collection, b, STLocalConfig::default());
+        reference.set_patterns(b, &patterns);
+        let (patterns_a, _) = STLocal::mine_collection(&collection, a, STLocalConfig::default());
+        reference.set_patterns(a, &patterns_a);
+        let expect = reference.search(&[b], 30);
+        assert_eq!(got.len(), expect.len());
+        for (x, y) in got.iter().zip(&expect) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.score, y.score, "tf-idf scores must match the oracle");
+        }
+    }
+
+    #[test]
+    fn metrics_report_queue_depths() {
+        let (mut pipeline, streams) =
+            two_cluster_pipeline(MinerKind::STLocal(STLocalConfig::default()), 8);
+        let t = pipeline.intern("t");
+        pipeline.stage_document(streams[0], HashMap::from([(t, 1)]));
+        let m = pipeline.metrics();
+        assert_eq!(m.staged_docs, 1);
+        assert_eq!(m.dirty_terms, 1);
+        assert_eq!(m.ticks_committed, 0);
+        pipeline.commit_tick();
+        let m = pipeline.metrics();
+        assert_eq!(m.staged_docs, 0);
+        assert_eq!(m.dirty_terms, 0);
+        assert_eq!(m.ticks_committed, 1);
+        assert_eq!(m.docs_ingested, 1);
+        assert_eq!(m.tracked_miners, 1);
+        assert!(m.last_commit_ms >= 0.0);
+        assert!(m.engine.finalized);
+        assert!(m.generation > 0);
+    }
+
+    #[test]
+    fn concurrent_queries_during_ingest() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (mut pipeline, streams) =
+            two_cluster_pipeline(MinerKind::STLocal(STLocalConfig::default()), 40);
+        let t = pipeline.intern("t");
+        let handle = pipeline.search_handle();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let h = handle.clone();
+            let done_ref = &done;
+            let reader = scope.spawn(move || {
+                let mut answered = 0u64;
+                while !done_ref.load(Ordering::Relaxed) {
+                    let _ = h.search(&[t], 5);
+                    answered += 1;
+                }
+                answered
+            });
+            for tick in 0..40 {
+                burst_tick(&mut pipeline, &streams, t, (10..20).contains(&tick));
+            }
+            done.store(true, Ordering::Relaxed);
+            let answered = reader.join().expect("query thread");
+            assert!(answered > 0, "queries must be served during ingest");
+        });
+        assert!(!handle.search(&[t], 5).is_empty());
+    }
+}

@@ -1,0 +1,302 @@
+//! Replay-equivalence property tests: ingesting a corpus one document at a
+//! time through the live pipeline, then querying, must be **byte-identical**
+//! to the batch path (`CollectionBuilder` + batch-mine every term +
+//! `finalize()`), for both miners, with the result cache on and off.
+//!
+//! Exactness (not approximate agreement) is intentional: the incremental
+//! path performs the same floating-point operations in the same order as
+//! the batch path — term counts are integral so tensor aggregation is
+//! exact, and each miner consumes identical per-term inputs — so any drift
+//! at all indicates a dirty-term bookkeeping bug.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use stb_core::{
+    CombinatorialPattern, Pattern, RegionalPattern, STComb, STCombConfig, STLocal, STLocalConfig,
+};
+use stb_corpus::{Collection, CollectionBuilder, StreamId, TermId};
+use stb_geo::GeoPoint;
+use stb_ingest::{IngestConfig, IngestPipeline, MinerKind, PatternDelta};
+use stb_search::{BurstySearchEngine, EngineConfig, SearchResult};
+
+const N_STREAMS: usize = 3;
+const TERMS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// One tick's documents: (stream index, [(term index, count)]).
+type TickSpec = Vec<(usize, Vec<(usize, u32)>)>;
+
+/// A corpus plan: one `TickSpec` per timestamp. Counts are skewed so bursts
+/// (and therefore non-trivial patterns) actually occur.
+fn arb_plan() -> impl Strategy<Value = Vec<TickSpec>> {
+    // Counts are either background noise (1..3) or a burst (15..40).
+    let count = (proptest::bool::ANY, 0u32..25)
+        .prop_map(|(burst, c)| if burst { 15 + c } else { 1 + c % 2 });
+    let doc = (
+        0..N_STREAMS,
+        prop::collection::vec((0..TERMS.len(), count), 1..3),
+    );
+    let tick = prop::collection::vec(doc, 0..4);
+    prop::collection::vec(tick, 2..9)
+}
+
+fn stream_geo(s: usize) -> GeoPoint {
+    // Two nearby streams and one far away, so regional patterns can both
+    // include and exclude streams.
+    match s {
+        0 => GeoPoint::new(0.0, 0.0),
+        1 => GeoPoint::new(1.0, 1.0),
+        _ => GeoPoint::new(40.0 + s as f64, 40.0),
+    }
+}
+
+/// Batch path: builder → collection, interning terms in exactly the order
+/// the pipeline replay does (document by document, term-list order).
+fn batch_collection(plan: &[TickSpec]) -> Collection {
+    let mut b = CollectionBuilder::new(plan.len());
+    for s in 0..N_STREAMS {
+        b.add_stream(&format!("s{s}"), stream_geo(s));
+    }
+    for (ts, tick) in plan.iter().enumerate() {
+        for (stream, bag) in tick {
+            let mut counts = HashMap::new();
+            for &(term, count) in bag {
+                let id = b.dict_mut().intern(TERMS[term]);
+                *counts.entry(id).or_insert(0) += count;
+            }
+            b.add_document(StreamId(*stream as u32), ts, counts);
+        }
+    }
+    b.build()
+}
+
+/// Live path: the same plan driven through the pipeline tick by tick.
+fn ingest_pipeline(plan: &[TickSpec], miner: MinerKind, cache_capacity: usize) -> IngestPipeline {
+    let mut pipeline = IngestPipeline::new(IngestConfig {
+        timeline_capacity: plan.len(),
+        miner,
+        engine: EngineConfig::default(),
+        cache_capacity,
+    });
+    for s in 0..N_STREAMS {
+        pipeline.add_stream(&format!("s{s}"), stream_geo(s));
+    }
+    for tick in plan {
+        for (stream, bag) in tick {
+            let mut counts = HashMap::new();
+            for &(term, count) in bag {
+                let id = pipeline.intern(TERMS[term]);
+                *counts.entry(id).or_insert(0) += count;
+            }
+            pipeline.stage_document(StreamId(*stream as u32), counts);
+        }
+        pipeline.commit_tick();
+    }
+    pipeline
+}
+
+fn queries(collection: &Collection) -> Vec<Vec<TermId>> {
+    let terms: Vec<TermId> = collection.terms().collect();
+    let mut queries: Vec<Vec<TermId>> = terms.iter().map(|&t| vec![t]).collect();
+    if terms.len() >= 2 {
+        queries.push(vec![terms[0], terms[1]]);
+        queries.push(terms.clone());
+    }
+    queries
+}
+
+fn assert_identical_results(
+    label: &str,
+    expect: &[SearchResult],
+    got: &[SearchResult],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(expect.len(), got.len(), "{}: result count", label);
+    for (e, g) in expect.iter().zip(got) {
+        prop_assert_eq!(e.doc, g.doc, "{}: doc", label);
+        // Byte-identical, not approximately equal.
+        prop_assert_eq!(
+            e.score.to_bits(),
+            g.score.to_bits(),
+            "{}: score {} vs {}",
+            label,
+            e.score,
+            g.score
+        );
+    }
+    Ok(())
+}
+
+fn assert_identical_regional(
+    expect: &[RegionalPattern],
+    got: &[RegionalPattern],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(expect.len(), got.len(), "pattern count");
+    for (e, g) in expect.iter().zip(got) {
+        prop_assert_eq!(&e.streams, &g.streams);
+        prop_assert_eq!(e.timeframe, g.timeframe);
+        prop_assert_eq!(e.score.to_bits(), g.score.to_bits(), "pattern score");
+    }
+    Ok(())
+}
+
+fn assert_identical_comb(
+    expect: &[CombinatorialPattern],
+    got: &[CombinatorialPattern],
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(expect.len(), got.len(), "pattern count");
+    for (e, g) in expect.iter().zip(got) {
+        prop_assert_eq!(&e.streams, &g.streams);
+        prop_assert_eq!(e.timeframe, g.timeframe);
+        prop_assert_eq!(e.score.to_bits(), g.score.to_bits(), "pattern score");
+    }
+    Ok(())
+}
+
+/// The shared equivalence check: run the plan through both paths with the
+/// given miner and cache setting and compare patterns and top-k results.
+fn check_equivalence(
+    plan: &[TickSpec],
+    local: bool,
+    cache_capacity: usize,
+) -> Result<(), TestCaseError> {
+    let batch = batch_collection(plan);
+    let miner = if local {
+        MinerKind::STLocal(STLocalConfig::default())
+    } else {
+        MinerKind::STComb(STCombConfig::default())
+    };
+    let pipeline = ingest_pipeline(plan, miner, cache_capacity);
+
+    // Batch engine: mine every term, register, finalize.
+    let shared: Arc<Collection> = Arc::new(batch);
+    let mut batch_engine = BurstySearchEngine::new(Arc::clone(&shared), EngineConfig::default());
+    batch_engine.set_cache_capacity(cache_capacity);
+    for term in shared.terms() {
+        if local {
+            let (patterns, _) = STLocal::mine_collection(&shared, term, STLocalConfig::default());
+            batch_engine.set_patterns(term, &patterns);
+        } else {
+            let patterns = STComb::new().mine_collection(&shared, term);
+            batch_engine.set_patterns(term, &patterns);
+        }
+    }
+    batch_engine.finalize_with_threads(2);
+
+    // 1. The engines hold byte-identical patterns: compare the pipeline's
+    //    final per-term mining state against the batch miner output.
+    for term in shared.terms() {
+        match pipeline.current_patterns(term) {
+            PatternDelta::Regional { patterns, .. } => {
+                let (expect, _) = STLocal::mine_collection(&shared, term, STLocalConfig::default());
+                assert_identical_regional(&expect, &patterns)?;
+            }
+            PatternDelta::Combinatorial { patterns, .. } => {
+                let expect = STComb::new().mine_collection(&shared, term);
+                assert_identical_comb(&expect, &patterns)?;
+            }
+        }
+    }
+
+    // 2. Identical collections as far as any consumer can observe.
+    let live = pipeline.collection();
+    prop_assert_eq!(shared.documents().len(), live.documents().len());
+    prop_assert_eq!(shared.n_terms(), live.n_terms());
+    prop_assert_eq!(shared.timeline_len(), live.timeline_len());
+
+    // 3. Byte-identical top-k, twice (the second round exercises the cache
+    //    when it is enabled).
+    let handle = pipeline.search_handle();
+    for _round in 0..2 {
+        for query in queries(&shared) {
+            for k in [1, 3, 10] {
+                assert_identical_results(
+                    if local { "stlocal" } else { "stcomb" },
+                    &batch_engine.search(&query, k),
+                    &handle.search(&query, k),
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn replay_equals_batch_stlocal(plan in arb_plan(), cache in proptest::bool::ANY) {
+        check_equivalence(&plan, true, if cache { 64 } else { 0 })?;
+    }
+
+    #[test]
+    fn replay_equals_batch_stcomb(plan in arb_plan(), cache in proptest::bool::ANY) {
+        check_equivalence(&plan, false, if cache { 64 } else { 0 })?;
+    }
+
+    #[test]
+    fn replay_equals_batch_with_growing_timeline(plan in arb_plan(), local in proptest::bool::ANY) {
+        // timeline_capacity 0: every tick grows the timeline on demand. The
+        // pipeline must still converge to the batch result (for STComb this
+        // re-dirties every term each tick; for STLocal growth is free).
+        let batch = batch_collection(&plan);
+        let miner = if local {
+            MinerKind::STLocal(STLocalConfig::default())
+        } else {
+            MinerKind::STComb(STCombConfig::default())
+        };
+        let mut pipeline = IngestPipeline::new(IngestConfig {
+            timeline_capacity: 0,
+            miner,
+            ..Default::default()
+        });
+        for s in 0..N_STREAMS {
+            pipeline.add_stream(&format!("s{s}"), stream_geo(s));
+        }
+        for tick in &plan {
+            for (stream, bag) in tick {
+                let mut counts = HashMap::new();
+                for &(term, count) in bag {
+                    let id = pipeline.intern(TERMS[term]);
+                    *counts.entry(id).or_insert(0) += count;
+                }
+                pipeline.stage_document(StreamId(*stream as u32), counts);
+            }
+            pipeline.commit_tick();
+        }
+        let shared: Arc<Collection> = Arc::new(batch);
+        let mut batch_engine = BurstySearchEngine::new(Arc::clone(&shared), EngineConfig::default());
+        batch_engine.set_cache_capacity(0);
+        for term in shared.terms() {
+            if local {
+                let (patterns, _) = STLocal::mine_collection(&shared, term, STLocalConfig::default());
+                batch_engine.set_patterns(term, &patterns);
+            } else {
+                batch_engine.set_patterns(term, &STComb::new().mine_collection(&shared, term));
+            }
+        }
+        batch_engine.finalize_with_threads(2);
+        let handle = pipeline.search_handle();
+        for query in queries(&shared) {
+            assert_identical_results("grow", &batch_engine.search(&query, 10), &handle.search(&query, 10))?;
+        }
+    }
+
+    #[test]
+    fn mined_pattern_overlap_is_consistent(plan in arb_plan()) {
+        // Sanity on the emitted deltas themselves: every reported pattern
+        // overlap matches the Pattern trait's stream/timestamp test.
+        let pipeline = ingest_pipeline(&plan, MinerKind::STLocal(STLocalConfig::default()), 0);
+        let collection = pipeline.collection();
+        for term in collection.terms() {
+            if let PatternDelta::Regional { patterns, .. } = pipeline.current_patterns(term) {
+                for p in &patterns {
+                    prop_assert!(p.timeframe.end < collection.timeline_len());
+                    for &s in &p.streams {
+                        prop_assert!(s.index() < collection.n_streams());
+                        prop_assert!(p.overlaps(s, p.timeframe.start));
+                    }
+                }
+            }
+        }
+    }
+}

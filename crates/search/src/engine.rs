@@ -39,6 +39,8 @@ use crate::index::{InvertedIndex, Posting};
 use crate::relevance::Relevance;
 use crate::threshold::{threshold_topk, ScoredDoc};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use stb_core::{parallel_map, Pattern, PatternSource};
 use stb_corpus::StreamId;
@@ -118,8 +120,18 @@ impl StoredPattern {
 /// assert_eq!(engine.search(&[quake], 2), top);
 /// assert!(engine.cache_hits() >= 1);
 /// ```
-pub struct BurstySearchEngine<'a> {
-    collection: &'a Collection,
+///
+/// # Ownership and live updates
+///
+/// The engine *owns* its collection as an `Arc<Collection>` snapshot
+/// rather than borrowing it: queries (`&self`, internally synchronized
+/// cache) can then be served from one thread while an ingestion pipeline
+/// prepares the next snapshot on another, swapping it in with
+/// [`BurstySearchEngine::update_collection`]. `new` accepts anything
+/// convertible into the shared handle — an `Arc<Collection>`, an owned
+/// `Collection`, or (cloning) a `&Collection`.
+pub struct BurstySearchEngine {
+    collection: Arc<Collection>,
     config: EngineConfig,
     patterns: HashMap<TermId, Vec<StoredPattern>>,
     /// Corpus-level inverted lists: term → documents containing it.
@@ -129,13 +141,50 @@ pub struct BurstySearchEngine<'a> {
     prebuilt: Option<InvertedIndex>,
     /// LRU cache of evaluated top-k result lists.
     cache: QueryCache,
+    /// Number of full prebuilt-index builds (for [`EngineMetrics`]).
+    finalize_count: u64,
+    /// Wall-clock duration of the most recent full build.
+    last_finalize: Option<Duration>,
+    /// Number of single-term posting-list rebuilds on the prebuilt index.
+    term_rescore_count: u64,
 }
 
-impl<'a> BurstySearchEngine<'a> {
+/// A point-in-time snapshot of the engine's serving counters, for benchmark
+/// harnesses and operational monitoring (see `IngestPipeline` in
+/// `stb-ingest`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineMetrics {
+    /// Searches answered from the query-result cache.
+    pub cache_hits: u64,
+    /// Searches that had to be evaluated.
+    pub cache_misses: u64,
+    /// Query results currently cached.
+    pub cache_len: usize,
+    /// Capacity of the result cache (0 = caching disabled).
+    pub cache_capacity: usize,
+    /// Whether the full-collection posting index is prebuilt.
+    pub finalized: bool,
+    /// Terms with at least one posting in the prebuilt index (0 if cold).
+    pub indexed_terms: usize,
+    /// Total postings in the prebuilt index (0 if cold).
+    pub indexed_postings: usize,
+    /// Number of full prebuilt-index builds so far.
+    pub finalize_count: u64,
+    /// Wall-clock milliseconds of the most recent full build, if any.
+    pub last_finalize_ms: Option<f64>,
+    /// Single-term posting-list rebuilds applied to the prebuilt index
+    /// (incremental `set_patterns` / `refresh_term` calls).
+    pub term_rescore_count: u64,
+    /// Documents in the engine's current collection snapshot.
+    pub n_docs: usize,
+}
+
+impl BurstySearchEngine {
     /// Creates an engine over a collection with the given scoring
     /// configuration. Patterns must be registered per term with
     /// [`BurstySearchEngine::set_patterns`] before searching.
-    pub fn new(collection: &'a Collection, config: EngineConfig) -> Self {
+    pub fn new(collection: impl Into<Arc<Collection>>, config: EngineConfig) -> Self {
+        let collection = collection.into();
         let mut term_docs: HashMap<TermId, Vec<DocId>> = HashMap::new();
         for doc in collection.documents() {
             for &term in doc.counts.keys() {
@@ -153,12 +202,20 @@ impl<'a> BurstySearchEngine<'a> {
             term_docs,
             prebuilt: None,
             cache: QueryCache::new(DEFAULT_CACHE_CAPACITY),
+            finalize_count: 0,
+            last_finalize: None,
+            term_rescore_count: 0,
         }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The engine's current collection snapshot.
+    pub fn collection(&self) -> &Arc<Collection> {
+        &self.collection
     }
 
     /// Registers the mined patterns of a term, replacing any previous ones.
@@ -177,13 +234,53 @@ impl<'a> BurstySearchEngine<'a> {
             })
             .collect();
         self.patterns.insert(term, stored);
+        self.refresh_term(term);
+    }
+
+    /// Re-derives one term's scored posting list from the engine's current
+    /// collection snapshot and patterns, updating the prebuilt index in
+    /// place (if finalized) and invalidating the cached results of every
+    /// query involving the term.
+    ///
+    /// [`BurstySearchEngine::set_patterns`] calls this automatically; call
+    /// it directly when a term's scores changed for a reason *other* than
+    /// its patterns — new documents arrived via
+    /// [`BurstySearchEngine::update_collection`], or the corpus-level
+    /// statistics a [`Relevance::TfIdf`] configuration depends on moved.
+    pub fn refresh_term(&mut self, term: TermId) {
         if self.prebuilt.is_some() {
             let list = self.term_postings(term);
             if let Some(index) = self.prebuilt.as_mut() {
                 index.set_postings(term, list);
             }
+            self.term_rescore_count += 1;
         }
         self.cache.invalidate_term(term);
+    }
+
+    /// Swaps in a newer collection snapshot, incrementally extending the
+    /// engine's corpus-level inverted lists with `new_docs` — the documents
+    /// appended since the snapshot the engine previously held (dense ids, in
+    /// arrival order).
+    ///
+    /// This does **not** re-score any posting list: after swapping, refresh
+    /// the terms whose scores the new documents affect (their own terms, at
+    /// minimum) with [`BurstySearchEngine::set_patterns`] or
+    /// [`BurstySearchEngine::refresh_term`] — which is exactly what the
+    /// `stb-ingest` pipeline's per-tick commit does with its dirty-term set.
+    pub fn update_collection(&mut self, collection: Arc<Collection>, new_docs: &[DocId]) {
+        self.collection = collection;
+        for &doc_id in new_docs {
+            let doc = self.collection.document(doc_id);
+            for &term in doc.counts.keys() {
+                let docs = self.term_docs.entry(term).or_default();
+                debug_assert!(
+                    docs.last().is_none_or(|&last| last < doc_id),
+                    "new documents must arrive in id order"
+                );
+                docs.push(doc_id);
+            }
+        }
     }
 
     /// Registers the patterns of every term of a [`PatternSource`] — e.g.
@@ -290,6 +387,7 @@ impl<'a> BurstySearchEngine<'a> {
     /// calls rebuilds from the current patterns; for single-term updates the
     /// incremental path inside `set_patterns` is cheaper.
     pub fn finalize_with_threads(&mut self, n_threads: usize) {
+        let start = Instant::now();
         let mut terms: Vec<TermId> = self.term_docs.keys().copied().collect();
         terms.sort();
         let this = &*self;
@@ -301,6 +399,8 @@ impl<'a> BurstySearchEngine<'a> {
         index.finalize();
         self.prebuilt = Some(index);
         self.cache.clear();
+        self.finalize_count += 1;
+        self.last_finalize = Some(start.elapsed());
     }
 
     /// Whether the full-collection posting index has been prebuilt.
@@ -333,6 +433,23 @@ impl<'a> BurstySearchEngine<'a> {
     /// Number of query results currently cached.
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// A snapshot of the engine's serving counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        EngineMetrics {
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_len: self.cache.len(),
+            cache_capacity: self.cache.capacity(),
+            finalized: self.prebuilt.is_some(),
+            indexed_terms: self.prebuilt.as_ref().map_or(0, InvertedIndex::n_terms),
+            indexed_postings: self.prebuilt.as_ref().map_or(0, InvertedIndex::n_postings),
+            finalize_count: self.finalize_count,
+            last_finalize_ms: self.last_finalize.map(|d| d.as_secs_f64() * 1000.0),
+            term_rescore_count: self.term_rescore_count,
+            n_docs: self.collection.documents().len(),
+        }
     }
 
     /// Answers a query: the top-`k` documents by Eq. 10, best first.
@@ -401,12 +518,26 @@ impl<'a> BurstySearchEngine<'a> {
     }
 
     /// Convenience: answers a query given as raw strings, resolving them
-    /// against the collection's dictionary (unknown terms are dropped).
+    /// against the engine's collection snapshot.
+    ///
+    /// Words not (yet) in the dictionary are handled per the no-pattern
+    /// policy, mirroring how [`threshold_topk`] treats a term with an
+    /// empty posting list: under
+    /// [`NoPatternPolicy::Exclude`] a query containing an unknown word can
+    /// match no document, so the result is empty; under
+    /// [`NoPatternPolicy::Zero`] unknown words contribute nothing and are
+    /// dropped. Either way the call never panics — a word unseen at
+    /// engine-build time simply scores once its term arrives through
+    /// [`BurstySearchEngine::update_collection`].
     pub fn search_text(&self, query: &str, k: usize) -> Vec<SearchResult> {
-        let terms: Vec<TermId> = query
-            .split_whitespace()
-            .filter_map(|w| self.collection.dict().get(&w.to_lowercase()))
-            .collect();
+        let mut terms = Vec::new();
+        for word in query.split_whitespace() {
+            match self.collection.dict().get(&word.to_lowercase()) {
+                Some(term) => terms.push(term),
+                None if self.config.no_pattern == NoPatternPolicy::Exclude => return Vec::new(),
+                None => {}
+            }
+        }
         self.search(&terms, k)
     }
 }
@@ -541,11 +672,140 @@ mod tests {
         let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
         engine.set_patterns(flood, &[flood_pattern()]);
         let by_id = engine.search(&[flood], 5);
-        let by_text = engine.search_text("Flood unknownterm", 5);
+        let by_text = engine.search_text("Flood", 5);
         assert_eq!(by_id.len(), by_text.len());
         for (a, b) in by_id.iter().zip(&by_text) {
             assert_eq!(a.doc, b.doc);
         }
+    }
+
+    #[test]
+    fn search_text_unknown_word_follows_no_pattern_policy() {
+        let (c, flood) = build_fixture();
+        for finalized in [false, true] {
+            // Exclude: a query containing an unknown word can match nothing.
+            let mut strict = BurstySearchEngine::new(&c, EngineConfig::default());
+            strict.set_patterns(flood, &[flood_pattern()]);
+            if finalized {
+                strict.finalize_with_threads(2);
+            }
+            assert!(!strict.search_text("flood", 5).is_empty());
+            assert!(strict.search_text("flood unknownterm", 5).is_empty());
+            assert!(strict.search_text("unknownterm", 5).is_empty());
+
+            // Zero: unknown words contribute nothing and are dropped.
+            let mut lenient = BurstySearchEngine::new(
+                &c,
+                EngineConfig {
+                    no_pattern: NoPatternPolicy::Zero,
+                    ..Default::default()
+                },
+            );
+            lenient.set_patterns(flood, &[flood_pattern()]);
+            if finalized {
+                lenient.finalize_with_threads(2);
+            }
+            let with_unknown = lenient.search_text("Flood unknownterm", 5);
+            let without = lenient.search_text("Flood", 5);
+            assert_eq!(with_unknown.len(), without.len());
+            assert!(lenient.search_text("unknownterm", 5).is_empty());
+        }
+    }
+
+    #[test]
+    fn unseen_term_id_never_panics() {
+        let (c, flood) = build_fixture();
+        // A TermId the collection has never seen (e.g. interned into a newer
+        // dictionary snapshot than the engine's) must yield empty results on
+        // cold and finalized engines alike — not a panic or debug-assert.
+        let ghost = TermId(4242);
+        for finalized in [false, true] {
+            let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+            engine.set_patterns(flood, &[flood_pattern()]);
+            if finalized {
+                engine.finalize_with_threads(2);
+            }
+            assert!(engine.search(&[ghost], 5).is_empty());
+            assert!(engine.search(&[flood, ghost], 5).is_empty());
+            assert_eq!(engine.doc_freq(ghost), 0);
+            assert_eq!(engine.document_burstiness(ghost, DocId(0)), None);
+        }
+    }
+
+    #[test]
+    fn update_collection_scores_newly_arrived_documents() {
+        let (c, flood) = build_fixture();
+        let shared: Arc<Collection> = Arc::new(c);
+        let mut engine = BurstySearchEngine::new(Arc::clone(&shared), EngineConfig::default());
+        engine.set_patterns(flood, &[flood_pattern()]);
+        engine.finalize_with_threads(2);
+        let before = engine.search(&[flood], 50).len();
+
+        // A new burst document and a brand-new term arrive.
+        let mut next = Collection::clone(&shared);
+        let surge = next.dict_mut().intern("surge");
+        let mut counts = StdHashMap::new();
+        counts.insert(flood, 10);
+        counts.insert(surge, 3);
+        let new_doc = next.push_document(StreamId(0), 5, counts);
+        let next = Arc::new(next);
+        engine.update_collection(Arc::clone(&next), &[new_doc]);
+        engine.refresh_term(flood); // same patterns, one more overlapping doc
+        engine.set_patterns(
+            surge,
+            &[CombinatorialPattern::new(
+                vec![StreamId(0)],
+                TimeInterval::new(4, 6),
+                1.0,
+                vec![],
+            )],
+        );
+
+        let after = engine.search(&[flood], 50);
+        assert_eq!(after.len(), before + 1);
+        assert!(after.iter().any(|r| r.doc == new_doc));
+        let surge_hits = engine.search(&[surge], 10);
+        assert_eq!(surge_hits.len(), 1);
+        assert_eq!(surge_hits[0].doc, new_doc);
+        // The refreshed engine agrees with a cold engine over the new
+        // snapshot.
+        let mut reference = BurstySearchEngine::new(next, EngineConfig::default());
+        reference.set_cache_capacity(0);
+        reference.set_patterns(flood, &[flood_pattern()]);
+        assert_same_results(&reference.search(&[flood], 50), &after);
+    }
+
+    #[test]
+    fn metrics_snapshot_tracks_counters() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        let cold = engine.metrics();
+        assert!(!cold.finalized);
+        assert_eq!(cold.finalize_count, 0);
+        assert_eq!(cold.last_finalize_ms, None);
+        assert_eq!(cold.n_docs, engine.collection().documents().len());
+
+        engine.set_patterns(flood, &[flood_pattern()]);
+        engine.finalize_with_threads(2);
+        let _ = engine.search(&[flood], 5);
+        let _ = engine.search(&[flood], 5);
+        engine.set_patterns(flood, &[flood_pattern()]);
+
+        let m = engine.metrics();
+        assert!(m.finalized);
+        assert_eq!(m.finalize_count, 1);
+        assert!(m.last_finalize_ms.is_some());
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 1);
+        assert!(m.term_rescore_count >= 1);
+        assert!(m.indexed_terms >= 1);
+        assert!(m.indexed_postings >= m.indexed_terms);
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BurstySearchEngine>();
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! prebuilds the whole collection's scored posting lists in parallel, an
 //! LRU [`cache::QueryCache`] short-circuits repeated queries, and
 //! [`BurstySearchEngine::search_many`] batches whole workloads.
+//!
+//! The engine owns its collection as an `Arc` snapshot, so queries can be
+//! served concurrently with ingestion: the `stb-ingest` pipeline swaps in
+//! newer snapshots with [`BurstySearchEngine::update_collection`] and
+//! re-scores only the affected terms
+//! ([`BurstySearchEngine::refresh_term`]); serving counters are exposed
+//! through [`EngineMetrics`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,7 +41,9 @@ pub mod threshold;
 
 pub use burstiness::{BurstinessAgg, NoPatternPolicy};
 pub use cache::{QueryCache, QueryKey};
-pub use engine::{BurstySearchEngine, EngineConfig, SearchResult, DEFAULT_CACHE_CAPACITY};
+pub use engine::{
+    BurstySearchEngine, EngineConfig, EngineMetrics, SearchResult, DEFAULT_CACHE_CAPACITY,
+};
 pub use index::{InvertedIndex, Posting};
 pub use relevance::Relevance;
 pub use threshold::threshold_topk;

@@ -1,0 +1,134 @@
+//! Live ingestion while serving queries.
+//!
+//! ```text
+//! cargo run --release --example live_ingest
+//! ```
+//!
+//! An ingest thread feeds a five-city corpus into an `IngestPipeline` one
+//! tick at a time — an "earthquake" burst erupts in the two Costa Rican
+//! cities halfway through — while a second thread keeps answering the
+//! query `earthquake` through a `SearchHandle` the whole time. The handle
+//! reads immutable generational snapshots, so the query thread never
+//! blocks ingestion and always sees a fully consistent tick.
+
+use stburst::corpus::Tokenizer;
+use stburst::geo::GeoPoint;
+use stburst::ingest::{IngestConfig, IngestPipeline};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
+
+const TIMELINE: usize = 30;
+const BURST: std::ops::RangeInclusive<usize> = 12..=16;
+
+fn main() {
+    let mut pipeline = IngestPipeline::new(IngestConfig {
+        timeline_capacity: TIMELINE,
+        ..Default::default()
+    });
+    let cities = [
+        ("San Jose (CR)", 9.9, -84.1),
+        ("Alajuela (CR)", 10.0, -84.2),
+        ("Lima", -12.0, -77.0),
+        ("Athens", 38.0, 23.7),
+        ("Tokyo", 35.7, 139.7),
+    ];
+    let streams: Vec<_> = cities
+        .iter()
+        .map(|(name, lat, lon)| pipeline.add_stream(name, GeoPoint::new(*lat, *lon)))
+        .collect();
+    let tokenizer = Tokenizer::new();
+
+    // The query side: a cloneable handle served concurrently with ingest.
+    let handle = pipeline.search_handle();
+    let stop = AtomicBool::new(false);
+    let (tick_tx, tick_rx) = mpsc::channel::<usize>();
+
+    std::thread::scope(|scope| {
+        // Query thread: poll the burst query after every committed tick.
+        let query_handle = handle.clone();
+        let stop_ref = &stop;
+        let watcher = scope.spawn(move || {
+            let mut answered = 0u64;
+            let mut first_hit_tick = None;
+            loop {
+                match tick_rx.recv_timeout(Duration::from_millis(50)) {
+                    Ok(tick) => {
+                        // Ingest may outpace this thread: drain to the most
+                        // recent committed tick so the report attributes the
+                        // hit to the state actually being queried.
+                        let tick = tick_rx.try_iter().last().unwrap_or(tick);
+                        let hits = query_handle.search_text("earthquake", 3);
+                        answered += 1;
+                        if !hits.is_empty() && first_hit_tick.is_none() {
+                            first_hit_tick = Some(tick);
+                            println!(
+                                "[query ] tick {tick:>2}: burst detected, top score {:.2}",
+                                hits[0].score
+                            );
+                        }
+                    }
+                    Err(_) if stop_ref.load(Ordering::Relaxed) => break,
+                    Err(_) => {}
+                }
+            }
+            (answered, first_hit_tick)
+        });
+
+        // Ingest thread (here: the main thread) — one tick at a time.
+        for day in 0..TIMELINE {
+            for &s in &streams {
+                pipeline.stage_text_document(s, "weather report sunny", &tokenizer);
+            }
+            if BURST.contains(&day) {
+                for &s in &streams[..2] {
+                    pipeline.stage_text_document(
+                        s,
+                        "earthquake earthquake earthquake damage aftershock earthquake \
+                         earthquake earthquake earthquake earthquake",
+                        &tokenizer,
+                    );
+                }
+            }
+            let receipt = pipeline.commit_tick();
+            println!(
+                "[ingest] tick {:>2}: {} docs, {} dirty terms re-mined in {:.2} ms",
+                receipt.tick,
+                receipt.new_docs.len(),
+                receipt.deltas.len(),
+                receipt.commit_ms
+            );
+            tick_tx.send(receipt.tick).expect("watcher alive");
+            // Pace the demo so the query thread observes individual ticks
+            // (a real feed arrives over time anyway); commits themselves
+            // take well under a millisecond.
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let (answered, first_hit_tick) = watcher.join().expect("query thread");
+        println!("\nqueries answered during ingest: {answered}");
+        match first_hit_tick {
+            Some(tick) => println!("burst first visible to queries at tick {tick}"),
+            None => println!("burst never became visible (unexpected!)"),
+        }
+    });
+
+    // Final state: the burst documents rank first.
+    println!("\ntop earthquake documents after ingest:");
+    let collection = handle.collection();
+    for (rank, hit) in handle.search_text("earthquake", 5).iter().enumerate() {
+        let doc = collection.document(hit.doc);
+        println!(
+            "  {:>2}. score {:>7.3}  day {:>2}  {}",
+            rank + 1,
+            hit.score,
+            doc.timestamp,
+            collection.stream(doc.stream).name
+        );
+    }
+    let m = handle.metrics();
+    println!(
+        "\nengine metrics: {} terms indexed, {} per-term re-scores, {} cache hits / {} misses",
+        m.indexed_terms, m.term_rescore_count, m.cache_hits, m.cache_misses
+    );
+}

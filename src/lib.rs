@@ -17,6 +17,8 @@
 //! * [`core`] — the paper's contribution: STComb, STLocal, baselines,
 //!   evaluation metrics.
 //! * [`search`] — the bursty-document search engine.
+//! * [`ingest`] — live ingestion: incremental mining, per-term index
+//!   deltas, queries served concurrently with document arrival.
 //! * [`datagen`] — synthetic data generators (distGen, randGen, Topix-like
 //!   corpus).
 
@@ -28,5 +30,6 @@ pub use stb_corpus as corpus;
 pub use stb_datagen as datagen;
 pub use stb_discrepancy as discrepancy;
 pub use stb_geo as geo;
+pub use stb_ingest as ingest;
 pub use stb_search as search;
 pub use stb_timeseries as timeseries;
