@@ -3,12 +3,18 @@
 //! Contrasts three ways of answering a repeated-query workload (the
 //! ROADMAP's serving scenario) over the same collection and patterns:
 //!
-//! * `cold_rebuild` — the paper's experimental setting: every `search`
-//!   scores the query terms' posting lists from scratch,
+//! * `cold_rebuild` — the paper's experimental setting: every query
+//!   scores its terms' posting lists from scratch,
 //! * `prebuilt` — the posting index is finalized once up front (off the
-//!   clock); searches only walk prebuilt score-sorted lists,
+//!   clock); queries only walk prebuilt score-sorted lists,
 //! * `prebuilt_cached` — prebuilt index plus the LRU query-result cache;
-//!   repeated queries short-circuit to a cache hit.
+//!   repeated queries short-circuit to a cache hit,
+//! * `prebuilt_cached_filtered` — the same repeated workload with a
+//!   `time_window` + `region` filter on every query: the first pass scores
+//!   the filtered lists per query, every repeat is a cache hit keyed on the
+//!   full canonical query. Cached filtered traffic should sit within ~2× of
+//!   cached unfiltered traffic (the hit path is identical; only the key is
+//!   bigger).
 //!
 //! A second group times the one-off `finalize` build itself, serial vs.
 //! parallel across terms.
@@ -18,8 +24,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use stb_core::CombinatorialPattern;
 use stb_corpus::{Collection, CollectionBuilder, StreamId, TermId};
-use stb_geo::GeoPoint;
-use stb_search::{BurstySearchEngine, EngineConfig, NoPatternPolicy};
+use stb_geo::{GeoPoint, Rect};
+use stb_search::{BurstySearchEngine, EngineConfig, NoPatternPolicy, Query};
 use stb_timeseries::TimeInterval;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -76,18 +82,37 @@ fn synthetic_patterns(collection: &Collection, seed: u64) -> Vec<(TermId, Combin
         .collect()
 }
 
-fn workload(collection: &Collection) -> Vec<Vec<TermId>> {
+fn workload(collection: &Collection) -> Vec<Query> {
     let terms: Vec<TermId> = collection.terms().collect();
-    let distinct: Vec<Vec<TermId>> = (0..DISTINCT_QUERIES)
+    let distinct: Vec<Query> = (0..DISTINCT_QUERIES)
         .map(|i| {
-            vec![
+            Query::terms([
                 terms[(7 * i + 1) % terms.len()],
                 terms[(13 * i + 3) % terms.len()],
-            ]
+            ])
+            .top_k(TOP_K)
         })
         .collect();
     (0..WORKLOAD_LEN)
         .map(|i| distinct[i % DISTINCT_QUERIES].clone())
+        .collect()
+}
+
+/// The same workload with a spatiotemporal restriction on every query: a
+/// window over the middle of the timeline and a rectangle covering the
+/// lower half of the stream diagonal.
+fn filtered_workload(collection: &Collection) -> Vec<Query> {
+    workload(collection)
+        .into_iter()
+        .map(|q| {
+            q.time_window(N_TIMESTAMPS / 4..=3 * N_TIMESTAMPS / 4)
+                .region(Rect::new(
+                    -(N_STREAMS as f64),
+                    -1.0,
+                    1.0,
+                    N_STREAMS as f64 / 2.0,
+                ))
+        })
         .collect()
 }
 
@@ -96,10 +121,9 @@ fn engine(
     patterns: &[(TermId, CombinatorialPattern)],
     cache_capacity: usize,
 ) -> BurstySearchEngine {
-    let config = EngineConfig {
-        no_pattern: NoPatternPolicy::Zero,
-        ..Default::default()
-    };
+    let config = EngineConfig::builder()
+        .no_pattern(NoPatternPolicy::Zero)
+        .build();
     let mut e = BurstySearchEngine::new(Arc::clone(collection), config);
     e.set_cache_capacity(cache_capacity);
     for (term, p) in patterns {
@@ -108,25 +132,33 @@ fn engine(
     e
 }
 
-fn run_workload(e: &BurstySearchEngine, queries: &[Vec<TermId>]) -> usize {
-    queries.iter().map(|q| e.search(q, TOP_K).len()).sum()
+fn run_workload(e: &BurstySearchEngine, queries: &[Query]) -> usize {
+    queries
+        .iter()
+        .map(|q| e.query(q).map(|r| r.results.len()).unwrap_or(0))
+        .sum()
 }
 
 fn bench_serving(c: &mut Criterion) {
     let collection = Arc::new(build_collection(42));
     let patterns = synthetic_patterns(&collection, 7);
     let queries = workload(&collection);
+    let filtered = filtered_workload(&collection);
 
     let cold = engine(&collection, &patterns, 0);
     let mut prebuilt = engine(&collection, &patterns, 0);
     prebuilt.finalize();
     let mut cached = engine(&collection, &patterns, 1024);
     cached.finalize();
+    let mut cached_filtered = engine(&collection, &patterns, 1024);
+    cached_filtered.finalize();
 
-    // All three arms must agree before we compare their speed.
+    // All unfiltered arms must agree before we compare their speed, and the
+    // filtered workload must actually match something.
     let expect = run_workload(&cold, &queries);
     assert_eq!(run_workload(&prebuilt, &queries), expect);
     assert_eq!(run_workload(&cached, &queries), expect);
+    assert!(run_workload(&cached_filtered, &filtered) > 0);
 
     let mut group = c.benchmark_group("search_serving");
     group.bench_function("cold_rebuild", |b| {
@@ -137,6 +169,9 @@ fn bench_serving(c: &mut Criterion) {
     });
     group.bench_function("prebuilt_cached", |b| {
         b.iter(|| black_box(run_workload(&cached, &queries)))
+    });
+    group.bench_function("prebuilt_cached_filtered", |b| {
+        b.iter(|| black_box(run_workload(&cached_filtered, &filtered)))
     });
     group.finish();
 }

@@ -24,10 +24,16 @@ use stb_core::{STLocal, STLocalConfig};
 use stb_corpus::{CollectionBuilder, StreamId, TermId};
 use stb_geo::GeoPoint;
 use stb_ingest::{IngestConfig, IngestPipeline, MinerKind};
-use stb_search::{BurstySearchEngine, EngineConfig, SearchResult};
+use stb_search::{BurstySearchEngine, EngineConfig, Query, SearchResult};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// The harness's fixed query shape: a plain term top-10 through the typed
+/// API.
+fn top10(terms: &[TermId]) -> Query {
+    Query::terms(terms.iter().copied()).top_k(10)
+}
 
 /// One tick's documents: (stream, term bag).
 type TickDocs = Vec<(StreamId, HashMap<TermId, u32>)>;
@@ -161,7 +167,10 @@ fn run_incremental(w: &Workload) -> IncrementalRun {
         let mut any = false;
         for query in &w.queries {
             let start = Instant::now();
-            let hits = handle.search(query, 10);
+            let hits = handle
+                .query(&top10(query))
+                .map(|r| r.results)
+                .unwrap_or_default();
             query_ms.push(start.elapsed().as_secs_f64() * 1000.0);
             any |= !hits.is_empty();
         }
@@ -170,7 +179,16 @@ fn run_incremental(w: &Workload) -> IncrementalRun {
             answered_at_every_tick = false;
         }
     }
-    let final_results = w.queries.iter().map(|q| handle.search(q, 10)).collect();
+    let final_results = w
+        .queries
+        .iter()
+        .map(|q| {
+            handle
+                .query(&top10(q))
+                .map(|r| r.results)
+                .unwrap_or_default()
+        })
+        .collect();
     IncrementalRun {
         commit_ms,
         query_ms,
@@ -206,7 +224,16 @@ fn full_rebuild(w: &Workload, upto_tick: usize) -> (f64, Vec<Vec<SearchResult>>)
     }
     engine.finalize_with_threads(1);
     let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-    let results = w.queries.iter().map(|q| engine.search(q, 10)).collect();
+    let results = w
+        .queries
+        .iter()
+        .map(|q| {
+            engine
+                .query(&top10(q))
+                .map(|r| r.results)
+                .unwrap_or_default()
+        })
+        .collect();
     (elapsed, results)
 }
 

@@ -10,8 +10,8 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use stb_core::{
-    jaccard_similarity, precision, Base, CombinatorialPattern, Pattern, RegionalPattern, STComb,
-    STLocal, STLocalConfig, TB,
+    jaccard_similarity, precision, Base, CombinatorialPattern, PatternGeometry, RegionalPattern,
+    STComb, STLocal, STLocalConfig, TB,
 };
 use stb_corpus::{Collection, DocId, StreamId, TermId};
 use stb_datagen::{
@@ -19,7 +19,7 @@ use stb_datagen::{
     TopixConfig, TopixCorpus,
 };
 use stb_geo::Mbr;
-use stb_search::{BurstySearchEngine, EngineConfig};
+use stb_search::{BurstySearchEngine, EngineConfig, Query};
 use stb_timeseries::TimeInterval;
 
 /// Builds the synthetic Topix corpus at the context's scale.
@@ -363,7 +363,7 @@ pub struct OverlapSummary {
     pub tb_stlocal: f64,
 }
 
-fn search_with<P: Pattern>(
+fn search_with<P: PatternGeometry>(
     collection: &Arc<Collection>,
     query: &[TermId],
     patterns_per_term: &[(TermId, Vec<P>)],
@@ -375,7 +375,13 @@ fn search_with<P: Pattern>(
     for (term, patterns) in patterns_per_term {
         engine.set_patterns(*term, patterns);
     }
-    engine.search(query, k).into_iter().map(|r| r.doc).collect()
+    engine
+        .query(&Query::terms(query.iter().copied()).top_k(k))
+        .map(|r| r.results)
+        .unwrap_or_default()
+        .into_iter()
+        .map(|r| r.doc)
+        .collect()
 }
 
 /// Evaluates the Bursty Documents problem (Table 3) on the Topix corpus:

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use stb_corpus::{StreamId, TermId, Timestamp};
-use stb_geo::Rect;
+use stb_geo::{Mbr, Point2D, Rect};
 use stb_timeseries::TimeInterval;
 
 /// Common behaviour of every spatiotemporal pattern type.
@@ -30,6 +30,46 @@ pub trait Pattern {
     /// must be included).
     fn overlaps(&self, stream: StreamId, timestamp: Timestamp) -> bool {
         self.timeframe().contains(timestamp) && self.streams().binary_search(&stream).is_ok()
+    }
+}
+
+/// Spatial and temporal extent of a pattern, unified across pattern kinds.
+///
+/// The serving layer's spatiotemporal query filters (`stb-search`'s
+/// `Query::time_window` / `Query::region`) need one answer to "where and
+/// when does this pattern live?" regardless of how it was mined:
+///
+/// * a regional (`STLocal`) pattern carries an explicit map rectangle — its
+///   region *is* that rectangle;
+/// * a combinatorial (`STComb` / `TB`) pattern only names streams — its
+///   region is the minimum bounding rectangle of the participating streams'
+///   planar positions, exactly the geometry the paper evaluates in Table 1
+///   ("# countries in MBR").
+///
+/// The temporal side is already unified by [`Pattern::timeframe`];
+/// [`PatternGeometry::interval`] simply forwards to it so both axes are
+/// readable through one trait.
+pub trait PatternGeometry: Pattern {
+    /// The temporal extent of the pattern (alias of [`Pattern::timeframe`]).
+    fn interval(&self) -> TimeInterval {
+        self.timeframe()
+    }
+
+    /// The spatial footprint of the pattern on the planar map.
+    ///
+    /// `positions` holds every stream's planar position, indexed by
+    /// [`StreamId::index`] (i.e. `Collection::positions()`). Returns `None`
+    /// when the pattern cannot be located spatially — it covers no stream,
+    /// or none of its streams has a known position. A pattern without a
+    /// region never intersects any spatial filter.
+    fn region(&self, positions: &[Point2D]) -> Option<Rect> {
+        let mut mbr = Mbr::new();
+        for s in self.streams() {
+            if let Some(p) = positions.get(s.index()) {
+                mbr.push(*p);
+            }
+        }
+        mbr.rect()
     }
 }
 
@@ -86,6 +126,10 @@ impl Pattern for CombinatorialPattern {
         self.score
     }
 }
+
+/// Combinatorial patterns are located by the MBR of their streams (default
+/// [`PatternGeometry`] behaviour).
+impl PatternGeometry for CombinatorialPattern {}
 
 /// A regional spatiotemporal pattern (Section 4): a maximal spatiotemporal
 /// window — an axis-aligned map rectangle together with the maximal time
@@ -164,6 +208,14 @@ impl Pattern for RegionalPattern {
 
     fn score(&self) -> f64 {
         self.score
+    }
+}
+
+impl PatternGeometry for RegionalPattern {
+    /// A regional pattern's footprint is the mined rectangle itself, not an
+    /// MBR of its streams — the rectangle is the pattern's identity.
+    fn region(&self, _positions: &[Point2D]) -> Option<Rect> {
+        Some(self.rect)
     }
 }
 
@@ -332,6 +384,32 @@ mod tests {
         let mut replay = Vec::new();
         source.for_each_term(&mut |t, ps| replay.push((t, ps.len())));
         assert_eq!(replay, vec![(TermId(7), 1), (TermId(7), 1)]);
+    }
+
+    #[test]
+    fn geometry_of_combinatorial_pattern_is_stream_mbr() {
+        let p = sample_comb(); // streams 1 and 3
+        let positions = vec![
+            Point2D::new(0.0, 0.0),
+            Point2D::new(2.0, -1.0),
+            Point2D::new(9.0, 9.0),
+            Point2D::new(5.0, 3.0),
+        ];
+        let region = p.region(&positions).unwrap();
+        assert_eq!(region, Rect::new(2.0, -1.0, 5.0, 3.0));
+        assert_eq!(p.interval(), p.timeframe());
+        // Positions missing for every stream → the pattern has no region.
+        assert!(p.region(&positions[..1]).is_none());
+    }
+
+    #[test]
+    fn geometry_of_regional_pattern_is_its_rect() {
+        let rect = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let p = RegionalPattern::new(rect, vec![StreamId(0)], TimeInterval::new(3, 8), 4.2);
+        // The mined rectangle wins regardless of stream positions.
+        assert_eq!(p.region(&[Point2D::new(99.0, 99.0)]), Some(rect));
+        assert_eq!(p.region(&[]), Some(rect));
+        assert_eq!(p.interval(), TimeInterval::new(3, 8));
     }
 
     #[test]

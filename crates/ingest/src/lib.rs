@@ -16,8 +16,9 @@
 //!   [`PatternDelta`]s to the shared `BurstySearchEngine` — per-term
 //!   posting re-scores and precise cache invalidation, never a full
 //!   rebuild.
-//! * [`SearchHandle`] — cloneable shared-read query access, so searches
-//!   run concurrently with ingestion.
+//! * [`SearchHandle`] — cloneable shared-read query access speaking the
+//!   typed [`Query`] DSL (time/region filters, explanations, structured
+//!   errors), so searches run concurrently with ingestion.
 //! * [`replay_tsv`] — drive a TSV corpus from disk through the pipeline
 //!   tick-by-tick via the streaming reader in `stb_corpus::tsv`.
 //!
@@ -39,3 +40,7 @@ pub use pipeline::{
     TickReceipt,
 };
 pub use replay::{replay_tsv, ReplayError};
+
+// Re-exported so live-serving callers can build and inspect typed queries
+// without depending on `stb-search` directly.
+pub use stb_search::{Query, QueryError, QueryResponse, QueryStats, UnknownWords};

@@ -54,8 +54,8 @@ use stb_core::{
 use stb_corpus::{Collection, DocId, StreamId, TermId, Timestamp, Tokenizer};
 use stb_geo::{GeoPoint, Point2D};
 use stb_search::{
-    BurstySearchEngine, EngineConfig, EngineMetrics, Relevance, SearchResult,
-    DEFAULT_CACHE_CAPACITY,
+    BurstySearchEngine, EngineConfig, EngineMetrics, Query, QueryError, QueryResponse, Relevance,
+    SearchResult, DEFAULT_CACHE_CAPACITY,
 };
 
 /// Which miner keeps the patterns fresh while ingesting.
@@ -177,25 +177,57 @@ pub struct PipelineMetrics {
 /// Handles take shared read access to the engine, so any number of query
 /// threads proceed in parallel; a tick commit briefly takes the write side
 /// while it swaps the snapshot and applies its deltas.
+///
+/// The handle speaks the same typed query DSL as the engine itself
+/// ([`SearchHandle::query`] / [`SearchHandle::query_many`]), so live
+/// queries get spatiotemporal filters, explanations, and structured errors
+/// for free — against whatever tick generation is current at call time.
 #[derive(Clone)]
 pub struct SearchHandle {
     engine: Arc<RwLock<BurstySearchEngine>>,
 }
 
 impl SearchHandle {
+    /// Executes a typed [`Query`] against the current tick's snapshot. See
+    /// [`BurstySearchEngine::query`].
+    pub fn query(&self, query: &Query) -> Result<QueryResponse, QueryError> {
+        self.engine.read().unwrap().query(query)
+    }
+
+    /// Executes a batch of typed queries against the current tick's
+    /// snapshot. See [`BurstySearchEngine::query_many`].
+    pub fn query_many(&self, queries: &[Query]) -> Vec<Result<QueryResponse, QueryError>> {
+        self.engine.read().unwrap().query_many(queries)
+    }
+
     /// Answers a query: the top-`k` documents, best first.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a typed `Query` and call `SearchHandle::query`"
+    )]
     pub fn search(&self, query: &[TermId], k: usize) -> Vec<SearchResult> {
+        #[allow(deprecated)]
         self.engine.read().unwrap().search(query, k)
     }
 
     /// Answers a whitespace-separated text query against the engine's
     /// current dictionary snapshot.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a typed `Query::text(..)` and call `SearchHandle::query`"
+    )]
     pub fn search_text(&self, query: &str, k: usize) -> Vec<SearchResult> {
+        #[allow(deprecated)]
         self.engine.read().unwrap().search_text(query, k)
     }
 
     /// Answers a batch of queries.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build typed `Query` values and call `SearchHandle::query_many`"
+    )]
     pub fn search_many(&self, queries: &[Vec<TermId>], k: usize) -> Vec<Vec<SearchResult>> {
+        #[allow(deprecated)]
         self.engine.read().unwrap().search_many(queries, k)
     }
 
@@ -222,7 +254,7 @@ struct StagedDoc {
 /// # Example
 ///
 /// ```
-/// use stb_ingest::{IngestConfig, IngestPipeline};
+/// use stb_ingest::{IngestConfig, IngestPipeline, Query};
 /// use stb_geo::GeoPoint;
 /// use std::collections::HashMap;
 ///
@@ -242,9 +274,9 @@ struct StagedDoc {
 ///     let receipt = pipeline.commit_tick();
 ///     assert_eq!(receipt.tick, tick);
 ///     // Queries are answerable at every tick, concurrently with ingest.
-///     let _ = handle.search(&[quake], 3);
+///     let _ = handle.query(&Query::terms([quake]).top_k(3));
 /// }
-/// let top = handle.search(&[quake], 3);
+/// let top = handle.query(&Query::terms([quake]).top_k(3)).unwrap().results;
 /// assert!(!top.is_empty());
 /// // The burst documents come from Athens during the burst window.
 /// let collection = handle.collection();
@@ -538,6 +570,36 @@ mod tests {
     use super::*;
     use stb_search::NoPatternPolicy;
 
+    /// Typed-API term query through a live handle.
+    fn run(handle: &SearchHandle, terms: &[TermId], k: usize) -> Vec<SearchResult> {
+        handle
+            .query(&Query::terms(terms.iter().copied()).top_k(k))
+            .map(|r| r.results)
+            .unwrap_or_default()
+    }
+
+    /// Typed-API term query against a reference engine.
+    fn engine_run(engine: &BurstySearchEngine, terms: &[TermId], k: usize) -> Vec<SearchResult> {
+        engine
+            .query(&Query::terms(terms.iter().copied()).top_k(k))
+            .map(|r| r.results)
+            .unwrap_or_default()
+    }
+
+    /// Typed-API text query through a live handle; unknown words make the
+    /// query vacuously empty (the live-serving default while a term has not
+    /// arrived yet).
+    fn run_text(handle: &SearchHandle, text: &str, k: usize) -> Vec<SearchResult> {
+        handle
+            .query(
+                &Query::text(text)
+                    .top_k(k)
+                    .unknown_words(stb_search::UnknownWords::EmptyResponse),
+            )
+            .map(|r| r.results)
+            .unwrap_or_default()
+    }
+
     fn two_cluster_pipeline(miner: MinerKind, capacity: usize) -> (IngestPipeline, Vec<StreamId>) {
         let mut pipeline = IngestPipeline::new(IngestConfig {
             timeline_capacity: capacity,
@@ -576,9 +638,9 @@ mod tests {
             assert_eq!(receipt.tick, tick);
             assert!(receipt.deltas.iter().all(|d| d.term() == quake));
             // Queries never fail mid-stream.
-            let _ = handle.search(&[quake], 5);
+            let _ = run(&handle, &[quake], 5);
         }
-        let top = handle.search(&[quake], 6);
+        let top = run(&handle, &[quake], 6);
         assert!(!top.is_empty());
         let collection = handle.collection();
         for hit in &top {
@@ -597,7 +659,7 @@ mod tests {
             burst_tick(&mut pipeline, &streams, storm, (5..8).contains(&tick));
         }
         let handle = pipeline.search_handle();
-        let top = handle.search(&[storm], 6);
+        let top = run(&handle, &[storm], 6);
         assert!(!top.is_empty());
         let collection = handle.collection();
         for hit in &top {
@@ -631,7 +693,7 @@ mod tests {
         }
         // "late" is unknown to the engine's snapshot: empty results, no
         // panic (Exclude policy).
-        assert!(handle.search_text("late", 5).is_empty());
+        assert!(run_text(&handle, "late", 5).is_empty());
 
         let late = pipeline.intern("late");
         for tick in 5..12 {
@@ -641,7 +703,7 @@ mod tests {
             }
             pipeline.commit_tick();
         }
-        let hits = handle.search_text("late", 5);
+        let hits = run_text(&handle, "late", 5);
         assert!(!hits.is_empty(), "late term must score once it arrived");
         let collection = handle.collection();
         assert!((6..9).contains(&collection.document(hits[0].doc).timestamp));
@@ -672,7 +734,7 @@ mod tests {
             "the structural change must have rebuilt miner state"
         );
         let handle = pipeline.search_handle();
-        let top = handle.search(&[t], 3);
+        let top = run(&handle, &[t], 3);
         assert!(!top.is_empty());
         let collection = handle.collection();
         assert!((6..9).contains(&collection.document(top[0].doc).timestamp));
@@ -693,17 +755,17 @@ mod tests {
             }
             pipeline.commit_tick();
         }
-        let _ = handle.search(&[hot], 5);
-        let _ = handle.search(&[cold], 5);
+        let _ = run(&handle, &[hot], 5);
+        let _ = run(&handle, &[cold], 5);
         let misses_before = handle.metrics().cache_misses;
         // A tick touching only `hot` must keep `cold`'s cached entry.
         for &s in &streams[..2] {
             pipeline.stage_document(s, HashMap::from([(hot, 2)]));
         }
         pipeline.commit_tick();
-        let _ = handle.search(&[cold], 5); // hit
+        let _ = run(&handle, &[cold], 5); // hit
         assert_eq!(handle.metrics().cache_misses, misses_before);
-        let _ = handle.search(&[hot], 5); // miss: invalidated by the commit
+        let _ = run(&handle, &[hot], 5); // miss: invalidated by the commit
         assert_eq!(handle.metrics().cache_misses, misses_before + 1);
     }
 
@@ -713,11 +775,10 @@ mod tests {
         // pipeline must keep non-dirty terms' postings fresh too.
         let config = IngestConfig {
             timeline_capacity: 10,
-            engine: EngineConfig {
-                relevance: Relevance::TfIdf,
-                no_pattern: NoPatternPolicy::Zero,
-                ..Default::default()
-            },
+            engine: EngineConfig::builder()
+                .relevance(Relevance::TfIdf)
+                .no_pattern(NoPatternPolicy::Zero)
+                .build(),
             ..Default::default()
         };
         let mut pipeline = IngestPipeline::new(config.clone());
@@ -738,7 +799,7 @@ mod tests {
             pipeline.commit_tick();
         }
         let handle = pipeline.search_handle();
-        let got = handle.search(&[b], 30);
+        let got = run(&handle, &[b], 30);
 
         // Oracle: a cold engine over the final snapshot with the same
         // patterns must agree, including the tf-idf weights.
@@ -749,7 +810,7 @@ mod tests {
         reference.set_patterns(b, &patterns);
         let (patterns_a, _) = STLocal::mine_collection(&collection, a, STLocalConfig::default());
         reference.set_patterns(a, &patterns_a);
-        let expect = reference.search(&[b], 30);
+        let expect = engine_run(&reference, &[b], 30);
         assert_eq!(got.len(), expect.len());
         for (x, y) in got.iter().zip(&expect) {
             assert_eq!(x.doc, y.doc);
@@ -793,7 +854,7 @@ mod tests {
             let reader = scope.spawn(move || {
                 let mut answered = 0u64;
                 while !done_ref.load(Ordering::Relaxed) {
-                    let _ = h.search(&[t], 5);
+                    let _ = run(&h, &[t], 5);
                     answered += 1;
                 }
                 answered
@@ -805,6 +866,6 @@ mod tests {
             let answered = reader.join().expect("query thread");
             assert!(answered > 0, "queries must be served during ingest");
         });
-        assert!(!handle.search(&[t], 5).is_empty());
+        assert!(!run(&handle, &[t], 5).is_empty());
     }
 }

@@ -85,7 +85,7 @@ impl From<TsvError> for ReplayError {
 /// re-dirty every term for the `STComb` view; see the pipeline docs).
 ///
 /// ```
-/// use stb_ingest::{replay_tsv, IngestConfig};
+/// use stb_ingest::{replay_tsv, IngestConfig, Query};
 /// use std::io::Cursor;
 ///
 /// let data = "C\t4\n\
@@ -99,8 +99,8 @@ impl From<TsvError> for ReplayError {
 /// let handle = pipeline.search_handle();
 /// let collection = handle.collection();
 /// assert_eq!(collection.documents().len(), 3);
-/// let hits = handle.search_text("quake", 2);
-/// assert!(!hits.is_empty());
+/// let hits = handle.query(&Query::text("quake").top_k(2)).unwrap();
+/// assert!(!hits.results.is_empty());
 /// ```
 pub fn replay_tsv<R: BufRead>(
     input: R,

@@ -19,8 +19,24 @@ use stb_core::{
 };
 use stb_corpus::{Collection, CollectionBuilder, StreamId, TermId};
 use stb_geo::GeoPoint;
-use stb_ingest::{IngestConfig, IngestPipeline, MinerKind, PatternDelta};
-use stb_search::{BurstySearchEngine, EngineConfig, SearchResult};
+use stb_ingest::{IngestConfig, IngestPipeline, MinerKind, PatternDelta, SearchHandle};
+use stb_search::{BurstySearchEngine, EngineConfig, Query, SearchResult};
+
+/// Typed-API term query against a reference engine.
+fn engine_run(engine: &BurstySearchEngine, terms: &[TermId], k: usize) -> Vec<SearchResult> {
+    engine
+        .query(&Query::terms(terms.iter().copied()).top_k(k))
+        .map(|r| r.results)
+        .unwrap_or_default()
+}
+
+/// Typed-API term query through a live handle.
+fn handle_run(handle: &SearchHandle, terms: &[TermId], k: usize) -> Vec<SearchResult> {
+    handle
+        .query(&Query::terms(terms.iter().copied()).top_k(k))
+        .map(|r| r.results)
+        .unwrap_or_default()
+}
 
 const N_STREAMS: usize = 3;
 const TERMS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
@@ -213,8 +229,8 @@ fn check_equivalence(
             for k in [1, 3, 10] {
                 assert_identical_results(
                     if local { "stlocal" } else { "stcomb" },
-                    &batch_engine.search(&query, k),
-                    &handle.search(&query, k),
+                    &engine_run(&batch_engine, &query, k),
+                    &handle_run(&handle, &query, k),
                 )?;
             }
         }
@@ -277,7 +293,11 @@ proptest! {
         batch_engine.finalize_with_threads(2);
         let handle = pipeline.search_handle();
         for query in queries(&shared) {
-            assert_identical_results("grow", &batch_engine.search(&query, 10), &handle.search(&query, 10))?;
+            assert_identical_results(
+                "grow",
+                &engine_run(&batch_engine, &query, 10),
+                &handle_run(&handle, &query, 10),
+            )?;
         }
     }
 

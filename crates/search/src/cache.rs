@@ -19,9 +19,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use stb_corpus::TermId;
+use stb_geo::Rect;
+use stb_timeseries::TimeInterval;
 
-/// Identity of a cached query: term multiset (sorted), result size, and the
-/// engine configuration that produced the results.
+/// Identity of a cached query: term multiset (sorted), result size, the
+/// effective engine configuration, and the spatiotemporal filters — the
+/// full canonicalized query. Two queries differing only in their time
+/// window or region hash to different keys, so filtered and unfiltered
+/// results can never collide.
 ///
 /// Terms are sorted because Eq. 10 sums per-term contributions — queries
 /// that are permutations of each other have identical results. Duplicate
@@ -31,14 +36,45 @@ pub struct QueryKey {
     terms: Vec<TermId>,
     k: usize,
     config: EngineConfig,
+    /// Closed time window as `(start, end)`, if filtered.
+    window: Option<(usize, usize)>,
+    /// Region corners as IEEE-754 bit patterns `[min_x, min_y, max_x,
+    /// max_y]` — bitwise identity, so the key stays `Eq + Hash` without
+    /// giving distinct float values (e.g. `0.0` vs `-0.0`) the same key.
+    region: Option<[u64; 4]>,
 }
 
 impl QueryKey {
-    /// Builds the key for a query, normalizing term order.
+    /// Builds the key for an unfiltered query, normalizing term order.
     pub fn new(query: &[TermId], k: usize, config: EngineConfig) -> Self {
+        Self::canonical(query, k, config, None, None)
+    }
+
+    /// Builds the full canonical key: sorted terms, result size, effective
+    /// configuration, and the query's time/region filters.
+    pub fn canonical(
+        query: &[TermId],
+        k: usize,
+        config: EngineConfig,
+        window: Option<TimeInterval>,
+        region: Option<Rect>,
+    ) -> Self {
         let mut terms = query.to_vec();
         terms.sort();
-        Self { terms, k, config }
+        Self {
+            terms,
+            k,
+            config,
+            window: window.map(|w| (w.start, w.end)),
+            region: region.map(|r| {
+                [
+                    r.min_x.to_bits(),
+                    r.min_y.to_bits(),
+                    r.max_x.to_bits(),
+                    r.max_y.to_bits(),
+                ]
+            }),
+        }
     }
 
     /// Whether the key's query involves `term` (used for invalidation).
@@ -210,6 +246,41 @@ mod tests {
         assert!(cache.get(&key(&[1, 2], 6)).is_none());
         // Duplicate terms are a different query than the deduplicated one.
         assert!(cache.get(&key(&[1, 2, 2], 5)).is_none());
+    }
+
+    #[test]
+    fn filters_are_part_of_the_key() {
+        let cache = QueryCache::new(8);
+        let terms = [TermId(1), TermId(2)];
+        let config = EngineConfig::default();
+        let unfiltered = QueryKey::canonical(&terms, 5, config, None, None);
+        let windowed = QueryKey::canonical(&terms, 5, config, Some(TimeInterval::new(0, 3)), None);
+        let other_window =
+            QueryKey::canonical(&terms, 5, config, Some(TimeInterval::new(4, 9)), None);
+        let regioned =
+            QueryKey::canonical(&terms, 5, config, None, Some(Rect::new(0.0, 0.0, 1.0, 1.0)));
+        let other_region =
+            QueryKey::canonical(&terms, 5, config, None, Some(Rect::new(0.0, 0.0, 2.0, 2.0)));
+        let keys = [unfiltered, windowed, other_window, regioned, other_region];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "two queries differing only in filters collided");
+            }
+        }
+        for (i, key) in keys.iter().enumerate() {
+            cache.put(key.clone(), results(i as u32 + 1));
+        }
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(cache.get(key), Some(results(i as u32 + 1)));
+        }
+        // The unfiltered constructor and the canonical one agree.
+        assert_eq!(
+            QueryKey::new(&terms, 5, config),
+            QueryKey::canonical(&terms, 5, config, None, None)
+        );
+        // Per-term invalidation still drops filtered entries.
+        cache.invalidate_term(TermId(2));
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -13,38 +13,53 @@
 //! score is `relevance(d, t) × burstiness(d, t)` (Eq. 10–11); the top-k is
 //! then evaluated with Fagin's Threshold Algorithm.
 //!
+//! # Query surface
+//!
+//! Queries enter through the typed DSL: a [`Query`] (terms or raw text,
+//! optional `time_window`/`region` filters, per-query options) executed by
+//! [`BurstySearchEngine::query`] into a `Result<QueryResponse, QueryError>`
+//! carrying results, optional per-document explanations, and execution
+//! stats. The historical `search`/`search_many`/`search_text` trio remains
+//! as thin deprecated shims over the DSL.
+//!
 //! # Serving path
 //!
 //! The engine has two modes. In *cold* mode (the paper's experimental
-//! setting) every [`BurstySearchEngine::search`] call scores the query
-//! terms' posting lists from scratch. For serving repeated query traffic,
+//! setting) every query scores its terms' posting lists from scratch. For
+//! serving repeated query traffic,
 //! call [`BurstySearchEngine::finalize`] once after registering patterns:
 //! it materializes the score-sorted posting list of **every** term in the
 //! collection — built in parallel across terms, which are independent —
-//! so subsequent searches only walk prebuilt lists. On top of the prebuilt
-//! index sit
+//! so subsequent unfiltered queries only walk prebuilt lists (filtered
+//! queries score their restricted lists per query). On top of that sit
 //!
-//! * an LRU cache of evaluated top-k result lists, keyed on
-//!   (terms, k, config) and invalidated per term by
-//!   [`BurstySearchEngine::set_patterns`],
+//! * an LRU cache of evaluated top-k result lists, keyed on the full
+//!   canonical query — (terms, k, effective config, time window, region) —
+//!   and invalidated per term by [`BurstySearchEngine::set_patterns`],
 //! * an incremental per-term rebuild: updating one term's patterns after
 //!   finalization re-scores only that term's posting list, and
-//! * a batched [`BurstySearchEngine::search_many`] that amortizes index
-//!   construction (cold mode) or cache traffic (finalized mode) over a
-//!   whole workload.
+//! * a batched [`BurstySearchEngine::query_many`] that amortizes index
+//!   construction (cold mode, grouped by identical filters) or cache
+//!   traffic (finalized mode) over a whole workload.
 
 use crate::burstiness::{BurstinessAgg, NoPatternPolicy};
 use crate::cache::{QueryCache, QueryKey};
+use crate::error::QueryError;
 use crate::index::{InvertedIndex, Posting};
+use crate::query::{
+    DocExplanation, PatternMatch, Query, QueryResponse, QueryStats, QueryTerms, TermExplanation,
+    UnknownWords,
+};
 use crate::relevance::Relevance;
-use crate::threshold::{threshold_topk, ScoredDoc};
+use crate::threshold::{threshold_topk_with_stats, ScoredDoc, TopkStats};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use stb_core::{parallel_map, Pattern, PatternSource};
+use stb_core::{parallel_map, PatternGeometry, PatternSource};
 use stb_corpus::StreamId;
 use stb_corpus::{Collection, DocId, TermId, Timestamp};
+use stb_geo::{Point2D, Rect};
 use stb_timeseries::TimeInterval;
 
 /// A search hit: a document and its total score for the query.
@@ -54,7 +69,22 @@ pub type SearchResult = ScoredDoc;
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
 /// Scoring configuration of the engine.
+///
+/// Marked `#[non_exhaustive]`: new scoring knobs can be added without a
+/// breaking change. Construct it with [`EngineConfig::default`] or, to
+/// deviate from the defaults, with [`EngineConfig::builder`]:
+///
+/// ```
+/// use stb_search::{EngineConfig, NoPatternPolicy, Relevance};
+///
+/// let config = EngineConfig::builder()
+///     .relevance(Relevance::TfIdf)
+///     .no_pattern(NoPatternPolicy::Zero)
+///     .build();
+/// assert_eq!(config.relevance, Relevance::TfIdf);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// Relevance strategy (default: `log(freq + 1)`).
     pub relevance: Relevance,
@@ -65,18 +95,91 @@ pub struct EngineConfig {
     pub no_pattern: NoPatternPolicy,
 }
 
+impl EngineConfig {
+    /// A fluent builder starting from the default configuration.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`EngineConfig`] (see [`EngineConfig::builder`]).
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the relevance strategy.
+    pub fn relevance(mut self, relevance: Relevance) -> Self {
+        self.config.relevance = relevance;
+        self
+    }
+
+    /// Sets the burstiness aggregation.
+    pub fn aggregation(mut self, aggregation: BurstinessAgg) -> Self {
+        self.config.aggregation = aggregation;
+        self
+    }
+
+    /// Sets the no-overlapping-pattern policy.
+    pub fn no_pattern(mut self, no_pattern: NoPatternPolicy) -> Self {
+        self.config.no_pattern = no_pattern;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.config
+    }
+}
+
 /// A pattern reduced to what the engine needs: which stream/timestamp pairs
-/// it covers and how strong it is.
+/// it covers, its spatial footprint, and how strong it is.
 #[derive(Debug, Clone)]
 struct StoredPattern {
     streams: Vec<StreamId>,
     timeframe: TimeInterval,
+    /// Spatial footprint per `PatternGeometry` (an `STLocal` rectangle, or
+    /// the stream MBR of a combinatorial pattern), captured at registration
+    /// time from the collection's stream positions.
+    region: Option<Rect>,
     score: f64,
 }
 
 impl StoredPattern {
     fn overlaps(&self, stream: StreamId, ts: Timestamp) -> bool {
         self.timeframe.contains(ts) && self.streams.binary_search(&stream).is_ok()
+    }
+}
+
+/// The spatiotemporal restriction of a query, applied to patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct PatternFilter {
+    window: Option<TimeInterval>,
+    region: Option<Rect>,
+}
+
+impl PatternFilter {
+    const NONE: PatternFilter = PatternFilter {
+        window: None,
+        region: None,
+    };
+
+    fn is_none(&self) -> bool {
+        self.window.is_none() && self.region.is_none()
+    }
+
+    /// Whether a pattern survives the filter: its timeframe intersects the
+    /// window (if any) and its region intersects the query rectangle (if
+    /// any). A pattern with no spatial footprint never passes a region
+    /// filter.
+    fn passes(&self, pattern: &StoredPattern) -> bool {
+        self.window.is_none_or(|w| pattern.timeframe.overlaps(&w))
+            && self
+                .region
+                .is_none_or(|r| pattern.region.is_some_and(|pr| pr.intersects(&r)))
     }
 }
 
@@ -92,7 +195,7 @@ impl StoredPattern {
 /// use stb_core::CombinatorialPattern;
 /// use stb_corpus::CollectionBuilder;
 /// use stb_geo::GeoPoint;
-/// use stb_search::{BurstySearchEngine, EngineConfig};
+/// use stb_search::{BurstySearchEngine, EngineConfig, Query};
 /// use stb_timeseries::TimeInterval;
 ///
 /// // "earthquake" bursts in Athens during timestamps 2..=3.
@@ -113,12 +216,14 @@ impl StoredPattern {
 /// engine.set_patterns(quake, &[pattern]);
 /// engine.finalize(); // prebuild the score-sorted posting index, in parallel
 ///
-/// let top = engine.search(&[quake], 2);
-/// assert_eq!(top.len(), 2); // the two Athens burst documents
-/// assert!(top[0].score >= top[1].score);
+/// let top = engine.query(&Query::terms([quake]).top_k(2)).unwrap();
+/// assert_eq!(top.results.len(), 2); // the two Athens burst documents
+/// assert!(top.results[0].score >= top.results[1].score);
 /// // A repeated query is now answered from the result cache.
-/// assert_eq!(engine.search(&[quake], 2), top);
-/// assert!(engine.cache_hits() >= 1);
+/// let again = engine.query(&Query::terms([quake]).top_k(2)).unwrap();
+/// assert_eq!(again.results, top.results);
+/// assert!(again.stats.cache_hit);
+/// assert!(engine.metrics().cache_hits >= 1);
 /// ```
 ///
 /// # Ownership and live updates
@@ -133,6 +238,9 @@ impl StoredPattern {
 pub struct BurstySearchEngine {
     collection: Arc<Collection>,
     config: EngineConfig,
+    /// Planar stream positions of the current snapshot (indexed by
+    /// `StreamId::index`), cached for pattern-geometry capture.
+    positions: Vec<Point2D>,
     patterns: HashMap<TermId, Vec<StoredPattern>>,
     /// Corpus-level inverted lists: term → documents containing it.
     term_docs: HashMap<TermId, Vec<DocId>>,
@@ -196,6 +304,7 @@ impl BurstySearchEngine {
             docs.dedup();
         }
         Self {
+            positions: collection.positions(),
             collection,
             config,
             patterns: HashMap::new(),
@@ -221,15 +330,21 @@ impl BurstySearchEngine {
     /// Registers the mined patterns of a term, replacing any previous ones.
     /// Accepts any pattern type (`CombinatorialPattern`, `RegionalPattern`, …).
     ///
+    /// Each pattern's spatial footprint (its `PatternGeometry` region over
+    /// the current snapshot's stream positions) is captured here, so
+    /// region-filtered queries treat `STLocal` rectangles and `STComb`
+    /// stream MBRs identically.
+    ///
     /// On a finalized engine this incrementally re-scores the posting list
     /// of `term` alone (the rest of the prebuilt index is untouched) and
     /// invalidates the cached results of every query involving the term.
-    pub fn set_patterns<P: Pattern>(&mut self, term: TermId, patterns: &[P]) {
+    pub fn set_patterns<P: PatternGeometry>(&mut self, term: TermId, patterns: &[P]) {
         let stored = patterns
             .iter()
             .map(|p| StoredPattern {
                 streams: p.streams().to_vec(),
                 timeframe: p.timeframe(),
+                region: p.region(&self.positions),
                 score: p.score(),
             })
             .collect();
@@ -270,6 +385,7 @@ impl BurstySearchEngine {
     /// `stb-ingest` pipeline's per-tick commit does with its dirty-term set.
     pub fn update_collection(&mut self, collection: Arc<Collection>, new_docs: &[DocId]) {
         self.collection = collection;
+        self.positions = self.collection.positions();
         for &doc_id in new_docs {
             let doc = self.collection.document(doc_id);
             for &term in doc.counts.keys() {
@@ -290,7 +406,10 @@ impl BurstySearchEngine {
     /// Sources are replayed in order, so a term appearing twice keeps its
     /// last entry, exactly as two [`BurstySearchEngine::set_patterns`] calls
     /// would.
-    pub fn set_patterns_from<S: PatternSource>(&mut self, source: &S) {
+    pub fn set_patterns_from<S: PatternSource>(&mut self, source: &S)
+    where
+        S::P: PatternGeometry,
+    {
         source.for_each_term(&mut |term, patterns| self.set_patterns(term, patterns));
     }
 
@@ -302,19 +421,43 @@ impl BurstySearchEngine {
     /// `burstiness(d, t)` of Eq. 11: aggregates the scores of the patterns of
     /// `term` that overlap the document, or `None` if no pattern overlaps.
     pub fn document_burstiness(&self, term: TermId, doc: DocId) -> Option<f64> {
+        self.burstiness_with(term, doc, self.config.aggregation, PatternFilter::NONE)
+    }
+
+    /// Eq. 11 restricted to the patterns surviving `filter`.
+    fn burstiness_with(
+        &self,
+        term: TermId,
+        doc: DocId,
+        aggregation: BurstinessAgg,
+        filter: PatternFilter,
+    ) -> Option<f64> {
         let document = self.collection.document(doc);
         let overlapping: Vec<f64> = self
             .patterns
             .get(&term)?
             .iter()
-            .filter(|p| p.overlaps(document.stream, document.timestamp))
+            .filter(|p| filter.passes(p) && p.overlaps(document.stream, document.timestamp))
             .map(|p| p.score)
             .collect();
-        self.config.aggregation.aggregate(&overlapping)
+        aggregation.aggregate(&overlapping)
     }
 
-    /// The Eq. 10–11 scored posting list of one term (unsorted).
+    /// The Eq. 10–11 scored posting list of one term (unsorted) under the
+    /// engine's own configuration and no filter — the list the prebuilt
+    /// index materializes.
     fn term_postings(&self, term: TermId) -> Vec<Posting> {
+        self.term_postings_with(term, self.config, PatternFilter::NONE)
+    }
+
+    /// The scored posting list of one term under an effective configuration
+    /// (the engine's, possibly overridden per query) and a pattern filter.
+    fn term_postings_with(
+        &self,
+        term: TermId,
+        config: EngineConfig,
+        filter: PatternFilter,
+    ) -> Vec<Posting> {
         let n_docs = self.collection.documents().len();
         let Some(docs) = self.term_docs.get(&term) else {
             return Vec::new();
@@ -323,17 +466,14 @@ impl BurstySearchEngine {
         let mut list = Vec::new();
         for &doc_id in docs {
             let doc = self.collection.document(doc_id);
-            let relevance = self
-                .config
-                .relevance
-                .score(doc.freq(term), doc_freq, n_docs);
-            match self.document_burstiness(term, doc_id) {
+            let relevance = config.relevance.score(doc.freq(term), doc_freq, n_docs);
+            match self.burstiness_with(term, doc_id, config.aggregation, filter) {
                 Some(burst) => list.push(Posting {
                     doc: doc_id,
                     score: relevance * burst,
                 }),
                 None => {
-                    if self.config.no_pattern == NoPatternPolicy::Zero {
+                    if config.no_pattern == NoPatternPolicy::Zero {
                         // The term contributes nothing but the document
                         // stays eligible for the rest of the query.
                         list.push(Posting {
@@ -353,12 +493,22 @@ impl BurstySearchEngine {
     /// Builds the per-term inverted index (Eq. 10 per-term scores) for a set
     /// of query terms.
     pub fn build_index(&self, query: &[TermId]) -> InvertedIndex {
+        self.build_index_with(query, self.config, PatternFilter::NONE)
+    }
+
+    /// Per-query index under an effective configuration and filter.
+    fn build_index_with(
+        &self,
+        query: &[TermId],
+        config: EngineConfig,
+        filter: PatternFilter,
+    ) -> InvertedIndex {
         let mut terms = query.to_vec();
         terms.sort();
         terms.dedup();
         let mut index = InvertedIndex::new();
         for term in terms {
-            index.set_postings(term, self.term_postings(term));
+            index.set_postings(term, self.term_postings_with(term, config, filter));
         }
         index.finalize();
         index
@@ -421,18 +571,30 @@ impl BurstySearchEngine {
     }
 
     /// Number of searches answered from the query-result cache.
+    #[deprecated(
+        since = "0.2.0",
+        note = "the observability surface lives on `EngineMetrics`: use `metrics().cache_hits`"
+    )]
     pub fn cache_hits(&self) -> u64 {
-        self.cache.hits()
+        self.metrics().cache_hits
     }
 
     /// Number of searches that had to be evaluated.
+    #[deprecated(
+        since = "0.2.0",
+        note = "the observability surface lives on `EngineMetrics`: use `metrics().cache_misses`"
+    )]
     pub fn cache_misses(&self) -> u64 {
-        self.cache.misses()
+        self.metrics().cache_misses
     }
 
     /// Number of query results currently cached.
+    #[deprecated(
+        since = "0.2.0",
+        note = "the observability surface lives on `EngineMetrics`: use `metrics().cache_len`"
+    )]
     pub fn cache_len(&self) -> usize {
-        self.cache.len()
+        self.metrics().cache_len
     }
 
     /// A snapshot of the engine's serving counters.
@@ -452,94 +614,390 @@ impl BurstySearchEngine {
         }
     }
 
-    /// Answers a query: the top-`k` documents by Eq. 10, best first.
-    ///
-    /// On a finalized engine this reads the prebuilt posting lists (and the
-    /// result cache); otherwise the query terms' lists are scored on the
-    /// fly, as in the paper's experiments.
-    pub fn search(&self, query: &[TermId], k: usize) -> Vec<SearchResult> {
-        let key = QueryKey::new(query, k, self.config);
-        if let Some(hit) = self.cache.get(&key) {
-            return hit;
+    /// Validates and resolves a [`Query`] against the engine's current
+    /// snapshot into an executable plan.
+    fn plan(&self, query: &Query) -> Result<QueryPlan, QueryError> {
+        if query.top_k == 0 {
+            return Err(QueryError::ZeroTopK);
         }
-        let results = match &self.prebuilt {
-            Some(index) => threshold_topk(index, query, k, self.config.no_pattern),
-            None => {
-                let index = self.build_index(query);
-                threshold_topk(&index, query, k, self.config.no_pattern)
+        let window = match &query.time_window {
+            Some(w) => {
+                let (start, end) = (*w.start(), *w.end());
+                if start > end {
+                    return Err(QueryError::EmptyTimeWindow { start, end });
+                }
+                Some(TimeInterval::new(start, end))
+            }
+            None => None,
+        };
+        let region = match query.region {
+            Some(r) => {
+                if [r.min_x, r.min_y, r.max_x, r.max_y]
+                    .iter()
+                    .any(|v| v.is_nan())
+                {
+                    return Err(QueryError::InvalidRegion { region: r });
+                }
+                Some(r)
+            }
+            None => None,
+        };
+        let mut config = self.config;
+        if let Some(relevance) = query.relevance {
+            config.relevance = relevance;
+        }
+        let mut vacuous = false;
+        let terms = match &query.terms {
+            QueryTerms::Ids(ids) => ids.clone(),
+            QueryTerms::Text(text) => {
+                let mut terms = Vec::new();
+                for word in text.split_whitespace() {
+                    let lower = word.to_lowercase();
+                    match self.collection.dict().get(&lower) {
+                        Some(term) => terms.push(term),
+                        None => match query.unknown_words {
+                            UnknownWords::Error => {
+                                return Err(QueryError::UnknownWord { word: lower })
+                            }
+                            UnknownWords::Drop => {}
+                            UnknownWords::EmptyResponse => vacuous = true,
+                        },
+                    }
+                }
+                terms
             }
         };
-        self.cache.put(key, results.clone());
+        if terms.is_empty() && !vacuous {
+            return Err(QueryError::EmptyQuery);
+        }
+        Ok(QueryPlan {
+            terms,
+            k: query.top_k,
+            config,
+            filter: PatternFilter { window, region },
+            explain: query.explain,
+            vacuous,
+        })
+    }
+
+    fn plan_key(&self, plan: &QueryPlan) -> QueryKey {
+        QueryKey::canonical(
+            &plan.terms,
+            plan.k,
+            plan.config,
+            plan.filter.window,
+            plan.filter.region,
+        )
+    }
+
+    /// Stats template for a query answered from the result cache.
+    fn cache_hit_stats(plan: &QueryPlan) -> QueryStats {
+        QueryStats {
+            cache_hit: true,
+            terms: plan.terms.len(),
+            filtered: !plan.filter.is_none(),
+            ..QueryStats::default()
+        }
+    }
+
+    /// Evaluates a plan against the cheapest sound index: the prebuilt
+    /// full-collection index when the plan matches what it was built under
+    /// (no filters, no per-query overrides), a per-query filtered index
+    /// otherwise. Filtering happens *before* the Threshold Algorithm runs,
+    /// so its early-termination bound applies to the filtered lists
+    /// unchanged.
+    fn evaluate(&self, plan: &QueryPlan) -> (Vec<SearchResult>, QueryStats) {
+        let direct = plan.filter.is_none() && plan.config == self.config && self.prebuilt.is_some();
+        let (results, ta) = match (&self.prebuilt, direct) {
+            (Some(index), true) => {
+                threshold_topk_with_stats(index, &plan.terms, plan.k, plan.config.no_pattern)
+            }
+            _ => {
+                let index = self.build_index_with(&plan.terms, plan.config, plan.filter);
+                threshold_topk_with_stats(&index, &plan.terms, plan.k, plan.config.no_pattern)
+            }
+        };
+        (results, Self::evaluated_stats(plan, ta, direct))
+    }
+
+    fn evaluated_stats(plan: &QueryPlan, ta: TopkStats, from_prebuilt: bool) -> QueryStats {
+        QueryStats {
+            cache_hit: false,
+            served_from_prebuilt: from_prebuilt,
+            postings_scanned: ta.postings_scanned,
+            candidates_pruned: ta.candidates_pruned,
+            terms: plan.terms.len(),
+            filtered: !plan.filter.is_none(),
+        }
+    }
+
+    /// Assembles the response, computing explanations when asked to (also
+    /// on cache hits — explanations are derived from the live pattern
+    /// store, never cached).
+    fn respond(
+        &self,
+        plan: &QueryPlan,
+        results: Vec<SearchResult>,
+        stats: QueryStats,
+    ) -> QueryResponse {
+        let explanations = if plan.explain {
+            self.explain_results(plan, &results)
+        } else {
+            Vec::new()
+        };
+        QueryResponse {
+            results,
+            explanations,
+            stats,
+        }
+    }
+
+    /// Per-document Eq. 10–11 breakdown of a result list under a plan's
+    /// effective configuration and filters.
+    fn explain_results(&self, plan: &QueryPlan, results: &[SearchResult]) -> Vec<DocExplanation> {
+        let n_docs = self.collection.documents().len();
         results
+            .iter()
+            .map(|r| {
+                let doc = self.collection.document(r.doc);
+                let mut total = 0.0;
+                let terms = plan
+                    .terms
+                    .iter()
+                    .map(|&term| {
+                        let relevance = plan.config.relevance.score(
+                            doc.freq(term),
+                            self.doc_freq(term),
+                            n_docs,
+                        );
+                        let patterns: Vec<PatternMatch> = self
+                            .patterns
+                            .get(&term)
+                            .map(|ps| {
+                                ps.iter()
+                                    .filter(|p| {
+                                        plan.filter.passes(p)
+                                            && p.overlaps(doc.stream, doc.timestamp)
+                                    })
+                                    .map(|p| PatternMatch {
+                                        interval: p.timeframe,
+                                        region: p.region,
+                                        score: p.score,
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        let scores: Vec<f64> = patterns.iter().map(|p| p.score).collect();
+                        let burstiness = plan.config.aggregation.aggregate(&scores);
+                        let contribution = burstiness.map_or(0.0, |b| relevance * b);
+                        total += contribution;
+                        TermExplanation {
+                            term,
+                            relevance,
+                            burstiness,
+                            contribution,
+                            patterns,
+                        }
+                    })
+                    .collect();
+                DocExplanation {
+                    doc: r.doc,
+                    total,
+                    terms,
+                }
+            })
+            .collect()
+    }
+
+    fn vacuous_response(plan: &QueryPlan) -> QueryResponse {
+        QueryResponse {
+            results: Vec::new(),
+            explanations: Vec::new(),
+            stats: QueryStats {
+                terms: plan.terms.len(),
+                filtered: !plan.filter.is_none(),
+                ..QueryStats::default()
+            },
+        }
+    }
+
+    /// Executes a typed [`Query`]: the canonical entry point of the serving
+    /// API.
+    ///
+    /// Scoring follows Eq. 10–11 restricted to the patterns that pass the
+    /// query's time/region filters (see the [`crate::query`] module docs
+    /// for the exact filter semantics). Results come from the result cache
+    /// when the *full* canonical query — terms, `k`, effective
+    /// configuration, and filters — was answered before; otherwise the
+    /// evaluation walks the prebuilt index (unfiltered queries on a
+    /// finalized engine) or scores the query terms' filtered posting lists
+    /// on the fly. Either way [`QueryResponse::stats`] says which path ran.
+    pub fn query(&self, query: &Query) -> Result<QueryResponse, QueryError> {
+        let plan = self.plan(query)?;
+        if plan.vacuous {
+            return Ok(Self::vacuous_response(&plan));
+        }
+        let key = self.plan_key(&plan);
+        if let Some(hit) = self.cache.get(&key) {
+            return Ok(self.respond(&plan, hit, Self::cache_hit_stats(&plan)));
+        }
+        let (results, stats) = self.evaluate(&plan);
+        self.cache.put(key, results.clone());
+        Ok(self.respond(&plan, results, stats))
+    }
+
+    /// Executes a batch of typed queries, returning one response per query
+    /// (same order as the input). Each query fails or succeeds on its own.
+    ///
+    /// On a cold engine the batch scores each *distinct* (configuration,
+    /// filter) group's term union once instead of once per query — queries
+    /// with different filters never share an index, since a pattern
+    /// surviving one query's window/region may be excluded by another's.
+    /// On a finalized engine the prebuilt index already amortizes the
+    /// unfiltered work, and repeated queries in the batch hit the cache.
+    pub fn query_many(&self, queries: &[Query]) -> Vec<Result<QueryResponse, QueryError>> {
+        if self.prebuilt.is_some() {
+            return queries.iter().map(|q| self.query(q)).collect();
+        }
+        let plans: Vec<Result<QueryPlan, QueryError>> =
+            queries.iter().map(|q| self.plan(q)).collect();
+        // Settle everything that needs no evaluation: invalid queries,
+        // vacuous queries, and cache hits.
+        let mut responses: Vec<Option<Result<QueryResponse, QueryError>>> = plans
+            .iter()
+            .map(|p| match p {
+                Err(e) => Some(Err(e.clone())),
+                Ok(plan) if plan.vacuous => Some(Ok(Self::vacuous_response(plan))),
+                Ok(plan) => self
+                    .cache
+                    .get(&self.plan_key(plan))
+                    .map(|hit| Ok(self.respond(plan, hit, Self::cache_hit_stats(plan)))),
+            })
+            .collect();
+        // Group the queries that missed by their effective (config, filter)
+        // pair: only queries scored under identical restrictions may share
+        // an index.
+        let mut groups: Vec<((EngineConfig, PatternFilter), Vec<usize>)> = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            let (Ok(plan), None) = (plan, &responses[i]) else {
+                continue;
+            };
+            let fingerprint = (plan.config, plan.filter);
+            match groups.iter_mut().find(|(g, _)| *g == fingerprint) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((fingerprint, vec![i])),
+            }
+        }
+        for ((config, filter), members) in groups {
+            let mut union: Vec<TermId> = members
+                .iter()
+                .flat_map(|&i| {
+                    plans[i]
+                        .as_ref()
+                        .expect("grouped plans are Ok")
+                        .terms
+                        .clone()
+                })
+                .collect();
+            union.sort();
+            union.dedup();
+            let index = self.build_index_with(&union, config, filter);
+            for &i in &members {
+                let plan = plans[i].as_ref().expect("grouped plans are Ok");
+                let key = self.plan_key(plan);
+                // Re-check the cache: an identical query earlier in this
+                // batch may have just been evaluated and stored.
+                let response = match self.cache.get(&key) {
+                    Some(hit) => self.respond(plan, hit, Self::cache_hit_stats(plan)),
+                    None => {
+                        let (results, ta) = threshold_topk_with_stats(
+                            &index,
+                            &plan.terms,
+                            plan.k,
+                            config.no_pattern,
+                        );
+                        self.cache.put(key, results.clone());
+                        let stats = Self::evaluated_stats(plan, ta, false);
+                        self.respond(plan, results, stats)
+                    }
+                };
+                responses[i] = Some(Ok(response));
+            }
+        }
+        responses
+            .into_iter()
+            .map(|r| r.expect("every query settled"))
+            .collect()
+    }
+
+    /// Answers a query: the top-`k` documents by Eq. 10, best first.
+    ///
+    /// Legacy shim: errors (empty query, `k == 0`) collapse to an empty
+    /// result list, as this entry point always did.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a typed `Query` and call `BurstySearchEngine::query`"
+    )]
+    pub fn search(&self, query: &[TermId], k: usize) -> Vec<SearchResult> {
+        self.query(&Query::terms(query.iter().copied()).top_k(k))
+            .map(|response| response.results)
+            .unwrap_or_default()
     }
 
     /// Answers a batch of queries with one shared index, returning one
     /// result list per query (same order as the input).
     ///
-    /// On a cold engine this scores the union of all query terms once
-    /// instead of once per query; on a finalized engine the prebuilt index
-    /// already amortizes that, and repeated queries in the batch hit the
-    /// cache.
+    /// Legacy shim over [`BurstySearchEngine::query_many`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "build typed `Query` values and call `BurstySearchEngine::query_many`"
+    )]
     pub fn search_many(&self, queries: &[Vec<TermId>], k: usize) -> Vec<Vec<SearchResult>> {
-        if self.prebuilt.is_some() {
-            return queries.iter().map(|q| self.search(q, k)).collect();
-        }
-        // Consult the cache first, so a cold engine only scores the terms of
-        // the queries that actually missed.
-        let mut results: Vec<Option<Vec<SearchResult>>> = queries
+        let typed: Vec<Query> = queries
             .iter()
-            .map(|query| self.cache.get(&QueryKey::new(query, k, self.config)))
+            .map(|q| Query::terms(q.iter().copied()).top_k(k))
             .collect();
-        let mut union: Vec<TermId> = queries
-            .iter()
-            .zip(&results)
-            .filter(|(_, cached)| cached.is_none())
-            .flat_map(|(query, _)| query.iter().copied())
-            .collect();
-        union.sort();
-        union.dedup();
-        if !union.is_empty() {
-            let index = self.build_index(&union);
-            for (query, slot) in queries.iter().zip(&mut results) {
-                if slot.is_none() {
-                    // Re-check the cache: an identical query earlier in this
-                    // batch may have just been evaluated and stored.
-                    let key = QueryKey::new(query, k, self.config);
-                    let evaluated = self.cache.get(&key).unwrap_or_else(|| {
-                        let fresh = threshold_topk(&index, query, k, self.config.no_pattern);
-                        self.cache.put(key.clone(), fresh.clone());
-                        fresh
-                    });
-                    *slot = Some(evaluated);
-                }
-            }
-        }
-        results.into_iter().map(|r| r.unwrap_or_default()).collect()
+        self.query_many(&typed)
+            .into_iter()
+            .map(|r| r.map(|response| response.results).unwrap_or_default())
+            .collect()
     }
 
     /// Convenience: answers a query given as raw strings, resolving them
     /// against the engine's collection snapshot.
     ///
-    /// Words not (yet) in the dictionary are handled per the no-pattern
-    /// policy, mirroring how [`threshold_topk`] treats a term with an
-    /// empty posting list: under
-    /// [`NoPatternPolicy::Exclude`] a query containing an unknown word can
-    /// match no document, so the result is empty; under
-    /// [`NoPatternPolicy::Zero`] unknown words contribute nothing and are
-    /// dropped. Either way the call never panics — a word unseen at
-    /// engine-build time simply scores once its term arrives through
-    /// [`BurstySearchEngine::update_collection`].
+    /// Legacy shim: unknown words follow the engine's no-pattern policy
+    /// (under [`NoPatternPolicy::Exclude`] a query containing an unknown
+    /// word matches nothing; under [`NoPatternPolicy::Zero`] unknown words
+    /// are dropped), and the call never fails — malformed queries collapse
+    /// to an empty result list.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a typed `Query::text(..)` and call `BurstySearchEngine::query`"
+    )]
     pub fn search_text(&self, query: &str, k: usize) -> Vec<SearchResult> {
-        let mut terms = Vec::new();
-        for word in query.split_whitespace() {
-            match self.collection.dict().get(&word.to_lowercase()) {
-                Some(term) => terms.push(term),
-                None if self.config.no_pattern == NoPatternPolicy::Exclude => return Vec::new(),
-                None => {}
-            }
-        }
-        self.search(&terms, k)
+        let unknown = match self.config.no_pattern {
+            NoPatternPolicy::Exclude => UnknownWords::EmptyResponse,
+            NoPatternPolicy::Zero => UnknownWords::Drop,
+        };
+        self.query(&Query::text(query).top_k(k).unknown_words(unknown))
+            .map(|response| response.results)
+            .unwrap_or_default()
     }
+}
+
+/// A validated, dictionary-resolved query ready for execution.
+struct QueryPlan {
+    /// Resolved term occurrences, in query order (duplicates kept).
+    terms: Vec<TermId>,
+    k: usize,
+    /// The engine configuration with per-query overrides applied.
+    config: EngineConfig,
+    filter: PatternFilter,
+    explain: bool,
+    /// The query is vacuously unmatchable (unknown word under
+    /// [`UnknownWords::EmptyResponse`]): respond empty without evaluating.
+    vacuous: bool,
 }
 
 #[cfg(test)]
@@ -597,12 +1055,21 @@ mod tests {
         }
     }
 
+    /// Unfiltered term query through the typed API (the tests' equivalent
+    /// of the legacy `search`). Degenerate queries resolve to no results.
+    fn run(engine: &BurstySearchEngine, terms: &[TermId], k: usize) -> Vec<SearchResult> {
+        engine
+            .query(&Query::terms(terms.iter().copied()).top_k(k))
+            .map(|response| response.results)
+            .unwrap_or_default()
+    }
+
     #[test]
     fn search_returns_burst_documents_first() {
         let (c, flood) = build_fixture();
         let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
         engine.set_patterns(flood, &[flood_pattern()]);
-        let results = engine.search(&[flood], 6);
+        let results = run(&engine, &[flood], 6);
         assert_eq!(results.len(), 6);
         for r in &results {
             let d = c.document(r.doc);
@@ -629,9 +1096,9 @@ mod tests {
         let strict_count = {
             let mut strict = BurstySearchEngine::new(&c, EngineConfig::default());
             strict.set_patterns(flood, &[flood_pattern()]);
-            strict.search(&[flood], 100).len()
+            run(&strict, &[flood], 100).len()
         };
-        let lenient_count = engine.search(&[flood], 100).len();
+        let lenient_count = run(&engine, &[flood], 100).len();
         // Zero policy can only return at least as many documents; documents
         // outside the pattern score 0 and are still filtered from the top-k
         // (non-positive scores are never returned), so the counts match here.
@@ -642,7 +1109,7 @@ mod tests {
     fn no_patterns_means_no_results_under_exclude() {
         let (c, flood) = build_fixture();
         let engine = BurstySearchEngine::new(&c, EngineConfig::default());
-        assert!(engine.search(&[flood], 10).is_empty());
+        assert!(run(&engine, &[flood], 10).is_empty());
     }
 
     #[test]
@@ -671,44 +1138,58 @@ mod tests {
         let (c, flood) = build_fixture();
         let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
         engine.set_patterns(flood, &[flood_pattern()]);
-        let by_id = engine.search(&[flood], 5);
-        let by_text = engine.search_text("Flood", 5);
-        assert_eq!(by_id.len(), by_text.len());
-        for (a, b) in by_id.iter().zip(&by_text) {
+        let by_id = run(&engine, &[flood], 5);
+        let by_text = engine.query(&Query::text("Flood").top_k(5)).unwrap();
+        assert_eq!(by_id.len(), by_text.results.len());
+        for (a, b) in by_id.iter().zip(&by_text.results) {
             assert_eq!(a.doc, b.doc);
         }
     }
 
     #[test]
-    fn search_text_unknown_word_follows_no_pattern_policy() {
+    fn text_query_unknown_word_policies() {
         let (c, flood) = build_fixture();
         for finalized in [false, true] {
-            // Exclude: a query containing an unknown word can match nothing.
-            let mut strict = BurstySearchEngine::new(&c, EngineConfig::default());
-            strict.set_patterns(flood, &[flood_pattern()]);
+            let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+            engine.set_patterns(flood, &[flood_pattern()]);
             if finalized {
-                strict.finalize_with_threads(2);
+                engine.finalize_with_threads(2);
             }
-            assert!(!strict.search_text("flood", 5).is_empty());
-            assert!(strict.search_text("flood unknownterm", 5).is_empty());
-            assert!(strict.search_text("unknownterm", 5).is_empty());
-
-            // Zero: unknown words contribute nothing and are dropped.
-            let mut lenient = BurstySearchEngine::new(
-                &c,
-                EngineConfig {
-                    no_pattern: NoPatternPolicy::Zero,
-                    ..Default::default()
-                },
+            // Error (default): the unknown word is surfaced.
+            assert_eq!(
+                engine.query(&Query::text("flood UNKNOWNTERM").top_k(5)),
+                Err(QueryError::UnknownWord {
+                    word: "unknownterm".into()
+                })
             );
-            lenient.set_patterns(flood, &[flood_pattern()]);
-            if finalized {
-                lenient.finalize_with_threads(2);
-            }
-            let with_unknown = lenient.search_text("Flood unknownterm", 5);
-            let without = lenient.search_text("Flood", 5);
-            assert_eq!(with_unknown.len(), without.len());
-            assert!(lenient.search_text("unknownterm", 5).is_empty());
+            // EmptyResponse: the whole query is unmatchable, successfully.
+            let vacuous = engine
+                .query(
+                    &Query::text("flood unknownterm")
+                        .top_k(5)
+                        .unknown_words(UnknownWords::EmptyResponse),
+                )
+                .unwrap();
+            assert!(vacuous.results.is_empty());
+            assert!(!vacuous.stats.cache_hit);
+            // Drop: unknown words contribute nothing; all-unknown queries
+            // resolve to no terms at all.
+            let dropped = engine
+                .query(
+                    &Query::text("Flood unknownterm")
+                        .top_k(5)
+                        .unknown_words(UnknownWords::Drop),
+                )
+                .unwrap();
+            assert_eq!(dropped.results, run(&engine, &[flood], 5));
+            assert_eq!(
+                engine.query(
+                    &Query::text("unknownterm")
+                        .top_k(5)
+                        .unknown_words(UnknownWords::Drop)
+                ),
+                Err(QueryError::EmptyQuery)
+            );
         }
     }
 
@@ -725,8 +1206,8 @@ mod tests {
             if finalized {
                 engine.finalize_with_threads(2);
             }
-            assert!(engine.search(&[ghost], 5).is_empty());
-            assert!(engine.search(&[flood, ghost], 5).is_empty());
+            assert!(run(&engine, &[ghost], 5).is_empty());
+            assert!(run(&engine, &[flood, ghost], 5).is_empty());
             assert_eq!(engine.doc_freq(ghost), 0);
             assert_eq!(engine.document_burstiness(ghost, DocId(0)), None);
         }
@@ -739,7 +1220,7 @@ mod tests {
         let mut engine = BurstySearchEngine::new(Arc::clone(&shared), EngineConfig::default());
         engine.set_patterns(flood, &[flood_pattern()]);
         engine.finalize_with_threads(2);
-        let before = engine.search(&[flood], 50).len();
+        let before = run(&engine, &[flood], 50).len();
 
         // A new burst document and a brand-new term arrive.
         let mut next = Collection::clone(&shared);
@@ -761,10 +1242,10 @@ mod tests {
             )],
         );
 
-        let after = engine.search(&[flood], 50);
+        let after = run(&engine, &[flood], 50);
         assert_eq!(after.len(), before + 1);
         assert!(after.iter().any(|r| r.doc == new_doc));
-        let surge_hits = engine.search(&[surge], 10);
+        let surge_hits = run(&engine, &[surge], 10);
         assert_eq!(surge_hits.len(), 1);
         assert_eq!(surge_hits[0].doc, new_doc);
         // The refreshed engine agrees with a cold engine over the new
@@ -772,7 +1253,7 @@ mod tests {
         let mut reference = BurstySearchEngine::new(next, EngineConfig::default());
         reference.set_cache_capacity(0);
         reference.set_patterns(flood, &[flood_pattern()]);
-        assert_same_results(&reference.search(&[flood], 50), &after);
+        assert_same_results(&run(&reference, &[flood], 50), &after);
     }
 
     #[test]
@@ -787,8 +1268,8 @@ mod tests {
 
         engine.set_patterns(flood, &[flood_pattern()]);
         engine.finalize_with_threads(2);
-        let _ = engine.search(&[flood], 5);
-        let _ = engine.search(&[flood], 5);
+        let _ = run(&engine, &[flood], 5);
+        let _ = run(&engine, &[flood], 5);
         engine.set_patterns(flood, &[flood_pattern()]);
 
         let m = engine.metrics();
@@ -832,7 +1313,7 @@ mod tests {
                 vec![],
             )],
         );
-        let results = engine.search(&[flood, cricket], 10);
+        let results = run(&engine, &[flood, cricket], 10);
         // Burst documents contain only "flood", background documents contain
         // "cricket" and sometimes "flood": only documents containing both
         // terms and overlapping both patterns qualify.
@@ -872,7 +1353,7 @@ mod tests {
 
             for query in [vec![flood], vec![cricket], vec![flood, cricket]] {
                 for k in [1, 5, 50] {
-                    assert_same_results(&cold.search(&query, k), &hot.search(&query, k));
+                    assert_same_results(&run(&cold, &query, k), &run(&hot, &query, k));
                 }
             }
         }
@@ -887,7 +1368,7 @@ mod tests {
         let mut many = BurstySearchEngine::new(&c, EngineConfig::default());
         many.set_patterns(flood, &[flood_pattern()]);
         many.finalize_with_threads(8);
-        assert_same_results(&one.search(&[flood], 10), &many.search(&[flood], 10));
+        assert_same_results(&run(&one, &[flood], 10), &run(&many, &[flood], 10));
         // The prebuilt indexes are structurally identical too.
         let (a, b) = (
             one.prebuilt_index().unwrap(),
@@ -903,15 +1384,15 @@ mod tests {
         let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
         engine.set_patterns(flood, &[flood_pattern()]);
         engine.finalize();
-        let first = engine.search(&[flood], 5);
-        assert_eq!(engine.cache_hits(), 0);
-        let second = engine.search(&[flood], 5);
-        assert_eq!(engine.cache_hits(), 1);
+        let first = run(&engine, &[flood], 5);
+        assert_eq!(engine.metrics().cache_hits, 0);
+        let second = run(&engine, &[flood], 5);
+        assert_eq!(engine.metrics().cache_hits, 1);
         assert_same_results(&first, &second);
         // Different k is a different cache entry.
-        let _ = engine.search(&[flood], 6);
-        assert_eq!(engine.cache_hits(), 1);
-        assert_eq!(engine.cache_len(), 2);
+        let _ = run(&engine, &[flood], 6);
+        assert_eq!(engine.metrics().cache_hits, 1);
+        assert_eq!(engine.metrics().cache_len, 2);
     }
 
     #[test]
@@ -920,7 +1401,7 @@ mod tests {
         let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
         engine.set_patterns(flood, &[flood_pattern()]);
         engine.finalize();
-        let before = engine.search(&[flood], 10);
+        let before = run(&engine, &[flood], 10);
         assert!(!before.is_empty());
 
         // Strengthen the pattern: cached results must not survive.
@@ -931,7 +1412,7 @@ mod tests {
             vec![],
         );
         engine.set_patterns(flood, &[stronger]);
-        let after = engine.search(&[flood], 10);
+        let after = run(&engine, &[flood], 10);
         assert_eq!(before.len(), after.len());
         for (b, a) in before.iter().zip(&after) {
             assert!(
@@ -942,23 +1423,37 @@ mod tests {
 
         // Dropping the patterns empties the term's posting list in place.
         engine.set_patterns(flood, &[] as &[CombinatorialPattern]);
-        assert!(engine.search(&[flood], 10).is_empty());
+        assert!(run(&engine, &[flood], 10).is_empty());
     }
 
     #[test]
-    fn search_many_cold_reuses_cache_on_repeat() {
+    fn query_many_cold_reuses_cache_on_repeat() {
         let (c, flood) = build_fixture();
         let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
         engine.set_patterns(flood, &[flood_pattern()]);
-        let queries = vec![vec![flood], vec![flood]];
-        let first = engine.search_many(&queries, 5);
+        let queries = vec![
+            Query::terms([flood]).top_k(5),
+            Query::terms([flood]).top_k(5),
+        ];
+        let first: Vec<_> = engine
+            .query_many(&queries)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
         // Within one batch the second (identical) query hits the cache.
-        assert_eq!(engine.cache_hits(), 1);
+        assert_eq!(engine.metrics().cache_hits, 1);
+        assert!(!first[0].stats.cache_hit);
+        assert!(first[1].stats.cache_hit);
         // A repeated batch is answered entirely from the cache — no index
         // is rebuilt for it.
-        let second = engine.search_many(&queries, 5);
-        assert_eq!(engine.cache_hits(), 3);
-        assert_eq!(first, second);
+        let second: Vec<_> = engine
+            .query_many(&queries)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(engine.metrics().cache_hits, 3);
+        assert_eq!(first[0].results, second[0].results);
+        assert_eq!(first[1].results, second[1].results);
     }
 
     #[test]
@@ -970,11 +1465,15 @@ mod tests {
             (flood, Vec::new()), // a later run retracts the pattern
         ];
         engine.set_patterns_from(&source);
-        assert!(engine.search(&[flood], 10).is_empty());
+        assert!(run(&engine, &[flood], 10).is_empty());
     }
 
     #[test]
-    fn search_many_matches_individual_searches() {
+    fn query_many_matches_one_by_one_filtered_and_unfiltered() {
+        // Regression guard for the batched union-scoring path: a batch
+        // mixing unfiltered, windowed, and regioned queries must return
+        // exactly what issuing them one by one returns — one query's
+        // filters must never leak into another's scoring.
         let (c, flood) = build_fixture();
         let cricket = c.dict().get("cricket").unwrap();
         let all_streams = CombinatorialPattern::new(
@@ -984,10 +1483,20 @@ mod tests {
             vec![],
         );
         let queries = vec![
-            vec![flood],
-            vec![cricket],
-            vec![flood, cricket],
-            vec![flood],
+            Query::terms([flood]).top_k(7),
+            Query::terms([cricket]).top_k(7),
+            Query::terms([flood, cricket]).top_k(7),
+            Query::terms([flood]).top_k(7), // repeat: in-batch cache hit
+            Query::terms([flood]).top_k(7).time_window(0..=3),
+            Query::terms([flood, cricket]).top_k(7).time_window(4..=9),
+            // Region around streams A/B only (stream C sits at (50, 50)).
+            Query::terms([flood])
+                .top_k(7)
+                .region(Rect::new(-1.0, -1.0, 2.0, 2.0)),
+            Query::terms([cricket])
+                .top_k(7)
+                .time_window(2..=8)
+                .region(Rect::new(40.0, 40.0, 60.0, 60.0)),
         ];
         for finalized in [false, true] {
             let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
@@ -996,15 +1505,303 @@ mod tests {
             if finalized {
                 engine.finalize();
             }
-            let batch = engine.search_many(&queries, 7);
+            let batch = engine.query_many(&queries);
             assert_eq!(batch.len(), queries.len());
             let mut reference = BurstySearchEngine::new(&c, EngineConfig::default());
             reference.set_cache_capacity(0);
             reference.set_patterns(flood, &[flood_pattern()]);
             reference.set_patterns(cricket, std::slice::from_ref(&all_streams));
-            for (q, got) in queries.iter().zip(&batch) {
-                assert_same_results(got, &reference.search(q, 7));
+            for (q, got) in queries.iter().zip(batch) {
+                let one_by_one = reference.query(q).unwrap();
+                assert_same_results(&got.unwrap().results, &one_by_one.results);
             }
+        }
+    }
+
+    #[test]
+    fn time_window_restricts_to_intersecting_patterns() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        engine.set_patterns(flood, &[flood_pattern()]); // timeframe 4..=6
+        let all = run(&engine, &[flood], 50);
+        // A window intersecting the pattern keeps every supported document
+        // (filters select patterns, not documents).
+        let overlapping = engine
+            .query(&Query::terms([flood]).top_k(50).time_window(6..=9))
+            .unwrap();
+        assert_same_results(&overlapping.results, &all);
+        assert!(overlapping.stats.filtered);
+        // A disjoint window removes the pattern and with it every result.
+        let disjoint = engine
+            .query(&Query::terms([flood]).top_k(50).time_window(7..=9))
+            .unwrap();
+        assert!(disjoint.results.is_empty());
+    }
+
+    #[test]
+    fn region_filter_uses_pattern_geometry() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        // Pattern over streams A(0,0) and B(1,1): its MBR is [0,1]x[0,1].
+        engine.set_patterns(flood, &[flood_pattern()]);
+        let all = run(&engine, &[flood], 50);
+        let near = engine
+            .query(
+                &Query::terms([flood])
+                    .top_k(50)
+                    .region(Rect::new(0.5, 0.5, 3.0, 3.0)),
+            )
+            .unwrap();
+        assert_same_results(&near.results, &all);
+        // A rectangle far from both streams excludes the pattern entirely.
+        let far = engine
+            .query(
+                &Query::terms([flood])
+                    .top_k(50)
+                    .region(Rect::new(40.0, 40.0, 60.0, 60.0)),
+            )
+            .unwrap();
+        assert!(far.results.is_empty());
+    }
+
+    #[test]
+    fn filters_select_among_multiple_patterns() {
+        // Two patterns of the same term with different windows and regions:
+        // filtering picks the right burstiness per document.
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        let early_ab = flood_pattern(); // streams 0,1 / 4..=6 / score 1.5
+        let late_c =
+            CombinatorialPattern::new(vec![StreamId(2)], TimeInterval::new(0, 9), 0.7, vec![]);
+        engine.set_patterns(flood, &[early_ab, late_c]);
+
+        // Window+region matching only the C pattern: every hit is from
+        // stream C and scored by the weaker pattern.
+        let only_c = engine
+            .query(
+                &Query::terms([flood])
+                    .top_k(50)
+                    .time_window(0..=3)
+                    .region(Rect::new(45.0, 45.0, 55.0, 55.0))
+                    .explain(true),
+            )
+            .unwrap();
+        assert!(!only_c.results.is_empty());
+        for (r, e) in only_c.results.iter().zip(&only_c.explanations) {
+            assert_eq!(c.document(r.doc).stream, StreamId(2));
+            assert_eq!(e.terms[0].burstiness, Some(0.7));
+            assert_eq!(e.terms[0].patterns.len(), 1);
+        }
+    }
+
+    #[test]
+    fn explanations_break_down_the_score() {
+        let (c, flood) = build_fixture();
+        let cricket = c.dict().get("cricket").unwrap();
+        let all_streams = CombinatorialPattern::new(
+            vec![StreamId(0), StreamId(1), StreamId(2)],
+            TimeInterval::new(0, 9),
+            0.3,
+            vec![],
+        );
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        engine.set_patterns(flood, &[flood_pattern()]);
+        engine.set_patterns(cricket, std::slice::from_ref(&all_streams));
+        engine.finalize_with_threads(2);
+
+        let response = engine
+            .query(&Query::terms([flood, cricket]).top_k(10).explain(true))
+            .unwrap();
+        assert!(!response.results.is_empty());
+        assert_eq!(response.results.len(), response.explanations.len());
+        for (r, e) in response.results.iter().zip(&response.explanations) {
+            assert_eq!(r.doc, e.doc);
+            // The per-term contributions reconstruct the score exactly.
+            assert_eq!(e.total, r.score);
+            assert_eq!(e.terms.len(), 2);
+            let sum: f64 = e.terms.iter().map(|t| t.contribution).sum();
+            assert_eq!(sum, e.total);
+            for t in &e.terms {
+                let b = t.burstiness.expect("Exclude policy: every term matched");
+                assert_eq!(t.contribution, t.relevance * b);
+                assert!(!t.patterns.is_empty());
+                for p in &t.patterns {
+                    assert!(p.region.is_some(), "stored geometry must be exposed");
+                }
+            }
+        }
+        // A cache hit still explains (explanations are never cached).
+        let again = engine
+            .query(&Query::terms([flood, cricket]).top_k(10).explain(true))
+            .unwrap();
+        assert!(again.stats.cache_hit);
+        assert_eq!(again.explanations, response.explanations);
+    }
+
+    #[test]
+    fn structured_errors_cover_malformed_queries() {
+        let (c, flood) = build_fixture();
+        let engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        assert_eq!(
+            engine.query(&Query::terms([] as [TermId; 0])),
+            Err(QueryError::EmptyQuery)
+        );
+        assert_eq!(
+            engine.query(&Query::terms([flood]).top_k(0)),
+            Err(QueryError::ZeroTopK)
+        );
+        #[allow(clippy::reversed_empty_ranges)] // the empty window IS the case under test
+        let inverted = Query::terms([flood]).time_window(7..=3);
+        assert_eq!(
+            engine.query(&inverted),
+            Err(QueryError::EmptyTimeWindow { start: 7, end: 3 })
+        );
+        // `Rect::new`'s min/max normalization absorbs a single NaN corner,
+        // so build the pathological rectangle field by field.
+        let nan_rect = Rect {
+            min_x: f64::NAN,
+            min_y: 0.0,
+            max_x: 1.0,
+            max_y: 1.0,
+        };
+        assert!(matches!(
+            engine.query(&Query::terms([flood]).region(nan_rect)),
+            Err(QueryError::InvalidRegion { .. })
+        ));
+    }
+
+    #[test]
+    fn per_query_relevance_override_matches_reconfigured_engine() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        engine.set_patterns(flood, &[flood_pattern()]);
+        engine.finalize_with_threads(2);
+
+        let mut raw_engine = BurstySearchEngine::new(
+            &c,
+            EngineConfig::builder()
+                .relevance(Relevance::RawFreq)
+                .build(),
+        );
+        raw_engine.set_cache_capacity(0);
+        raw_engine.set_patterns(flood, &[flood_pattern()]);
+
+        let overridden = engine
+            .query(
+                &Query::terms([flood])
+                    .top_k(10)
+                    .relevance(Relevance::RawFreq),
+            )
+            .unwrap();
+        // The override bypasses the prebuilt lists (they embed LogFreq).
+        assert!(!overridden.stats.served_from_prebuilt);
+        assert_same_results(&overridden.results, &run(&raw_engine, &[flood], 10));
+        // The default-config query is unaffected and still served prebuilt.
+        let default = engine.query(&Query::terms([flood]).top_k(10)).unwrap();
+        assert!(default.stats.served_from_prebuilt);
+        assert_same_results(&default.results, &run(&engine, &[flood], 10));
+    }
+
+    #[test]
+    fn stats_report_execution_path() {
+        let (c, flood) = build_fixture();
+        let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+        engine.set_patterns(flood, &[flood_pattern()]);
+        let q = Query::terms([flood]).top_k(3);
+
+        let cold = engine.query(&q).unwrap();
+        assert!(!cold.stats.cache_hit);
+        assert!(!cold.stats.served_from_prebuilt);
+        assert!(cold.stats.postings_scanned > 0);
+        assert_eq!(cold.stats.terms, 1);
+
+        let hit = engine.query(&q).unwrap();
+        assert!(hit.stats.cache_hit);
+        assert_eq!(hit.stats.postings_scanned, 0);
+
+        engine.finalize_with_threads(2);
+        let prebuilt = engine.query(&q).unwrap();
+        assert!(prebuilt.stats.served_from_prebuilt);
+        assert!(!prebuilt.stats.cache_hit);
+    }
+
+    #[test]
+    fn engine_config_builder_defaults_match_default() {
+        assert_eq!(EngineConfig::builder().build(), EngineConfig::default());
+        let custom = EngineConfig::builder()
+            .relevance(Relevance::TfIdf)
+            .aggregation(BurstinessAgg::Mean)
+            .no_pattern(NoPatternPolicy::Zero)
+            .build();
+        assert_eq!(custom.relevance, Relevance::TfIdf);
+        assert_eq!(custom.aggregation, BurstinessAgg::Mean);
+        assert_eq!(custom.no_pattern, NoPatternPolicy::Zero);
+    }
+
+    /// The legacy trio must keep compiling and behaving exactly as before
+    /// while the workspace migrates to the typed API.
+    #[allow(deprecated)]
+    mod deprecated_shims {
+        use super::*;
+
+        #[test]
+        fn search_matches_query() {
+            let (c, flood) = build_fixture();
+            let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+            engine.set_patterns(flood, &[flood_pattern()]);
+            assert_same_results(&engine.search(&[flood], 6), &run(&engine, &[flood], 6));
+            // Degenerate inputs collapse to empty results, as they always did.
+            assert!(engine.search(&[], 5).is_empty());
+            assert!(engine.search(&[flood], 0).is_empty());
+        }
+
+        #[test]
+        fn search_text_follows_no_pattern_policy() {
+            let (c, flood) = build_fixture();
+            // Exclude: a query containing an unknown word matches nothing.
+            let mut strict = BurstySearchEngine::new(&c, EngineConfig::default());
+            strict.set_patterns(flood, &[flood_pattern()]);
+            assert!(!strict.search_text("flood", 5).is_empty());
+            assert!(strict.search_text("flood unknownterm", 5).is_empty());
+            // Zero: unknown words are dropped.
+            let mut lenient = BurstySearchEngine::new(
+                &c,
+                EngineConfig::builder()
+                    .no_pattern(NoPatternPolicy::Zero)
+                    .build(),
+            );
+            lenient.set_patterns(flood, &[flood_pattern()]);
+            assert_eq!(
+                lenient.search_text("Flood unknownterm", 5).len(),
+                lenient.search_text("Flood", 5).len()
+            );
+            assert!(lenient.search_text("unknownterm", 5).is_empty());
+        }
+
+        #[test]
+        fn search_many_matches_individual_searches() {
+            let (c, flood) = build_fixture();
+            let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+            engine.set_patterns(flood, &[flood_pattern()]);
+            let queries = vec![vec![flood], vec![], vec![flood]];
+            let batch = engine.search_many(&queries, 5);
+            assert_eq!(batch.len(), 3);
+            assert_same_results(&batch[0], &engine.search(&[flood], 5));
+            assert!(batch[1].is_empty());
+            assert_same_results(&batch[2], &batch[0]);
+        }
+
+        #[test]
+        fn cache_counter_forwarders_agree_with_metrics() {
+            let (c, flood) = build_fixture();
+            let mut engine = BurstySearchEngine::new(&c, EngineConfig::default());
+            engine.set_patterns(flood, &[flood_pattern()]);
+            let _ = engine.search(&[flood], 5);
+            let _ = engine.search(&[flood], 5);
+            let m = engine.metrics();
+            assert_eq!(engine.cache_hits(), m.cache_hits);
+            assert_eq!(engine.cache_misses(), m.cache_misses);
+            assert_eq!(engine.cache_len(), m.cache_len);
         }
     }
 }

@@ -14,13 +14,22 @@
 //! both its stream of origin and its timestamp (Eq. 11; the paper found the
 //! maximum to work best).
 //!
+//! Queries enter through the typed spatiotemporal DSL ([`Query`] →
+//! [`BurstySearchEngine::query`] → `Result<QueryResponse, QueryError>`):
+//! term or text queries with optional `time_window`/`region` filters that
+//! restrict scoring to the patterns intersecting both, per-document
+//! explanations of the Eq. 10–11 factors, and execution statistics. The
+//! historical `search`/`search_many`/`search_text` trio remains as thin
+//! deprecated shims over the DSL.
+//!
 //! Retrieval uses a classic IR architecture: an [`InvertedIndex`] with
 //! per-term postings sorted by score, queried with Fagin's Threshold
 //! Algorithm ([`threshold_topk`]) for early-terminating top-k evaluation.
 //! For serving repeated query traffic, [`BurstySearchEngine::finalize`]
 //! prebuilds the whole collection's scored posting lists in parallel, an
-//! LRU [`cache::QueryCache`] short-circuits repeated queries, and
-//! [`BurstySearchEngine::search_many`] batches whole workloads.
+//! LRU [`cache::QueryCache`] short-circuits repeated queries (keyed on the
+//! full canonical query, filters included), and
+//! [`BurstySearchEngine::query_many`] batches whole workloads.
 //!
 //! The engine owns its collection as an `Arc` snapshot, so queries can be
 //! served concurrently with ingestion: the `stb-ingest` pipeline swaps in
@@ -35,15 +44,23 @@
 pub mod burstiness;
 pub mod cache;
 pub mod engine;
+pub mod error;
 pub mod index;
+pub mod query;
 pub mod relevance;
 pub mod threshold;
 
 pub use burstiness::{BurstinessAgg, NoPatternPolicy};
 pub use cache::{QueryCache, QueryKey};
 pub use engine::{
-    BurstySearchEngine, EngineConfig, EngineMetrics, SearchResult, DEFAULT_CACHE_CAPACITY,
+    BurstySearchEngine, EngineConfig, EngineConfigBuilder, EngineMetrics, SearchResult,
+    DEFAULT_CACHE_CAPACITY,
 };
+pub use error::QueryError;
 pub use index::{InvertedIndex, Posting};
+pub use query::{
+    DocExplanation, PatternMatch, Query, QueryResponse, QueryStats, TermExplanation, UnknownWords,
+    DEFAULT_TOP_K,
+};
 pub use relevance::Relevance;
-pub use threshold::threshold_topk;
+pub use threshold::{threshold_topk, threshold_topk_with_stats, TopkStats};

@@ -75,6 +75,24 @@ fn full_score(index: &InvertedIndex, query: &[TermId], doc: DocId, policy: NoPat
     total
 }
 
+/// How much work one top-k evaluation did — and, thanks to early
+/// termination, did not do.
+///
+/// The counters are exact for the sorted-access phase: `postings_scanned`
+/// counts every posting visited in depth order, `candidates_pruned` counts
+/// the postings left unread when the threshold bound allowed the algorithm
+/// to stop. The two always sum to the total length of the query terms'
+/// posting lists, so the pair doubles as a direct measure of how effective
+/// the early termination was — filtered queries shrink the lists *before*
+/// the scan, so the bound applies to filtered lists unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TopkStats {
+    /// Postings read by sorted access.
+    pub postings_scanned: usize,
+    /// Postings never read because the algorithm terminated early.
+    pub candidates_pruned: usize,
+}
+
 /// Runs the Threshold Algorithm over the query terms and returns the top-`k`
 /// documents by total score, best first.
 ///
@@ -85,10 +103,23 @@ pub fn threshold_topk(
     k: usize,
     policy: NoPatternPolicy,
 ) -> Vec<ScoredDoc> {
+    threshold_topk_with_stats(index, query, k, policy).0
+}
+
+/// [`threshold_topk`] plus the [`TopkStats`] of the evaluation — the
+/// serving path uses this to report per-query execution statistics.
+pub fn threshold_topk_with_stats(
+    index: &InvertedIndex,
+    query: &[TermId],
+    k: usize,
+    policy: NoPatternPolicy,
+) -> (Vec<ScoredDoc>, TopkStats) {
+    let mut stats = TopkStats::default();
     if k == 0 || query.is_empty() {
-        return Vec::new();
+        return (Vec::new(), stats);
     }
     let lists: Vec<&[crate::index::Posting]> = query.iter().map(|&t| index.postings(t)).collect();
+    let total_postings: usize = lists.iter().map(|l| l.len()).sum();
     let max_depth = lists.iter().map(|l| l.len()).max().unwrap_or(0);
 
     let mut seen: HashSet<DocId> = HashSet::new();
@@ -106,6 +137,7 @@ pub fn threshold_topk(
         let mut threshold = 0.0;
         for list in &lists {
             if let Some(p) = list.get(depth) {
+                stats.postings_scanned += 1;
                 threshold += match policy {
                     NoPatternPolicy::Zero => p.score.max(0.0),
                     NoPatternPolicy::Exclude => p.score,
@@ -131,6 +163,7 @@ pub fn threshold_topk(
         }
     }
 
+    stats.candidates_pruned = total_postings - stats.postings_scanned;
     let mut results: Vec<ScoredDoc> = heap
         .into_iter()
         .map(|e| ScoredDoc {
@@ -144,7 +177,7 @@ pub fn threshold_topk(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.doc.cmp(&b.doc))
     });
-    results
+    (results, stats)
 }
 
 /// Exhaustive top-k evaluation (scores every document appearing in any query
@@ -278,6 +311,32 @@ mod tests {
         let top = threshold_topk(&idx, &[term(0), term(9)], 5, NoPatternPolicy::Zero);
         assert_eq!(top.len(), 3);
         assert_eq!(top[0].doc, doc(1));
+    }
+
+    #[test]
+    fn stats_partition_the_posting_lists() {
+        let idx = sample_index();
+        for k in [1, 2, 5] {
+            for policy in [NoPatternPolicy::Zero, NoPatternPolicy::Exclude] {
+                let (results, stats) =
+                    threshold_topk_with_stats(&idx, &[term(0), term(1)], k, policy);
+                assert_eq!(
+                    results,
+                    threshold_topk(&idx, &[term(0), term(1)], k, policy)
+                );
+                // Scanned + pruned always account for every posting.
+                assert_eq!(stats.postings_scanned + stats.candidates_pruned, 6);
+                assert!(stats.postings_scanned >= results.len().min(k));
+            }
+        }
+        // k=1 under Zero terminates early: doc2 (score 6) beats the depth-1
+        // threshold (3 + 2.5), so depth 2 is never read.
+        let (_, stats) =
+            threshold_topk_with_stats(&idx, &[term(0), term(1)], 1, NoPatternPolicy::Zero);
+        assert!(stats.candidates_pruned > 0);
+        // Degenerate queries do no work at all.
+        let (_, stats) = threshold_topk_with_stats(&idx, &[], 5, NoPatternPolicy::Zero);
+        assert_eq!(stats, TopkStats::default());
     }
 
     #[test]

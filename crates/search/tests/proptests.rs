@@ -1,15 +1,18 @@
 //! Property-based tests for the search engine: the Threshold Algorithm must
-//! always agree with exhaustive evaluation, and the serving path (prebuilt
-//! index + query cache) must be indistinguishable from cold evaluation.
+//! always agree with exhaustive evaluation, the serving path (prebuilt
+//! index + query cache) must be indistinguishable from cold evaluation, and
+//! a spatiotemporally filtered `Query` must be byte-identical to an
+//! exhaustive search whose pattern set was post-filtered by geometry.
 
 use proptest::prelude::*;
 use proptest::TestCaseError;
-use stb_core::CombinatorialPattern;
+use stb_core::{CombinatorialPattern, PatternGeometry, RegionalPattern};
 use stb_corpus::{Collection, CollectionBuilder, DocId, StreamId, TermId};
-use stb_geo::GeoPoint;
+use stb_geo::{GeoPoint, Rect};
 use stb_search::threshold::exhaustive_topk;
 use stb_search::{
-    threshold_topk, BurstySearchEngine, EngineConfig, InvertedIndex, NoPatternPolicy,
+    threshold_topk, BurstySearchEngine, EngineConfig, InvertedIndex, NoPatternPolicy, Query,
+    QueryKey, SearchResult,
 };
 use stb_timeseries::TimeInterval;
 use std::collections::HashMap;
@@ -34,6 +37,12 @@ fn arb_index() -> impl Strategy<Value = InvertedIndex> {
 type DocSpec = (u32, usize, Vec<(u32, u32)>);
 /// Pattern blueprint: (term, stream bitmask, start, extra length, score).
 type PatternSpec = (u32, u8, usize, usize, f64);
+/// Regional-pattern blueprint: (term, stream bitmask, start, extra length,
+/// score, (rect corner, rect extent)).
+type RegionalSpec = (u32, u8, usize, usize, f64, ((f64, f64), (f64, f64)));
+/// Spatiotemporal filter blueprint: optional (start, extra) window and
+/// optional (corner, extent) region.
+type FilterSpec = (Option<(usize, usize)>, Option<((f64, f64), (f64, f64))>);
 
 const N_STREAMS: u32 = 4;
 const N_TERMS: u32 = 4;
@@ -57,6 +66,27 @@ fn arb_patterns() -> impl Strategy<Value = Vec<PatternSpec>> {
     )
 }
 
+fn arb_regional_patterns() -> impl Strategy<Value = Vec<RegionalSpec>> {
+    prop::collection::vec(
+        (
+            0..N_TERMS,
+            1u8..16,
+            0..TIMELINE,
+            0usize..4,
+            0.1f64..3.0,
+            ((-1.0f64..2.0, -1.0f64..5.0), (0.0f64..2.5, 0.0f64..4.0)),
+        ),
+        0..8,
+    )
+}
+
+fn arb_filter() -> impl Strategy<Value = FilterSpec> {
+    (
+        prop::option::of((0..TIMELINE, 0usize..4)),
+        prop::option::of(((-1.0f64..2.0, -1.0f64..5.0), (0.0f64..2.5, 0.0f64..4.0))),
+    )
+}
+
 fn build_collection(docs: &[DocSpec]) -> Collection {
     let mut b = CollectionBuilder::new(TIMELINE);
     // Intern the whole vocabulary up front so TermId(0..N_TERMS) all exist.
@@ -76,20 +106,89 @@ fn build_collection(docs: &[DocSpec]) -> Collection {
     b.build()
 }
 
+fn spec_streams(mask: u8) -> Vec<StreamId> {
+    (0..N_STREAMS)
+        .filter(|s| mask & (1 << s) != 0)
+        .map(StreamId)
+        .collect()
+}
+
+fn spec_timeframe(start: usize, extra: usize) -> TimeInterval {
+    TimeInterval::new(start, (start + extra).min(TIMELINE - 1))
+}
+
 fn patterns_by_term(specs: &[PatternSpec]) -> HashMap<TermId, Vec<CombinatorialPattern>> {
     let mut by_term: HashMap<TermId, Vec<CombinatorialPattern>> = HashMap::new();
     for &(term, mask, start, extra, score) in specs {
-        let streams: Vec<StreamId> = (0..N_STREAMS)
-            .filter(|s| mask & (1 << s) != 0)
-            .map(StreamId)
-            .collect();
-        let timeframe = TimeInterval::new(start, (start + extra).min(TIMELINE - 1));
         by_term
             .entry(TermId(term))
             .or_default()
-            .push(CombinatorialPattern::new(streams, timeframe, score, vec![]));
+            .push(CombinatorialPattern::new(
+                spec_streams(mask),
+                spec_timeframe(start, extra),
+                score,
+                vec![],
+            ));
     }
     by_term
+}
+
+fn regional_by_term(specs: &[RegionalSpec]) -> HashMap<TermId, Vec<RegionalPattern>> {
+    let mut by_term: HashMap<TermId, Vec<RegionalPattern>> = HashMap::new();
+    for &(term, mask, start, extra, score, ((x, y), (w, h))) in specs {
+        by_term
+            .entry(TermId(term))
+            .or_default()
+            .push(RegionalPattern::new(
+                Rect::new(x, y, x + w, y + h),
+                spec_streams(mask),
+                spec_timeframe(start, extra),
+                score,
+            ));
+    }
+    by_term
+}
+
+fn filter_query(base: Query, filter: &FilterSpec) -> Query {
+    let mut q = base;
+    if let Some((start, extra)) = filter.0 {
+        q = q.time_window(start..=(start + extra).min(TIMELINE - 1));
+    }
+    if let Some(((x, y), (w, h))) = filter.1 {
+        q = q.region(Rect::new(x, y, x + w, y + h));
+    }
+    q
+}
+
+/// Drops every pattern that fails the filter, using the same geometry the
+/// engine filters by (`PatternGeometry` over the collection's positions) —
+/// the oracle the filtered query path is checked against.
+fn post_filter<P: PatternGeometry + Clone>(
+    by_term: &HashMap<TermId, Vec<P>>,
+    collection: &Collection,
+    filter: &FilterSpec,
+) -> HashMap<TermId, Vec<P>> {
+    let positions = collection.positions();
+    let window = filter.0.map(|(start, extra)| spec_timeframe(start, extra));
+    let region = filter
+        .1
+        .map(|((x, y), (w, h))| Rect::new(x, y, x + w, y + h));
+    by_term
+        .iter()
+        .map(|(&term, patterns)| {
+            let kept: Vec<P> = patterns
+                .iter()
+                .filter(|p| {
+                    window.is_none_or(|w| p.timeframe().overlaps(&w))
+                        && region.is_none_or(|r| {
+                            p.region(&positions).is_some_and(|pr| pr.intersects(&r))
+                        })
+                })
+                .cloned()
+                .collect();
+            (term, kept)
+        })
+        .collect()
 }
 
 fn sample_queries() -> [Vec<TermId>; 4] {
@@ -101,14 +200,38 @@ fn sample_queries() -> [Vec<TermId>; 4] {
     ]
 }
 
-fn assert_same(
-    a: &[stb_search::SearchResult],
-    b: &[stb_search::SearchResult],
-) -> Result<(), TestCaseError> {
+fn config_for(zero: bool) -> EngineConfig {
+    EngineConfig::builder()
+        .no_pattern(if zero {
+            NoPatternPolicy::Zero
+        } else {
+            NoPatternPolicy::Exclude
+        })
+        .build()
+}
+
+fn run(engine: &BurstySearchEngine, terms: &[TermId], k: usize) -> Vec<SearchResult> {
+    engine
+        .query(&Query::terms(terms.iter().copied()).top_k(k))
+        .map(|r| r.results)
+        .unwrap_or_default()
+}
+
+fn assert_same(a: &[SearchResult], b: &[SearchResult]) -> Result<(), TestCaseError> {
     prop_assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(b) {
         prop_assert_eq!(x.doc, y.doc);
         prop_assert!((x.score - y.score).abs() < 1e-9);
+    }
+    Ok(())
+}
+
+/// Byte-identical comparison: same documents, bitwise-equal scores.
+fn assert_identical(a: &[SearchResult], b: &[SearchResult]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        prop_assert_eq!(x.doc, y.doc);
+        prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
     }
     Ok(())
 }
@@ -123,10 +246,7 @@ proptest! {
     ) {
         let collection = build_collection(&docs);
         let by_term = patterns_by_term(&specs);
-        let config = EngineConfig {
-            no_pattern: if zero { NoPatternPolicy::Zero } else { NoPatternPolicy::Exclude },
-            ..Default::default()
-        };
+        let config = config_for(zero);
 
         // Reference: cold engine, caching disabled — every search is a
         // from-scratch evaluation.
@@ -143,10 +263,10 @@ proptest! {
         // still agree with the cold engine.
         for _round in 0..2 {
             for query in &sample_queries() {
-                assert_same(&cold.search(query, k), &hot.search(query, k))?;
+                assert_same(&run(&cold, query, k), &run(&hot, query, k))?;
             }
         }
-        prop_assert!(hot.cache_hits() >= sample_queries().len() as u64);
+        prop_assert!(hot.metrics().cache_hits >= sample_queries().len() as u64);
     }
 
     #[test]
@@ -164,7 +284,7 @@ proptest! {
         hot.finalize_with_threads(2);
         // Populate the cache with results for the original patterns.
         for query in &sample_queries() {
-            let _ = hot.search(query, k);
+            let _ = run(&hot, query, k);
         }
 
         // Change TermId(0)'s patterns: double scores, or create a pattern
@@ -190,7 +310,140 @@ proptest! {
         reference.set_cache_capacity(0);
         reference.set_patterns_from(&by_term);
         for query in &sample_queries() {
-            assert_same(&reference.search(query, k), &hot.search(query, k))?;
+            assert_same(&run(&reference, query, k), &run(&hot, query, k))?;
+        }
+    }
+
+    /// The tentpole equivalence: a `Query` with time/region filters equals
+    /// an exhaustive (unfiltered) search over the geometrically
+    /// post-filtered pattern set, byte-identically — for combinatorial
+    /// (MBR-located) patterns, with the cache on and off, finalized or not.
+    #[test]
+    fn filtered_query_matches_postfilter_oracle_combinatorial(
+        docs in arb_docs(),
+        specs in arb_patterns(),
+        filter in arb_filter(),
+        k in 1usize..8,
+        zero in proptest::bool::ANY,
+        finalized in proptest::bool::ANY
+    ) {
+        let collection = build_collection(&docs);
+        let by_term = patterns_by_term(&specs);
+        let config = config_for(zero);
+
+        let mut engine = BurstySearchEngine::new(&collection, config);
+        engine.set_patterns_from(&by_term);
+        if finalized {
+            engine.finalize_with_threads(2);
+        }
+        let mut uncached = BurstySearchEngine::new(&collection, config);
+        uncached.set_cache_capacity(0);
+        uncached.set_patterns_from(&by_term);
+
+        // Oracle: unfiltered engine over the post-filtered pattern set.
+        let mut oracle = BurstySearchEngine::new(&collection, config);
+        oracle.set_cache_capacity(0);
+        oracle.set_patterns_from(&post_filter(&by_term, &collection, &filter));
+
+        for terms in &sample_queries() {
+            let q = filter_query(Query::terms(terms.iter().copied()).top_k(k), &filter);
+            let expect = run(&oracle, terms, k);
+            // Cached engine, twice (second round from the cache).
+            for _ in 0..2 {
+                assert_identical(&engine.query(&q).unwrap().results, &expect)?;
+            }
+            assert_identical(&uncached.query(&q).unwrap().results, &expect)?;
+        }
+    }
+
+    /// Same equivalence for regional (`STLocal`-shaped) patterns, whose
+    /// geometry is the mined rectangle rather than a stream MBR.
+    #[test]
+    fn filtered_query_matches_postfilter_oracle_regional(
+        docs in arb_docs(),
+        specs in arb_regional_patterns(),
+        filter in arb_filter(),
+        k in 1usize..8,
+        zero in proptest::bool::ANY,
+        finalized in proptest::bool::ANY
+    ) {
+        let collection = build_collection(&docs);
+        let by_term = regional_by_term(&specs);
+        let config = config_for(zero);
+
+        let mut engine = BurstySearchEngine::new(&collection, config);
+        engine.set_patterns_from(&by_term);
+        if finalized {
+            engine.finalize_with_threads(2);
+        }
+        let mut oracle = BurstySearchEngine::new(&collection, config);
+        oracle.set_cache_capacity(0);
+        oracle.set_patterns_from(&post_filter(&by_term, &collection, &filter));
+
+        for terms in &sample_queries() {
+            let q = filter_query(Query::terms(terms.iter().copied()).top_k(k), &filter);
+            let expect = run(&oracle, terms, k);
+            for _ in 0..2 {
+                assert_identical(&engine.query(&q).unwrap().results, &expect)?;
+            }
+        }
+    }
+
+    /// Queries differing only in their window/region must never share a
+    /// cache entry: interleaving differently-filtered queries on one cached
+    /// engine returns exactly what a cache-disabled engine returns.
+    #[test]
+    fn differently_filtered_queries_never_collide_in_the_cache(
+        docs in arb_docs(),
+        specs in arb_patterns(),
+        filters in prop::collection::vec(arb_filter(), 2..5),
+        k in 1usize..8
+    ) {
+        let collection = build_collection(&docs);
+        let by_term = patterns_by_term(&specs);
+        let config = EngineConfig::default();
+
+        let mut cached = BurstySearchEngine::new(&collection, config);
+        cached.set_patterns_from(&by_term);
+        cached.finalize_with_threads(2);
+        let mut uncached = BurstySearchEngine::new(&collection, config);
+        uncached.set_cache_capacity(0);
+        uncached.set_patterns_from(&by_term);
+
+        let terms = vec![TermId(0), TermId(1)];
+        // Two interleaved rounds so every filter variant both populates and
+        // re-reads the cache with the others in between.
+        for _round in 0..2 {
+            for filter in &filters {
+                let q = filter_query(Query::terms(terms.iter().copied()).top_k(k), filter);
+                assert_identical(
+                    &cached.query(&q).unwrap().results,
+                    &uncached.query(&q).unwrap().results,
+                )?;
+            }
+        }
+        // And the canonical keys themselves are pairwise distinct whenever
+        // the canonicalized filters are (different specs may clamp to the
+        // same window, which legitimately shares a key).
+        let canonical: Vec<(Option<TimeInterval>, Option<Rect>)> = filters
+            .iter()
+            .map(|f| {
+                (
+                    f.0.map(|(s, e)| spec_timeframe(s, e)),
+                    f.1.map(|((x, y), (w, h))| Rect::new(x, y, x + w, y + h)),
+                )
+            })
+            .collect();
+        let keys: Vec<QueryKey> = canonical
+            .iter()
+            .map(|&(window, region)| QueryKey::canonical(&terms, k, config, window, region))
+            .collect();
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate().skip(i + 1) {
+                if canonical[i] != canonical[j] {
+                    prop_assert_ne!(a, b);
+                }
+            }
         }
     }
 }

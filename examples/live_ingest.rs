@@ -13,7 +13,7 @@
 
 use stburst::corpus::Tokenizer;
 use stburst::geo::GeoPoint;
-use stburst::ingest::{IngestConfig, IngestPipeline};
+use stburst::ingest::{IngestConfig, IngestPipeline, Query, UnknownWords};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
@@ -58,7 +58,17 @@ fn main() {
                         // recent committed tick so the report attributes the
                         // hit to the state actually being queried.
                         let tick = tick_rx.try_iter().last().unwrap_or(tick);
-                        let hits = query_handle.search_text("earthquake", 3);
+                        // The burst term may not have been ingested yet, so
+                        // unknown words resolve to an empty response rather
+                        // than an error.
+                        let hits = query_handle
+                            .query(
+                                &Query::text("earthquake")
+                                    .top_k(3)
+                                    .unknown_words(UnknownWords::EmptyResponse),
+                            )
+                            .expect("valid query")
+                            .results;
                         answered += 1;
                         if !hits.is_empty() && first_hit_tick.is_none() {
                             first_hit_tick = Some(tick);
@@ -116,7 +126,11 @@ fn main() {
     // Final state: the burst documents rank first.
     println!("\ntop earthquake documents after ingest:");
     let collection = handle.collection();
-    for (rank, hit) in handle.search_text("earthquake", 5).iter().enumerate() {
+    let top = handle
+        .query(&Query::text("earthquake").top_k(5))
+        .expect("term ingested by now")
+        .results;
+    for (rank, hit) in top.iter().enumerate() {
         let doc = collection.document(hit.doc);
         println!(
             "  {:>2}. score {:>7.3}  day {:>2}  {}",

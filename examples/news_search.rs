@@ -13,7 +13,7 @@
 use stburst::core::STComb;
 use stburst::corpus::TermId;
 use stburst::datagen::{TopixConfig, TopixCorpus};
-use stburst::search::{BurstySearchEngine, EngineConfig};
+use stburst::search::{BurstySearchEngine, EngineConfig, Query};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,26 +67,59 @@ fn main() {
     engine.finalize();
     println!("\nPrebuilt posting index in {:.1?}", t0.elapsed());
 
-    // Retrieve the top-10 bursty documents.
+    // Retrieve the top-10 bursty documents through the typed query DSL,
+    // with per-document explanations of the Eq. 10–11 factors.
     println!("Top documents for query '{query_text}':");
-    for (rank, hit) in engine.search(&query, 10).iter().enumerate() {
+    let typed = Query::terms(query.iter().copied()).top_k(10).explain(true);
+    let response = engine.query(&typed).expect("valid query");
+    for (rank, (hit, why)) in response
+        .results
+        .iter()
+        .zip(&response.explanations)
+        .enumerate()
+    {
         let doc = collection.document(hit.doc);
         let country = &collection.stream(doc.stream).name;
+        let pattern = why.terms[0].patterns.first();
         println!(
-            "  {:>2}. score {:>8.3}  week {:>2}  {}",
+            "  {:>2}. score {:>8.3}  week {:>2}  {}  (pattern {})",
             rank + 1,
             hit.score,
             doc.timestamp,
-            country
+            country,
+            pattern.map_or("-".to_string(), |p| p.interval.to_string()),
+        );
+    }
+
+    // The canonical spatiotemporal question: the same terms, restricted to
+    // the burst window and map region of the top hit's pattern.
+    if let Some(top_pattern) = response
+        .explanations
+        .first()
+        .and_then(|e| e.terms[0].patterns.first())
+    {
+        let (interval, region) = (top_pattern.interval, top_pattern.region);
+        let mut focused = Query::terms(query.iter().copied())
+            .top_k(10)
+            .time_window(interval.start..=interval.end);
+        if let Some(rect) = region {
+            focused = focused.region(rect);
+        }
+        let focused_hits = engine.query(&focused).expect("valid query");
+        println!(
+            "\nRestricted to window {} and the pattern's region: {} documents",
+            interval,
+            focused_hits.results.len()
         );
     }
 
     // The same query again is a cache hit.
     let t1 = std::time::Instant::now();
-    let _ = engine.search(&query, 10);
+    let again = engine.query(&typed).expect("valid query");
     println!(
-        "\nRepeated query answered in {:.1?} ({} cache hits)",
+        "\nRepeated query answered in {:.1?} (cache hit: {}, {} cache hits total)",
         t1.elapsed(),
-        engine.cache_hits()
+        again.stats.cache_hit,
+        engine.metrics().cache_hits
     );
 }

@@ -14,7 +14,8 @@ use std::collections::HashMap;
 
 use stburst::core::{Pattern, STComb, STLocal, STLocalConfig};
 use stburst::corpus::CollectionBuilder;
-use stburst::geo::GeoPoint;
+use stburst::geo::{GeoPoint, Rect};
+use stburst::search::{BurstySearchEngine, EngineConfig, Query};
 
 fn main() {
     // 1. Build a collection: five streams (cities), 30 daily timestamps.
@@ -94,4 +95,39 @@ fn main() {
         println!("  San Jose, day 14 -> {}", top.overlaps(streams[0], 14));
         println!("  Tokyo,    day 14 -> {}", top.overlaps(streams[4], 14));
     }
+
+    // 7. Serve the mined patterns through the typed query DSL: "which
+    //    documents were bursty for 'earthquake' in this window, in this
+    //    region?" — the canonical spatiotemporal question, one call.
+    println!("== Typed spatiotemporal query ==");
+    let mut engine = BurstySearchEngine::new(&collection, EngineConfig::default());
+    engine.set_patterns(quake, &patterns);
+    engine.finalize();
+    let costa_rica = Rect::new(-85.0, 9.0, -83.0, 11.0); // lon x lat
+    let response = engine
+        .query(
+            &Query::text("earthquake")
+                .time_window(12..=16)
+                .region(costa_rica)
+                .top_k(3)
+                .explain(true),
+        )
+        .expect("valid query");
+    for (hit, why) in response.results.iter().zip(&response.explanations) {
+        let doc = collection.document(hit.doc);
+        let matched = &why.terms[0].patterns[0];
+        println!(
+            "  score {:>6.2}  day {:>2}  {}  (pattern days {}, region {})",
+            hit.score,
+            doc.timestamp,
+            collection.stream(doc.stream).name,
+            matched.interval,
+            matched.region.map_or("-".into(), |r| r.to_string()),
+        );
+    }
+    // A disjoint window returns nothing: the filter is part of the query.
+    let off_window = engine
+        .query(&Query::text("earthquake").time_window(0..=5).top_k(3))
+        .expect("valid query");
+    println!("  days 0..=5 instead: {} hits", off_window.results.len());
 }

@@ -16,7 +16,8 @@
 //! * [`discrepancy`] — max-weight rectangles and the R-Bursty algorithm.
 //! * [`core`] — the paper's contribution: STComb, STLocal, baselines,
 //!   evaluation metrics.
-//! * [`search`] — the bursty-document search engine.
+//! * [`search`] — the bursty-document search engine and its typed
+//!   spatiotemporal query DSL (`Query` → `QueryResponse`/`QueryError`).
 //! * [`ingest`] — live ingestion: incremental mining, per-term index
 //!   deltas, queries served concurrently with document arrival.
 //! * [`datagen`] — synthetic data generators (distGen, randGen, Topix-like

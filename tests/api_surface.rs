@@ -1,0 +1,306 @@
+//! Public-API surface snapshot: exercises every documented entry point of
+//! the facade so that a future signature change fails *this* test (and CI)
+//! instead of silently breaking downstream callers. Keep additions here in
+//! lockstep with README/ARCHITECTURE — a deliberate API break should edit
+//! this file in the same commit.
+//!
+//! The test is mostly compile-pass: the assertions are deliberately light,
+//! the point is that the names, signatures, field sets, and trait bounds
+//! below keep existing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use stburst::core::{
+    CombinatorialPattern, Pattern, PatternGeometry, PatternSource, RegionalPattern, STComb,
+    STCombConfig, STLocal, STLocalConfig, TB,
+};
+use stburst::corpus::{Collection, CollectionBuilder, DocId, StreamId, TermId, Tokenizer};
+use stburst::geo::{GeoPoint, Mbr, Point2D, Rect};
+use stburst::ingest::{
+    replay_tsv, IngestConfig, IngestPipeline, MinerKind, PatternDelta, PipelineMetrics,
+    SearchHandle, TickReceipt,
+};
+use stburst::search::{
+    threshold_topk, threshold_topk_with_stats, BurstinessAgg, BurstySearchEngine, DocExplanation,
+    EngineConfig, EngineMetrics, InvertedIndex, NoPatternPolicy, PatternMatch, Posting, Query,
+    QueryError, QueryKey, QueryResponse, QueryStats, Relevance, SearchResult, TermExplanation,
+    TopkStats, UnknownWords, DEFAULT_CACHE_CAPACITY, DEFAULT_TOP_K,
+};
+use stburst::timeseries::TimeInterval;
+
+fn tiny_collection() -> (Collection, TermId, StreamId) {
+    let mut b = CollectionBuilder::new(4);
+    let term = b.dict_mut().intern("storm");
+    let stream = b.add_stream("Athens", GeoPoint::new(38.0, 23.7));
+    for ts in 0..4 {
+        b.add_document(
+            stream,
+            ts,
+            HashMap::from([(term, if ts == 2 { 9 } else { 1 })]),
+        );
+    }
+    (b.build(), term, stream)
+}
+
+/// The typed query DSL: every builder method, the response shape, and the
+/// structured error set.
+#[test]
+fn query_dsl_surface() {
+    let (collection, term, stream) = tiny_collection();
+    let mut engine = BurstySearchEngine::new(&collection, EngineConfig::default());
+    let pattern = CombinatorialPattern::new(vec![stream], TimeInterval::new(1, 3), 2.0, vec![]);
+    engine.set_patterns(term, &[pattern]);
+    engine.finalize();
+
+    // Every documented builder method, chained.
+    let query: Query = Query::terms([term])
+        .time_window(0..=3)
+        .region(Rect::new(20.0, 30.0, 30.0, 45.0))
+        .top_k(5)
+        .relevance(Relevance::LogFreq)
+        .unknown_words(UnknownWords::Error)
+        .explain(true);
+    assert!(query.is_filtered());
+
+    let response: QueryResponse = engine.query(&query).unwrap();
+    let _results: &Vec<SearchResult> = &response.results;
+    let stats: QueryStats = response.stats;
+    let _: (bool, bool, usize, usize, usize, bool) = (
+        stats.cache_hit,
+        stats.served_from_prebuilt,
+        stats.postings_scanned,
+        stats.candidates_pruned,
+        stats.terms,
+        stats.filtered,
+    );
+    for explanation in &response.explanations {
+        let _: &DocExplanation = explanation;
+        let _: (DocId, f64) = (explanation.doc, explanation.total);
+        for te in &explanation.terms {
+            let _: &TermExplanation = te;
+            let _: (TermId, f64, Option<f64>, f64) =
+                (te.term, te.relevance, te.burstiness, te.contribution);
+            for pm in &te.patterns {
+                let _: &PatternMatch = pm;
+                let _: (TimeInterval, Option<Rect>, f64) = (pm.interval, pm.region, pm.score);
+            }
+        }
+    }
+
+    // Text queries and the batch entry point.
+    let _ = engine.query(&Query::text("storm").top_k(DEFAULT_TOP_K));
+    let batch: Vec<Result<QueryResponse, QueryError>> =
+        engine.query_many(&[Query::terms([term]), Query::text("storm")]);
+    assert_eq!(batch.len(), 2);
+
+    // The structured error set is matchable (non-exhaustively).
+    let err = engine.query(&Query::terms([] as [TermId; 0])).unwrap_err();
+    match err {
+        QueryError::EmptyQuery
+        | QueryError::ZeroTopK
+        | QueryError::UnknownWord { .. }
+        | QueryError::EmptyTimeWindow { .. }
+        | QueryError::InvalidRegion { .. } => {}
+        _ => {} // #[non_exhaustive]
+    }
+    let _: String = err.to_string();
+}
+
+/// Engine lifecycle: construction, pattern registration, finalize, cache,
+/// live updates, and the consolidated metrics surface.
+#[test]
+fn engine_surface() {
+    let (collection, term, stream) = tiny_collection();
+    let config: EngineConfig = EngineConfig::builder()
+        .relevance(Relevance::TfIdf)
+        .aggregation(BurstinessAgg::Max)
+        .no_pattern(NoPatternPolicy::Zero)
+        .build();
+    let shared: Arc<Collection> = Arc::new(collection);
+    let mut engine = BurstySearchEngine::new(Arc::clone(&shared), config);
+    let _: &EngineConfig = engine.config();
+    let _: &Arc<Collection> = engine.collection();
+
+    // All three registration paths: typed slice, trait-object-free generic,
+    // and a whole `PatternSource`.
+    let comb = CombinatorialPattern::new(vec![stream], TimeInterval::new(0, 3), 1.0, vec![]);
+    let regional = RegionalPattern::new(
+        Rect::new(20.0, 35.0, 30.0, 40.0),
+        vec![stream],
+        TimeInterval::new(0, 3),
+        1.0,
+    );
+    engine.set_patterns(term, std::slice::from_ref(&comb));
+    engine.set_patterns(term, &[regional]);
+    let source: Vec<(TermId, Vec<CombinatorialPattern>)> = vec![(term, vec![comb])];
+    engine.set_patterns_from(&source);
+
+    engine.set_cache_capacity(DEFAULT_CACHE_CAPACITY);
+    engine.finalize_with_threads(2);
+    assert!(engine.is_finalized());
+    let _: Option<&InvertedIndex> = engine.prebuilt_index();
+    let _: usize = engine.doc_freq(term);
+    let _: Option<f64> = engine.document_burstiness(term, DocId(0));
+    engine.refresh_term(term);
+    engine.update_collection(Arc::clone(&shared), &[]);
+
+    let metrics: EngineMetrics = engine.metrics();
+    let _: (u64, u64, usize, usize) = (
+        metrics.cache_hits,
+        metrics.cache_misses,
+        metrics.cache_len,
+        metrics.cache_capacity,
+    );
+    let _: (bool, usize, usize) = (
+        metrics.finalized,
+        metrics.indexed_terms,
+        metrics.indexed_postings,
+    );
+    let _: (u64, Option<f64>, u64, usize) = (
+        metrics.finalize_count,
+        metrics.last_finalize_ms,
+        metrics.term_rescore_count,
+        metrics.n_docs,
+    );
+}
+
+/// The deprecated legacy trio keeps compiling against its old signatures.
+#[test]
+#[allow(deprecated)]
+fn legacy_shim_surface() {
+    let (collection, term, stream) = tiny_collection();
+    let mut engine = BurstySearchEngine::new(&collection, EngineConfig::default());
+    engine.set_patterns(
+        term,
+        &[CombinatorialPattern::new(
+            vec![stream],
+            TimeInterval::new(1, 3),
+            2.0,
+            vec![],
+        )],
+    );
+    let _: Vec<SearchResult> = engine.search(&[term], 3);
+    let _: Vec<Vec<SearchResult>> = engine.search_many(&[vec![term]], 3);
+    let _: Vec<SearchResult> = engine.search_text("storm", 3);
+    let _: u64 = engine.cache_hits();
+    let _: u64 = engine.cache_misses();
+    let _: usize = engine.cache_len();
+}
+
+/// Index + threshold layer: the retrieval primitives under the engine.
+#[test]
+fn retrieval_surface() {
+    let mut idx = InvertedIndex::new();
+    idx.insert(TermId(0), DocId(0), 1.5);
+    idx.set_postings(
+        TermId(1),
+        vec![Posting {
+            doc: DocId(0),
+            score: 2.0,
+        }],
+    );
+    idx.finalize();
+    let _: &[Posting] = idx.postings(TermId(0));
+    let _: Option<f64> = idx.score(TermId(0), DocId(0));
+    let (_, n) = (idx.n_terms(), idx.n_postings());
+    assert!(n >= 1);
+
+    let query = [TermId(0), TermId(1)];
+    let _: Vec<SearchResult> = threshold_topk(&idx, &query, 2, NoPatternPolicy::Zero);
+    let (_, stats): (Vec<SearchResult>, TopkStats) =
+        threshold_topk_with_stats(&idx, &query, 2, NoPatternPolicy::Zero);
+    let _: (usize, usize) = (stats.postings_scanned, stats.candidates_pruned);
+
+    // The cache key canonicalization is public (used by cache-aware tests).
+    let _: QueryKey = QueryKey::new(&query, 2, EngineConfig::default());
+    let _: QueryKey = QueryKey::canonical(
+        &query,
+        2,
+        EngineConfig::default(),
+        Some(TimeInterval::new(0, 3)),
+        Some(Rect::new(0.0, 0.0, 1.0, 1.0)),
+    );
+}
+
+/// Pattern traits: overlap, geometry, and source plumbing shared by miners
+/// and the engine.
+#[test]
+fn pattern_surface() {
+    let comb = CombinatorialPattern::new(
+        vec![StreamId(0), StreamId(1)],
+        TimeInterval::new(2, 5),
+        1.0,
+        vec![],
+    );
+    let regional = RegionalPattern::new(
+        Rect::new(0.0, 0.0, 1.0, 1.0),
+        vec![StreamId(0)],
+        TimeInterval::new(2, 5),
+        1.0,
+    );
+    // Pattern: overlap semantics.
+    assert!(comb.overlaps(StreamId(0), 2));
+    let _: (&[StreamId], TimeInterval, f64) = (comb.streams(), comb.timeframe(), comb.score());
+    // PatternGeometry: unified interval/region accessors.
+    let positions = vec![Point2D::new(0.0, 0.0), Point2D::new(1.0, 1.0)];
+    let _: TimeInterval = comb.interval();
+    let _: Option<Rect> = comb.region(&positions);
+    assert_eq!(regional.region(&[]), Some(regional.rect));
+    // PatternSource: both canonical shapes.
+    let as_vec: Vec<(TermId, Vec<CombinatorialPattern>)> = vec![(TermId(0), vec![comb.clone()])];
+    let as_map: HashMap<TermId, Vec<CombinatorialPattern>> = as_vec.iter().cloned().collect();
+    assert_eq!(as_vec.terms(), as_map.terms());
+    let _: &[CombinatorialPattern] = as_vec.term_patterns(TermId(0));
+    // Mbr: the geometry used for combinatorial regions.
+    let _: Option<Rect> = Mbr::from_points(positions).rect();
+}
+
+/// Miners still construct and mine through their documented entry points.
+#[test]
+fn miner_surface() {
+    let (collection, term, _) = tiny_collection();
+    let _: Vec<CombinatorialPattern> = STComb::new().mine_collection(&collection, term);
+    let _: Vec<CombinatorialPattern> =
+        STComb::with_config(STCombConfig::default()).mine_collection(&collection, term);
+    let (_, _stats) = STLocal::mine_collection(&collection, term, STLocalConfig::default());
+    let _: Vec<CombinatorialPattern> = TB::new().mine_collection(&collection, term);
+}
+
+/// Live serving: pipeline construction, staging, commits, and the typed
+/// query DSL through a `SearchHandle`.
+#[test]
+fn ingest_surface() {
+    let mut pipeline = IngestPipeline::new(IngestConfig {
+        timeline_capacity: 4,
+        miner: MinerKind::STLocal(STLocalConfig::default()),
+        engine: EngineConfig::default(),
+        cache_capacity: 16,
+    });
+    let stream = pipeline.add_stream("Athens", GeoPoint::new(38.0, 23.7));
+    let term = pipeline.intern("storm");
+    let tokenizer = Tokenizer::new();
+    pipeline.stage_document(stream, HashMap::from([(term, 5)]));
+    pipeline.stage_text_document(stream, "storm warning", &tokenizer);
+    let receipt: TickReceipt = pipeline.commit_tick();
+    for delta in &receipt.deltas {
+        let _: (TermId, usize) = (delta.term(), delta.n_patterns());
+        match delta {
+            PatternDelta::Regional { .. } | PatternDelta::Combinatorial { .. } => {}
+        }
+    }
+    let metrics: PipelineMetrics = pipeline.metrics();
+    let _: (usize, u64) = (metrics.ticks_committed, metrics.docs_ingested);
+
+    let handle: SearchHandle = pipeline.search_handle();
+    let _: Result<QueryResponse, QueryError> =
+        handle.query(&Query::terms([term]).time_window(0..=3));
+    let _: Vec<Result<QueryResponse, QueryError>> = handle.query_many(&[Query::terms([term])]);
+    let _: Arc<Collection> = handle.collection();
+    let _: EngineMetrics = handle.metrics();
+
+    // TSV replay still accepts a reader + config.
+    let data = "C\t2\nS\t0\tAthens\t38.0\t23.7\t23.7\t38.0\nD\t0\t1\tstorm:3\n";
+    let replayed = replay_tsv(std::io::Cursor::new(data), IngestConfig::default()).unwrap();
+    assert_eq!(replayed.ticks_committed(), 2);
+}

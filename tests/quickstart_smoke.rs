@@ -9,7 +9,7 @@ use stburst::core::{Pattern, STComb, STLocal, STLocalConfig};
 use stburst::corpus::{CollectionBuilder, StreamId};
 use stburst::datagen::{GeneratorConfig, PatternGenerator, StreamSelection};
 use stburst::geo::GeoPoint;
-use stburst::search::{BurstySearchEngine, EngineConfig};
+use stburst::search::{BurstySearchEngine, EngineConfig, Query};
 
 /// The quickstart scenario: five city streams, 30 days, an earthquake burst
 /// injected into the two Costa Rican cities on days 12–16.
@@ -89,7 +89,10 @@ fn quickstart_pipeline_finds_the_event_and_ranks_its_documents_first() {
     // top-ranked hit must be an event document (Costa Rica, days 12..=16).
     let mut engine = BurstySearchEngine::new(&collection, EngineConfig::default());
     engine.set_patterns(quake, &comb);
-    let hits = engine.search(&[quake], 5);
+    let hits = engine
+        .query(&Query::terms([quake]).top_k(5))
+        .unwrap()
+        .results;
     assert!(!hits.is_empty(), "search returned no hits");
     for hit in &hits {
         let doc = collection.document(hit.doc);

@@ -6,7 +6,7 @@ use std::collections::HashSet;
 
 use stburst::core::{STComb, STCombConfig, STLocal, STLocalConfig};
 use stburst::datagen::{TopixConfig, TopixCorpus};
-use stburst::search::{BurstySearchEngine, EngineConfig};
+use stburst::search::{BurstySearchEngine, EngineConfig, Query};
 
 fn corpus() -> TopixCorpus {
     TopixCorpus::generate(TopixConfig::small())
@@ -32,7 +32,10 @@ fn stcomb_backed_search_finds_relevant_documents() {
     for &term in &query {
         engine.set_patterns(term, &miner.mine_collection(collection, term));
     }
-    let hits = engine.search(&query, 10);
+    let hits = engine
+        .query(&Query::terms(query.iter().copied()).top_k(10))
+        .unwrap()
+        .results;
     assert!(!hits.is_empty(), "the engine returned no documents");
     let precision =
         hits.iter().filter(|h| relevant.contains(&h.doc)).count() as f64 / hits.len() as f64;
@@ -59,7 +62,10 @@ fn stlocal_backed_search_focuses_on_the_epicenter_region() {
         );
         engine.set_patterns(term, &patterns);
     }
-    let hits = engine.search(&query, 10);
+    let hits = engine
+        .query(&Query::terms(query.iter().copied()).top_k(10))
+        .unwrap()
+        .results;
     assert!(!hits.is_empty());
 
     // Every returned document must mention the query term and fall inside
@@ -82,8 +88,14 @@ fn results_are_ranked_and_deterministic() {
     for &term in &query {
         engine.set_patterns(term, &miner.mine_collection(collection, term));
     }
-    let a = engine.search(&query, 10);
-    let b = engine.search(&query, 10);
+    let a = engine
+        .query(&Query::terms(query.iter().copied()).top_k(10))
+        .unwrap()
+        .results;
+    let b = engine
+        .query(&Query::terms(query.iter().copied()).top_k(10))
+        .unwrap()
+        .results;
     assert_eq!(a.len(), b.len());
     for (x, y) in a.iter().zip(&b) {
         assert_eq!(x.doc, y.doc);

@@ -155,6 +155,34 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`: `Some` three times out of four,
+    /// mirroring the real crate's default `Some` weight.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.gen_range(0..4) == 0 {
+                None
+            } else {
+                Some(self.element.new_value(rng))
+            }
+        }
+    }
+}
+
 /// Length range for collection strategies (half-open internally).
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
@@ -307,6 +335,7 @@ pub mod prelude {
     pub mod prop {
         pub use crate::bool;
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 
