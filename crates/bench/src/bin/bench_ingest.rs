@@ -144,6 +144,7 @@ fn run_incremental(w: &Workload) -> IncrementalRun {
         miner: MinerKind::STLocal(STLocalConfig::default()),
         engine: EngineConfig::default(),
         cache_capacity: 1024,
+        ..IngestConfig::default()
     });
     for s in 0..w.n_streams {
         pipeline.add_stream(&format!("s{s}"), stream_geo(s, w.n_streams));

@@ -1,0 +1,330 @@
+//! Crash-recovery harness: what durability costs while ingesting, and what
+//! it buys at restart.
+//!
+//! Three arms over one synthetic bursty workload:
+//!
+//! * **baseline** — a plain in-memory `IngestPipeline` committing every
+//!   tick (the cost floor).
+//! * **durable** — the same plan with every commit write-ahead logged
+//!   under `Durability::Buffered`, then checkpointed into a snapshot. The
+//!   gap between this arm and the baseline is the WAL tax.
+//! * **cold start** — `IngestPipeline::durable` on the checkpointed
+//!   directory (`load_snapshot + replay_wal`) versus rebuilding from raw
+//!   documents (collection build + mine every term + finalize), which is
+//!   what a restart costs without the store.
+//!
+//! The recovered engine is cross-checked byte-identically against the
+//! never-restarted pipeline, and the numbers land in a table plus
+//! `BENCH_recovery.json`. Quick mode (the default, run by CI) uses a small
+//! workload; `--full` scales it up, `--seed <n>` varies it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stb_bench::{measure_ms, ExperimentCtx, TableWriter};
+use stb_core::{STLocal, STLocalConfig};
+use stb_corpus::{CollectionBuilder, StreamId, TermId};
+use stb_geo::GeoPoint;
+use stb_ingest::{IngestConfig, IngestPipeline, MinerKind};
+use stb_search::{BurstySearchEngine, EngineConfig, Query, SearchResult};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// One tick's documents: (stream, term bag).
+type TickDocs = Vec<(StreamId, HashMap<TermId, u32>)>;
+
+struct Workload {
+    n_streams: usize,
+    timeline: usize,
+    vocab: usize,
+    ticks: Vec<TickDocs>,
+    queries: Vec<Vec<TermId>>,
+}
+
+fn build_workload(ctx: &ExperimentCtx) -> Workload {
+    // Slightly larger than the ingest harness's quick workload: the
+    // rebuild arm's mining cost grows faster than the snapshot, so a
+    // bigger corpus keeps the cold-start comparison out of timer noise.
+    let (n_streams, timeline, vocab, docs_per_tick) = if ctx.full {
+        (40, 90, 160, 30)
+    } else {
+        (16, 60, 120, 14)
+    };
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let burst_term = TermId(0);
+    let burst_window = (timeline / 3)..(timeline / 2);
+    let mut ticks = Vec::with_capacity(timeline);
+    for t in 0..timeline {
+        let mut docs: TickDocs = Vec::with_capacity(docs_per_tick);
+        for _ in 0..docs_per_tick {
+            let stream = StreamId(rng.gen_range(0..n_streams as u32));
+            let mut counts = HashMap::new();
+            for _ in 0..2 {
+                let term = TermId(rng.gen_range(1..vocab as u32));
+                *counts.entry(term).or_insert(0) += rng.gen_range(1..4u32);
+            }
+            if burst_window.contains(&t) && stream.index() < n_streams / 2 {
+                *counts.entry(burst_term).or_insert(0) += rng.gen_range(15..30u32);
+            }
+            docs.push((stream, counts));
+        }
+        ticks.push(docs);
+    }
+    let queries = vec![
+        vec![burst_term],
+        vec![burst_term, TermId(1)],
+        vec![TermId(2)],
+    ];
+    Workload {
+        n_streams,
+        timeline,
+        vocab,
+        ticks,
+        queries,
+    }
+}
+
+fn stream_geo(i: usize, n: usize) -> GeoPoint {
+    if i < n / 2 {
+        GeoPoint::new(i as f64 * 0.3, i as f64 * 0.2)
+    } else {
+        GeoPoint::new(60.0 + i as f64 * 0.3, 60.0)
+    }
+}
+
+fn config(w: &Workload) -> IngestConfig {
+    IngestConfig {
+        timeline_capacity: w.timeline,
+        miner: MinerKind::STLocal(STLocalConfig::default()),
+        engine: EngineConfig::default(),
+        cache_capacity: 1024,
+        ..IngestConfig::default()
+    }
+}
+
+/// Stages and commits the whole plan; returns total commit wall-clock ms.
+fn drive(pipeline: &mut IngestPipeline, w: &Workload) -> f64 {
+    for s in 0..w.n_streams {
+        pipeline.add_stream(&format!("s{s}"), stream_geo(s, w.n_streams));
+    }
+    for i in 0..w.vocab {
+        pipeline.intern(&format!("term{i}"));
+    }
+    // Wall-clock over the whole loop, not a sum of `receipt.commit_ms`:
+    // the WAL append happens *before* the timed section inside the commit,
+    // and it is exactly the cost this harness exists to measure.
+    let ((), total_ms) = measure_ms(|| {
+        for tick in &w.ticks {
+            for (stream, counts) in tick {
+                pipeline.stage_document(*stream, counts.clone());
+            }
+            pipeline.commit_tick();
+        }
+    });
+    total_ms
+}
+
+fn top10(terms: &[TermId]) -> Query {
+    Query::terms(terms.iter().copied()).top_k(10)
+}
+
+fn pipeline_results(p: &IngestPipeline, queries: &[Vec<TermId>]) -> Vec<Vec<SearchResult>> {
+    let handle = p.search_handle();
+    queries
+        .iter()
+        .map(|q| {
+            handle
+                .query(&top10(q))
+                .map(|r| r.results)
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+fn assert_identical(expect: &[Vec<SearchResult>], got: &[Vec<SearchResult>]) {
+    for (e_list, g_list) in expect.iter().zip(got) {
+        assert_eq!(e_list.len(), g_list.len(), "result counts diverge");
+        for (e, g) in e_list.iter().zip(g_list) {
+            assert_eq!(e.doc, g.doc, "documents diverge");
+            assert_eq!(
+                e.score.to_bits(),
+                g.score.to_bits(),
+                "scores diverge: {} vs {}",
+                e.score,
+                g.score
+            );
+        }
+    }
+}
+
+/// The restart cost without the store: rebuild the collection from raw
+/// documents, re-mine every term, finalize a fresh engine.
+fn full_rebuild(w: &Workload) -> (f64, Vec<Vec<SearchResult>>) {
+    let (engine, ms) = measure_ms(|| {
+        let mut b = CollectionBuilder::new(w.timeline);
+        for i in 0..w.vocab {
+            b.dict_mut().intern(&format!("term{i}"));
+        }
+        for s in 0..w.n_streams {
+            b.add_stream(&format!("s{s}"), stream_geo(s, w.n_streams));
+        }
+        for (ts, tick) in w.ticks.iter().enumerate() {
+            for (stream, counts) in tick {
+                b.add_document(*stream, ts, counts.clone());
+            }
+        }
+        let collection = Arc::new(b.build());
+        let mut engine = BurstySearchEngine::new(Arc::clone(&collection), EngineConfig::default());
+        for term in collection.terms() {
+            let (patterns, _) =
+                STLocal::mine_collection(&collection, term, STLocalConfig::default());
+            engine.set_patterns(term, &patterns);
+        }
+        engine.finalize_with_threads(1);
+        engine
+    });
+    let results = w
+        .queries
+        .iter()
+        .map(|q| {
+            engine
+                .query(&top10(q))
+                .map(|r| r.results)
+                .unwrap_or_default()
+        })
+        .collect();
+    (ms, results)
+}
+
+fn store_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stb-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dir_file_len(dir: &Path, name: &str) -> u64 {
+    std::fs::metadata(dir.join(name))
+        .map(|m| m.len())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    let w = build_workload(&ctx);
+    println!(
+        "crash-recovery harness (mode: {}, seed {}): {} streams, {} ticks, {} docs",
+        if ctx.full { "full" } else { "quick" },
+        ctx.seed,
+        w.n_streams,
+        w.timeline,
+        w.ticks.iter().map(Vec::len).sum::<usize>(),
+    );
+
+    // WAL tax: best-of-3 total commit time for each arm, so a scheduler
+    // hiccup in either arm does not decide the comparison.
+    const REPS: usize = 3;
+    let mut baseline_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut p = IngestPipeline::new(config(&w));
+        baseline_ms = baseline_ms.min(drive(&mut p, &w));
+    }
+    let mut durable_ms = f64::INFINITY;
+    let mut expect_results = None;
+    let mut wal_bytes = 0;
+    let mut snapshot_bytes = 0;
+    let dir = store_dir();
+    for _ in 0..REPS {
+        let _ = std::fs::remove_dir_all(&dir);
+        let (mut p, _) = IngestPipeline::durable(config(&w), &dir).expect("open durable store");
+        durable_ms = durable_ms.min(drive(&mut p, &w));
+        assert!(p.wal_error().is_none(), "WAL must stay healthy");
+        wal_bytes = dir_file_len(&dir, "wal.stb");
+        snapshot_bytes = p.checkpoint().expect("checkpoint");
+        expect_results = Some(pipeline_results(&p, &w.queries));
+    }
+    let expect_results = expect_results.expect("durable arm ran");
+    let overhead_pct = (durable_ms - baseline_ms) / baseline_ms * 100.0;
+
+    // Cold start: recover from the checkpointed directory vs rebuilding
+    // from raw documents — best-of-REPS on both arms, same as above.
+    let mut recover_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let (recovered, ms) = measure_ms(|| {
+            IngestPipeline::durable(config(&w), &dir).expect("recover from snapshot")
+        });
+        recover_ms = recover_ms.min(ms);
+        let (pipeline, report) = recovered;
+        assert!(
+            report.snapshot_loaded,
+            "cold start must come from the snapshot"
+        );
+        assert_eq!(pipeline.ticks_committed(), w.timeline);
+        let recovered_results = pipeline_results(&pipeline, &w.queries);
+        assert_identical(&expect_results, &recovered_results);
+    }
+
+    let mut rebuild_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let (ms, rebuild_results) = full_rebuild(&w);
+        rebuild_ms = rebuild_ms.min(ms);
+        assert_identical(&expect_results, &rebuild_results);
+    }
+    let speedup = rebuild_ms / recover_ms.max(1e-9);
+
+    let mut table = TableWriter::new("durability: cost and cold-start payoff (ms)");
+    table.header(["arm", "total ms"]);
+    table.row(["baseline ingest".to_string(), format!("{baseline_ms:.1}")]);
+    table.row([
+        format!("durable ingest (+{overhead_pct:.1}% WAL tax)"),
+        format!("{durable_ms:.1}"),
+    ]);
+    table.row([
+        "cold start from snapshot".to_string(),
+        format!("{recover_ms:.1}"),
+    ]);
+    table.row([
+        "full rebuild + re-mine".to_string(),
+        format!("{rebuild_ms:.1}"),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "snapshot {snapshot_bytes} bytes, WAL before checkpoint {wal_bytes} bytes; \
+         cold start from snapshot is {speedup:.1}x faster than a full rebuild"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"recovery\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \
+         \"workload\": {{\"streams\": {}, \"ticks\": {}, \"vocab\": {}, \"docs\": {}}},\n  \
+         \"baseline_ingest_ms\": {:.3},\n  \"durable_ingest_ms\": {:.3},\n  \
+         \"wal_overhead_pct\": {:.2},\n  \"snapshot_bytes\": {},\n  \
+         \"cold_start_ms\": {:.3},\n  \"full_rebuild_ms\": {:.3},\n  \
+         \"speedup_snapshot_vs_rebuild\": {:.1}\n}}\n",
+        if ctx.full { "full" } else { "quick" },
+        ctx.seed,
+        w.n_streams,
+        w.timeline,
+        w.vocab,
+        w.ticks.iter().map(Vec::len).sum::<usize>(),
+        baseline_ms,
+        durable_ms,
+        overhead_pct,
+        snapshot_bytes,
+        recover_ms,
+        rebuild_ms,
+        speedup,
+    );
+    let path = "BENCH_recovery.json";
+    std::fs::write(path, &json).expect("write BENCH_recovery.json");
+    println!("wrote {path}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        speedup >= 5.0,
+        "cold start from snapshot must beat a full rebuild by >= 5x (got {speedup:.1}x)"
+    );
+    assert!(
+        overhead_pct <= 15.0,
+        "buffered WAL appends must cost <= 15% of ingest throughput (got {overhead_pct:.1}%)"
+    );
+}

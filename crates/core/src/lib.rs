@@ -37,7 +37,9 @@ pub use base::{Base, BaseConfig};
 pub use evaluation::{end_error, jaccard_similarity, precision, start_error, topk_overlap};
 pub use interval_clique::{max_weight_interval_clique, WeightedInterval};
 pub use parallel::parallel_map;
-pub use pattern::{CombinatorialPattern, Pattern, PatternGeometry, PatternSource, RegionalPattern};
+pub use pattern::{
+    CombinatorialPattern, Pattern, PatternGeometry, PatternRecord, PatternSource, RegionalPattern,
+};
 pub use stb_discrepancy::RectKernel;
 pub use stcomb::{STComb, STCombConfig};
 pub use stlocal::{BaselineKind, STLocal, STLocalConfig, STLocalStats};

@@ -219,6 +219,68 @@ impl PatternGeometry for RegionalPattern {
     }
 }
 
+/// A pattern reduced to its serializable essentials: covered streams,
+/// timeframe, burstiness score, and the spatial footprint **captured at
+/// mining time** from the then-current stream positions.
+///
+/// This is the persistence form of a pattern ([`PatternRecord::capture`]
+/// freezes any [`PatternGeometry`] into one). The captured region is
+/// carried verbatim rather than re-derived: stream positions can change
+/// after mining (new streams come online, a projection is recomputed), and
+/// a restored pattern must filter spatially exactly as the original did.
+/// `PatternRecord` therefore implements [`PatternGeometry`] by returning
+/// its stored footprint and ignoring the positions it is offered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternRecord {
+    /// The streams covered by the pattern, sorted by id.
+    pub streams: Vec<StreamId>,
+    /// The temporal interval covered by the pattern.
+    pub timeframe: TimeInterval,
+    /// The spatial footprint captured when the pattern was mined, if any.
+    pub region: Option<Rect>,
+    /// The burstiness score of the pattern.
+    pub score: f64,
+}
+
+impl PatternRecord {
+    /// Freezes any geometric pattern into its serializable record,
+    /// capturing its spatial footprint over `positions` (every stream's
+    /// planar position, indexed by [`StreamId::index`]).
+    pub fn capture<P: PatternGeometry>(pattern: &P, positions: &[Point2D]) -> Self {
+        let mut streams = pattern.streams().to_vec();
+        streams.sort();
+        streams.dedup();
+        Self {
+            streams,
+            timeframe: pattern.timeframe(),
+            region: pattern.region(positions),
+            score: pattern.score(),
+        }
+    }
+}
+
+impl Pattern for PatternRecord {
+    fn streams(&self) -> &[StreamId] {
+        &self.streams
+    }
+
+    fn timeframe(&self) -> TimeInterval {
+        self.timeframe
+    }
+
+    fn score(&self) -> f64 {
+        self.score
+    }
+}
+
+impl PatternGeometry for PatternRecord {
+    /// The footprint captured at mining time, verbatim — never re-derived
+    /// from current positions.
+    fn region(&self, _positions: &[Point2D]) -> Option<Rect> {
+        self.region
+    }
+}
+
 /// A per-term batch of mined patterns, ready to feed an index builder.
 ///
 /// Mining drivers naturally produce "patterns of many terms" collections —

@@ -292,6 +292,203 @@ impl Collection {
     }
 }
 
+/// One term's exported frequency series: for each stream it occurs in
+/// (sorted by id), its `(timestamp, frequency)` entries sorted by
+/// timestamp with one entry per timestamp.
+pub type TermSeriesParts = Vec<(StreamId, Vec<(Timestamp, f64)>)>;
+
+/// The raw constituent parts of a [`Collection`], exposed for persistence
+/// (`stb-store` serializes these, never the private fields directly).
+///
+/// All orderings are deterministic so two exports of observationally equal
+/// collections are equal: terms in id order, streams in id order, tensor
+/// entries sorted by term then stream then timestamp, documents in id
+/// order. Frequencies carry their exact `f64` bit patterns.
+#[derive(Debug, Clone, Default)]
+pub struct CollectionParts {
+    /// Every interned term string, in [`TermId`] order (including terms
+    /// that never occur in a document).
+    pub terms: Vec<String>,
+    /// Stream metadata, in [`StreamId`] order.
+    pub streams: Vec<StreamMeta>,
+    /// Length of the timeline.
+    pub timeline_len: usize,
+    /// Every document, in [`DocId`] order.
+    pub documents: Vec<Document>,
+    /// The sparse per-term frequency tensor: for each term that occurs,
+    /// its per-stream `(timestamp, frequency)` series — terms sorted by
+    /// id, streams sorted by id, series sorted by timestamp with one entry
+    /// per timestamp.
+    pub term_freqs: Vec<(TermId, TermSeriesParts)>,
+    /// Per-stream total term occurrences per timestamp, indexed by
+    /// [`StreamId::index`]; each inner vector has `timeline_len` entries.
+    pub stream_totals: Vec<Vec<f64>>,
+}
+
+/// Error returned by [`Collection::from_parts`] when the parts violate a
+/// collection invariant (dense ids, tensor/timeline consistency, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartsError {
+    detail: String,
+}
+
+impl PartsError {
+    fn new(detail: impl Into<String>) -> Self {
+        Self {
+            detail: detail.into(),
+        }
+    }
+
+    /// The violated invariant, human-readable.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl std::fmt::Display for PartsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid collection parts: {}", self.detail)
+    }
+}
+
+impl std::error::Error for PartsError {}
+
+impl Collection {
+    /// Decomposes the collection into its serializable [`CollectionParts`]
+    /// with fully deterministic ordering.
+    pub fn to_parts(&self) -> CollectionParts {
+        let terms = self.dict.iter().map(|(_, s)| s.to_string()).collect();
+        let mut term_ids: Vec<TermId> = self.term_freqs.keys().copied().collect();
+        term_ids.sort();
+        let term_freqs = term_ids
+            .into_iter()
+            .map(|term| {
+                let per_stream = self.term_freqs[&term]
+                    .iter()
+                    .map(|(&stream, entries)| (stream, entries.clone()))
+                    .collect();
+                (term, per_stream)
+            })
+            .collect();
+        CollectionParts {
+            terms,
+            streams: self.streams.clone(),
+            timeline_len: self.timeline_len,
+            documents: self.documents.clone(),
+            term_freqs,
+            stream_totals: self.stream_totals.clone(),
+        }
+    }
+
+    /// Reassembles a collection from its parts, validating every structural
+    /// invariant (`to_parts` ∘ `from_parts` is the identity). The heavy
+    /// per-value content is trusted — persistence layers protect it with a
+    /// checksum — but nothing structurally impossible is accepted: ids must
+    /// be dense and in range, tensor series sorted with one entry per
+    /// timestamp, and totals sized to the timeline.
+    pub fn from_parts(parts: CollectionParts) -> Result<Self, PartsError> {
+        let n_streams = parts.streams.len();
+        let n_terms = parts.terms.len();
+        for (i, meta) in parts.streams.iter().enumerate() {
+            if meta.id.index() != i {
+                return Err(PartsError::new(format!(
+                    "stream {i} has non-dense id {:?}",
+                    meta.id
+                )));
+            }
+        }
+        if parts.stream_totals.len() != n_streams {
+            return Err(PartsError::new(format!(
+                "{} stream-total series for {n_streams} streams",
+                parts.stream_totals.len()
+            )));
+        }
+        for (i, totals) in parts.stream_totals.iter().enumerate() {
+            if totals.len() != parts.timeline_len {
+                return Err(PartsError::new(format!(
+                    "stream {i} totals cover {} timestamps of a {}-long timeline",
+                    totals.len(),
+                    parts.timeline_len
+                )));
+            }
+        }
+        let mut dict = TermDict::new();
+        for term in &parts.terms {
+            dict.intern(term);
+        }
+        if dict.len() != n_terms {
+            return Err(PartsError::new("duplicate term strings in dictionary"));
+        }
+        for (i, doc) in parts.documents.iter().enumerate() {
+            if doc.id.index() != i {
+                return Err(PartsError::new(format!(
+                    "document {i} has non-dense id {:?}",
+                    doc.id
+                )));
+            }
+            if doc.stream.index() >= n_streams {
+                return Err(PartsError::new(format!(
+                    "document {i} references unknown stream {:?}",
+                    doc.stream
+                )));
+            }
+            if doc.timestamp >= parts.timeline_len {
+                return Err(PartsError::new(format!(
+                    "document {i} at timestamp {} beyond timeline {}",
+                    doc.timestamp, parts.timeline_len
+                )));
+            }
+            if let Some(&term) = doc.counts.keys().find(|t| t.index() >= n_terms) {
+                return Err(PartsError::new(format!(
+                    "document {i} references unknown term {term:?}"
+                )));
+            }
+        }
+        let mut term_freqs: HashMap<TermId, TermOccurrences> = HashMap::new();
+        for (term, per_stream) in parts.term_freqs {
+            if term.index() >= n_terms {
+                return Err(PartsError::new(format!(
+                    "tensor entry for unknown {term:?}"
+                )));
+            }
+            let mut occurrences = TermOccurrences::new();
+            for (stream, entries) in per_stream {
+                if stream.index() >= n_streams {
+                    return Err(PartsError::new(format!(
+                        "tensor entry for {term:?} references unknown {stream:?}"
+                    )));
+                }
+                let sorted = entries.windows(2).all(|w| w[0].0 < w[1].0);
+                if !sorted {
+                    return Err(PartsError::new(format!(
+                        "tensor series of {term:?}/{stream:?} is not strictly \
+                         sorted by timestamp"
+                    )));
+                }
+                if entries.last().is_some_and(|e| e.0 >= parts.timeline_len) {
+                    return Err(PartsError::new(format!(
+                        "tensor series of {term:?}/{stream:?} runs past the timeline"
+                    )));
+                }
+                occurrences.insert(stream, entries);
+            }
+            if term_freqs.insert(term, occurrences).is_some() {
+                return Err(PartsError::new(format!(
+                    "duplicate tensor entry for {term:?}"
+                )));
+            }
+        }
+        Ok(Collection {
+            dict,
+            streams: parts.streams,
+            timeline_len: parts.timeline_len,
+            documents: parts.documents,
+            term_freqs,
+            stream_totals: parts.stream_totals,
+        })
+    }
+}
+
 impl From<&Collection> for Arc<Collection> {
     /// Clones the collection into a fresh shared handle. This keeps
     /// pre-ownership call sites (`BurstySearchEngine::new(&collection, …)`)
@@ -680,6 +877,77 @@ mod tests {
     fn push_document_rejects_out_of_timeline() {
         let mut c = build_sample();
         c.push_document(StreamId(0), 99, HashMap::new());
+    }
+
+    #[test]
+    fn parts_round_trip_is_identity() {
+        let c = build_sample();
+        let parts = c.to_parts();
+        let back = Collection::from_parts(parts).expect("valid parts");
+        assert_eq!(c.n_streams(), back.n_streams());
+        assert_eq!(c.timeline_len(), back.timeline_len());
+        assert_eq!(c.documents().len(), back.documents().len());
+        assert_eq!(c.n_terms(), back.n_terms());
+        for (term, name) in c.dict().iter() {
+            assert_eq!(back.dict().resolve(term), Some(name));
+            assert_eq!(c.term_merged_series(term), back.term_merged_series(term));
+            for s in 0..c.n_streams() {
+                assert_eq!(
+                    c.term_stream_series(term, StreamId(s as u32)),
+                    back.term_stream_series(term, StreamId(s as u32))
+                );
+            }
+        }
+        for s in 0..c.n_streams() {
+            assert_eq!(
+                c.stream_total_series(StreamId(s as u32)),
+                back.stream_total_series(StreamId(s as u32))
+            );
+        }
+        for (a, b) in c.documents().iter().zip(back.documents()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.stream, b.stream);
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.counts, b.counts);
+        }
+    }
+
+    #[test]
+    fn empty_collection_parts_round_trip() {
+        let c = CollectionBuilder::new(0).build();
+        let back = Collection::from_parts(c.to_parts()).expect("empty parts");
+        assert_eq!(back.n_streams(), 0);
+        assert_eq!(back.timeline_len(), 0);
+        assert_eq!(back.documents().len(), 0);
+        assert_eq!(back.n_terms(), 0);
+    }
+
+    #[test]
+    fn from_parts_rejects_structural_nonsense() {
+        let c = build_sample();
+        // Dangling document stream.
+        let mut parts = c.to_parts();
+        parts.documents[0].stream = StreamId(99);
+        assert!(Collection::from_parts(parts).is_err());
+        // Totals shorter than the timeline.
+        let mut parts = c.to_parts();
+        parts.stream_totals[0].pop();
+        assert!(Collection::from_parts(parts).is_err());
+        // Tensor series out of order.
+        let mut parts = c.to_parts();
+        parts.term_freqs[0].1[0].1.reverse();
+        if parts.term_freqs[0].1[0].1.len() >= 2 {
+            assert!(Collection::from_parts(parts).is_err());
+        }
+        // Duplicate dictionary strings.
+        let mut parts = c.to_parts();
+        let first = parts.terms[0].clone();
+        parts.terms.push(first);
+        assert!(Collection::from_parts(parts).is_err());
+        // Non-dense stream ids.
+        let mut parts = c.to_parts();
+        parts.streams[0].id = StreamId(7);
+        assert!(Collection::from_parts(parts).is_err());
     }
 
     #[test]

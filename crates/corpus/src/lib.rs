@@ -33,7 +33,10 @@ pub mod document;
 pub mod tokenizer;
 pub mod tsv;
 
-pub use collection::{Collection, CollectionBuilder, Snapshot, StreamId, StreamMeta, Timestamp};
+pub use collection::{
+    Collection, CollectionBuilder, CollectionParts, PartsError, Snapshot, StreamId, StreamMeta,
+    TermSeriesParts, Timestamp,
+};
 pub use dictionary::{TermDict, TermId};
 pub use document::{DocId, Document};
 pub use tokenizer::Tokenizer;

@@ -21,6 +21,12 @@
 //!   errors), so searches run concurrently with ingestion.
 //! * [`replay_tsv`] — drive a TSV corpus from disk through the pipeline
 //!   tick-by-tick via the streaming reader in `stb_corpus::tsv`.
+//! * **Durability** ([`IngestPipeline::durable`]) — commits are
+//!   write-ahead logged (`stb-store`) before they are applied, and
+//!   [`IngestPipeline::checkpoint`] persists atomic snapshots that compact
+//!   the log, so a restarted process recovers as `load_snapshot +
+//!   replay_wal` — byte-identical to an engine that never stopped —
+//!   instead of a full TSV rebuild.
 //!
 //! Replay-equivalence is property-tested: ingesting a corpus one document
 //! at a time and then querying is byte-identical to the batch
@@ -36,11 +42,15 @@ pub mod replay;
 
 pub use live::LiveCollection;
 pub use pipeline::{
-    IngestConfig, IngestPipeline, MinerKind, PatternDelta, PipelineMetrics, SearchHandle,
-    TickReceipt,
+    IngestConfig, IngestPipeline, MinerKind, PatternDelta, PipelineMetrics, RecoveryReport,
+    SearchHandle, TickReceipt,
 };
-pub use replay::{replay_tsv, ReplayError};
+pub use replay::{replay_tsv, replay_tsv_durable, ReplayError};
 
 // Re-exported so live-serving callers can build and inspect typed queries
 // without depending on `stb-search` directly.
 pub use stb_search::{Query, QueryError, QueryResponse, QueryStats, UnknownWords};
+
+// Re-exported so durable-pipeline callers can configure and match on the
+// persistence layer without depending on `stb-store` directly.
+pub use stb_store::{Durability, SnapshotState, Store, StoreError};

@@ -45,6 +45,7 @@
 
 use crate::live::LiveCollection;
 use std::collections::{BTreeSet, HashMap};
+use std::path::Path;
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
@@ -56,6 +57,10 @@ use stb_geo::{GeoPoint, Point2D};
 use stb_search::{
     BurstySearchEngine, EngineConfig, EngineMetrics, Query, QueryError, QueryResponse, Relevance,
     SearchResult, DEFAULT_CACHE_CAPACITY,
+};
+use stb_store::{
+    DocRecord, Durability, PendingState, SnapshotState, Store, StoreError, StreamRecord,
+    TermRecord, TickRecord, WalWriter,
 };
 
 /// Which miner keeps the patterns fresh while ingesting.
@@ -82,6 +87,13 @@ pub struct IngestConfig {
     pub engine: EngineConfig,
     /// Capacity of the engine's query-result cache (0 disables caching).
     pub cache_capacity: usize,
+    /// When the write-ahead log forces appends to disk (only relevant for
+    /// pipelines opened with [`IngestPipeline::durable`]).
+    pub durability: Durability,
+    /// Automatically [`IngestPipeline::checkpoint`] after this many commits
+    /// (compacting the WAL back to empty); 0 disables auto-checkpointing.
+    /// Only relevant for durable pipelines.
+    pub checkpoint_every_ticks: usize,
 }
 
 impl Default for IngestConfig {
@@ -91,6 +103,8 @@ impl Default for IngestConfig {
             miner: MinerKind::STLocal(STLocalConfig::default()),
             engine: EngineConfig::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            durability: Durability::Buffered,
+            checkpoint_every_ticks: 0,
         }
     }
 }
@@ -168,8 +182,30 @@ pub struct PipelineMetrics {
     pub total_commit_ms: f64,
     /// Mutation generation of the live collection.
     pub generation: u64,
+    /// Whether the pipeline has a durable store attached.
+    pub durable: bool,
+    /// Tick records appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Snapshots written (manual and automatic checkpoints).
+    pub checkpoints: u64,
     /// The serving engine's counters.
     pub engine: EngineMetrics,
+}
+
+/// What [`IngestPipeline::durable`] found on disk and how it recovered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Whether a snapshot was loaded (false = cold start).
+    pub snapshot_loaded: bool,
+    /// Ticks already covered by the loaded snapshot.
+    pub snapshot_ticks: u64,
+    /// WAL tick records replayed on top of the snapshot.
+    pub wal_ticks_replayed: usize,
+    /// WAL records skipped because the snapshot already contained them (a
+    /// crash landed between the snapshot rename and the WAL reset).
+    pub wal_ticks_skipped: usize,
+    /// Torn-tail bytes discarded from the end of the WAL.
+    pub wal_bytes_discarded: u64,
 }
 
 /// A cloneable handle for serving queries concurrently with ingestion.
@@ -304,6 +340,25 @@ pub struct IngestPipeline {
     catchup_replays: u64,
     last_commit_ms: f64,
     total_commit_ms: f64,
+    /// The durable store, if this pipeline was opened with
+    /// [`IngestPipeline::durable`].
+    store: Option<Store>,
+    /// The open WAL writer (durable pipelines only; dropped after the
+    /// first append failure — see [`IngestPipeline::wal_error`]).
+    wal: Option<WalWriter>,
+    /// Streams already recorded in the snapshot or the WAL; the next tick
+    /// record logs only the registrations beyond this count.
+    logged_streams: usize,
+    /// Terms already recorded in the snapshot or the WAL.
+    logged_terms: usize,
+    /// The first WAL/checkpoint failure, if any. The pipeline keeps
+    /// serving in memory but stops logging.
+    wal_error: Option<StoreError>,
+    wal_appends: u64,
+    checkpoints: u64,
+    ticks_since_checkpoint: usize,
+    checkpoint_every_ticks: usize,
+    durability: Durability,
 }
 
 impl IngestPipeline {
@@ -330,7 +385,153 @@ impl IngestPipeline {
             catchup_replays: 0,
             last_commit_ms: 0.0,
             total_commit_ms: 0.0,
+            store: None,
+            wal: None,
+            logged_streams: 0,
+            logged_terms: 0,
+            wal_error: None,
+            wal_appends: 0,
+            checkpoints: 0,
+            ticks_since_checkpoint: 0,
+            checkpoint_every_ticks: config.checkpoint_every_ticks,
+            durability: config.durability,
         }
+    }
+
+    /// Opens a pipeline backed by a durable store at `dir`, recovering any
+    /// previously persisted state.
+    ///
+    /// A fresh directory starts an empty pipeline whose commits are
+    /// write-ahead logged. A directory holding a snapshot and/or WAL
+    /// recovers as `load_snapshot + replay_wal`: the snapshot restores the
+    /// collection, mined patterns (with their captured spatial
+    /// footprints), posting lists (scores bit-for-bit), and pending
+    /// bookkeeping; WAL records beyond the snapshot's tick are then
+    /// re-committed. A torn WAL tail (crash artifact) is discarded and
+    /// repaired transparently; a corrupt snapshot or mid-log corruption is
+    /// a hard [`StoreError`] — the pipeline never silently starts empty
+    /// over bad data.
+    pub fn durable(
+        config: IngestConfig,
+        dir: impl AsRef<Path>,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        let store = Store::open(dir.as_ref())?;
+        let snapshot = store.load_snapshot()?;
+        let replay = store.read_wal()?;
+        let durability = config.durability;
+        let engine_config = config.engine;
+        let cache_capacity = config.cache_capacity;
+
+        let mut report = RecoveryReport {
+            wal_bytes_discarded: replay.discarded_bytes,
+            ..RecoveryReport::default()
+        };
+        let mut pipeline = Self::new(config);
+
+        if let Some(state) = snapshot {
+            report.snapshot_loaded = true;
+            report.snapshot_ticks = state.ticks_committed;
+            pipeline.live = LiveCollection::from_collection(Arc::clone(&state.collection));
+            // A fresh engine over the recovered collection re-derives the
+            // term→documents map deterministically; the persisted state
+            // restores patterns and posting lists without re-scoring.
+            let mut engine = BurstySearchEngine::new(Arc::clone(&state.collection), engine_config);
+            engine.set_cache_capacity(cache_capacity);
+            engine.import_state(state.engine);
+            *pipeline.engine.write().unwrap() = engine;
+            pipeline.ticks_committed = usize::try_from(state.ticks_committed)
+                .map_err(|_| StoreError::corrupt("snapshot", "tick count out of range"))?;
+            pipeline.structural_dirty = state.pending.structural_dirty;
+            pipeline.comb_all_dirty = state.pending.comb_all_dirty;
+            pipeline.dirty = state.pending.dirty_terms.iter().copied().collect();
+            for doc in &state.pending.staged {
+                pipeline.staged.push(StagedDoc {
+                    stream: doc.stream,
+                    counts: doc.counts.iter().copied().collect(),
+                });
+            }
+        }
+
+        for record in replay.ticks {
+            if record.tick < pipeline.ticks_committed as u64 {
+                // Already inside the snapshot: a crash landed between the
+                // snapshot rename and the WAL reset.
+                report.wal_ticks_skipped += 1;
+                continue;
+            }
+            pipeline.apply_wal_record(record)?;
+            report.wal_ticks_replayed += 1;
+        }
+
+        // Everything now in the collection is covered by snapshot + WAL.
+        pipeline.logged_streams = pipeline.live.n_streams();
+        pipeline.logged_terms = pipeline.live.dict().len();
+        pipeline.wal = Some(store.wal_writer(replay.valid_len, durability)?);
+        pipeline.store = Some(store);
+        Ok((pipeline, report))
+    }
+
+    /// Re-commits one WAL record during recovery (no re-logging).
+    fn apply_wal_record(&mut self, record: TickRecord) -> Result<(), StoreError> {
+        if record.tick != self.ticks_committed as u64 {
+            return Err(StoreError::corrupt(
+                "wal record",
+                format!(
+                    "tick {} does not follow the {} ticks committed so far",
+                    record.tick, self.ticks_committed
+                ),
+            ));
+        }
+        for s in &record.new_streams {
+            let n = self.live.n_streams();
+            if s.index.index() < n {
+                // Already restored by the snapshot; must NOT re-mark the
+                // structural flag the snapshot's pending state settled.
+                continue;
+            }
+            if s.index.index() != n {
+                return Err(StoreError::corrupt(
+                    "wal record",
+                    format!("stream index {} with {n} streams present", s.index.0),
+                ));
+            }
+            // Goes through the public path so the structural flag is set
+            // exactly as in the original run.
+            self.add_stream_with_position(&s.name, s.geostamp, s.position);
+        }
+        for t in &record.new_terms {
+            let n = self.live.dict().len();
+            if t.id.index() < n {
+                continue;
+            }
+            if t.id.index() != n {
+                return Err(StoreError::corrupt(
+                    "wal record",
+                    format!("term id {} with {n} terms interned", t.id.0),
+                ));
+            }
+            let id = self.live.intern(&t.text);
+            if id != t.id {
+                return Err(StoreError::corrupt(
+                    "wal record",
+                    format!(
+                        "term {:?} interned as {} instead of {}",
+                        t.text, id.0, t.id.0
+                    ),
+                ));
+            }
+        }
+        for d in &record.docs {
+            if d.stream.index() >= self.live.n_streams() {
+                return Err(StoreError::corrupt(
+                    "wal record",
+                    format!("document references unknown stream {}", d.stream.0),
+                ));
+            }
+            self.stage_document(d.stream, d.counts.iter().copied().collect());
+        }
+        self.apply_commit();
+        Ok(())
     }
 
     /// A cloneable query handle sharing the pipeline's engine.
@@ -410,7 +611,93 @@ impl IngestPipeline {
     /// Committing with no staged documents is valid (an empty tick) and is
     /// required for batch equivalence: the streaming miners must observe
     /// every timestamp, occupied or not.
+    ///
+    /// On a durable pipeline the tick is appended to the write-ahead log
+    /// *before* it is applied, so a crash at any point leaves either a log
+    /// without the tick (it was never acknowledged) or a log from which the
+    /// tick replays exactly. Log failures do not fail the commit: the
+    /// pipeline keeps serving in memory and parks the error in
+    /// [`IngestPipeline::wal_error`].
     pub fn commit_tick(&mut self) -> TickReceipt {
+        if self.store.is_some() && self.wal_error.is_none() {
+            let record = self.build_tick_record();
+            match self.wal.as_mut() {
+                Some(w) => match w.append(&record) {
+                    Ok(()) => {
+                        self.wal_appends += 1;
+                        self.logged_streams = self.live.n_streams();
+                        self.logged_terms = self.live.dict().len();
+                    }
+                    Err(e) => {
+                        // Stop logging: a half-written log must not receive
+                        // further records on top of a failed append.
+                        self.wal_error = Some(e);
+                        self.wal = None;
+                    }
+                },
+                None => self.wal_error = Some(StoreError::NotDurable),
+            }
+        }
+        let receipt = self.apply_commit();
+        self.ticks_since_checkpoint += 1;
+        if self.store.is_some()
+            && self.checkpoint_every_ticks > 0
+            && self.ticks_since_checkpoint >= self.checkpoint_every_ticks
+            && self.wal_error.is_none()
+        {
+            if let Err(e) = self.checkpoint() {
+                self.wal_error = Some(e);
+            }
+        }
+        receipt
+    }
+
+    /// The WAL record describing the open tick: everything registered or
+    /// staged since the last logged tick (or checkpoint).
+    fn build_tick_record(&self) -> TickRecord {
+        let collection = self.live.collection();
+        let new_streams = collection.streams()[self.logged_streams..]
+            .iter()
+            .map(|s| StreamRecord {
+                index: s.id,
+                name: s.name.clone(),
+                geostamp: s.geostamp,
+                position: s.position,
+            })
+            .collect();
+        let new_terms = collection
+            .dict()
+            .iter()
+            .skip(self.logged_terms)
+            .map(|(id, text)| TermRecord {
+                id,
+                text: text.to_string(),
+            })
+            .collect();
+        let docs = self
+            .staged
+            .iter()
+            .map(|doc| {
+                let mut counts: Vec<(TermId, u32)> =
+                    doc.counts.iter().map(|(&t, &c)| (t, c)).collect();
+                counts.sort_by_key(|&(t, _)| t);
+                DocRecord {
+                    stream: doc.stream,
+                    counts,
+                }
+            })
+            .collect();
+        TickRecord {
+            tick: self.ticks_committed as u64,
+            new_streams,
+            new_terms,
+            docs,
+        }
+    }
+
+    /// Applies the open tick to the in-memory state (the whole of
+    /// [`IngestPipeline::commit_tick`] minus durability).
+    fn apply_commit(&mut self) -> TickReceipt {
         let start = Instant::now();
         let tick = self.ticks_committed;
 
@@ -526,6 +813,85 @@ impl IngestPipeline {
         }
     }
 
+    /// Writes a snapshot of the full current state (collection, patterns,
+    /// posting lists, pending bookkeeping) and truncates the WAL back to
+    /// empty — the periodic compaction that bounds recovery time. Returns
+    /// the snapshot size in bytes.
+    ///
+    /// The ordering is crash-safe: the snapshot is renamed into place
+    /// (atomically) *before* the log is truncated, and WAL replay skips
+    /// records the snapshot already covers, so a crash between the two
+    /// steps only costs some redundant skipping on recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotDurable`] on a pipeline without a store; any I/O
+    /// or serialization failure otherwise.
+    pub fn checkpoint(&mut self) -> Result<u64, StoreError> {
+        let store = self.store.clone().ok_or(StoreError::NotDurable)?;
+        let state = self.export_snapshot_state();
+        let bytes = store.write_snapshot(&state)?;
+        match self.wal.as_mut() {
+            Some(w) => w.reset()?,
+            None => {
+                // The writer was dropped after an append failure; reopen
+                // fresh now that the snapshot covers everything.
+                let replay = store.read_wal()?;
+                let mut w = store.wal_writer(replay.valid_len, self.durability)?;
+                w.reset()?;
+                self.wal = Some(w);
+            }
+        }
+        self.logged_streams = self.live.n_streams();
+        self.logged_terms = self.live.dict().len();
+        self.checkpoints += 1;
+        self.ticks_since_checkpoint = 0;
+        Ok(bytes)
+    }
+
+    /// Exports the pipeline's full state as a snapshot value (what
+    /// [`IngestPipeline::checkpoint`] persists).
+    pub fn export_snapshot_state(&self) -> SnapshotState {
+        let mut staged = Vec::with_capacity(self.staged.len());
+        for doc in &self.staged {
+            let mut counts: Vec<(TermId, u32)> = doc.counts.iter().map(|(&t, &c)| (t, c)).collect();
+            counts.sort_by_key(|&(t, _)| t);
+            staged.push(DocRecord {
+                stream: doc.stream,
+                counts,
+            });
+        }
+        SnapshotState {
+            ticks_committed: self.ticks_committed as u64,
+            collection: self.live.snapshot(),
+            engine: self.engine.read().unwrap().export_state(),
+            pending: PendingState {
+                structural_dirty: self.structural_dirty,
+                comb_all_dirty: self.comb_all_dirty,
+                dirty_terms: self.dirty.iter().copied().collect(),
+                staged,
+            },
+        }
+    }
+
+    /// The first durability failure, if any. Once set, the pipeline keeps
+    /// serving queries and commits in memory but appends nothing further
+    /// to the log; a successful [`IngestPipeline::checkpoint`] does not
+    /// clear it (the operator decides whether the state is trustworthy).
+    pub fn wal_error(&self) -> Option<&StoreError> {
+        self.wal_error.as_ref()
+    }
+
+    /// Whether this pipeline has a durable store attached.
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The durable store directory, if any.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(Store::dir)
+    }
+
     /// The pipeline's current mining output for one term: the live
     /// `STLocal` miner's accumulated windows, or a fresh combinatorial pass
     /// over the current collection. Useful for inspecting pattern state
@@ -560,6 +926,9 @@ impl IngestPipeline {
             last_commit_ms: self.last_commit_ms,
             total_commit_ms: self.total_commit_ms,
             generation: self.live.generation(),
+            durable: self.store.is_some(),
+            wal_appends: self.wal_appends,
+            checkpoints: self.checkpoints,
             engine: self.engine.read().unwrap().metrics(),
         }
     }
@@ -867,5 +1236,181 @@ mod tests {
             assert!(answered > 0, "queries must be served during ingest");
         });
         assert!(!run(&handle, &[t], 5).is_empty());
+    }
+
+    /// Fresh per-test store directory under the system temp dir.
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("stb-ingest-durable-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_config(ticks: usize) -> IngestConfig {
+        IngestConfig {
+            timeline_capacity: ticks,
+            miner: MinerKind::STLocal(STLocalConfig::default()),
+            ..Default::default()
+        }
+    }
+
+    /// Drives `ticks` bursty ticks through a durable pipeline in `dir` and
+    /// returns the pipeline plus the interned term.
+    fn durable_burst_run(dir: &std::path::Path, ticks: usize) -> (IngestPipeline, TermId) {
+        let (mut pipeline, report) =
+            IngestPipeline::durable(durable_config(ticks), dir).expect("open durable pipeline");
+        assert!(!report.snapshot_loaded);
+        assert_eq!(report.wal_ticks_replayed, 0);
+        let streams = vec![
+            pipeline.add_stream("A", GeoPoint::new(0.0, 0.0)),
+            pipeline.add_stream("B", GeoPoint::new(1.0, 1.0)),
+            pipeline.add_stream("C", GeoPoint::new(50.0, 50.0)),
+        ];
+        let quake = pipeline.intern("quake");
+        for tick in 0..ticks {
+            burst_tick(&mut pipeline, &streams, quake, (3..6).contains(&tick));
+        }
+        assert!(pipeline.wal_error().is_none(), "WAL append must not fail");
+        (pipeline, quake)
+    }
+
+    #[test]
+    fn durable_pipeline_recovers_from_wal_alone() {
+        let dir = temp_dir("wal-only");
+        let (pipeline, quake) = durable_burst_run(&dir, 10);
+        let expect = pipeline.export_snapshot_state();
+        let handle = pipeline.search_handle();
+        let expect_top = run(&handle, &[quake], 5);
+        assert!(!expect_top.is_empty());
+        drop(pipeline);
+
+        let (recovered, report) =
+            IngestPipeline::durable(durable_config(10), &dir).expect("recover");
+        assert!(!report.snapshot_loaded);
+        assert_eq!(report.wal_ticks_replayed, 10);
+        assert_eq!(report.wal_ticks_skipped, 0);
+        assert_eq!(report.wal_bytes_discarded, 0);
+        assert_eq!(recovered.ticks_committed(), 10);
+        let got = recovered.export_snapshot_state();
+        assert_eq!(expect.engine, got.engine, "engine state must round-trip");
+        assert_eq!(expect.pending, got.pending);
+        let got_top = run(&recovered.search_handle(), &[quake], 5);
+        assert_eq!(expect_top.len(), got_top.len());
+        for (e, g) in expect_top.iter().zip(&got_top) {
+            assert_eq!(e.doc, g.doc);
+            assert_eq!(e.score.to_bits(), g.score.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_pipeline_recovers_from_snapshot_plus_wal() {
+        let dir = temp_dir("snap-wal");
+        let (mut pipeline, quake) = durable_burst_run(&dir, 6);
+        pipeline.checkpoint().expect("checkpoint");
+        // Four more ticks after the checkpoint land only in the WAL.
+        let streams: Vec<StreamId> = (0..3).map(|i| StreamId(i as u32)).collect();
+        for tick in 6..10 {
+            burst_tick(&mut pipeline, &streams, quake, (3..6).contains(&tick));
+        }
+        let expect = pipeline.export_snapshot_state();
+        let expect_top = run(&pipeline.search_handle(), &[quake], 5);
+        drop(pipeline);
+
+        let (recovered, report) =
+            IngestPipeline::durable(durable_config(10), &dir).expect("recover");
+        assert!(report.snapshot_loaded);
+        assert_eq!(report.snapshot_ticks, 6);
+        assert_eq!(report.wal_ticks_replayed, 4);
+        assert_eq!(recovered.ticks_committed(), 10);
+        assert_eq!(expect.engine, recovered.export_snapshot_state().engine);
+        let got_top = run(&recovered.search_handle(), &[quake], 5);
+        for (e, g) in expect_top.iter().zip(&got_top) {
+            assert_eq!(e.doc, g.doc);
+            assert_eq!(e.score.to_bits(), g.score.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_counts() {
+        let dir = temp_dir("compact");
+        let (mut pipeline, _) = durable_burst_run(&dir, 8);
+        let wal_before = std::fs::metadata(dir.join(stb_store::WAL_FILE))
+            .expect("wal exists")
+            .len();
+        assert!(wal_before > stb_store::WAL_HEADER_LEN);
+        let bytes = pipeline.checkpoint().expect("checkpoint");
+        assert!(bytes > 0);
+        let wal_after = std::fs::metadata(dir.join(stb_store::WAL_FILE))
+            .expect("wal exists")
+            .len();
+        assert_eq!(wal_after, stb_store::WAL_HEADER_LEN);
+        let m = pipeline.metrics();
+        assert!(m.durable);
+        assert_eq!(m.checkpoints, 1);
+        assert_eq!(m.wal_appends, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_checkpoint_fires_on_configured_cadence() {
+        let dir = temp_dir("auto-ckpt");
+        let config = IngestConfig {
+            timeline_capacity: 9,
+            miner: MinerKind::STLocal(STLocalConfig::default()),
+            checkpoint_every_ticks: 3,
+            ..Default::default()
+        };
+        let (mut pipeline, _) = IngestPipeline::durable(config, &dir).expect("open");
+        let streams = vec![
+            pipeline.add_stream("A", GeoPoint::new(0.0, 0.0)),
+            pipeline.add_stream("B", GeoPoint::new(1.0, 1.0)),
+            pipeline.add_stream("C", GeoPoint::new(50.0, 50.0)),
+        ];
+        let t = pipeline.intern("t");
+        for tick in 0..9 {
+            burst_tick(&mut pipeline, &streams, t, tick == 4);
+        }
+        assert!(pipeline.wal_error().is_none());
+        assert_eq!(pipeline.metrics().checkpoints, 3);
+        // The final commit triggered a checkpoint, so the WAL is compact.
+        let wal_len = std::fs::metadata(dir.join(stb_store::WAL_FILE))
+            .expect("wal exists")
+            .len();
+        assert_eq!(wal_len, stb_store::WAL_HEADER_LEN);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_on_non_durable_pipeline_is_typed_error() {
+        let (mut pipeline, _) =
+            two_cluster_pipeline(MinerKind::STLocal(STLocalConfig::default()), 4);
+        assert!(!pipeline.is_durable());
+        match pipeline.checkpoint() {
+            Err(StoreError::NotDurable) => {}
+            other => panic!("expected NotDurable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn durable_pipeline_with_fsync_policy_commits() {
+        let dir = temp_dir("fsync");
+        let config = IngestConfig {
+            timeline_capacity: 3,
+            miner: MinerKind::STLocal(STLocalConfig::default()),
+            durability: Durability::Fsync,
+            ..Default::default()
+        };
+        let (mut pipeline, _) = IngestPipeline::durable(config, &dir).expect("open");
+        let s = pipeline.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let t = pipeline.intern("t");
+        for _ in 0..3 {
+            pipeline.stage_document(s, HashMap::from([(t, 2)]));
+            pipeline.commit_tick();
+        }
+        assert!(pipeline.wal_error().is_none());
+        assert_eq!(pipeline.metrics().wal_appends, 3);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

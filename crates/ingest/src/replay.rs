@@ -14,19 +14,24 @@
 //! order). A timestamp regression is reported as
 //! [`ReplayError::OutOfOrder`] rather than silently reordering the stream.
 
-use crate::pipeline::{IngestConfig, IngestPipeline};
+use crate::pipeline::{IngestConfig, IngestPipeline, RecoveryReport};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::BufRead;
+use std::path::Path;
 
 use stb_corpus::tsv::{TsvError, TsvRecord, TsvStreamReader};
 use stb_corpus::StreamId;
+use stb_store::StoreError;
 
 /// Errors produced while replaying a TSV corpus into a pipeline.
 #[derive(Debug)]
 pub enum ReplayError {
     /// The underlying stream could not be read or parsed.
     Tsv(TsvError),
+    /// The durable store could not be opened, recovered, or written
+    /// (durable replay only).
+    Store(StoreError),
     /// A document's timestamp precedes an already-committed tick.
     OutOfOrder {
         /// 1-based line number of the offending record.
@@ -49,6 +54,7 @@ impl fmt::Display for ReplayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReplayError::Tsv(e) => write!(f, "tsv error: {e}"),
+            ReplayError::Store(e) => write!(f, "store error: {e}"),
             ReplayError::OutOfOrder {
                 line,
                 timestamp,
@@ -73,6 +79,12 @@ impl std::error::Error for ReplayError {}
 impl From<TsvError> for ReplayError {
     fn from(e: TsvError) -> Self {
         ReplayError::Tsv(e)
+    }
+}
+
+impl From<StoreError> for ReplayError {
+    fn from(e: StoreError) -> Self {
+        ReplayError::Store(e)
     }
 }
 
@@ -109,6 +121,43 @@ pub fn replay_tsv<R: BufRead>(
     let mut reader = TsvStreamReader::new(input)?;
     config.timeline_capacity = config.timeline_capacity.max(reader.timeline_len());
     let mut pipeline = IngestPipeline::new(config);
+    drive_replay(&mut reader, &mut pipeline)?;
+    Ok(pipeline)
+}
+
+/// Replays a TSV corpus through a *durable* pipeline rooted at `dir` — or
+/// skips the file entirely if the store already holds committed state.
+///
+/// On a fresh directory this behaves like [`replay_tsv`] with every tick
+/// write-ahead logged, followed by a final [`IngestPipeline::checkpoint`]
+/// so the next start recovers from the snapshot alone. On a directory
+/// with prior commits (a restart), the state recovers as `load_snapshot +
+/// replay_wal` and the TSV input is **not** re-read — this is the fast
+/// cold-start path the store exists for. Callers resuming a partially
+/// ingested corpus should compare [`IngestPipeline::ticks_committed`]
+/// against the file's timeline and feed the remainder through the staging
+/// API.
+pub fn replay_tsv_durable<R: BufRead>(
+    input: R,
+    mut config: IngestConfig,
+    dir: impl AsRef<Path>,
+) -> Result<(IngestPipeline, RecoveryReport), ReplayError> {
+    let mut reader = TsvStreamReader::new(input)?;
+    config.timeline_capacity = config.timeline_capacity.max(reader.timeline_len());
+    let (mut pipeline, report) = IngestPipeline::durable(config, dir)?;
+    if pipeline.ticks_committed() == 0 && !report.snapshot_loaded {
+        drive_replay(&mut reader, &mut pipeline)?;
+        pipeline.checkpoint()?;
+    }
+    Ok((pipeline, report))
+}
+
+/// Drives every record of `reader` through `pipeline`, committing through
+/// the file's declared timeline.
+fn drive_replay<R: BufRead>(
+    reader: &mut TsvStreamReader<R>,
+    pipeline: &mut IngestPipeline,
+) -> Result<(), ReplayError> {
     let mut stream_map: HashMap<u32, StreamId> = HashMap::new();
 
     while let Some(record) = reader.next() {
@@ -158,7 +207,7 @@ pub fn replay_tsv<R: BufRead>(
     while pipeline.ticks_committed() < reader.timeline_len() {
         pipeline.commit_tick();
     }
-    Ok(pipeline)
+    Ok(())
 }
 
 #[cfg(test)]

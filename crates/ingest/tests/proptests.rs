@@ -95,6 +95,7 @@ fn ingest_pipeline(plan: &[TickSpec], miner: MinerKind, cache_capacity: usize) -
         miner,
         engine: EngineConfig::default(),
         cache_capacity,
+        ..IngestConfig::default()
     });
     for s in 0..N_STREAMS {
         pipeline.add_stream(&format!("s{s}"), stream_geo(s));

@@ -1,0 +1,341 @@
+//! Crash-matrix property tests: recovery after *any* crash point must be
+//! byte-identical to an engine that never crashed.
+//!
+//! The harness never instruments the live pipeline. Instead it runs a
+//! **clean** durable pipeline to completion, captures the on-disk WAL and
+//! snapshot bytes, and then synthesizes the exact artifact a crash at a
+//! random offset would have left (via `stb_store::fault`): torn writes,
+//! short writes, partial snapshot temp files, and the
+//! rename-before-log-truncate window. Recovery from the damaged directory
+//! must then agree **bit-for-bit** (`f64::to_bits`, full snapshot
+//! encoding) with a reference pipeline that committed the same prefix of
+//! ticks and never touched disk — and keep agreeing after the recovered
+//! pipeline resumes committing the rest of the plan.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use stb_core::{STCombConfig, STLocalConfig};
+use stb_corpus::{StreamId, TermId};
+use stb_geo::GeoPoint;
+use stb_ingest::{IngestConfig, IngestPipeline, MinerKind, SearchHandle};
+use stb_search::{Query, SearchResult};
+use stb_store::snapshot::encode_snapshot;
+use stb_store::{crash_artifact, truncate_bytes, FaultKind, Store, SNAPSHOT_FILE, WAL_FILE};
+
+const N_STREAMS: usize = 3;
+const TERMS: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// One tick's documents: (stream index, [(term index, count)]).
+type TickSpec = Vec<(usize, Vec<(usize, u32)>)>;
+
+/// A corpus plan: one `TickSpec` per timestamp, with counts skewed so
+/// bursts (and therefore non-trivial patterns) actually occur.
+fn arb_plan() -> impl Strategy<Value = Vec<TickSpec>> {
+    let count = (proptest::bool::ANY, 0u32..25)
+        .prop_map(|(burst, c)| if burst { 15 + c } else { 1 + c % 2 });
+    let doc = (
+        0..N_STREAMS,
+        prop::collection::vec((0..TERMS.len(), count), 1..3),
+    );
+    let tick = prop::collection::vec(doc, 0..4);
+    prop::collection::vec(tick, 2..9)
+}
+
+fn stream_geo(s: usize) -> GeoPoint {
+    match s {
+        0 => GeoPoint::new(0.0, 0.0),
+        1 => GeoPoint::new(1.0, 1.0),
+        _ => GeoPoint::new(40.0 + s as f64, 40.0),
+    }
+}
+
+fn config(ticks: usize, local: bool, cache_capacity: usize) -> IngestConfig {
+    IngestConfig {
+        timeline_capacity: ticks,
+        miner: if local {
+            MinerKind::STLocal(STLocalConfig::default())
+        } else {
+            MinerKind::STComb(STCombConfig::default())
+        },
+        cache_capacity,
+        ..IngestConfig::default()
+    }
+}
+
+/// A fresh, empty store directory unique to this test case.
+fn case_dir() -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "stb-recovery-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn setup_streams(pipeline: &mut IngestPipeline) {
+    for s in 0..N_STREAMS {
+        pipeline.add_stream(&format!("s{s}"), stream_geo(s));
+    }
+}
+
+/// Stages and commits `plan` (streams and terms interned in plan order).
+fn commit_plan(pipeline: &mut IngestPipeline, plan: &[TickSpec]) {
+    for tick in plan {
+        for (stream, bag) in tick {
+            let mut counts = HashMap::new();
+            for &(term, count) in bag {
+                let id = pipeline.intern(TERMS[term]);
+                *counts.entry(id).or_insert(0) += count;
+            }
+            pipeline.stage_document(StreamId(*stream as u32), counts);
+        }
+        pipeline.commit_tick();
+    }
+}
+
+/// A never-durable reference pipeline committing `plan` with an explicit
+/// timeline capacity (the capacity must match the durable run's, even when
+/// only a prefix of the plan is committed — the tensor's timeline length
+/// is part of the byte-identical comparison).
+fn reference(
+    capacity: usize,
+    plan: &[TickSpec],
+    local: bool,
+    cache_capacity: usize,
+) -> IngestPipeline {
+    let mut p = IngestPipeline::new(config(capacity, local, cache_capacity));
+    setup_streams(&mut p);
+    commit_plan(&mut p, plan);
+    p
+}
+
+/// Runs a clean durable pipeline over the full plan and returns the store
+/// directory (pipeline dropped, nothing checkpointed unless asked).
+fn clean_durable_run(
+    plan: &[TickSpec],
+    local: bool,
+    cache_capacity: usize,
+    checkpoint_after: Option<usize>,
+) -> PathBuf {
+    let dir = case_dir();
+    let (mut p, _) =
+        IngestPipeline::durable(config(plan.len(), local, cache_capacity), &dir).expect("open");
+    setup_streams(&mut p);
+    if let Some(c) = checkpoint_after {
+        commit_plan(&mut p, &plan[..c]);
+        p.checkpoint().expect("checkpoint");
+        commit_plan(&mut p, &plan[c..]);
+    } else {
+        commit_plan(&mut p, plan);
+    }
+    assert!(p.wal_error().is_none(), "clean run must not hit WAL errors");
+    dir
+}
+
+fn handle_run(handle: &SearchHandle, terms: &[TermId], k: usize) -> Vec<SearchResult> {
+    handle
+        .query(&Query::terms(terms.iter().copied()).top_k(k))
+        .map(|r| r.results)
+        .unwrap_or_default()
+}
+
+/// Bit-for-bit equivalence: the full snapshot encoding (collection tensor,
+/// patterns, postings, pending bookkeeping) plus top-k query results.
+fn assert_equiv(
+    label: &str,
+    expect: &IngestPipeline,
+    got: &IngestPipeline,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        expect.ticks_committed(),
+        got.ticks_committed(),
+        "{}: ticks",
+        label
+    );
+    let state_e = expect.export_snapshot_state();
+    let state_g = got.export_snapshot_state();
+    prop_assert_eq!(&state_e.pending, &state_g.pending, "{}: pending", label);
+    prop_assert_eq!(&state_e.engine, &state_g.engine, "{}: engine", label);
+    let mut ce = stb_store::Enc::new();
+    stb_store::snapshot::encode_collection(&mut ce, &state_e.collection);
+    let mut cg = stb_store::Enc::new();
+    stb_store::snapshot::encode_collection(&mut cg, &state_g.collection);
+    prop_assert_eq!(ce.into_bytes(), cg.into_bytes(), "{}: collection", label);
+    let se = encode_snapshot(&state_e);
+    let sg = encode_snapshot(&state_g);
+    prop_assert_eq!(se, sg, "{}: snapshot encodings differ", label);
+    let terms: Vec<TermId> = expect.collection().terms().collect();
+    let mut queries: Vec<Vec<TermId>> = terms.iter().map(|&t| vec![t]).collect();
+    if terms.len() >= 2 {
+        queries.push(terms.clone());
+    }
+    let he = expect.search_handle();
+    let hg = got.search_handle();
+    for query in &queries {
+        for k in [1, 3, 10] {
+            let re = handle_run(&he, query, k);
+            let rg = handle_run(&hg, query, k);
+            prop_assert_eq!(re.len(), rg.len(), "{}: result count", label);
+            for (e, g) in re.iter().zip(&rg) {
+                prop_assert_eq!(e.doc, g.doc, "{}: doc", label);
+                prop_assert_eq!(
+                    e.score.to_bits(),
+                    g.score.to_bits(),
+                    "{}: score {} vs {}",
+                    label,
+                    e.score,
+                    g.score
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Recovers from `dir`, checks the recovered prefix against a fresh
+/// reference, then resumes committing the rest of the plan and checks
+/// again against the full-plan reference.
+fn recover_and_check(
+    dir: &Path,
+    plan: &[TickSpec],
+    local: bool,
+    cache_capacity: usize,
+) -> Result<(), TestCaseError> {
+    let (mut recovered, _report) =
+        IngestPipeline::durable(config(plan.len(), local, cache_capacity), dir)
+            .expect("recovery must repair the tail, not fail");
+    let k = recovered.ticks_committed();
+    prop_assert!(k <= plan.len(), "recovered more ticks than committed");
+    // Streams ride in tick 0's WAL record, so a recovery that salvaged no
+    // ticks is a truly empty pipeline — the reference must be too.
+    let mut prefix_ref = IngestPipeline::new(config(plan.len(), local, cache_capacity));
+    if k > 0 {
+        setup_streams(&mut prefix_ref);
+        commit_plan(&mut prefix_ref, &plan[..k]);
+    }
+    assert_equiv("recovered prefix", &prefix_ref, &recovered)?;
+
+    // Resume: the recovered pipeline must keep agreeing with a pipeline
+    // that never crashed, through the end of the plan.
+    if recovered.collection().n_streams() == 0 {
+        setup_streams(&mut recovered);
+    }
+    commit_plan(&mut recovered, &plan[k..]);
+    prop_assert!(recovered.wal_error().is_none(), "resume must stay durable");
+    let full_ref = reference(plan.len(), plan, local, cache_capacity);
+    assert_equiv("resumed run", &full_ref, &recovered)?;
+    let _ = std::fs::remove_dir_all(dir);
+    Ok(())
+}
+
+proptest! {
+    /// Crash during a WAL append: the log is cut (short write) or mangled
+    /// (torn write) at an arbitrary offset past the header. Recovery keeps
+    /// the longest valid record prefix and resumes from there.
+    #[test]
+    fn crash_during_wal_append(
+        plan in arb_plan(),
+        local in proptest::bool::ANY,
+        cache in proptest::bool::ANY,
+        torn in proptest::bool::ANY,
+        cut in 0u64..1_000_000,
+        chunk in 1usize..64,
+    ) {
+        let cache_capacity = if cache { 64 } else { 0 };
+        let dir = clean_durable_run(&plan, local, cache_capacity, None);
+        let wal_path = dir.join(WAL_FILE);
+        let clean = std::fs::read(&wal_path).expect("clean WAL");
+        // The header is written and synced at WAL creation; append crashes
+        // only ever damage bytes after it.
+        let header = stb_store::WAL_HEADER_LEN;
+        let crash_at = header + cut % (clean.len() as u64 - header + 1);
+        let kind = if torn { FaultKind::Torn } else { FaultKind::ShortWrite };
+        std::fs::write(&wal_path, crash_artifact(&clean, kind, crash_at, chunk))
+            .expect("write artifact");
+        recover_and_check(&dir, &plan, local, cache_capacity)?;
+    }
+
+    /// Crash while writing a snapshot: the temp file holds a prefix of the
+    /// new snapshot, the rename never happened. Recovery must ignore the
+    /// temp file entirely and rebuild from the old snapshot + WAL.
+    #[test]
+    fn crash_during_snapshot_write(
+        plan in arb_plan(),
+        local in proptest::bool::ANY,
+        frac in 0.0f64..1.0,
+        checkpoint_frac in 0.0f64..1.0,
+    ) {
+        let checkpoint_after = (checkpoint_frac * plan.len() as f64) as usize;
+        let dir = clean_durable_run(&plan, local, 0, Some(checkpoint_after));
+        // Synthesize a torn snapshot *temp* file from the real snapshot
+        // bytes: a later checkpoint crashed mid-write.
+        let clean_snap = std::fs::read(dir.join(SNAPSHOT_FILE)).expect("snapshot");
+        let cut = (frac * clean_snap.len() as f64) as usize;
+        let tmp = dir.join(SNAPSHOT_FILE).with_extension("stb.tmp");
+        std::fs::write(&tmp, truncate_bytes(clean_snap, cut)).expect("write tmp");
+        recover_and_check(&dir, &plan, local, 0)?;
+    }
+
+    /// Crash in the window between the snapshot rename and the WAL
+    /// truncation: the new snapshot is durable but the log still holds
+    /// every tick it covers. Recovery must skip the already-snapshotted
+    /// records instead of double-applying them.
+    #[test]
+    fn crash_between_rename_and_wal_reset(
+        plan in arb_plan(),
+        local in proptest::bool::ANY,
+    ) {
+        let dir = clean_durable_run(&plan, local, 0, None);
+        // Write a full snapshot of the final state through a second store
+        // handle WITHOUT resetting the WAL — exactly what the directory
+        // looks like if the process dies right after the rename.
+        {
+            let (p, _) = IngestPipeline::durable(config(plan.len(), local, 0), &dir)
+                .expect("reload for state export");
+            let store = Store::open(&dir).expect("store");
+            store
+                .write_snapshot(&p.export_snapshot_state())
+                .expect("snapshot");
+        }
+        let (recovered, report) =
+            IngestPipeline::durable(config(plan.len(), local, 0), &dir).expect("recover");
+        prop_assert!(report.snapshot_loaded);
+        prop_assert_eq!(report.wal_ticks_replayed, 0, "all WAL ticks predate the snapshot");
+        prop_assert_eq!(report.wal_ticks_skipped, plan.len());
+        let full_ref = reference(plan.len(), &plan, local, 0);
+        assert_equiv("rename window", &full_ref, &recovered)?;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Clean shutdown between ticks (possibly mid-plan with a checkpoint):
+    /// recovery resumes exactly where the run stopped.
+    #[test]
+    fn crash_between_ticks(
+        plan in arb_plan(),
+        local in proptest::bool::ANY,
+        cache in proptest::bool::ANY,
+        stop_frac in 0.0f64..1.0,
+        with_checkpoint in proptest::bool::ANY,
+    ) {
+        let cache_capacity = if cache { 64 } else { 0 };
+        let stop = 1 + (stop_frac * (plan.len() - 1) as f64) as usize;
+        let dir = case_dir();
+        {
+            let (mut p, _) =
+                IngestPipeline::durable(config(plan.len(), local, cache_capacity), &dir)
+                    .expect("open");
+            setup_streams(&mut p);
+            commit_plan(&mut p, &plan[..stop]);
+            if with_checkpoint {
+                p.checkpoint().expect("checkpoint");
+            }
+        }
+        recover_and_check(&dir, &plan, local, cache_capacity)?;
+    }
+}

@@ -56,7 +56,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use stb_core::{parallel_map, PatternGeometry, PatternSource};
+use stb_core::{parallel_map, PatternGeometry, PatternRecord, PatternSource};
 use stb_corpus::StreamId;
 use stb_corpus::{Collection, DocId, TermId, Timestamp};
 use stb_geo::{Point2D, Rect};
@@ -152,6 +152,51 @@ impl StoredPattern {
     fn overlaps(&self, stream: StreamId, ts: Timestamp) -> bool {
         self.timeframe.contains(ts) && self.streams.binary_search(&stream).is_ok()
     }
+}
+
+impl From<PatternRecord> for StoredPattern {
+    fn from(r: PatternRecord) -> Self {
+        StoredPattern {
+            streams: r.streams,
+            timeframe: r.timeframe,
+            region: r.region,
+            score: r.score,
+        }
+    }
+}
+
+impl From<&StoredPattern> for PatternRecord {
+    fn from(p: &StoredPattern) -> Self {
+        PatternRecord {
+            streams: p.streams.clone(),
+            timeframe: p.timeframe,
+            region: p.region,
+            score: p.score,
+        }
+    }
+}
+
+/// A serializable snapshot of the engine's derived state: every term's
+/// registered patterns (with the spatial footprints captured at
+/// registration time) and, when the engine is finalized, its prebuilt
+/// score-sorted posting lists.
+///
+/// Produced by [`BurstySearchEngine::export_state`] and consumed by
+/// [`BurstySearchEngine::import_state`]; the `stb-store` snapshot format
+/// persists exactly this structure. The corpus-level term→documents lists
+/// are *not* part of the state — they are re-derived deterministically from
+/// the collection on construction.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EngineState {
+    /// Per-term registered patterns, terms sorted by id, each term's
+    /// patterns in registration order.
+    pub patterns: Vec<(TermId, Vec<PatternRecord>)>,
+    /// Whether the full-collection posting index was prebuilt.
+    pub finalized: bool,
+    /// The prebuilt posting lists (empty unless `finalized`): terms sorted
+    /// by id, each list sorted by descending score with ties broken by doc
+    /// id. Scores carry their exact `f64` bit patterns.
+    pub postings: Vec<(TermId, Vec<Posting>)>,
 }
 
 /// The spatiotemporal restriction of a query, applied to patterns.
@@ -562,6 +607,73 @@ impl BurstySearchEngine {
     /// [`BurstySearchEngine::finalize`] has run.
     pub fn prebuilt_index(&self) -> Option<&InvertedIndex> {
         self.prebuilt.as_ref()
+    }
+
+    /// Exports the engine's derived state — per-term patterns with their
+    /// captured spatial footprints and, if finalized, the prebuilt posting
+    /// lists — in a deterministic order, preserving every score's exact
+    /// `f64` bit pattern. See [`EngineState`].
+    pub fn export_state(&self) -> EngineState {
+        let mut terms: Vec<TermId> = self.patterns.keys().copied().collect();
+        terms.sort();
+        let patterns = terms
+            .into_iter()
+            .map(|term| {
+                let records = self.patterns[&term]
+                    .iter()
+                    .map(PatternRecord::from)
+                    .collect();
+                (term, records)
+            })
+            .collect();
+        let (finalized, postings) = match &self.prebuilt {
+            Some(index) => {
+                let lists = index
+                    .terms()
+                    .into_iter()
+                    .map(|term| (term, index.postings(term).to_vec()))
+                    .collect();
+                (true, lists)
+            }
+            None => (false, Vec::new()),
+        };
+        EngineState {
+            patterns,
+            finalized,
+            postings,
+        }
+    }
+
+    /// Replaces the engine's derived state with a previously exported one,
+    /// **without re-scoring anything**: patterns keep the spatial
+    /// footprints captured when they were first registered, and the
+    /// prebuilt posting lists are installed with their persisted scores
+    /// bit-for-bit. The result cache is cleared (cached results refer to
+    /// the replaced state).
+    ///
+    /// This is the recovery half of [`BurstySearchEngine::export_state`]:
+    /// importing an exported state into an engine holding the same
+    /// collection snapshot yields an engine that answers every query
+    /// byte-identically to the original.
+    pub fn import_state(&mut self, state: EngineState) {
+        self.patterns = state
+            .patterns
+            .into_iter()
+            .map(|(term, records)| {
+                let stored = records.into_iter().map(StoredPattern::from).collect();
+                (term, stored)
+            })
+            .collect();
+        self.prebuilt = if state.finalized {
+            let mut index = InvertedIndex::new();
+            for (term, list) in state.postings {
+                index.set_postings(term, list);
+            }
+            Some(index)
+        } else {
+            None
+        };
+        self.cache.clear();
     }
 
     /// Replaces the query-result cache with an empty one of the given

@@ -182,6 +182,14 @@ impl InvertedIndex {
         self.postings.len()
     }
 
+    /// Ids of every term with at least one posting, sorted (a deterministic
+    /// iteration order for state export).
+    pub fn terms(&self) -> Vec<TermId> {
+        let mut terms: Vec<TermId> = self.postings.keys().copied().collect();
+        terms.sort();
+        terms
+    }
+
     /// Total number of postings over all terms.
     pub fn n_postings(&self) -> usize {
         self.postings.values().map(Vec::len).sum()

@@ -1,0 +1,161 @@
+//! Typed errors of the durability layer.
+//!
+//! Every failure mode of the snapshot and WAL codecs is a distinct,
+//! matchable variant: a corrupt file must *fail closed* with a structured
+//! error — never a panic, never a silently empty index. The recovery path
+//! in `stb-ingest` distinguishes crash artifacts it repairs transparently
+//! (a torn WAL tail record, a leftover snapshot temp file) from corruption
+//! it refuses to load (a bad checksum, a foreign magic number), and only
+//! the latter surface as `StoreError`s.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the snapshot and write-ahead-log codecs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The file does not start with the expected magic number — it is not a
+    /// file this store wrote (or its first bytes were overwritten).
+    BadMagic {
+        /// Which file kind was being read ("snapshot" or "wal").
+        what: &'static str,
+        /// The magic bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// Which file kind was being read.
+        what: &'static str,
+        /// The version number in the file.
+        found: u32,
+        /// The single version this build reads and writes.
+        supported: u32,
+    },
+    /// A checksum over the payload did not match the stored value: the
+    /// payload bytes were corrupted after they were written.
+    ChecksumMismatch {
+        /// Which payload failed ("snapshot" or "wal record").
+        what: &'static str,
+        /// The CRC32 stored in the file.
+        expected: u32,
+        /// The CRC32 of the bytes actually present.
+        actual: u32,
+    },
+    /// The file ends before a complete structure could be read.
+    Truncated {
+        /// Which structure was cut short.
+        what: &'static str,
+    },
+    /// The payload passed its checksum but decodes to something structurally
+    /// impossible (an internal invariant does not hold).
+    Corrupt {
+        /// Which structure is inconsistent.
+        what: &'static str,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+    /// A durability operation was requested on a pipeline that was not
+    /// constructed with a store attached.
+    NotDurable,
+}
+
+impl StoreError {
+    /// Shorthand for a [`StoreError::Corrupt`] with a formatted detail.
+    pub fn corrupt(what: &'static str, detail: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            what,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::BadMagic { what, found } => {
+                write!(f, "{what}: bad magic {found:02x?} (not a stb-store file)")
+            }
+            StoreError::UnsupportedVersion {
+                what,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{what}: unsupported format version {found} (this build reads version {supported})"
+            ),
+            StoreError::ChecksumMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{what}: checksum mismatch (stored {expected:#010x}, computed {actual:#010x})"
+            ),
+            StoreError::Truncated { what } => {
+                write!(f, "{what}: file ends mid-structure (truncated)")
+            }
+            StoreError::Corrupt { what, detail } => write!(f, "{what}: corrupt payload: {detail}"),
+            StoreError::NotDurable => {
+                write!(f, "pipeline has no durable store attached")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<StoreError> = vec![
+            StoreError::Io(io::Error::other("boom")),
+            StoreError::BadMagic {
+                what: "snapshot",
+                found: *b"NOTMAGIC",
+            },
+            StoreError::UnsupportedVersion {
+                what: "wal",
+                found: 9,
+                supported: 1,
+            },
+            StoreError::ChecksumMismatch {
+                what: "snapshot",
+                expected: 1,
+                actual: 2,
+            },
+            StoreError::Truncated { what: "snapshot" },
+            StoreError::corrupt("wal record", "tick gap"),
+            StoreError::NotDurable,
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e: StoreError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, StoreError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,229 @@
+//! Deterministic fault injection for crash-recovery tests.
+//!
+//! [`FaultFile`] wraps an in-memory sink and simulates a process crash at
+//! an exact global byte offset: everything up to the offset is persisted,
+//! and depending on the [`FaultKind`] the rest of the interrupted write is
+//! either dropped (a *short write*) or replaced with deterministic garbage
+//! (a *torn write* — the disk persisted part of a sector as junk). Writes
+//! after the crash point report success but go nowhere, mimicking a
+//! process that keeps running against a dead disk until it is killed.
+//!
+//! The proptest harness in `stb-ingest` uses this the other way around:
+//! it first produces the *clean* WAL/snapshot bytes, then replays them
+//! through a `FaultFile` at a random offset to synthesize the exact
+//! artifact a crash at that offset would have left on disk.
+//!
+//! The standalone helpers [`truncate_bytes`] and [`flip_bit`] (plus their
+//! file-backed variants) cover the remaining corruption modes: truncation
+//! at arbitrary lengths and single-bit flips.
+
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::error::StoreError;
+use crate::wal::SyncWrite;
+
+/// What happens to the write that straddles the crash offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The interrupted write stops exactly at the crash offset; nothing
+    /// after it reaches the file.
+    ShortWrite,
+    /// The interrupted write's remainder is persisted as deterministic
+    /// garbage (each byte XORed with a position-dependent mask) — the
+    /// kernel got the buffer but the sector content was mangled.
+    Torn,
+}
+
+/// An in-memory sink that crashes deterministically at a byte offset.
+#[derive(Debug)]
+pub struct FaultFile {
+    written: Vec<u8>,
+    crash_at: u64,
+    kind: FaultKind,
+    crashed: bool,
+}
+
+impl FaultFile {
+    /// A sink that will crash once `crash_at` total bytes have been
+    /// written.
+    pub fn new(kind: FaultKind, crash_at: u64) -> Self {
+        FaultFile {
+            written: Vec::new(),
+            crash_at,
+            kind,
+            crashed: false,
+        }
+    }
+
+    /// Whether the crash offset has been reached.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The bytes that made it to "disk" — the crash artifact.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.written
+    }
+
+    /// The bytes that made it to "disk", borrowed.
+    pub fn bytes(&self) -> &[u8] {
+        &self.written
+    }
+}
+
+impl Write for FaultFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.crashed {
+            // The process believes the write succeeded; the disk is gone.
+            return Ok(buf.len());
+        }
+        let pos = self.written.len() as u64;
+        if pos + buf.len() as u64 <= self.crash_at {
+            self.written.extend_from_slice(buf);
+            return Ok(buf.len());
+        }
+        let keep = (self.crash_at - pos) as usize;
+        self.written.extend_from_slice(&buf[..keep]);
+        if self.kind == FaultKind::Torn {
+            // Persist the remainder as deterministic garbage.
+            for (i, &b) in buf[keep..].iter().enumerate() {
+                let mask = 0xA5u8 ^ ((i as u8).wrapping_mul(31)).wrapping_add(17);
+                self.written.push(b ^ mask.max(1));
+            }
+        }
+        self.crashed = true;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SyncWrite for FaultFile {}
+
+/// Replays `clean` through a [`FaultFile`] crashing at `crash_at`,
+/// returning the artifact a crash at that offset would have left. The
+/// clean bytes are offered in `chunk`-sized writes so the torn-write
+/// garbage stays bounded to one chunk, like a real buffered writer.
+pub fn crash_artifact(clean: &[u8], kind: FaultKind, crash_at: u64, chunk: usize) -> Vec<u8> {
+    let chunk = chunk.max(1);
+    let mut f = FaultFile::new(kind, crash_at);
+    for piece in clean.chunks(chunk) {
+        f.write_all(piece).expect("FaultFile never errors");
+    }
+    f.into_bytes()
+}
+
+/// Truncates a byte vector to `len` (no-op if already shorter).
+pub fn truncate_bytes(mut bytes: Vec<u8>, len: usize) -> Vec<u8> {
+    bytes.truncate(len);
+    bytes
+}
+
+/// Flips one bit of a byte slice in place.
+///
+/// # Panics
+///
+/// Panics if `byte` is out of range or `bit > 7`.
+pub fn flip_bit(bytes: &mut [u8], byte: usize, bit: u8) {
+    assert!(bit < 8, "bit index out of range");
+    bytes[byte] ^= 1 << bit;
+}
+
+/// Truncates a file on disk to `len` bytes.
+pub fn truncate_file(path: &Path, len: u64) -> Result<(), StoreError> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(len)?;
+    file.sync_data()?;
+    Ok(())
+}
+
+/// Flips one bit of a file on disk.
+pub fn flip_bit_file(path: &Path, byte: u64, bit: u8) -> Result<(), StoreError> {
+    let mut bytes = std::fs::read(path)?;
+    let idx = usize::try_from(byte)
+        .ok()
+        .filter(|&i| i < bytes.len())
+        .ok_or_else(|| StoreError::corrupt("fault", format!("byte offset {byte} out of range")))?;
+    flip_bit(&mut bytes, idx, bit);
+    std::fs::write(path, &bytes)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_write_stops_at_offset() {
+        let mut f = FaultFile::new(FaultKind::ShortWrite, 5);
+        f.write_all(b"hello world").unwrap();
+        assert!(f.crashed());
+        assert_eq!(f.bytes(), b"hello");
+        // Later writes succeed but are dropped.
+        f.write_all(b"more").unwrap();
+        assert_eq!(f.into_bytes(), b"hello");
+    }
+
+    #[test]
+    fn torn_write_mangles_the_remainder() {
+        let mut f = FaultFile::new(FaultKind::Torn, 5);
+        f.write_all(b"hello world").unwrap();
+        let bytes = f.into_bytes();
+        assert_eq!(&bytes[..5], b"hello");
+        assert_eq!(bytes.len(), 11);
+        // The tail is garbage, not the original bytes.
+        assert_ne!(&bytes[5..], b" world");
+    }
+
+    #[test]
+    fn torn_write_is_deterministic() {
+        let a = crash_artifact(b"abcdefghij", FaultKind::Torn, 4, 3);
+        let b = crash_artifact(b"abcdefghij", FaultKind::Torn, 4, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_beyond_end_is_clean() {
+        let artifact = crash_artifact(b"abc", FaultKind::ShortWrite, 100, 2);
+        assert_eq!(artifact, b"abc");
+    }
+
+    #[test]
+    fn crash_at_zero_is_empty_or_garbage_only() {
+        let artifact = crash_artifact(b"abc", FaultKind::ShortWrite, 0, 8);
+        assert!(artifact.is_empty());
+    }
+
+    #[test]
+    fn torn_garbage_is_bounded_by_chunk() {
+        let artifact = crash_artifact(&[7u8; 100], FaultKind::Torn, 10, 4);
+        // Crash mid-chunk: 10 clean bytes + at most the rest of that chunk.
+        assert!(artifact.len() <= 12, "len {}", artifact.len());
+    }
+
+    #[test]
+    fn bit_flip_round_trip() {
+        let mut bytes = vec![0u8; 4];
+        flip_bit(&mut bytes, 2, 7);
+        assert_eq!(bytes, vec![0, 0, 0x80, 0]);
+        flip_bit(&mut bytes, 2, 7);
+        assert_eq!(bytes, vec![0u8; 4]);
+    }
+
+    #[test]
+    fn file_helpers_work() {
+        let dir = std::env::temp_dir().join(format!("stb-fault-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.bin");
+        std::fs::write(&path, [0u8, 1, 2, 3]).unwrap();
+        truncate_file(&path, 2).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![0u8, 1]);
+        flip_bit_file(&path, 1, 0).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![0u8, 0]);
+        assert!(flip_bit_file(&path, 99, 0).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

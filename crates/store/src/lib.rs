@@ -1,0 +1,48 @@
+//! Durable persistence for the spatiotemporal burstiness engine.
+//!
+//! The live ingestion pipeline (`stb-ingest`) keeps everything in memory;
+//! this crate makes that state survive restarts and crashes:
+//!
+//! * [`snapshot`] — a versioned, checksummed binary snapshot of the full
+//!   engine state (collection tensor, mined patterns with captured spatial
+//!   footprints, finalized posting lists, and the pipeline's pending
+//!   bookkeeping), written atomically via temp-file + rename.
+//! * [`wal`] — a write-ahead log of committed ticks: length-prefixed,
+//!   CRC-framed [`TickRecord`]s with a configurable [`Durability`] policy,
+//!   and tail-repair on read (a torn final record is discarded, never
+//!   fatal).
+//! * [`store`] — the directory layout tying the two together: recovery is
+//!   `load_snapshot + replay_wal`, and a checkpoint is `write_snapshot`
+//!   followed by truncating the log.
+//! * [`fault`] — deterministic fault injection ([`FaultFile`], bit flips,
+//!   truncation) used by the crash-recovery proptest harness.
+//! * [`codec`] — the little-endian primitives everything is built from;
+//!   `f64`s are persisted as IEEE 754 bit patterns so recovered scores are
+//!   byte-identical.
+//! * [`error`] — [`StoreError`]: every corruption mode is a typed,
+//!   matchable error. Corrupt files fail closed; they never load as an
+//!   empty index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod fault;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use codec::{crc32, Dec, Enc};
+pub use error::StoreError;
+pub use fault::{
+    crash_artifact, flip_bit, flip_bit_file, truncate_bytes, truncate_file, FaultFile, FaultKind,
+};
+pub use snapshot::{
+    read_snapshot, write_snapshot, PendingState, SnapshotState, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
+pub use store::{Store, SNAPSHOT_FILE, WAL_FILE};
+pub use wal::{
+    decode_wal, read_wal, DocRecord, Durability, StreamRecord, SyncWrite, TermRecord, TickRecord,
+    WalReplay, WalWriter, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION,
+};

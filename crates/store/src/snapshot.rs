@@ -1,0 +1,824 @@
+//! Versioned, checksummed binary snapshots of the full engine state.
+//!
+//! A snapshot freezes everything the ingestion pipeline and search engine
+//! have computed — the collection tensor, the mined patterns with their
+//! captured spatial footprints, the finalized posting lists, and the
+//! pipeline's *pending* bookkeeping (dirty terms, staged documents,
+//! structural flags) — so a restarted process resumes from
+//! `load_snapshot + replay_wal` byte-identically to a process that never
+//! stopped.
+//!
+//! # On-disk format
+//!
+//! ```text
+//! "STBSNAP0" (8 bytes)  version: u32  payload_len: u64  payload_crc: u32
+//! payload: payload_len bytes
+//! ```
+//!
+//! The payload is encoded with the little-endian [`crate::codec`]
+//! primitives; every `f64` is persisted as its IEEE 754 bit pattern so
+//! round trips preserve score bits exactly. Snapshots are written
+//! atomically: the bytes go to a temp file in the same directory, which is
+//! synced and then renamed over the destination, followed by a
+//! parent-directory fsync — a crash at any point leaves either the old
+//! snapshot or the new one, never a hybrid.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use stb_core::PatternRecord;
+use stb_corpus::DocId;
+use stb_corpus::{Collection, CollectionParts, Document, StreamId, StreamMeta, TermId};
+use stb_geo::{GeoPoint, Point2D, Rect};
+use stb_search::{EngineState, Posting};
+use stb_timeseries::TimeInterval;
+
+use crate::codec::{crc32, Dec, Enc};
+use crate::error::StoreError;
+use crate::wal::DocRecord;
+
+/// The snapshot file magic number.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"STBSNAP0";
+/// The single snapshot format version this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The ingestion pipeline's uncommitted bookkeeping at snapshot time.
+///
+/// A snapshot is not necessarily taken at a quiescent point: documents may
+/// be staged but uncommitted, terms may be awaiting re-mining, and a newly
+/// added stream may have flagged a structural change whose full re-mine
+/// has not happened yet. Dropping any of that on recovery would make the
+/// next commit diverge from the never-crashed run, so it is persisted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PendingState {
+    /// A stream was added since the last commit (forces an all-term
+    /// re-mine on the next commit).
+    pub structural_dirty: bool,
+    /// The timeline grew since the last `STComb` re-mine.
+    pub comb_all_dirty: bool,
+    /// Terms whose patterns must be re-mined at the next commit, sorted.
+    pub dirty_terms: Vec<TermId>,
+    /// Documents staged but not yet committed, in arrival order.
+    pub staged: Vec<DocRecord>,
+}
+
+/// Everything a recovered process needs: the committed tick count, the
+/// collection, the engine's derived state, and the pipeline's pending
+/// bookkeeping.
+#[derive(Debug, Clone)]
+pub struct SnapshotState {
+    /// Number of ticks committed when the snapshot was taken. WAL records
+    /// with `tick < ticks_committed` are already reflected here and are
+    /// skipped during replay.
+    pub ticks_committed: u64,
+    /// The collection tensor.
+    pub collection: Arc<Collection>,
+    /// Mined patterns and finalized posting lists.
+    pub engine: EngineState,
+    /// Uncommitted pipeline bookkeeping.
+    pub pending: PendingState,
+}
+
+// ---------------------------------------------------------------------
+// Section codecs. Each record type has its own encode/decode pair so the
+// unit tests can round-trip them in isolation.
+// ---------------------------------------------------------------------
+
+/// Encodes a collection (as its [`CollectionParts`]) into `e`.
+pub fn encode_collection(e: &mut Enc, collection: &Collection) {
+    let parts = collection.to_parts();
+    e.put_u32(parts.terms.len() as u32);
+    for term in &parts.terms {
+        e.put_str(term);
+    }
+    e.put_u32(parts.streams.len() as u32);
+    for s in &parts.streams {
+        e.put_str(&s.name);
+        e.put_f64(s.geostamp.lat);
+        e.put_f64(s.geostamp.lon);
+        e.put_f64(s.position.x);
+        e.put_f64(s.position.y);
+    }
+    e.put_usize(parts.timeline_len);
+    e.put_u32(parts.documents.len() as u32);
+    for d in &parts.documents {
+        e.put_u32(d.stream.0);
+        e.put_usize(d.timestamp);
+        let mut counts: Vec<(TermId, u32)> = d.counts.iter().map(|(&t, &c)| (t, c)).collect();
+        counts.sort_by_key(|&(t, _)| t);
+        e.put_u32(counts.len() as u32);
+        for (t, c) in counts {
+            e.put_u32(t.0);
+            e.put_u32(c);
+        }
+    }
+    e.put_u32(parts.term_freqs.len() as u32);
+    for (term, streams) in &parts.term_freqs {
+        e.put_u32(term.0);
+        e.put_u32(streams.len() as u32);
+        for (stream, entries) in streams {
+            e.put_u32(stream.0);
+            e.put_u32(entries.len() as u32);
+            for &(ts, f) in entries {
+                e.put_usize(ts);
+                e.put_f64(f);
+            }
+        }
+    }
+    e.put_u32(parts.stream_totals.len() as u32);
+    for totals in &parts.stream_totals {
+        e.put_u32(totals.len() as u32);
+        for &v in totals {
+            e.put_f64(v);
+        }
+    }
+}
+
+/// Decodes a collection, validating every structural invariant via
+/// [`Collection::from_parts`].
+pub fn decode_collection(d: &mut Dec<'_>) -> Result<Collection, StoreError> {
+    let n_terms = d.get_count(4)?;
+    let mut terms = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        terms.push(d.get_str()?);
+    }
+    let n_streams = d.get_count(4)?;
+    let mut streams = Vec::with_capacity(n_streams);
+    for i in 0..n_streams {
+        let name = d.get_str()?;
+        let lat = d.get_f64()?;
+        let lon = d.get_f64()?;
+        let x = d.get_f64()?;
+        let y = d.get_f64()?;
+        streams.push(StreamMeta {
+            id: StreamId(i as u32),
+            name,
+            geostamp: GeoPoint { lat, lon },
+            position: Point2D { x, y },
+        });
+    }
+    let timeline_len = d.get_usize()?;
+    let n_docs = d.get_count(4)?;
+    let mut documents = Vec::with_capacity(n_docs);
+    for i in 0..n_docs {
+        let stream = StreamId(d.get_u32()?);
+        let timestamp = d.get_usize()?;
+        let n_counts = d.get_count(8)?;
+        let mut counts = std::collections::HashMap::with_capacity(n_counts);
+        for _ in 0..n_counts {
+            let term = TermId(d.get_u32()?);
+            let count = d.get_u32()?;
+            counts.insert(term, count);
+        }
+        documents.push(Document {
+            id: DocId(i as u32),
+            stream,
+            timestamp,
+            counts,
+        });
+    }
+    let n_tf = d.get_count(4)?;
+    let mut term_freqs = Vec::with_capacity(n_tf);
+    for _ in 0..n_tf {
+        let term = TermId(d.get_u32()?);
+        let n_streams = d.get_count(4)?;
+        let mut per_stream = Vec::with_capacity(n_streams);
+        for _ in 0..n_streams {
+            let stream = StreamId(d.get_u32()?);
+            let n_entries = d.get_count(16)?;
+            let mut entries = Vec::with_capacity(n_entries);
+            for _ in 0..n_entries {
+                let ts = d.get_usize()?;
+                let f = d.get_f64()?;
+                entries.push((ts, f));
+            }
+            per_stream.push((stream, entries));
+        }
+        term_freqs.push((term, per_stream));
+    }
+    let n_totals = d.get_count(4)?;
+    let mut stream_totals = Vec::with_capacity(n_totals);
+    for _ in 0..n_totals {
+        let len = d.get_count(8)?;
+        let mut totals = Vec::with_capacity(len);
+        for _ in 0..len {
+            totals.push(d.get_f64()?);
+        }
+        stream_totals.push(totals);
+    }
+    let parts = CollectionParts {
+        terms,
+        streams,
+        timeline_len,
+        documents,
+        term_freqs,
+        stream_totals,
+    };
+    Collection::from_parts(parts)
+        .map_err(|e| StoreError::corrupt("snapshot", e.detail().to_string()))
+}
+
+/// Encodes one pattern record.
+pub fn encode_pattern(e: &mut Enc, p: &PatternRecord) {
+    e.put_u32(p.streams.len() as u32);
+    for s in &p.streams {
+        e.put_u32(s.0);
+    }
+    e.put_usize(p.timeframe.start);
+    e.put_usize(p.timeframe.end);
+    match &p.region {
+        Some(r) => {
+            e.put_bool(true);
+            e.put_f64(r.min_x);
+            e.put_f64(r.min_y);
+            e.put_f64(r.max_x);
+            e.put_f64(r.max_y);
+        }
+        None => e.put_bool(false),
+    }
+    e.put_f64(p.score);
+}
+
+/// Decodes one pattern record.
+pub fn decode_pattern(d: &mut Dec<'_>) -> Result<PatternRecord, StoreError> {
+    let n = d.get_count(4)?;
+    let mut streams = Vec::with_capacity(n);
+    for _ in 0..n {
+        streams.push(StreamId(d.get_u32()?));
+    }
+    let start = d.get_usize()?;
+    let end = d.get_usize()?;
+    if start > end {
+        return Err(StoreError::corrupt(
+            "snapshot",
+            format!("pattern timeframe [{start}, {end}] is inverted"),
+        ));
+    }
+    let region = if d.get_bool()? {
+        let min_x = d.get_f64()?;
+        let min_y = d.get_f64()?;
+        let max_x = d.get_f64()?;
+        let max_y = d.get_f64()?;
+        Some(Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        })
+    } else {
+        None
+    };
+    let score = d.get_f64()?;
+    Ok(PatternRecord {
+        streams,
+        timeframe: TimeInterval { start, end },
+        region,
+        score,
+    })
+}
+
+/// Encodes the engine's exported state.
+pub fn encode_engine(e: &mut Enc, state: &EngineState) {
+    e.put_u32(state.patterns.len() as u32);
+    for (term, records) in &state.patterns {
+        e.put_u32(term.0);
+        e.put_u32(records.len() as u32);
+        for r in records {
+            encode_pattern(e, r);
+        }
+    }
+    e.put_bool(state.finalized);
+    e.put_u32(state.postings.len() as u32);
+    for (term, list) in &state.postings {
+        e.put_u32(term.0);
+        e.put_u32(list.len() as u32);
+        for p in list {
+            e.put_u32(p.doc.0);
+            e.put_f64(p.score);
+        }
+    }
+}
+
+/// Decodes the engine's exported state.
+pub fn decode_engine(d: &mut Dec<'_>) -> Result<EngineState, StoreError> {
+    let n_terms = d.get_count(4)?;
+    let mut patterns = Vec::with_capacity(n_terms);
+    for _ in 0..n_terms {
+        let term = TermId(d.get_u32()?);
+        let n = d.get_count(8)?;
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            records.push(decode_pattern(d)?);
+        }
+        patterns.push((term, records));
+    }
+    let finalized = d.get_bool()?;
+    let n_postings = d.get_count(4)?;
+    let mut postings = Vec::with_capacity(n_postings);
+    for _ in 0..n_postings {
+        let term = TermId(d.get_u32()?);
+        let n = d.get_count(12)?;
+        let mut list = Vec::with_capacity(n);
+        for _ in 0..n {
+            let doc = DocId(d.get_u32()?);
+            let score = d.get_f64()?;
+            list.push(Posting { doc, score });
+        }
+        postings.push((term, list));
+    }
+    if !finalized && !postings.is_empty() {
+        return Err(StoreError::corrupt(
+            "snapshot",
+            "posting lists present in an unfinalized engine state",
+        ));
+    }
+    Ok(EngineState {
+        patterns,
+        finalized,
+        postings,
+    })
+}
+
+/// Encodes one staged-document record.
+pub fn encode_doc_record(e: &mut Enc, d: &DocRecord) {
+    e.put_u32(d.stream.0);
+    e.put_u32(d.counts.len() as u32);
+    for &(term, count) in &d.counts {
+        e.put_u32(term.0);
+        e.put_u32(count);
+    }
+}
+
+/// Decodes one staged-document record.
+pub fn decode_doc_record(d: &mut Dec<'_>) -> Result<DocRecord, StoreError> {
+    let stream = StreamId(d.get_u32()?);
+    let n = d.get_count(8)?;
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let term = TermId(d.get_u32()?);
+        let count = d.get_u32()?;
+        counts.push((term, count));
+    }
+    Ok(DocRecord { stream, counts })
+}
+
+/// Encodes the pending pipeline bookkeeping.
+pub fn encode_pending(e: &mut Enc, p: &PendingState) {
+    e.put_bool(p.structural_dirty);
+    e.put_bool(p.comb_all_dirty);
+    e.put_u32(p.dirty_terms.len() as u32);
+    for t in &p.dirty_terms {
+        e.put_u32(t.0);
+    }
+    e.put_u32(p.staged.len() as u32);
+    for doc in &p.staged {
+        encode_doc_record(e, doc);
+    }
+}
+
+/// Decodes the pending pipeline bookkeeping.
+pub fn decode_pending(d: &mut Dec<'_>) -> Result<PendingState, StoreError> {
+    let structural_dirty = d.get_bool()?;
+    let comb_all_dirty = d.get_bool()?;
+    let n = d.get_count(4)?;
+    let mut dirty_terms = Vec::with_capacity(n);
+    for _ in 0..n {
+        dirty_terms.push(TermId(d.get_u32()?));
+    }
+    let n_staged = d.get_count(8)?;
+    let mut staged = Vec::with_capacity(n_staged);
+    for _ in 0..n_staged {
+        staged.push(decode_doc_record(d)?);
+    }
+    Ok(PendingState {
+        structural_dirty,
+        comb_all_dirty,
+        dirty_terms,
+        staged,
+    })
+}
+
+/// Encodes a full snapshot payload (without the file header).
+pub fn encode_snapshot(state: &SnapshotState) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.put_u64(state.ticks_committed);
+    encode_collection(&mut e, &state.collection);
+    encode_engine(&mut e, &state.engine);
+    encode_pending(&mut e, &state.pending);
+    e.into_bytes()
+}
+
+/// Decodes a full snapshot payload (the header must already be verified).
+pub fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, StoreError> {
+    let mut d = Dec::new(payload, "snapshot");
+    let ticks_committed = d.get_u64()?;
+    let collection = decode_collection(&mut d)?;
+    let engine = decode_engine(&mut d)?;
+    let pending = decode_pending(&mut d)?;
+    if !d.is_empty() {
+        return Err(StoreError::corrupt(
+            "snapshot",
+            format!("{} trailing bytes after snapshot", d.remaining()),
+        ));
+    }
+    Ok(SnapshotState {
+        ticks_committed,
+        collection: Arc::new(collection),
+        engine,
+        pending,
+    })
+}
+
+/// Frames a snapshot payload into the full file bytes (header + payload).
+pub fn frame_snapshot(payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(24 + payload.len());
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// Verifies a snapshot file's header and checksum, returning the payload.
+pub fn unframe_snapshot(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    if bytes.len() < 24 {
+        return Err(StoreError::Truncated { what: "snapshot" });
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(StoreError::BadMagic {
+            what: "snapshot",
+            found,
+        });
+    }
+    let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+    if version != SNAPSHOT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            what: "snapshot",
+            found: version,
+            supported: SNAPSHOT_VERSION,
+        });
+    }
+    let payload_len = u64::from_le_bytes([
+        bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
+    ]);
+    let expected = u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]);
+    let payload = &bytes[24..];
+    if payload_len != payload.len() as u64 {
+        return Err(StoreError::Truncated { what: "snapshot" });
+    }
+    let actual = crc32(payload);
+    if actual != expected {
+        return Err(StoreError::ChecksumMismatch {
+            what: "snapshot",
+            expected,
+            actual,
+        });
+    }
+    Ok(payload)
+}
+
+/// Reads and fully validates a snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<SnapshotState, StoreError> {
+    let bytes = std::fs::read(path)?;
+    decode_snapshot(unframe_snapshot(&bytes)?)
+}
+
+/// Writes a snapshot atomically: temp file in the same directory, data
+/// sync, rename over the destination, parent-directory fsync. Returns the
+/// total file size in bytes.
+pub fn write_snapshot(path: &Path, state: &SnapshotState) -> Result<u64, StoreError> {
+    let bytes = frame_snapshot(&encode_snapshot(state));
+    let dir = path.parent().ok_or_else(|| {
+        StoreError::Io(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "snapshot path has no parent directory",
+        ))
+    })?;
+    let tmp = path.with_extension("stb.tmp");
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself: fsync the parent directory.
+    let dir_handle = OpenOptions::new().read(true).open(dir)?;
+    dir_handle.sync_all()?;
+    Ok(bytes.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stb_corpus::CollectionBuilder;
+
+    fn sample_collection() -> Collection {
+        let tokenizer = stb_corpus::Tokenizer::default();
+        let mut b = CollectionBuilder::new(4);
+        let s0 = b.add_stream("paris", GeoPoint::new(48.85, 2.35));
+        let s1 = b.add_stream("tokyo", GeoPoint::new(35.68, 139.69));
+        b.add_text_document(s0, 0, "quake tremor quake", &tokenizer);
+        b.add_text_document(s1, 1, "quake festival", &tokenizer);
+        b.add_text_document(s0, 3, "calm waters", &tokenizer);
+        b.build()
+    }
+
+    fn sample_state() -> SnapshotState {
+        let collection = sample_collection();
+        let engine = EngineState {
+            patterns: vec![(
+                TermId(0),
+                vec![
+                    PatternRecord {
+                        streams: vec![StreamId(0), StreamId(1)],
+                        timeframe: TimeInterval { start: 0, end: 1 },
+                        region: Some(Rect {
+                            min_x: -1.0,
+                            min_y: -0.0,
+                            max_x: 2.5,
+                            max_y: 7.125,
+                        }),
+                        score: 3.75,
+                    },
+                    PatternRecord {
+                        streams: vec![StreamId(0)],
+                        timeframe: TimeInterval { start: 3, end: 3 },
+                        region: None,
+                        score: f64::MIN_POSITIVE,
+                    },
+                ],
+            )],
+            finalized: true,
+            postings: vec![(
+                TermId(0),
+                vec![
+                    Posting {
+                        doc: DocId(0),
+                        score: 2.5,
+                    },
+                    Posting {
+                        doc: DocId(1),
+                        score: 0.125,
+                    },
+                ],
+            )],
+        };
+        let pending = PendingState {
+            structural_dirty: true,
+            comb_all_dirty: false,
+            dirty_terms: vec![TermId(0), TermId(2)],
+            staged: vec![DocRecord {
+                stream: StreamId(1),
+                counts: vec![(TermId(1), 2)],
+            }],
+        };
+        SnapshotState {
+            ticks_committed: 4,
+            collection: Arc::new(collection),
+            engine,
+            pending,
+        }
+    }
+
+    fn assert_states_equal(a: &SnapshotState, b: &SnapshotState) {
+        assert_eq!(a.ticks_committed, b.ticks_committed);
+        // Collections compare via re-encoding (Collection is not PartialEq).
+        let mut ea = Enc::new();
+        encode_collection(&mut ea, &a.collection);
+        let mut eb = Enc::new();
+        encode_collection(&mut eb, &b.collection);
+        assert_eq!(ea.into_bytes(), eb.into_bytes());
+        assert_eq!(a.engine, b.engine);
+        assert_eq!(a.pending, b.pending);
+    }
+
+    #[test]
+    fn collection_round_trip() {
+        let collection = sample_collection();
+        let mut e = Enc::new();
+        encode_collection(&mut e, &collection);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "snapshot");
+        let decoded = decode_collection(&mut d).unwrap();
+        assert!(d.is_empty());
+        let mut e2 = Enc::new();
+        encode_collection(&mut e2, &decoded);
+        assert_eq!(e2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_collection_round_trip() {
+        let collection = CollectionBuilder::new(0).build();
+        let mut e = Enc::new();
+        encode_collection(&mut e, &collection);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "snapshot");
+        let decoded = decode_collection(&mut d).unwrap();
+        assert_eq!(decoded.n_streams(), 0);
+        assert_eq!(decoded.timeline_len(), 0);
+        assert_eq!(decoded.documents().len(), 0);
+    }
+
+    #[test]
+    fn pattern_round_trip_preserves_bits() {
+        let p = PatternRecord {
+            streams: vec![StreamId(3)],
+            timeframe: TimeInterval { start: 1, end: 9 },
+            region: Some(Rect {
+                min_x: -0.0,
+                min_y: 0.1 + 0.2, // not representable exactly; bits must survive
+                max_x: f64::MAX,
+                max_y: 1e-300,
+            }),
+            score: 0.1 + 0.7,
+        };
+        let mut e = Enc::new();
+        encode_pattern(&mut e, &p);
+        let bytes = e.into_bytes();
+        let decoded = decode_pattern(&mut Dec::new(&bytes, "snapshot")).unwrap();
+        assert_eq!(decoded.score.to_bits(), p.score.to_bits());
+        let (r, dr) = (p.region.unwrap(), decoded.region.unwrap());
+        assert_eq!(dr.min_x.to_bits(), r.min_x.to_bits());
+        assert_eq!(dr.min_y.to_bits(), r.min_y.to_bits());
+        assert_eq!(dr.max_x.to_bits(), r.max_x.to_bits());
+        assert_eq!(dr.max_y.to_bits(), r.max_y.to_bits());
+        assert_eq!(decoded.streams, p.streams);
+        assert_eq!(decoded.timeframe, p.timeframe);
+    }
+
+    #[test]
+    fn inverted_timeframe_is_corrupt() {
+        let mut e = Enc::new();
+        e.put_u32(0); // no streams
+        e.put_usize(5);
+        e.put_usize(2); // end < start
+        e.put_bool(false);
+        e.put_f64(1.0);
+        let bytes = e.into_bytes();
+        assert!(matches!(
+            decode_pattern(&mut Dec::new(&bytes, "snapshot")),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_state_round_trip() {
+        let state = sample_state().engine;
+        let mut e = Enc::new();
+        encode_engine(&mut e, &state);
+        let bytes = e.into_bytes();
+        let decoded = decode_engine(&mut Dec::new(&bytes, "snapshot")).unwrap();
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn unfinalized_engine_with_postings_is_corrupt() {
+        let state = EngineState {
+            patterns: Vec::new(),
+            finalized: false,
+            postings: vec![(
+                TermId(0),
+                vec![Posting {
+                    doc: DocId(0),
+                    score: 1.0,
+                }],
+            )],
+        };
+        let mut e = Enc::new();
+        encode_engine(&mut e, &state);
+        let bytes = e.into_bytes();
+        assert!(matches!(
+            decode_engine(&mut Dec::new(&bytes, "snapshot")),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn doc_record_round_trip() {
+        let doc = DocRecord {
+            stream: StreamId(7),
+            counts: vec![(TermId(1), 4), (TermId(9), 1)],
+        };
+        let mut e = Enc::new();
+        encode_doc_record(&mut e, &doc);
+        let bytes = e.into_bytes();
+        assert_eq!(
+            decode_doc_record(&mut Dec::new(&bytes, "snapshot")).unwrap(),
+            doc
+        );
+    }
+
+    #[test]
+    fn pending_state_round_trip() {
+        let pending = sample_state().pending;
+        let mut e = Enc::new();
+        encode_pending(&mut e, &pending);
+        let bytes = e.into_bytes();
+        assert_eq!(
+            decode_pending(&mut Dec::new(&bytes, "snapshot")).unwrap(),
+            pending
+        );
+    }
+
+    #[test]
+    fn full_snapshot_round_trip() {
+        let state = sample_state();
+        let decoded = decode_snapshot(&encode_snapshot(&state)).unwrap();
+        assert_states_equal(&decoded, &state);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trip() {
+        let state = SnapshotState {
+            ticks_committed: 0,
+            collection: Arc::new(CollectionBuilder::new(0).build()),
+            engine: EngineState::default(),
+            pending: PendingState::default(),
+        };
+        let decoded = decode_snapshot(&encode_snapshot(&state)).unwrap();
+        assert_states_equal(&decoded, &state);
+    }
+
+    #[test]
+    fn framed_snapshot_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("stb-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.stb");
+        let state = sample_state();
+        let written = write_snapshot(&path, &state).unwrap();
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+        let decoded = read_snapshot(&path).unwrap();
+        assert_states_equal(&decoded, &state);
+        // No temp file left behind.
+        assert!(!path.with_extension("stb.tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let state = sample_state();
+        let good = frame_snapshot(&encode_snapshot(&state));
+
+        // Zero-length file.
+        assert!(matches!(
+            unframe_snapshot(&[]),
+            Err(StoreError::Truncated { what: "snapshot" })
+        ));
+        // Truncated header.
+        assert!(matches!(
+            unframe_snapshot(&good[..16]),
+            Err(StoreError::Truncated { what: "snapshot" })
+        ));
+        // Foreign magic.
+        let mut bad = good.clone();
+        bad[0] = b'Z';
+        assert!(matches!(
+            unframe_snapshot(&bad),
+            Err(StoreError::BadMagic {
+                what: "snapshot",
+                ..
+            })
+        ));
+        // Wrong version byte.
+        let mut bad = good.clone();
+        bad[8] = 42;
+        assert!(matches!(
+            unframe_snapshot(&bad),
+            Err(StoreError::UnsupportedVersion {
+                what: "snapshot",
+                found: 42,
+                ..
+            })
+        ));
+        // Truncated payload.
+        assert!(matches!(
+            unframe_snapshot(&good[..good.len() - 1]),
+            Err(StoreError::Truncated { what: "snapshot" })
+        ));
+        // Flipped payload bit -> checksum mismatch.
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0x01;
+        assert!(matches!(
+            unframe_snapshot(&bad),
+            Err(StoreError::ChecksumMismatch {
+                what: "snapshot",
+                ..
+            })
+        ));
+        // Flipped stored-CRC bit -> checksum mismatch.
+        let mut bad = good.clone();
+        bad[20] ^= 0x80;
+        assert!(matches!(
+            unframe_snapshot(&bad),
+            Err(StoreError::ChecksumMismatch {
+                what: "snapshot",
+                ..
+            })
+        ));
+    }
+}

@@ -20,6 +20,9 @@
 //!   spatiotemporal query DSL (`Query` → `QueryResponse`/`QueryError`).
 //! * [`ingest`] — live ingestion: incremental mining, per-term index
 //!   deltas, queries served concurrently with document arrival.
+//! * [`store`] — durable snapshots and a write-ahead log: crash recovery
+//!   as `load_snapshot + replay_wal`, byte-identical to a process that
+//!   never stopped.
 //! * [`datagen`] — synthetic data generators (distGen, randGen, Topix-like
 //!   corpus).
 
@@ -33,4 +36,5 @@ pub use stb_discrepancy as discrepancy;
 pub use stb_geo as geo;
 pub use stb_ingest as ingest;
 pub use stb_search as search;
+pub use stb_store as store;
 pub use stb_timeseries as timeseries;

@@ -18,8 +18,8 @@ use stburst::core::{
 use stburst::corpus::{Collection, CollectionBuilder, DocId, StreamId, TermId, Tokenizer};
 use stburst::geo::{GeoPoint, Mbr, Point2D, Rect};
 use stburst::ingest::{
-    replay_tsv, IngestConfig, IngestPipeline, MinerKind, PatternDelta, PipelineMetrics,
-    SearchHandle, TickReceipt,
+    replay_tsv, replay_tsv_durable, Durability, IngestConfig, IngestPipeline, MinerKind,
+    PatternDelta, PipelineMetrics, RecoveryReport, SearchHandle, StoreError, TickReceipt,
 };
 use stburst::search::{
     threshold_topk, threshold_topk_with_stats, BurstinessAgg, BurstySearchEngine, DocExplanation,
@@ -276,6 +276,8 @@ fn ingest_surface() {
         miner: MinerKind::STLocal(STLocalConfig::default()),
         engine: EngineConfig::default(),
         cache_capacity: 16,
+        durability: Durability::Buffered,
+        checkpoint_every_ticks: 0,
     });
     let stream = pipeline.add_stream("Athens", GeoPoint::new(38.0, 23.7));
     let term = pipeline.intern("storm");
@@ -303,4 +305,110 @@ fn ingest_surface() {
     let data = "C\t2\nS\t0\tAthens\t38.0\t23.7\t23.7\t38.0\nD\t0\t1\tstorm:3\n";
     let replayed = replay_tsv(std::io::Cursor::new(data), IngestConfig::default()).unwrap();
     assert_eq!(replayed.ticks_committed(), 2);
+}
+
+/// Durability: the store-backed pipeline constructor, checkpointing, the
+/// recovery report, and the persistence layer's own public types.
+#[test]
+fn store_surface() {
+    use stburst::store::{
+        crc32, decode_wal, read_wal, Dec, DocRecord, Enc, FaultFile, FaultKind, PendingState,
+        SnapshotState, Store, StreamRecord, TermRecord, TickRecord, WalReplay, WalWriter,
+        SNAPSHOT_FILE, SNAPSHOT_MAGIC, SNAPSHOT_VERSION, WAL_FILE, WAL_HEADER_LEN, WAL_MAGIC,
+        WAL_VERSION,
+    };
+
+    let dir = std::env::temp_dir().join(format!("stb-api-surface-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Durable pipeline lifecycle: open, commit (write-ahead logged),
+    // checkpoint, recover.
+    let config = IngestConfig {
+        timeline_capacity: 2,
+        durability: Durability::Buffered,
+        checkpoint_every_ticks: 0,
+        ..IngestConfig::default()
+    };
+    let (mut pipeline, report): (IngestPipeline, RecoveryReport) =
+        IngestPipeline::durable(config.clone(), &dir).unwrap();
+    let _: (bool, u64, usize, usize, u64) = (
+        report.snapshot_loaded,
+        report.snapshot_ticks,
+        report.wal_ticks_replayed,
+        report.wal_ticks_skipped,
+        report.wal_bytes_discarded,
+    );
+    assert!(pipeline.is_durable());
+    let _: Option<&std::path::Path> = pipeline.store_dir();
+    let stream = pipeline.add_stream("Athens", GeoPoint::new(38.0, 23.7));
+    let term = pipeline.intern("storm");
+    pipeline.stage_document(stream, HashMap::from([(term, 5)]));
+    pipeline.commit_tick();
+    let _: Option<&StoreError> = pipeline.wal_error();
+    let _: SnapshotState = pipeline.export_snapshot_state();
+    let _: u64 = pipeline.checkpoint().unwrap();
+    let metrics = pipeline.metrics();
+    let _: (bool, u64, u64) = (metrics.durable, metrics.wal_appends, metrics.checkpoints);
+    drop(pipeline);
+    let (recovered, report) = IngestPipeline::durable(config.clone(), &dir).unwrap();
+    assert!(report.snapshot_loaded);
+    assert_eq!(recovered.ticks_committed(), 1);
+    drop(recovered);
+
+    // Durable TSV replay: recovers from the store instead of the file.
+    let data = "C\t2\nS\t0\tAthens\t38.0\t23.7\t23.7\t38.0\nD\t0\t1\tstorm:3\n";
+    let (_, report) = replay_tsv_durable(std::io::Cursor::new(data), config, &dir).unwrap();
+    assert!(report.snapshot_loaded);
+
+    // The persistence layer's own vocabulary stays public: store paths,
+    // file formats, the WAL record types, and the fault-injection helpers.
+    let store = Store::open(&dir).unwrap();
+    assert!(store.snapshot_path().ends_with(SNAPSHOT_FILE));
+    assert!(store.wal_path().ends_with(WAL_FILE));
+    let _: Option<SnapshotState> = store.load_snapshot().unwrap();
+    let replay: WalReplay = store.read_wal().unwrap();
+    let _: (usize, u64, u64) = (replay.ticks.len(), replay.valid_len, replay.discarded_bytes);
+    let _: WalReplay = read_wal(&store.wal_path()).unwrap();
+    let _: ([u8; 8], u32, [u8; 8], u32, u64) = (
+        WAL_MAGIC,
+        WAL_VERSION,
+        SNAPSHOT_MAGIC,
+        SNAPSHOT_VERSION,
+        WAL_HEADER_LEN,
+    );
+    let _: PendingState = PendingState::default();
+    let record = TickRecord {
+        tick: 0,
+        new_streams: vec![StreamRecord {
+            index: StreamId(0),
+            name: "Athens".into(),
+            geostamp: GeoPoint::new(38.0, 23.7),
+            position: Point2D::new(23.7, 38.0),
+        }],
+        new_terms: vec![TermRecord {
+            id: TermId(0),
+            text: "storm".into(),
+        }],
+        docs: vec![DocRecord {
+            stream: StreamId(0),
+            counts: vec![(TermId(0), 3)],
+        }],
+    };
+    let mut writer = WalWriter::from_sink(Vec::new(), true, Durability::Buffered).unwrap();
+    writer.append(&record).unwrap();
+    let sink: Vec<u8> = writer.into_sink();
+    let _: Vec<TickRecord> = decode_wal(&sink).unwrap().ticks;
+
+    // Codec + fault-injection helpers.
+    let mut enc = Enc::new();
+    enc.put_u32(7);
+    let bytes = enc.into_bytes();
+    let _: u32 = crc32(&bytes);
+    let mut dec = Dec::new(&bytes, "api");
+    assert_eq!(dec.get_u32().unwrap(), 7);
+    let _: FaultFile = FaultFile::new(FaultKind::ShortWrite, 8);
+    let torn = stburst::store::crash_artifact(&bytes, FaultKind::Torn, 2, 4);
+    assert_eq!(torn.len(), bytes.len());
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
