@@ -206,6 +206,11 @@ pub struct RecoveryReport {
     pub wal_ticks_skipped: usize,
     /// Torn-tail bytes discarded from the end of the WAL.
     pub wal_bytes_discarded: u64,
+    /// Whether a TSV corpus input was ingested into the store by
+    /// [`crate::replay_tsv_durable`]. Always `false` from
+    /// [`IngestPipeline::durable`] itself; `false` after a durable TSV
+    /// replay means the store already held state and the file was skipped.
+    pub corpus_ingested: bool,
 }
 
 /// A cloneable handle for serving queries concurrently with ingestion.
@@ -458,6 +463,16 @@ impl IngestPipeline {
                 // snapshot rename and the WAL reset.
                 report.wal_ticks_skipped += 1;
                 continue;
+            }
+            if report.snapshot_loaded && record.tick == report.snapshot_ticks {
+                // The snapshot may have been taken mid-tick, with documents
+                // staged; the WAL record that later committed this tick
+                // holds *every* staged document (the log was reset at
+                // checkpoint time), so the record is authoritative —
+                // replaying it on top of the restored pending docs would
+                // apply the pre-checkpoint ones twice.
+                pipeline.staged.clear();
+                pipeline.dirty.clear();
             }
             pipeline.apply_wal_record(record)?;
             report.wal_ticks_replayed += 1;

@@ -128,12 +128,17 @@ pub fn replay_tsv<R: BufRead>(
 /// Replays a TSV corpus through a *durable* pipeline rooted at `dir` — or
 /// skips the file entirely if the store already holds committed state.
 ///
-/// On a fresh directory this behaves like [`replay_tsv`] with every tick
-/// write-ahead logged, followed by a final [`IngestPipeline::checkpoint`]
-/// so the next start recovers from the snapshot alone. On a directory
-/// with prior commits (a restart), the state recovers as `load_snapshot +
+/// On a directory whose recovered pipeline is truly empty (no committed
+/// ticks, no streams or terms, nothing staged — a fresh directory, or a
+/// checkpoint of a pristine pipeline) this behaves like [`replay_tsv`]
+/// with every tick write-ahead logged, followed by a final
+/// [`IngestPipeline::checkpoint`] so the next start recovers from the
+/// snapshot alone, and the returned report has
+/// [`RecoveryReport::corpus_ingested`] set. On a directory holding any
+/// recovered state (a restart), the state recovers as `load_snapshot +
 /// replay_wal` and the TSV input is **not** re-read — this is the fast
-/// cold-start path the store exists for. Callers resuming a partially
+/// cold-start path the store exists for — with `corpus_ingested` left
+/// `false` so callers can detect the skip. Callers resuming a partially
 /// ingested corpus should compare [`IngestPipeline::ticks_committed`]
 /// against the file's timeline and feed the remainder through the staging
 /// API.
@@ -144,10 +149,15 @@ pub fn replay_tsv_durable<R: BufRead>(
 ) -> Result<(IngestPipeline, RecoveryReport), ReplayError> {
     let mut reader = TsvStreamReader::new(input)?;
     config.timeline_capacity = config.timeline_capacity.max(reader.timeline_len());
-    let (mut pipeline, report) = IngestPipeline::durable(config, dir)?;
-    if pipeline.ticks_committed() == 0 && !report.snapshot_loaded {
+    let (mut pipeline, mut report) = IngestPipeline::durable(config, dir)?;
+    let empty = pipeline.ticks_committed() == 0 && pipeline.metrics().staged_docs == 0 && {
+        let collection = pipeline.collection();
+        collection.n_streams() == 0 && collection.n_terms() == 0
+    };
+    if empty {
         drive_replay(&mut reader, &mut pipeline)?;
         pipeline.checkpoint()?;
+        report.corpus_ingested = true;
     }
     Ok((pipeline, report))
 }

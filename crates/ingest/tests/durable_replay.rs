@@ -92,6 +92,7 @@ fn check_roundtrip(tag: &str, config: IngestConfig) {
     let (first, report) =
         replay_tsv_durable(Cursor::new(&text), config.clone(), &dir).expect("durable replay");
     assert!(!report.snapshot_loaded, "fresh dir must replay the file");
+    assert!(report.corpus_ingested, "fresh dir must ingest the corpus");
     assert_pipelines_identical(&reference, &first);
     drop(first);
 
@@ -99,6 +100,7 @@ fn check_roundtrip(tag: &str, config: IngestConfig) {
     let (recovered, report) =
         replay_tsv_durable(Cursor::new(&text), config, &dir).expect("recovery");
     assert!(report.snapshot_loaded, "restart must load the snapshot");
+    assert!(!report.corpus_ingested, "restart must not re-read the file");
     assert_eq!(report.wal_ticks_replayed, 0, "checkpoint compacted the WAL");
     assert_pipelines_identical(&reference, &recovered);
 
@@ -119,6 +121,65 @@ fn durable_replay_equals_plain_replay_tfidf() {
         ..IngestConfig::default()
     };
     check_roundtrip("tfidf", config);
+}
+
+#[test]
+fn zero_tick_snapshot_of_pristine_pipeline_still_ingests() {
+    // A checkpoint taken on a completely fresh pipeline (no streams, no
+    // terms, no commits) leaves a zero-tick snapshot behind. The store
+    // holds no state worth preferring, so a durable replay must still
+    // drive the file instead of silently returning an empty pipeline.
+    let dir = case_dir("zero-tick-pristine");
+    {
+        let (mut pipeline, _) =
+            IngestPipeline::durable(IngestConfig::default(), &dir).expect("open");
+        pipeline.checkpoint().expect("pristine checkpoint");
+    }
+    let text = corpus();
+    let reference = replay_tsv(Cursor::new(&text), IngestConfig::default()).expect("replay");
+    let (ingested, report) = replay_tsv_durable(Cursor::new(&text), IngestConfig::default(), &dir)
+        .expect("durable replay over pristine snapshot");
+    assert!(report.snapshot_loaded);
+    assert!(
+        report.corpus_ingested,
+        "pristine store must ingest the file"
+    );
+    assert_pipelines_identical(&reference, &ingested);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn zero_tick_snapshot_with_state_skips_file_and_reports_it() {
+    // A zero-tick snapshot can still hold real state: streams registered
+    // and documents staged before the first commit. Re-driving the file on
+    // top would duplicate streams, so the file is skipped — and the report
+    // says so, instead of leaving the caller to guess why the corpus is
+    // missing.
+    let dir = case_dir("zero-tick-staged");
+    {
+        let (mut pipeline, _) =
+            IngestPipeline::durable(IngestConfig::default(), &dir).expect("open");
+        let s = pipeline.add_stream("staged-only", stb_geo::GeoPoint::new(2.0, 3.0));
+        let term = pipeline.intern("quake");
+        pipeline.stage_document(s, std::collections::HashMap::from([(term, 4)]));
+        pipeline.checkpoint().expect("mid-stage checkpoint");
+    }
+    let (recovered, report) =
+        replay_tsv_durable(Cursor::new(corpus()), IngestConfig::default(), &dir)
+            .expect("recovery over staged-only snapshot");
+    assert!(report.snapshot_loaded);
+    assert!(
+        !report.corpus_ingested,
+        "staged state must win over the file"
+    );
+    assert_eq!(recovered.ticks_committed(), 0);
+    assert_eq!(
+        recovered.collection().n_streams(),
+        1,
+        "no duplicate streams"
+    );
+    assert_eq!(recovered.metrics().staged_docs, 1, "staged doc survives");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

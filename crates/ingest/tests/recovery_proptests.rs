@@ -84,17 +84,23 @@ fn setup_streams(pipeline: &mut IngestPipeline) {
     }
 }
 
+/// Stages a slice of one tick's documents without committing (terms
+/// interned in plan order, as `commit_plan` would).
+fn stage_docs(pipeline: &mut IngestPipeline, docs: &[(usize, Vec<(usize, u32)>)]) {
+    for (stream, bag) in docs {
+        let mut counts = HashMap::new();
+        for &(term, count) in bag {
+            let id = pipeline.intern(TERMS[term]);
+            *counts.entry(id).or_insert(0) += count;
+        }
+        pipeline.stage_document(StreamId(*stream as u32), counts);
+    }
+}
+
 /// Stages and commits `plan` (streams and terms interned in plan order).
 fn commit_plan(pipeline: &mut IngestPipeline, plan: &[TickSpec]) {
     for tick in plan {
-        for (stream, bag) in tick {
-            let mut counts = HashMap::new();
-            for &(term, count) in bag {
-                let id = pipeline.intern(TERMS[term]);
-                *counts.entry(id).or_insert(0) += count;
-            }
-            pipeline.stage_document(StreamId(*stream as u32), counts);
-        }
+        stage_docs(pipeline, tick);
         pipeline.commit_tick();
     }
 }
@@ -311,6 +317,74 @@ proptest! {
         let full_ref = reference(plan.len(), &plan, local, 0);
         assert_equiv("rename window", &full_ref, &recovered)?;
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A checkpoint taken while documents are staged (mid-tick — explicitly
+    /// a non-quiescent point per the `PendingState` docs): the snapshot's
+    /// pending state restores the pre-checkpoint staged documents, and the
+    /// WAL record that later commits the tick holds *every* staged document
+    /// (the log was reset at checkpoint time). Recovery must treat the
+    /// record as authoritative instead of applying the pre-checkpoint
+    /// documents twice.
+    #[test]
+    fn checkpoint_while_documents_are_staged(
+        plan in arb_plan(),
+        local in proptest::bool::ANY,
+        cache in proptest::bool::ANY,
+        at_frac in 0.0f64..1.0,
+        split_frac in 0.0f64..1.0,
+        commit_after in proptest::bool::ANY,
+    ) {
+        let cache_capacity = if cache { 64 } else { 0 };
+        let at = (at_frac * (plan.len() - 1) as f64) as usize;
+        let split = ((split_frac * (plan[at].len() + 1) as f64) as usize).min(plan[at].len());
+        let dir = case_dir();
+        {
+            let (mut p, _) =
+                IngestPipeline::durable(config(plan.len(), local, cache_capacity), &dir)
+                    .expect("open");
+            setup_streams(&mut p);
+            commit_plan(&mut p, &plan[..at]);
+            stage_docs(&mut p, &plan[at][..split]);
+            p.checkpoint().expect("checkpoint mid-stage");
+            if commit_after {
+                stage_docs(&mut p, &plan[at][split..]);
+                p.commit_tick();
+            }
+            prop_assert!(p.wal_error().is_none(), "clean run must not hit WAL errors");
+        }
+        if commit_after {
+            // The checkpointed tick was committed: the WAL holds its full
+            // record, and recovery must land on exactly one copy of every
+            // document. `recover_and_check` then resumes the rest of the
+            // plan and compares against the never-crashed reference.
+            recover_and_check(&dir, &plan, local, cache_capacity)?;
+        } else {
+            // Crash after the checkpoint but before the commit: only the
+            // pre-checkpoint staged documents were made durable, and they
+            // come back *staged*, not committed.
+            let (mut recovered, report) =
+                IngestPipeline::durable(config(plan.len(), local, cache_capacity), &dir)
+                    .expect("recover");
+            prop_assert!(report.snapshot_loaded);
+            prop_assert_eq!(recovered.ticks_committed(), at);
+            let mut reference =
+                IngestPipeline::new(config(plan.len(), local, cache_capacity));
+            setup_streams(&mut reference);
+            commit_plan(&mut reference, &plan[..at]);
+            stage_docs(&mut reference, &plan[at][..split]);
+            assert_equiv("mid-stage recovery", &reference, &recovered)?;
+
+            // Resume both: finish the tick, then the rest of the plan.
+            for p in [&mut recovered, &mut reference] {
+                stage_docs(p, &plan[at][split..]);
+                p.commit_tick();
+                commit_plan(p, &plan[at + 1..]);
+            }
+            prop_assert!(recovered.wal_error().is_none(), "resume must stay durable");
+            assert_equiv("mid-stage resumed", &reference, &recovered)?;
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     /// Clean shutdown between ticks (possibly mid-plan with a checkpoint):

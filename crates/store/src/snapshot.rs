@@ -410,6 +410,81 @@ pub fn encode_snapshot(state: &SnapshotState) -> Vec<u8> {
     e.into_bytes()
 }
 
+/// Range-checks every id in the engine and pending sections against the
+/// decoded collection's bounds, so a checksum-valid but internally
+/// inconsistent snapshot fails closed with a typed error instead of
+/// panicking (index out of bounds) the first time a query touches it.
+fn validate_snapshot_ids(
+    collection: &Collection,
+    engine: &EngineState,
+    pending: &PendingState,
+) -> Result<(), StoreError> {
+    // Term ids are bounded by the dictionary, not the frequency tensor:
+    // a term interned during a still-open tick is a valid id before any
+    // of its documents commit.
+    let n_terms = collection.dict().len();
+    let n_streams = collection.n_streams();
+    let n_docs = collection.documents().len();
+    let term_in_range = |what: &'static str, term: TermId| {
+        if (term.0 as usize) < n_terms {
+            Ok(())
+        } else {
+            Err(StoreError::corrupt(
+                "snapshot",
+                format!("{what} references term {} with {n_terms} terms", term.0),
+            ))
+        }
+    };
+    for (term, records) in &engine.patterns {
+        term_in_range("pattern set", *term)?;
+        for r in records {
+            for s in &r.streams {
+                if (s.0 as usize) >= n_streams {
+                    return Err(StoreError::corrupt(
+                        "snapshot",
+                        format!(
+                            "pattern of term {} references stream {} with {n_streams} streams",
+                            term.0, s.0
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for (term, list) in &engine.postings {
+        term_in_range("posting list", *term)?;
+        for p in list {
+            if (p.doc.0 as usize) >= n_docs {
+                return Err(StoreError::corrupt(
+                    "snapshot",
+                    format!(
+                        "posting of term {} references document {} with {n_docs} documents",
+                        term.0, p.doc.0
+                    ),
+                ));
+            }
+        }
+    }
+    for t in &pending.dirty_terms {
+        term_in_range("dirty-term set", *t)?;
+    }
+    for doc in &pending.staged {
+        if (doc.stream.0 as usize) >= n_streams {
+            return Err(StoreError::corrupt(
+                "snapshot",
+                format!(
+                    "staged document references stream {} with {n_streams} streams",
+                    doc.stream.0
+                ),
+            ));
+        }
+        for &(term, _) in &doc.counts {
+            term_in_range("staged document", term)?;
+        }
+    }
+    Ok(())
+}
+
 /// Decodes a full snapshot payload (the header must already be verified).
 pub fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, StoreError> {
     let mut d = Dec::new(payload, "snapshot");
@@ -423,6 +498,7 @@ pub fn decode_snapshot(payload: &[u8]) -> Result<SnapshotState, StoreError> {
             format!("{} trailing bytes after snapshot", d.remaining()),
         ));
     }
+    validate_snapshot_ids(&collection, &engine, &pending)?;
     Ok(SnapshotState {
         ticks_committed,
         collection: Arc::new(collection),
@@ -468,8 +544,17 @@ pub fn unframe_snapshot(bytes: &[u8]) -> Result<&[u8], StoreError> {
     ]);
     let expected = u32::from_le_bytes([bytes[20], bytes[21], bytes[22], bytes[23]]);
     let payload = &bytes[24..];
-    if payload_len != payload.len() as u64 {
+    if (payload.len() as u64) < payload_len {
         return Err(StoreError::Truncated { what: "snapshot" });
+    }
+    if (payload.len() as u64) > payload_len {
+        return Err(StoreError::corrupt(
+            "snapshot",
+            format!(
+                "{} trailing bytes after the declared payload",
+                payload.len() as u64 - payload_len
+            ),
+        ));
     }
     let actual = crc32(payload);
     if actual != expected {
@@ -760,6 +845,47 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_ids_are_corrupt() {
+        // Checksum-valid snapshots whose ids point outside the decoded
+        // collection must fail closed with a typed error at decode time,
+        // not panic (index out of bounds) the first time a query runs.
+        let reject = |state: &SnapshotState| {
+            assert!(matches!(
+                decode_snapshot(&encode_snapshot(state)),
+                Err(StoreError::Corrupt { .. })
+            ));
+        };
+
+        let mut bad = sample_state();
+        bad.engine.postings[0].1[0].doc = DocId(99);
+        reject(&bad);
+
+        let mut bad = sample_state();
+        bad.engine.postings[0].0 = TermId(40);
+        reject(&bad);
+
+        let mut bad = sample_state();
+        bad.engine.patterns[0].1[0].streams.push(StreamId(9));
+        reject(&bad);
+
+        let mut bad = sample_state();
+        bad.engine.patterns[0].0 = TermId(40);
+        reject(&bad);
+
+        let mut bad = sample_state();
+        bad.pending.dirty_terms.push(TermId(50));
+        reject(&bad);
+
+        let mut bad = sample_state();
+        bad.pending.staged[0].stream = StreamId(7);
+        reject(&bad);
+
+        let mut bad = sample_state();
+        bad.pending.staged[0].counts.push((TermId(60), 1));
+        reject(&bad);
+    }
+
+    #[test]
     fn corruption_is_rejected() {
         let state = sample_state();
         let good = frame_snapshot(&encode_snapshot(&state));
@@ -799,6 +925,14 @@ mod tests {
         assert!(matches!(
             unframe_snapshot(&good[..good.len() - 1]),
             Err(StoreError::Truncated { what: "snapshot" })
+        ));
+        // Surplus bytes past the declared payload length: not a truncation
+        // but still fail-closed, labeled as corruption.
+        let mut bad = good.clone();
+        bad.push(0xAB);
+        assert!(matches!(
+            unframe_snapshot(&bad),
+            Err(StoreError::Corrupt { .. })
         ));
         // Flipped payload bit -> checksum mismatch.
         let mut bad = good.clone();

@@ -400,6 +400,13 @@ impl WalWriter<File> {
         let writer = WalWriter::from_sink(file, at_start, durability)?;
         if at_start {
             writer.sink.sync_data()?;
+            // A freshly created file is only durable once its directory
+            // entry is: fsync the parent, as the snapshot writer does after
+            // its rename, so a power loss cannot drop the whole log even
+            // though every append was synced.
+            if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                File::open(dir)?.sync_all()?;
+            }
         }
         Ok(writer)
     }
