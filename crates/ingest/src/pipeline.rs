@@ -13,15 +13,19 @@
 //!    one snapshot, and only the dirty terms are re-mined — the streaming
 //!    `STLocal` step (Algorithm 2) or a dirty-subset `STComb` pass for the
 //!    combinatorial view.
-//! 3. The resulting [`PatternDelta`]s are applied to the shared
-//!    [`BurstySearchEngine`]: the new collection snapshot is swapped in, the
-//!    prebuilt posting index re-scores only the affected terms, and the LRU
-//!    result cache invalidates precisely the queries involving them.
+//! 3. The resulting [`PatternDelta`]s are applied to the pipeline's
+//!    [`ShardedEngine`]: the new collection snapshot is swapped in, the
+//!    prebuilt posting index re-scores only the affected terms, and the
+//!    commit *publishes* one new immutable serving generation — the dirty
+//!    terms' shards are rebuilt and the per-shard LRU result caches
+//!    invalidate precisely the queries involving them.
 //!
-//! Queries are served concurrently through [`SearchHandle`]s (shared-read
-//! access to the engine), so ingestion and search proceed side by side; a
-//! query observes either the previous tick's generation or the new one,
-//! never a half-applied commit.
+//! Queries are served concurrently through [`SearchHandle`]s over the
+//! engine's lock-free [`ServingFront`]: readers load the current generation
+//! from an epoch-managed pointer and never take a lock, so ingestion and
+//! search proceed side by side without reader/writer contention; a query
+//! observes either the previous tick's generation or the new one, never a
+//! half-applied commit.
 //!
 //! # Equivalence with the batch path
 //!
@@ -46,7 +50,7 @@
 use crate::live::LiveCollection;
 use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::time::Instant;
 
 use stb_core::{
@@ -55,8 +59,9 @@ use stb_core::{
 use stb_corpus::{Collection, DocId, StreamId, TermId, Timestamp, Tokenizer};
 use stb_geo::{GeoPoint, Point2D};
 use stb_search::{
-    BurstySearchEngine, EngineConfig, EngineMetrics, Query, QueryError, QueryResponse, Relevance,
-    SearchResult, DEFAULT_CACHE_CAPACITY,
+    EngineConfig, EngineMetrics, NoPatternPolicy, Query, QueryError, QueryResponse, Relevance,
+    SearchResult, ServingFront, ShardedEngine, UnknownWords, DEFAULT_CACHE_CAPACITY,
+    DEFAULT_SHARDS,
 };
 use stb_store::{
     DocRecord, Durability, PendingState, SnapshotState, Store, StoreError, StreamRecord,
@@ -86,7 +91,12 @@ pub struct IngestConfig {
     /// Scoring configuration of the serving engine.
     pub engine: EngineConfig,
     /// Capacity of the engine's query-result cache (0 disables caching).
+    /// The capacity is split across the serving shards.
     pub cache_capacity: usize,
+    /// Number of serving shards in the lock-free read tier (must be > 0).
+    /// Terms are routed by hash ([`stb_search::shard_of`]); more shards
+    /// mean finer-grained cache invalidation per commit.
+    pub n_shards: usize,
     /// When the write-ahead log forces appends to disk (only relevant for
     /// pipelines opened with [`IngestPipeline::durable`]).
     pub durability: Durability,
@@ -103,6 +113,7 @@ impl Default for IngestConfig {
             miner: MinerKind::STLocal(STLocalConfig::default()),
             engine: EngineConfig::default(),
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            n_shards: DEFAULT_SHARDS,
             durability: Durability::Buffered,
             checkpoint_every_ticks: 0,
         }
@@ -215,9 +226,11 @@ pub struct RecoveryReport {
 
 /// A cloneable handle for serving queries concurrently with ingestion.
 ///
-/// Handles take shared read access to the engine, so any number of query
-/// threads proceed in parallel; a tick commit briefly takes the write side
-/// while it swaps the snapshot and applies its deltas.
+/// Handles wrap the pipeline engine's lock-free [`ServingFront`]: every
+/// query loads the current serving generation from an epoch-managed pointer
+/// and runs without taking any lock, so any number of query threads proceed
+/// in parallel and a tick commit never blocks them — the commit publishes a
+/// new immutable generation and readers pick it up on their next query.
 ///
 /// The handle speaks the same typed query DSL as the engine itself
 /// ([`SearchHandle::query`] / [`SearchHandle::query_many`]), so live
@@ -225,20 +238,26 @@ pub struct RecoveryReport {
 /// for free — against whatever tick generation is current at call time.
 #[derive(Clone)]
 pub struct SearchHandle {
-    engine: Arc<RwLock<BurstySearchEngine>>,
+    front: Arc<ServingFront>,
 }
 
 impl SearchHandle {
-    /// Executes a typed [`Query`] against the current tick's snapshot. See
-    /// [`BurstySearchEngine::query`].
+    /// Executes a typed [`Query`] against the current tick's generation,
+    /// without taking a lock. See [`ServingFront::query`].
     pub fn query(&self, query: &Query) -> Result<QueryResponse, QueryError> {
-        self.engine.read().unwrap().query(query)
+        self.front.query(query)
     }
 
-    /// Executes a batch of typed queries against the current tick's
-    /// snapshot. See [`BurstySearchEngine::query_many`].
+    /// Executes a batch of typed queries against **one** consistent
+    /// generation. See [`ServingFront::query_many`].
     pub fn query_many(&self, queries: &[Query]) -> Vec<Result<QueryResponse, QueryError>> {
-        self.engine.read().unwrap().query_many(queries)
+        self.front.query_many(queries)
+    }
+
+    /// The generation of the serving state the next query will observe
+    /// (monotone; bumped by every commit).
+    pub fn generation(&self) -> u64 {
+        self.front.generation()
     }
 
     /// Answers a query: the top-`k` documents, best first.
@@ -247,19 +266,26 @@ impl SearchHandle {
         note = "build a typed `Query` and call `SearchHandle::query`"
     )]
     pub fn search(&self, query: &[TermId], k: usize) -> Vec<SearchResult> {
-        #[allow(deprecated)]
-        self.engine.read().unwrap().search(query, k)
+        self.query(&Query::terms(query.iter().copied()).top_k(k))
+            .map(|response| response.results)
+            .unwrap_or_default()
     }
 
     /// Answers a whitespace-separated text query against the engine's
-    /// current dictionary snapshot.
+    /// current dictionary snapshot. Unknown words follow the engine's
+    /// no-pattern policy, as in `BurstySearchEngine::search_text`.
     #[deprecated(
         since = "0.2.0",
         note = "build a typed `Query::text(..)` and call `SearchHandle::query`"
     )]
     pub fn search_text(&self, query: &str, k: usize) -> Vec<SearchResult> {
-        #[allow(deprecated)]
-        self.engine.read().unwrap().search_text(query, k)
+        let unknown = match self.front.config().no_pattern {
+            NoPatternPolicy::Exclude => UnknownWords::EmptyResponse,
+            NoPatternPolicy::Zero => UnknownWords::Drop,
+        };
+        self.query(&Query::text(query).top_k(k).unknown_words(unknown))
+            .map(|response| response.results)
+            .unwrap_or_default()
     }
 
     /// Answers a batch of queries.
@@ -268,18 +294,25 @@ impl SearchHandle {
         note = "build typed `Query` values and call `SearchHandle::query_many`"
     )]
     pub fn search_many(&self, queries: &[Vec<TermId>], k: usize) -> Vec<Vec<SearchResult>> {
-        #[allow(deprecated)]
-        self.engine.read().unwrap().search_many(queries, k)
+        let typed: Vec<Query> = queries
+            .iter()
+            .map(|q| Query::terms(q.iter().copied()).top_k(k))
+            .collect();
+        self.query_many(&typed)
+            .into_iter()
+            .map(|r| r.map(|response| response.results).unwrap_or_default())
+            .collect()
     }
 
-    /// The engine's current collection snapshot.
+    /// The current generation's collection snapshot.
     pub fn collection(&self) -> Arc<Collection> {
-        Arc::clone(self.engine.read().unwrap().collection())
+        self.front.collection()
     }
 
-    /// The engine's serving counters.
+    /// The serving counters: engine counters as of the last publish, cache
+    /// counters read live from the shard caches.
     pub fn metrics(&self) -> EngineMetrics {
-        self.engine.read().unwrap().metrics()
+        self.front.metrics()
     }
 }
 
@@ -327,7 +360,8 @@ struct StagedDoc {
 /// ```
 pub struct IngestPipeline {
     live: LiveCollection,
-    engine: Arc<RwLock<BurstySearchEngine>>,
+    /// The sharded write side; its [`ServingFront`] serves lock-free reads.
+    engine: ShardedEngine,
     miner: MinerKind,
     /// One online miner per term ever seen (`STLocal` mode only).
     local_miners: HashMap<TermId, STLocal>,
@@ -371,14 +405,20 @@ impl IngestPipeline {
     /// registered and documents staged immediately.
     pub fn new(config: IngestConfig) -> Self {
         let live = LiveCollection::new(config.timeline_capacity);
-        let mut engine = BurstySearchEngine::new(live.snapshot(), config.engine);
-        engine.set_cache_capacity(config.cache_capacity);
+        let mut engine = ShardedEngine::new(
+            live.snapshot(),
+            config.engine,
+            config.n_shards,
+            config.cache_capacity,
+        );
         // Prebuild the (empty) posting index so every later pattern delta
-        // takes the incremental per-term path.
+        // takes the incremental per-term path, and publish generation 1 so
+        // handles can serve before the first commit.
         engine.finalize_with_threads(1);
+        engine.publish();
         Self {
             live,
-            engine: Arc::new(RwLock::new(engine)),
+            engine,
             miner: config.miner,
             local_miners: HashMap::new(),
             staged: Vec::new(),
@@ -424,8 +464,6 @@ impl IngestPipeline {
         let snapshot = store.load_snapshot()?;
         let replay = store.read_wal()?;
         let durability = config.durability;
-        let engine_config = config.engine;
-        let cache_capacity = config.cache_capacity;
 
         let mut report = RecoveryReport {
             wal_bytes_discarded: replay.discarded_bytes,
@@ -439,11 +477,12 @@ impl IngestPipeline {
             pipeline.live = LiveCollection::from_collection(Arc::clone(&state.collection));
             // A fresh engine over the recovered collection re-derives the
             // term→documents map deterministically; the persisted state
-            // restores patterns and posting lists without re-scoring.
-            let mut engine = BurstySearchEngine::new(Arc::clone(&state.collection), engine_config);
-            engine.set_cache_capacity(cache_capacity);
-            engine.import_state(state.engine);
-            *pipeline.engine.write().unwrap() = engine;
+            // restores patterns and posting lists without re-scoring. The
+            // restore rebuilds every shard and publishes a new generation
+            // through the existing front (handles stay valid).
+            pipeline
+                .engine
+                .restore(Arc::clone(&state.collection), state.engine);
             pipeline.ticks_committed = usize::try_from(state.ticks_committed)
                 .map_err(|_| StoreError::corrupt("snapshot", "tick count out of range"))?;
             pipeline.structural_dirty = state.pending.structural_dirty;
@@ -549,10 +588,10 @@ impl IngestPipeline {
         Ok(())
     }
 
-    /// A cloneable query handle sharing the pipeline's engine.
+    /// A cloneable query handle over the engine's lock-free serving front.
     pub fn search_handle(&self) -> SearchHandle {
         SearchHandle {
-            engine: Arc::clone(&self.engine),
+            front: self.engine.front(),
         }
     }
 
@@ -793,29 +832,30 @@ impl IngestPipeline {
             }
         }
 
-        // Publish: swap the snapshot in and apply the per-term deltas. Only
-        // this section holds the engine's write lock.
-        {
-            let mut engine = self.engine.write().unwrap();
-            engine.update_collection(Arc::clone(&snapshot), &new_docs);
-            for delta in &deltas {
-                match delta {
-                    PatternDelta::Regional { term, patterns } => {
-                        engine.set_patterns(*term, patterns);
-                    }
-                    PatternDelta::Combinatorial { term, patterns } => {
-                        engine.set_patterns(*term, patterns);
-                    }
+        // Publish: swap the snapshot in, apply the per-term deltas, and
+        // push one new serving generation to the lock-free front. Readers
+        // never block on this — they keep serving the previous generation
+        // until the publish lands.
+        self.engine
+            .update_collection(Arc::clone(&snapshot), &new_docs);
+        for delta in &deltas {
+            match delta {
+                PatternDelta::Regional { term, patterns } => {
+                    self.engine.set_patterns(*term, patterns);
                 }
-            }
-            // Under tf-idf every term's relevance depends on the corpus
-            // document count, so new documents stale every posting list.
-            if engine.config().relevance == Relevance::TfIdf && !new_docs.is_empty() {
-                for term in snapshot.terms() {
-                    engine.refresh_term(term);
+                PatternDelta::Combinatorial { term, patterns } => {
+                    self.engine.set_patterns(*term, patterns);
                 }
             }
         }
+        // Under tf-idf every term's relevance depends on the corpus
+        // document count, so new documents stale every posting list.
+        if self.engine.engine().config().relevance == Relevance::TfIdf && !new_docs.is_empty() {
+            for term in snapshot.terms() {
+                self.engine.refresh_term(term);
+            }
+        }
+        self.engine.publish();
 
         let commit_ms = start.elapsed().as_secs_f64() * 1000.0;
         self.last_commit_ms = commit_ms;
@@ -879,7 +919,7 @@ impl IngestPipeline {
         SnapshotState {
             ticks_committed: self.ticks_committed as u64,
             collection: self.live.snapshot(),
-            engine: self.engine.read().unwrap().export_state(),
+            engine: self.engine.export_state(),
             pending: PendingState {
                 structural_dirty: self.structural_dirty,
                 comb_all_dirty: self.comb_all_dirty,
@@ -944,7 +984,7 @@ impl IngestPipeline {
             durable: self.store.is_some(),
             wal_appends: self.wal_appends,
             checkpoints: self.checkpoints,
-            engine: self.engine.read().unwrap().metrics(),
+            engine: self.engine.metrics(),
         }
     }
 }
@@ -952,7 +992,7 @@ impl IngestPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stb_search::NoPatternPolicy;
+    use stb_search::BurstySearchEngine;
 
     /// Typed-API term query through a live handle.
     fn run(handle: &SearchHandle, terms: &[TermId], k: usize) -> Vec<SearchResult> {
@@ -1226,29 +1266,41 @@ mod tests {
 
     #[test]
     fn concurrent_queries_during_ingest() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
         let (mut pipeline, streams) =
             two_cluster_pipeline(MinerKind::STLocal(STLocalConfig::default()), 40);
         let t = pipeline.intern("t");
         let handle = pipeline.search_handle();
         let done = AtomicBool::new(false);
+        let answered = AtomicU64::new(0);
         std::thread::scope(|scope| {
             let h = handle.clone();
             let done_ref = &done;
+            let answered_ref = &answered;
             let reader = scope.spawn(move || {
-                let mut answered = 0u64;
                 while !done_ref.load(Ordering::Relaxed) {
                     let _ = run(&h, &[t], 5);
-                    answered += 1;
+                    answered_ref.fetch_add(1, Ordering::Relaxed);
                 }
-                answered
             });
             for tick in 0..40 {
                 burst_tick(&mut pipeline, &streams, t, (10..20).contains(&tick));
+                // The lock-free read path never blocks the writer, so on a
+                // single-CPU box the commit loop could finish before the
+                // reader is ever scheduled; yield to let it interleave.
+                std::thread::yield_now();
+            }
+            // Liveness: the reader must get at least one answer while the
+            // pipeline exists (not merely "was spawned").
+            while answered.load(Ordering::Relaxed) == 0 {
+                std::thread::yield_now();
             }
             done.store(true, Ordering::Relaxed);
-            let answered = reader.join().expect("query thread");
-            assert!(answered > 0, "queries must be served during ingest");
+            reader.join().expect("query thread");
+            assert!(
+                answered.load(Ordering::Relaxed) > 0,
+                "queries must be served during ingest"
+            );
         });
         assert!(!run(&handle, &[t], 5).is_empty());
     }

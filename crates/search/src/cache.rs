@@ -89,6 +89,10 @@ struct Entry {
     /// Logical timestamp of the last access (monotone counter, not wall
     /// clock), used for least-recently-used eviction.
     last_used: u64,
+    /// Serving generation the results were computed from (0 for unversioned
+    /// callers). A reader serving generation `g` may only consume entries
+    /// with `generation <= g` — see [`QueryCache::get_at`].
+    generation: u64,
 }
 
 #[derive(Debug, Default)]
@@ -129,6 +133,19 @@ impl QueryCache {
 
     /// Looks up a query, refreshing its recency on a hit.
     pub fn get(&self, key: &QueryKey) -> Option<Vec<SearchResult>> {
+        self.get_at(key, u64::MAX)
+    }
+
+    /// Looks up a query on behalf of a reader serving `generation`.
+    ///
+    /// A hit is returned only when the entry was computed from that
+    /// generation *or an older one* — older surviving entries are exact
+    /// because every intervening publish invalidated the queries its dirty
+    /// terms touched. Entries from a **newer** generation are rejected (and
+    /// counted as a miss): a reader still holding generation `g` while
+    /// `g+1` is being published must not serve results referencing state
+    /// (e.g. documents) that `g` does not contain.
+    pub fn get_at(&self, key: &QueryKey, generation: u64) -> Option<Vec<SearchResult>> {
         if self.capacity == 0 {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
@@ -137,12 +154,12 @@ impl QueryCache {
         inner.clock += 1;
         let clock = inner.clock;
         match inner.map.get_mut(key) {
-            Some(entry) => {
+            Some(entry) if entry.generation <= generation => {
                 entry.last_used = clock;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.results.clone())
             }
-            None => {
+            _ => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -152,10 +169,41 @@ impl QueryCache {
     /// Stores a query's results, evicting the least-recently-used entry if
     /// the cache is full.
     pub fn put(&self, key: QueryKey, results: Vec<SearchResult>) {
+        self.put_tagged(key, results, 0, || true);
+    }
+
+    /// Stores a query's results only if `valid` still holds once the cache
+    /// lock is taken. The entry is untagged (generation 0), so every
+    /// [`QueryCache::get_at`] reader may consume it.
+    pub fn put_if(&self, key: QueryKey, results: Vec<SearchResult>, valid: impl FnOnce() -> bool) {
+        self.put_tagged(key, results, 0, valid);
+    }
+
+    /// Stores a query's results computed from serving generation
+    /// `generation`, only if `valid` still holds once the cache lock is
+    /// taken.
+    ///
+    /// This closes the lock-free serving tier's staleness race: a reader
+    /// evaluates against generation `g`, then calls `put_tagged` with a
+    /// check that the published generation is still `g`. Because the check
+    /// runs *under the same mutex* the writer's per-term invalidation
+    /// takes, a stale result either observes the bumped generation here
+    /// (and is not inserted) or is inserted before the writer invalidates —
+    /// in which case the writer's invalidation removes it.
+    pub fn put_tagged(
+        &self,
+        key: QueryKey,
+        results: Vec<SearchResult>,
+        generation: u64,
+        valid: impl FnOnce() -> bool,
+    ) {
         if self.capacity == 0 {
             return;
         }
         let mut inner = self.inner.lock().unwrap();
+        if !valid() {
+            return;
+        }
         inner.clock += 1;
         let clock = inner.clock;
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
@@ -173,6 +221,7 @@ impl QueryCache {
             Entry {
                 results,
                 last_used: clock,
+                generation,
             },
         );
     }
@@ -315,6 +364,31 @@ mod tests {
         assert!(cache.get(&key(&[1, 2], 5)).is_none());
         assert!(cache.get(&key(&[2, 3], 5)).is_none());
         assert!(cache.get(&key(&[3, 4], 5)).is_some());
+    }
+
+    #[test]
+    fn get_at_rejects_entries_from_newer_generations() {
+        let cache = QueryCache::new(4);
+        cache.put_tagged(key(&[1], 5), results(1), 7, || true);
+        // A reader still serving an older generation must not see it...
+        assert_eq!(cache.get_at(&key(&[1], 5), 6), None);
+        // ...while readers at or past the entry's generation do.
+        assert_eq!(cache.get_at(&key(&[1], 5), 7), Some(results(1)));
+        assert_eq!(cache.get_at(&key(&[1], 5), 8), Some(results(1)));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        // Untagged `put` entries are visible to every reader.
+        cache.put(key(&[2], 5), results(2));
+        assert_eq!(cache.get_at(&key(&[2], 5), 0), Some(results(2)));
+    }
+
+    #[test]
+    fn put_if_respects_the_validity_check() {
+        let cache = QueryCache::new(4);
+        cache.put_if(key(&[1], 5), results(1), || false);
+        assert!(cache.is_empty());
+        cache.put_if(key(&[1], 5), results(1), || true);
+        assert_eq!(cache.get(&key(&[1], 5)), Some(results(1)));
     }
 
     #[test]

@@ -138,18 +138,18 @@ impl EngineConfigBuilder {
 /// A pattern reduced to what the engine needs: which stream/timestamp pairs
 /// it covers, its spatial footprint, and how strong it is.
 #[derive(Debug, Clone)]
-struct StoredPattern {
-    streams: Vec<StreamId>,
-    timeframe: TimeInterval,
+pub(crate) struct StoredPattern {
+    pub(crate) streams: Vec<StreamId>,
+    pub(crate) timeframe: TimeInterval,
     /// Spatial footprint per `PatternGeometry` (an `STLocal` rectangle, or
     /// the stream MBR of a combinatorial pattern), captured at registration
     /// time from the collection's stream positions.
-    region: Option<Rect>,
-    score: f64,
+    pub(crate) region: Option<Rect>,
+    pub(crate) score: f64,
 }
 
 impl StoredPattern {
-    fn overlaps(&self, stream: StreamId, ts: Timestamp) -> bool {
+    pub(crate) fn overlaps(&self, stream: StreamId, ts: Timestamp) -> bool {
         self.timeframe.contains(ts) && self.streams.binary_search(&stream).is_ok()
     }
 }
@@ -201,18 +201,18 @@ pub struct EngineState {
 
 /// The spatiotemporal restriction of a query, applied to patterns.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-struct PatternFilter {
-    window: Option<TimeInterval>,
-    region: Option<Rect>,
+pub(crate) struct PatternFilter {
+    pub(crate) window: Option<TimeInterval>,
+    pub(crate) region: Option<Rect>,
 }
 
 impl PatternFilter {
-    const NONE: PatternFilter = PatternFilter {
+    pub(crate) const NONE: PatternFilter = PatternFilter {
         window: None,
         region: None,
     };
 
-    fn is_none(&self) -> bool {
+    pub(crate) fn is_none(&self) -> bool {
         self.window.is_none() && self.region.is_none()
     }
 
@@ -220,7 +220,7 @@ impl PatternFilter {
     /// window (if any) and its region intersects the query rectangle (if
     /// any). A pattern with no spatial footprint never passes a region
     /// filter.
-    fn passes(&self, pattern: &StoredPattern) -> bool {
+    pub(crate) fn passes(&self, pattern: &StoredPattern) -> bool {
         self.window.is_none_or(|w| pattern.timeframe.overlaps(&w))
             && self
                 .region
@@ -463,6 +463,31 @@ impl BurstySearchEngine {
         self.term_docs.get(&term).map(Vec::len).unwrap_or(0)
     }
 
+    /// The stored patterns of a term (crate-internal: the sharded serving
+    /// tier copies these into shard snapshots).
+    pub(crate) fn patterns_of(&self, term: TermId) -> Option<&[StoredPattern]> {
+        self.patterns.get(&term).map(Vec::as_slice)
+    }
+
+    /// The corpus-level term→documents list of a term.
+    pub(crate) fn term_docs_of(&self, term: TermId) -> Option<&[DocId]> {
+        self.term_docs.get(&term).map(Vec::as_slice)
+    }
+
+    /// Every term the engine knows about: the union of terms appearing in
+    /// the collection and terms with registered patterns, sorted.
+    pub(crate) fn known_terms(&self) -> Vec<TermId> {
+        let mut terms: Vec<TermId> = self
+            .term_docs
+            .keys()
+            .chain(self.patterns.keys())
+            .copied()
+            .collect();
+        terms.sort();
+        terms.dedup();
+        terms
+    }
+
     /// `burstiness(d, t)` of Eq. 11: aggregates the scores of the patterns of
     /// `term` that overlap the document, or `None` if no pattern overlaps.
     pub fn document_burstiness(&self, term: TermId, doc: DocId) -> Option<f64> {
@@ -478,14 +503,13 @@ impl BurstySearchEngine {
         filter: PatternFilter,
     ) -> Option<f64> {
         let document = self.collection.document(doc);
-        let overlapping: Vec<f64> = self
-            .patterns
-            .get(&term)?
-            .iter()
-            .filter(|p| filter.passes(p) && p.overlaps(document.stream, document.timestamp))
-            .map(|p| p.score)
-            .collect();
-        aggregation.aggregate(&overlapping)
+        burstiness_of(
+            self.patterns.get(&term).map(Vec::as_slice),
+            document.stream,
+            document.timestamp,
+            aggregation,
+            filter,
+        )
     }
 
     /// The Eq. 10–11 scored posting list of one term (unsorted) under the
@@ -503,36 +527,14 @@ impl BurstySearchEngine {
         config: EngineConfig,
         filter: PatternFilter,
     ) -> Vec<Posting> {
-        let n_docs = self.collection.documents().len();
-        let Some(docs) = self.term_docs.get(&term) else {
-            return Vec::new();
-        };
-        let doc_freq = docs.len();
-        let mut list = Vec::new();
-        for &doc_id in docs {
-            let doc = self.collection.document(doc_id);
-            let relevance = config.relevance.score(doc.freq(term), doc_freq, n_docs);
-            match self.burstiness_with(term, doc_id, config.aggregation, filter) {
-                Some(burst) => list.push(Posting {
-                    doc: doc_id,
-                    score: relevance * burst,
-                }),
-                None => {
-                    if config.no_pattern == NoPatternPolicy::Zero {
-                        // The term contributes nothing but the document
-                        // stays eligible for the rest of the query.
-                        list.push(Posting {
-                            doc: doc_id,
-                            score: 0.0,
-                        });
-                    }
-                    // Under Exclude the document is simply absent from
-                    // this term's posting list, which the Threshold
-                    // Algorithm interprets as -inf.
-                }
-            }
-        }
-        list
+        scored_postings(
+            &self.collection,
+            term,
+            self.term_docs.get(&term).map(Vec::as_slice),
+            self.patterns.get(&term).map(Vec::as_slice),
+            config,
+            filter,
+        )
     }
 
     /// Builds the per-term inverted index (Eq. 10 per-term scores) for a set
@@ -548,15 +550,7 @@ impl BurstySearchEngine {
         config: EngineConfig,
         filter: PatternFilter,
     ) -> InvertedIndex {
-        let mut terms = query.to_vec();
-        terms.sort();
-        terms.dedup();
-        let mut index = InvertedIndex::new();
-        for term in terms {
-            index.set_postings(term, self.term_postings_with(term, config, filter));
-        }
-        index.finalize();
-        index
+        query_index(query, |term| self.term_postings_with(term, config, filter))
     }
 
     /// Prebuilds the score-sorted posting index of **every** term in the
@@ -729,87 +723,7 @@ impl BurstySearchEngine {
     /// Validates and resolves a [`Query`] against the engine's current
     /// snapshot into an executable plan.
     fn plan(&self, query: &Query) -> Result<QueryPlan, QueryError> {
-        if query.top_k == 0 {
-            return Err(QueryError::ZeroTopK);
-        }
-        let window = match &query.time_window {
-            Some(w) => {
-                let (start, end) = (*w.start(), *w.end());
-                if start > end {
-                    return Err(QueryError::EmptyTimeWindow { start, end });
-                }
-                Some(TimeInterval::new(start, end))
-            }
-            None => None,
-        };
-        let region = match query.region {
-            Some(r) => {
-                if [r.min_x, r.min_y, r.max_x, r.max_y]
-                    .iter()
-                    .any(|v| v.is_nan())
-                {
-                    return Err(QueryError::InvalidRegion { region: r });
-                }
-                Some(r)
-            }
-            None => None,
-        };
-        let mut config = self.config;
-        if let Some(relevance) = query.relevance {
-            config.relevance = relevance;
-        }
-        let mut vacuous = false;
-        let terms = match &query.terms {
-            QueryTerms::Ids(ids) => ids.clone(),
-            QueryTerms::Text(text) => {
-                let mut terms = Vec::new();
-                for word in text.split_whitespace() {
-                    let lower = word.to_lowercase();
-                    match self.collection.dict().get(&lower) {
-                        Some(term) => terms.push(term),
-                        None => match query.unknown_words {
-                            UnknownWords::Error => {
-                                return Err(QueryError::UnknownWord { word: lower })
-                            }
-                            UnknownWords::Drop => {}
-                            UnknownWords::EmptyResponse => vacuous = true,
-                        },
-                    }
-                }
-                terms
-            }
-        };
-        if terms.is_empty() && !vacuous {
-            return Err(QueryError::EmptyQuery);
-        }
-        Ok(QueryPlan {
-            terms,
-            k: query.top_k,
-            config,
-            filter: PatternFilter { window, region },
-            explain: query.explain,
-            vacuous,
-        })
-    }
-
-    fn plan_key(&self, plan: &QueryPlan) -> QueryKey {
-        QueryKey::canonical(
-            &plan.terms,
-            plan.k,
-            plan.config,
-            plan.filter.window,
-            plan.filter.region,
-        )
-    }
-
-    /// Stats template for a query answered from the result cache.
-    fn cache_hit_stats(plan: &QueryPlan) -> QueryStats {
-        QueryStats {
-            cache_hit: true,
-            terms: plan.terms.len(),
-            filtered: !plan.filter.is_none(),
-            ..QueryStats::default()
-        }
+        plan_query(&self.collection, self.config, query)
     }
 
     /// Evaluates a plan against the cheapest sound index: the prebuilt
@@ -829,18 +743,7 @@ impl BurstySearchEngine {
                 threshold_topk_with_stats(&index, &plan.terms, plan.k, plan.config.no_pattern)
             }
         };
-        (results, Self::evaluated_stats(plan, ta, direct))
-    }
-
-    fn evaluated_stats(plan: &QueryPlan, ta: TopkStats, from_prebuilt: bool) -> QueryStats {
-        QueryStats {
-            cache_hit: false,
-            served_from_prebuilt: from_prebuilt,
-            postings_scanned: ta.postings_scanned,
-            candidates_pruned: ta.candidates_pruned,
-            terms: plan.terms.len(),
-            filtered: !plan.filter.is_none(),
-        }
+        (results, evaluated_stats(plan, ta, direct))
     }
 
     /// Assembles the response, computing explanations when asked to (also
@@ -867,70 +770,13 @@ impl BurstySearchEngine {
     /// Per-document Eq. 10–11 breakdown of a result list under a plan's
     /// effective configuration and filters.
     fn explain_results(&self, plan: &QueryPlan, results: &[SearchResult]) -> Vec<DocExplanation> {
-        let n_docs = self.collection.documents().len();
-        results
-            .iter()
-            .map(|r| {
-                let doc = self.collection.document(r.doc);
-                let mut total = 0.0;
-                let terms = plan
-                    .terms
-                    .iter()
-                    .map(|&term| {
-                        let relevance = plan.config.relevance.score(
-                            doc.freq(term),
-                            self.doc_freq(term),
-                            n_docs,
-                        );
-                        let patterns: Vec<PatternMatch> = self
-                            .patterns
-                            .get(&term)
-                            .map(|ps| {
-                                ps.iter()
-                                    .filter(|p| {
-                                        plan.filter.passes(p)
-                                            && p.overlaps(doc.stream, doc.timestamp)
-                                    })
-                                    .map(|p| PatternMatch {
-                                        interval: p.timeframe,
-                                        region: p.region,
-                                        score: p.score,
-                                    })
-                                    .collect()
-                            })
-                            .unwrap_or_default();
-                        let scores: Vec<f64> = patterns.iter().map(|p| p.score).collect();
-                        let burstiness = plan.config.aggregation.aggregate(&scores);
-                        let contribution = burstiness.map_or(0.0, |b| relevance * b);
-                        total += contribution;
-                        TermExplanation {
-                            term,
-                            relevance,
-                            burstiness,
-                            contribution,
-                            patterns,
-                        }
-                    })
-                    .collect();
-                DocExplanation {
-                    doc: r.doc,
-                    total,
-                    terms,
-                }
-            })
-            .collect()
-    }
-
-    fn vacuous_response(plan: &QueryPlan) -> QueryResponse {
-        QueryResponse {
-            results: Vec::new(),
-            explanations: Vec::new(),
-            stats: QueryStats {
-                terms: plan.terms.len(),
-                filtered: !plan.filter.is_none(),
-                ..QueryStats::default()
-            },
-        }
+        explain_results_with(
+            &self.collection,
+            plan,
+            results,
+            |term| self.doc_freq(term),
+            |term| self.patterns.get(&term).map(Vec::as_slice),
+        )
     }
 
     /// Executes a typed [`Query`]: the canonical entry point of the serving
@@ -947,11 +793,11 @@ impl BurstySearchEngine {
     pub fn query(&self, query: &Query) -> Result<QueryResponse, QueryError> {
         let plan = self.plan(query)?;
         if plan.vacuous {
-            return Ok(Self::vacuous_response(&plan));
+            return Ok(vacuous_response(&plan));
         }
-        let key = self.plan_key(&plan);
+        let key = plan_key(&plan);
         if let Some(hit) = self.cache.get(&key) {
-            return Ok(self.respond(&plan, hit, Self::cache_hit_stats(&plan)));
+            return Ok(self.respond(&plan, hit, cache_hit_stats(&plan)));
         }
         let (results, stats) = self.evaluate(&plan);
         self.cache.put(key, results.clone());
@@ -979,11 +825,11 @@ impl BurstySearchEngine {
             .iter()
             .map(|p| match p {
                 Err(e) => Some(Err(e.clone())),
-                Ok(plan) if plan.vacuous => Some(Ok(Self::vacuous_response(plan))),
+                Ok(plan) if plan.vacuous => Some(Ok(vacuous_response(plan))),
                 Ok(plan) => self
                     .cache
-                    .get(&self.plan_key(plan))
-                    .map(|hit| Ok(self.respond(plan, hit, Self::cache_hit_stats(plan)))),
+                    .get(&plan_key(plan))
+                    .map(|hit| Ok(self.respond(plan, hit, cache_hit_stats(plan)))),
             })
             .collect();
         // Group the queries that missed by their effective (config, filter)
@@ -1016,11 +862,11 @@ impl BurstySearchEngine {
             let index = self.build_index_with(&union, config, filter);
             for &i in &members {
                 let plan = plans[i].as_ref().expect("grouped plans are Ok");
-                let key = self.plan_key(plan);
+                let key = plan_key(plan);
                 // Re-check the cache: an identical query earlier in this
                 // batch may have just been evaluated and stored.
                 let response = match self.cache.get(&key) {
-                    Some(hit) => self.respond(plan, hit, Self::cache_hit_stats(plan)),
+                    Some(hit) => self.respond(plan, hit, cache_hit_stats(plan)),
                     None => {
                         let (results, ta) = threshold_topk_with_stats(
                             &index,
@@ -1029,7 +875,7 @@ impl BurstySearchEngine {
                             config.no_pattern,
                         );
                         self.cache.put(key, results.clone());
-                        let stats = Self::evaluated_stats(plan, ta, false);
+                        let stats = evaluated_stats(plan, ta, false);
                         self.respond(plan, results, stats)
                     }
                 };
@@ -1099,17 +945,283 @@ impl BurstySearchEngine {
 }
 
 /// A validated, dictionary-resolved query ready for execution.
-struct QueryPlan {
+pub(crate) struct QueryPlan {
     /// Resolved term occurrences, in query order (duplicates kept).
-    terms: Vec<TermId>,
-    k: usize,
+    pub(crate) terms: Vec<TermId>,
+    pub(crate) k: usize,
     /// The engine configuration with per-query overrides applied.
-    config: EngineConfig,
-    filter: PatternFilter,
-    explain: bool,
+    pub(crate) config: EngineConfig,
+    pub(crate) filter: PatternFilter,
+    pub(crate) explain: bool,
     /// The query is vacuously unmatchable (unknown word under
     /// [`UnknownWords::EmptyResponse`]): respond empty without evaluating.
-    vacuous: bool,
+    pub(crate) vacuous: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Shared query-execution machinery.
+//
+// These free functions are the single implementation of planning, scoring,
+// stats assembly, and explanation used by BOTH `BurstySearchEngine` (above)
+// and the sharded lock-free serving tier (`crate::shard`). Sharing them is
+// what makes the two paths bit-identical: every float operation a query
+// triggers runs through exactly this code, in exactly this order, no matter
+// which tier executes it.
+// ---------------------------------------------------------------------------
+
+/// Validates and resolves a [`Query`] against a collection snapshot under a
+/// base configuration (per-query overrides applied on top).
+pub(crate) fn plan_query(
+    collection: &Collection,
+    base_config: EngineConfig,
+    query: &Query,
+) -> Result<QueryPlan, QueryError> {
+    if query.top_k == 0 {
+        return Err(QueryError::ZeroTopK);
+    }
+    let window = match &query.time_window {
+        Some(w) => {
+            let (start, end) = (*w.start(), *w.end());
+            if start > end {
+                return Err(QueryError::EmptyTimeWindow { start, end });
+            }
+            Some(TimeInterval::new(start, end))
+        }
+        None => None,
+    };
+    let region = match query.region {
+        Some(r) => {
+            if [r.min_x, r.min_y, r.max_x, r.max_y]
+                .iter()
+                .any(|v| v.is_nan())
+            {
+                return Err(QueryError::InvalidRegion { region: r });
+            }
+            Some(r)
+        }
+        None => None,
+    };
+    let mut config = base_config;
+    if let Some(relevance) = query.relevance {
+        config.relevance = relevance;
+    }
+    let mut vacuous = false;
+    let terms = match &query.terms {
+        QueryTerms::Ids(ids) => ids.clone(),
+        QueryTerms::Text(text) => {
+            let mut terms = Vec::new();
+            for word in text.split_whitespace() {
+                let lower = word.to_lowercase();
+                match collection.dict().get(&lower) {
+                    Some(term) => terms.push(term),
+                    None => match query.unknown_words {
+                        UnknownWords::Error => return Err(QueryError::UnknownWord { word: lower }),
+                        UnknownWords::Drop => {}
+                        UnknownWords::EmptyResponse => vacuous = true,
+                    },
+                }
+            }
+            terms
+        }
+    };
+    if terms.is_empty() && !vacuous {
+        return Err(QueryError::EmptyQuery);
+    }
+    Ok(QueryPlan {
+        terms,
+        k: query.top_k,
+        config,
+        filter: PatternFilter { window, region },
+        explain: query.explain,
+        vacuous,
+    })
+}
+
+/// The canonical cache key of a plan.
+pub(crate) fn plan_key(plan: &QueryPlan) -> QueryKey {
+    QueryKey::canonical(
+        &plan.terms,
+        plan.k,
+        plan.config,
+        plan.filter.window,
+        plan.filter.region,
+    )
+}
+
+/// Stats template for a query answered from the result cache.
+pub(crate) fn cache_hit_stats(plan: &QueryPlan) -> QueryStats {
+    QueryStats {
+        cache_hit: true,
+        terms: plan.terms.len(),
+        filtered: !plan.filter.is_none(),
+        ..QueryStats::default()
+    }
+}
+
+/// Stats of an evaluated (non-cached) query.
+pub(crate) fn evaluated_stats(plan: &QueryPlan, ta: TopkStats, from_prebuilt: bool) -> QueryStats {
+    QueryStats {
+        cache_hit: false,
+        served_from_prebuilt: from_prebuilt,
+        postings_scanned: ta.postings_scanned,
+        candidates_pruned: ta.candidates_pruned,
+        terms: plan.terms.len(),
+        filtered: !plan.filter.is_none(),
+    }
+}
+
+/// The empty response of a vacuously unmatchable plan.
+pub(crate) fn vacuous_response(plan: &QueryPlan) -> QueryResponse {
+    QueryResponse {
+        results: Vec::new(),
+        explanations: Vec::new(),
+        stats: QueryStats {
+            terms: plan.terms.len(),
+            filtered: !plan.filter.is_none(),
+            ..QueryStats::default()
+        },
+    }
+}
+
+/// Eq. 11 for one (term, document) pair: aggregates the scores of the
+/// term's patterns that survive `filter` and overlap the document.
+pub(crate) fn burstiness_of(
+    patterns: Option<&[StoredPattern]>,
+    stream: StreamId,
+    timestamp: Timestamp,
+    aggregation: BurstinessAgg,
+    filter: PatternFilter,
+) -> Option<f64> {
+    let overlapping: Vec<f64> = patterns?
+        .iter()
+        .filter(|p| filter.passes(p) && p.overlaps(stream, timestamp))
+        .map(|p| p.score)
+        .collect();
+    aggregation.aggregate(&overlapping)
+}
+
+/// The Eq. 10–11 scored posting list of one term (unsorted) over an explicit
+/// term→documents list and pattern set.
+pub(crate) fn scored_postings(
+    collection: &Collection,
+    term: TermId,
+    docs: Option<&[DocId]>,
+    patterns: Option<&[StoredPattern]>,
+    config: EngineConfig,
+    filter: PatternFilter,
+) -> Vec<Posting> {
+    let n_docs = collection.documents().len();
+    let Some(docs) = docs else {
+        return Vec::new();
+    };
+    let doc_freq = docs.len();
+    let mut list = Vec::new();
+    for &doc_id in docs {
+        let doc = collection.document(doc_id);
+        let relevance = config.relevance.score(doc.freq(term), doc_freq, n_docs);
+        match burstiness_of(
+            patterns,
+            doc.stream,
+            doc.timestamp,
+            config.aggregation,
+            filter,
+        ) {
+            Some(burst) => list.push(Posting {
+                doc: doc_id,
+                score: relevance * burst,
+            }),
+            None => {
+                if config.no_pattern == NoPatternPolicy::Zero {
+                    // The term contributes nothing but the document stays
+                    // eligible for the rest of the query.
+                    list.push(Posting {
+                        doc: doc_id,
+                        score: 0.0,
+                    });
+                }
+                // Under Exclude the document is simply absent from this
+                // term's posting list, which the Threshold Algorithm
+                // interprets as -inf.
+            }
+        }
+    }
+    list
+}
+
+/// Builds and finalizes a per-query index from a posting-list source.
+pub(crate) fn query_index(
+    query: &[TermId],
+    mut postings_of: impl FnMut(TermId) -> Vec<Posting>,
+) -> InvertedIndex {
+    let mut terms = query.to_vec();
+    terms.sort();
+    terms.dedup();
+    let mut index = InvertedIndex::new();
+    for term in terms {
+        index.set_postings(term, postings_of(term));
+    }
+    index.finalize();
+    index
+}
+
+/// Per-document Eq. 10–11 breakdown of a result list under a plan's
+/// effective configuration and filters, over explicit doc-frequency and
+/// pattern sources.
+pub(crate) fn explain_results_with<'p>(
+    collection: &Collection,
+    plan: &QueryPlan,
+    results: &[SearchResult],
+    doc_freq: impl Fn(TermId) -> usize,
+    patterns_of: impl Fn(TermId) -> Option<&'p [StoredPattern]>,
+) -> Vec<DocExplanation> {
+    let n_docs = collection.documents().len();
+    results
+        .iter()
+        .map(|r| {
+            let doc = collection.document(r.doc);
+            let mut total = 0.0;
+            let terms = plan
+                .terms
+                .iter()
+                .map(|&term| {
+                    let relevance =
+                        plan.config
+                            .relevance
+                            .score(doc.freq(term), doc_freq(term), n_docs);
+                    let patterns: Vec<PatternMatch> = patterns_of(term)
+                        .map(|ps| {
+                            ps.iter()
+                                .filter(|p| {
+                                    plan.filter.passes(p) && p.overlaps(doc.stream, doc.timestamp)
+                                })
+                                .map(|p| PatternMatch {
+                                    interval: p.timeframe,
+                                    region: p.region,
+                                    score: p.score,
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    let scores: Vec<f64> = patterns.iter().map(|p| p.score).collect();
+                    let burstiness = plan.config.aggregation.aggregate(&scores);
+                    let contribution = burstiness.map_or(0.0, |b| relevance * b);
+                    total += contribution;
+                    TermExplanation {
+                        term,
+                        relevance,
+                        burstiness,
+                        contribution,
+                        patterns,
+                    }
+                })
+                .collect();
+            DocExplanation {
+                doc: r.doc,
+                total,
+                terms,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

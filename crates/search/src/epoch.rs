@@ -1,0 +1,312 @@
+//! Epoch-based lock-free snapshot cell.
+//!
+//! [`EpochCell`] publishes an `Arc<T>` that readers can [`load`](EpochCell::load)
+//! without ever taking a lock and writers can [`store`](EpochCell::store) to
+//! swap in a new snapshot atomically. It is the publication primitive behind
+//! the sharded serving tier: `commit_tick` builds the next generation of the
+//! serving state off to the side and swaps it in with a single `store`, so a
+//! reader always observes one internally-consistent generation — never a mix
+//! of pre- and post-tick state.
+//!
+//! # Design
+//!
+//! The cell keeps the current snapshot as a raw pointer obtained from
+//! [`Arc::into_raw`]. A reader cannot simply `load` the pointer and bump its
+//! reference count, because the writer may swap and drop the snapshot between
+//! those two steps. Instead the cell uses a small quiescent-state scheme:
+//!
+//! 1. A fixed array of *pin slots* (one `AtomicU64` each) records which
+//!    epochs have active readers. `u64::MAX` means "unpinned".
+//! 2. A reader claims a free slot with a CAS, publishes the current epoch in
+//!    it, and re-checks the epoch until the published value is current (the
+//!    re-check closes the race with a concurrent writer that scanned the slot
+//!    before the reader's store became visible). Only then does it load the
+//!    pointer and increment the `Arc`'s strong count.
+//! 3. A writer swaps the pointer, bumps the epoch, and moves the old pointer
+//!    to a graveyard tagged with the *retire epoch*. Retired pointers are
+//!    dropped once every pinned slot has advanced past their retire epoch.
+//!
+//! All atomics use `SeqCst`, which gives the key invariant a simple
+//! total-order argument: if the writer's reclamation scan observes a slot as
+//! unpinned, then either the reader has finished (and holds its own strong
+//! reference), or the reader's epoch re-check is ordered after the writer's
+//! epoch bump and will observe the new epoch — so the reader republishes and
+//! loads the *new* pointer, never the retired one.
+//!
+//! The slot array bounds concurrency, not correctness: when all
+//! [`PIN_SLOTS`] slots are momentarily taken, additional readers spin until
+//! one frees up (loads are a handful of instructions, so slots turn over
+//! quickly). Memory is bounded by the graveyard: snapshots retired while a
+//! long-running reader stays pinned accumulate until that reader unpins.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// Number of concurrent-reader pin slots per cell.
+///
+/// Loads only hold a slot for a few instructions, so this bounds momentary
+/// concurrency, not the number of threads that may use the cell.
+pub const PIN_SLOTS: usize = 128;
+
+const UNPINNED: u64 = u64::MAX;
+
+struct Retired<T> {
+    ptr: *const T,
+    epoch: u64,
+}
+
+// SAFETY: `Retired` is an owned `Arc<T>` in disguise (the pointer came from
+// `Arc::into_raw`); it is as sendable as the `Arc` it wraps.
+unsafe impl<T: Send + Sync> Send for Retired<T> {}
+
+/// A lock-free publication cell holding an `Arc<T>` snapshot.
+///
+/// Readers call [`load`](Self::load) to obtain a strong reference to the
+/// current snapshot without blocking; a single writer (or externally
+/// serialized writers) calls [`store`](Self::store) to publish a new
+/// snapshot. See the module docs for the reclamation scheme.
+pub struct EpochCell<T> {
+    current: AtomicPtr<T>,
+    epoch: AtomicU64,
+    slots: Box<[AtomicU64]>,
+    graveyard: Mutex<Vec<Retired<T>>>,
+}
+
+// SAFETY: the raw pointers are only ever `Arc<T>` handles; the cell hands out
+// `Arc<T>` clones and drops retired snapshots, both of which require
+// `T: Send + Sync` exactly as `Arc` sharing does.
+unsafe impl<T: Send + Sync> Send for EpochCell<T> {}
+unsafe impl<T: Send + Sync> Sync for EpochCell<T> {}
+
+impl<T> EpochCell<T> {
+    /// Creates a cell publishing `initial` as generation zero.
+    pub fn new(initial: Arc<T>) -> Self {
+        let ptr = Arc::into_raw(initial).cast_mut();
+        let slots: Vec<AtomicU64> = (0..PIN_SLOTS).map(|_| AtomicU64::new(UNPINNED)).collect();
+        Self {
+            current: AtomicPtr::new(ptr),
+            epoch: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+            graveyard: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns the current epoch (bumped once per [`store`](Self::store)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(SeqCst)
+    }
+
+    /// Number of retired snapshots not yet reclaimed (for tests/metrics).
+    pub fn reclaimable(&self) -> usize {
+        self.graveyard.lock().unwrap().len()
+    }
+
+    /// Claims a pin slot and publishes the current epoch in it.
+    ///
+    /// On return the slot holds an epoch `e` such that no snapshot retired at
+    /// epoch `<= e` can be reclaimed while the slot stays pinned, and the
+    /// cell's current pointer is guaranteed to be at least as new as `e`.
+    fn pin(&self) -> usize {
+        // Spread threads across slots so two readers rarely contend on the
+        // same CAS; any stable per-thread value works as a starting index.
+        let start = {
+            let marker: u8 = 0;
+            (std::ptr::addr_of!(marker) as usize / 64) % PIN_SLOTS
+        };
+        let mut i = start;
+        loop {
+            let slot = &self.slots[i];
+            let e = self.epoch.load(SeqCst);
+            if slot.compare_exchange(UNPINNED, e, SeqCst, SeqCst).is_ok() {
+                // Republish until the pinned epoch is current: a writer that
+                // scanned this slot before our store must have bumped the
+                // epoch first (SeqCst total order), so the re-check sees it.
+                let mut pinned = e;
+                loop {
+                    let now = self.epoch.load(SeqCst);
+                    if now == pinned {
+                        return i;
+                    }
+                    slot.store(now, SeqCst);
+                    pinned = now;
+                }
+            }
+            i = (i + 1) % PIN_SLOTS;
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Returns a strong reference to the current snapshot without blocking.
+    pub fn load(&self) -> Arc<T> {
+        let slot = self.pin();
+        let ptr = self.current.load(SeqCst);
+        // SAFETY: `ptr` came from `Arc::into_raw` and cannot have been
+        // reclaimed: reclamation requires every pinned epoch to exceed the
+        // retire epoch, and our slot pins an epoch current at (or after) the
+        // time `ptr` was still published.
+        let snapshot = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        self.slots[slot].store(UNPINNED, SeqCst);
+        snapshot
+    }
+
+    /// Publishes `next` as the new snapshot and reclaims retired snapshots
+    /// that no reader can still observe.
+    ///
+    /// Callers are expected to serialize writers externally (the ingest
+    /// pipeline has a single committing thread); concurrent `store`s are
+    /// memory-safe but may reclaim less eagerly.
+    pub fn store(&self, next: Arc<T>) {
+        let new_ptr = Arc::into_raw(next).cast_mut();
+        let old_ptr = self.current.swap(new_ptr, SeqCst);
+        let retire_epoch = self.epoch.fetch_add(1, SeqCst);
+        let mut graveyard = self.graveyard.lock().unwrap();
+        graveyard.push(Retired {
+            ptr: old_ptr,
+            epoch: retire_epoch,
+        });
+        // A slot pinned at epoch `e` may still dereference any pointer that
+        // was current at `e`, i.e. any pointer with retire epoch >= e.
+        let min_pinned = self
+            .slots
+            .iter()
+            .map(|s| s.load(SeqCst))
+            .filter(|&e| e != UNPINNED)
+            .min()
+            .unwrap_or(u64::MAX);
+        graveyard.retain(|r| {
+            if r.epoch < min_pinned {
+                // SAFETY: no pinned reader can still reach this pointer, and
+                // it was produced by `Arc::into_raw` in `new`/`store`.
+                unsafe { drop(Arc::from_raw(r.ptr)) };
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+impl<T> Drop for EpochCell<T> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` means no readers or writers remain; every
+        // pointer here was produced by `Arc::into_raw`.
+        unsafe {
+            drop(Arc::from_raw(self.current.load(SeqCst)));
+            for r in self.graveyard.get_mut().unwrap().drain(..) {
+                drop(Arc::from_raw(r.ptr));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn load_returns_stored_value() {
+        let cell = EpochCell::new(Arc::new(41));
+        assert_eq!(*cell.load(), 41);
+        cell.store(Arc::new(42));
+        assert_eq!(*cell.load(), 42);
+        assert_eq!(cell.epoch(), 1);
+    }
+
+    #[test]
+    fn stores_reclaim_when_no_readers_pinned() {
+        let cell = EpochCell::new(Arc::new(0));
+        for i in 1..100 {
+            cell.store(Arc::new(i));
+        }
+        // Each store retires the previous snapshot and, with no pinned
+        // readers, frees everything except at most the entry just pushed.
+        assert!(
+            cell.reclaimable() <= 1,
+            "graveyard grew: {}",
+            cell.reclaimable()
+        );
+    }
+
+    #[test]
+    fn held_arc_outlives_swap() {
+        let cell = EpochCell::new(Arc::new(String::from("old")));
+        let held = cell.load();
+        cell.store(Arc::new(String::from("new")));
+        cell.store(Arc::new(String::from("newer")));
+        assert_eq!(*held, "old");
+        assert_eq!(*cell.load(), "newer");
+    }
+
+    /// Tracks drops so the stress test can prove every snapshot is freed
+    /// exactly once.
+    struct DropCounter(Arc<AtomicUsize>);
+    impl Drop for DropCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, SeqCst);
+        }
+    }
+
+    #[test]
+    fn concurrent_load_store_stress_frees_everything() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let n_stores = 2000usize;
+        {
+            let cell = Arc::new(EpochCell::new(Arc::new(DropCounter(drops.clone()))));
+            let stop = Arc::new(AtomicU64::new(0));
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let cell = cell.clone();
+                    let stop = stop.clone();
+                    std::thread::spawn(move || {
+                        let mut loads = 0u64;
+                        while stop.load(SeqCst) == 0 {
+                            let snap = cell.load();
+                            // Touch the payload to catch use-after-free under
+                            // sanitizers / debug allocators.
+                            let _ = &snap.0;
+                            loads += 1;
+                        }
+                        loads
+                    })
+                })
+                .collect();
+            for _ in 0..n_stores {
+                cell.store(Arc::new(DropCounter(drops.clone())));
+            }
+            stop.store(1, SeqCst);
+            for r in readers {
+                assert!(r.join().unwrap() > 0);
+            }
+        }
+        // Cell dropped: initial + every stored snapshot must be freed,
+        // exactly once each (the counter would overshoot on double-free).
+        assert_eq!(drops.load(SeqCst), n_stores + 1);
+    }
+
+    #[test]
+    fn many_threads_share_slots() {
+        let cell = Arc::new(EpochCell::new(Arc::new(7u64)));
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let cell = cell.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        assert!(*cell.load() >= 7);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..50 {
+            cell.store(Arc::new(8u64));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -37,17 +37,29 @@
 //! re-scores only the affected terms
 //! ([`BurstySearchEngine::refresh_term`]); serving counters are exposed
 //! through [`EngineMetrics`].
+//!
+//! For concurrent serving under live ingestion, the [`shard`] module adds a
+//! lock-free tier on top: a [`ShardedEngine`] write side that shards every
+//! term's derived state by hash ([`shard_of`]) and publishes generational
+//! snapshots through an [`EpochCell`], and a [`ServingFront`] read side
+//! whose queries never take a lock yet answer bit-identically to the
+//! unsharded engine.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the epoch-based snapshot cell (`epoch`
+// module) opts back in locally with a reviewed, documented unsafe core;
+// everything else in the crate remains lint-enforced safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod burstiness;
 pub mod cache;
 pub mod engine;
+pub mod epoch;
 pub mod error;
 pub mod index;
 pub mod query;
 pub mod relevance;
+pub mod shard;
 pub mod threshold;
 
 pub use burstiness::{BurstinessAgg, NoPatternPolicy};
@@ -56,6 +68,7 @@ pub use engine::{
     BurstySearchEngine, EngineConfig, EngineConfigBuilder, EngineMetrics, EngineState,
     SearchResult, DEFAULT_CACHE_CAPACITY,
 };
+pub use epoch::EpochCell;
 pub use error::QueryError;
 pub use index::{InvertedIndex, Posting};
 pub use query::{
@@ -63,4 +76,5 @@ pub use query::{
     DEFAULT_TOP_K,
 };
 pub use relevance::Relevance;
-pub use threshold::{threshold_topk, threshold_topk_with_stats, TopkStats};
+pub use shard::{shard_of, ServingFront, ShardedEngine, DEFAULT_SHARDS};
+pub use threshold::{threshold_topk, threshold_topk_with_stats, PostingAccess, TopkStats};

@@ -1,0 +1,875 @@
+//! The sharded, lock-free serving tier.
+//!
+//! [`BurstySearchEngine`] is internally synchronized for `&self` queries,
+//! but live ingestion needs `&mut self` — so the previous serving design
+//! put the whole engine behind one `RwLock`, and every `commit_tick`
+//! stalled every in-flight query. This module splits the two roles:
+//!
+//! * [`ShardedEngine`] is the **write side**: it owns a private
+//!   `BurstySearchEngine`, applies pattern/collection updates to it, and on
+//!   [`ShardedEngine::publish`] copies the dirty terms' derived state
+//!   (score-sorted posting lists, stored patterns, term→documents lists)
+//!   into per-shard snapshots, sharded by term hash ([`shard_of`]).
+//! * [`ServingFront`] is the **read side**: an [`EpochCell`] holding the
+//!   current `ServingState` — one generation number, one collection
+//!   snapshot, and the full shard set. A query `load`s the cell once and
+//!   runs entirely against that state, so it never takes a lock and never
+//!   observes a torn generation (state mixing pre- and post-tick postings):
+//!   the only mutation readers can see is the single atomic swap.
+//!
+//! Per-shard LRU result caches sit in front of evaluation. A cache insert
+//! is guarded by [`QueryCache::put_if`] on the published generation, and the
+//! writer invalidates dirty terms in every shard cache *after* bumping the
+//! generation, which together make a cached hit always equivalent to
+//! re-evaluating against the current state.
+//!
+//! # Bit-identical serving
+//!
+//! Queries against the front must be byte-identical to the same queries on
+//! the unsharded engine. Scatter-gather therefore happens at the *posting
+//! list* level, not the result level: the front gathers each query term's
+//! list from its shard and runs the very same Threshold Algorithm
+//! (via [`crate::threshold::PostingAccess`]) that the engine runs — a
+//! per-shard top-k merge would be wrong for multi-term sum scoring, because
+//! no shard sees a document's full score. Planning, scoring, stats, and
+//! explanations all run through the shared free functions in
+//! [`crate::engine`], so both tiers execute the same float operations in
+//! the same order.
+
+use crate::cache::QueryCache;
+use crate::engine::{
+    burstiness_of, cache_hit_stats, evaluated_stats, explain_results_with, plan_key, plan_query,
+    query_index, scored_postings, vacuous_response, BurstySearchEngine, EngineConfig,
+    EngineMetrics, EngineState, QueryPlan, SearchResult, StoredPattern,
+};
+use crate::epoch::EpochCell;
+use crate::error::QueryError;
+use crate::index::Posting;
+use crate::query::{Query, QueryResponse, QueryStats};
+use crate::threshold::{threshold_topk_with_stats, PostingAccess};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
+
+use stb_core::{PatternGeometry, PatternSource};
+use stb_corpus::{Collection, DocId, TermId};
+
+/// Default number of serving shards.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// The shard a term's derived state (and cache traffic) lives on.
+///
+/// A multiplicative hash of the term id, so consecutively interned terms
+/// spread across shards instead of clustering.
+pub fn shard_of(term: TermId, n_shards: usize) -> usize {
+    debug_assert!(n_shards > 0);
+    let h = u64::from(term.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % n_shards
+}
+
+/// One term's prebuilt posting list in a shard snapshot: the score-sorted
+/// list for sorted access plus a by-document map for random access —
+/// exactly the two views `InvertedIndex` maintains, copied bit-for-bit
+/// from the write-side engine's finalized index.
+#[derive(Debug, Clone)]
+struct TermPostings {
+    sorted: Vec<Posting>,
+    by_doc: HashMap<DocId, f64>,
+}
+
+impl TermPostings {
+    fn from_sorted(sorted: &[Posting]) -> Self {
+        let by_doc = sorted.iter().map(|p| (p.doc, p.score)).collect();
+        Self {
+            sorted: sorted.to_vec(),
+            by_doc,
+        }
+    }
+}
+
+/// The derived state of one shard: every term hashed to it.
+#[derive(Debug, Clone, Default)]
+struct ShardState {
+    /// Prebuilt posting lists (present only when the engine is finalized
+    /// and the term's list is non-empty).
+    postings: HashMap<TermId, Arc<TermPostings>>,
+    /// Registered patterns, mirroring the engine's pattern store.
+    patterns: HashMap<TermId, Arc<Vec<StoredPattern>>>,
+    /// Corpus-level term→documents lists.
+    term_docs: HashMap<TermId, Arc<Vec<DocId>>>,
+}
+
+impl ShardState {
+    /// Copies one term's derived state from the write-side engine,
+    /// removing entries the engine no longer has.
+    fn sync_term(&mut self, engine: &BurstySearchEngine, term: TermId) {
+        match engine.prebuilt_index().map(|i| i.postings(term)) {
+            Some(list) if !list.is_empty() => {
+                self.postings
+                    .insert(term, Arc::new(TermPostings::from_sorted(list)));
+            }
+            _ => {
+                self.postings.remove(&term);
+            }
+        }
+        match engine.patterns_of(term) {
+            Some(ps) => {
+                self.patterns.insert(term, Arc::new(ps.to_vec()));
+            }
+            None => {
+                self.patterns.remove(&term);
+            }
+        }
+        match engine.term_docs_of(term) {
+            Some(ds) => {
+                self.term_docs.insert(term, Arc::new(ds.to_vec()));
+            }
+            None => {
+                self.term_docs.remove(&term);
+            }
+        }
+    }
+}
+
+/// One published generation of the serving tier: a consistent set of shard
+/// snapshots over one collection snapshot. Readers obtain it with a single
+/// atomic load, so every query runs against exactly one generation.
+#[derive(Debug)]
+pub(crate) struct ServingState {
+    generation: u64,
+    collection: Arc<Collection>,
+    config: EngineConfig,
+    finalized: bool,
+    shards: Vec<Arc<ShardState>>,
+    /// Write-side engine counters captured at publish time (cache fields
+    /// are overridden live by the front's shard caches).
+    base: EngineMetrics,
+}
+
+impl ServingState {
+    fn shard(&self, term: TermId) -> &ShardState {
+        &self.shards[shard_of(term, self.shards.len())]
+    }
+}
+
+/// Per-term posting lists gathered from shard snapshots for one query,
+/// presented to the Threshold Algorithm through [`PostingAccess`] — the
+/// sharded counterpart of walking the engine's prebuilt `InvertedIndex`.
+struct Gathered<'a> {
+    lists: Vec<(TermId, Option<&'a TermPostings>)>,
+}
+
+impl<'a> Gathered<'a> {
+    fn new(state: &'a ServingState, terms: &[TermId]) -> Self {
+        let lists = terms
+            .iter()
+            .map(|&t| (t, state.shard(t).postings.get(&t).map(Arc::as_ref)))
+            .collect();
+        Self { lists }
+    }
+
+    fn lookup(&self, term: TermId) -> Option<&'a TermPostings> {
+        self.lists
+            .iter()
+            .find(|(t, _)| *t == term)
+            .and_then(|(_, tp)| *tp)
+    }
+}
+
+impl PostingAccess for Gathered<'_> {
+    fn postings(&self, term: TermId) -> &[Posting] {
+        self.lookup(term).map_or(&[], |tp| tp.sorted.as_slice())
+    }
+
+    fn score(&self, term: TermId, doc: DocId) -> Option<f64> {
+        self.lookup(term)?.by_doc.get(&doc).copied()
+    }
+}
+
+/// The lock-free read side of the sharded serving tier.
+///
+/// Obtained from [`ShardedEngine::front`] and freely shared across reader
+/// threads (`Arc<ServingFront>`); every query loads the current
+/// `ServingState` from an [`EpochCell`] and runs without taking a lock.
+/// Results are byte-identical to the same query on the unsharded
+/// [`BurstySearchEngine`] holding the same state.
+pub struct ServingFront {
+    cell: EpochCell<ServingState>,
+    /// One LRU result cache per shard, routed by the query's minimum term.
+    caches: Vec<QueryCache>,
+    /// Generation whose results may be inserted into the caches; bumped by
+    /// the writer *after* swapping the cell (see [`QueryCache::put_if`]).
+    published: AtomicU64,
+    /// The configured result-cache capacity, as reported by metrics.
+    declared_capacity: usize,
+}
+
+impl ServingFront {
+    fn new(initial: Arc<ServingState>, n_shards: usize, cache_capacity: usize) -> Self {
+        let per_shard = if cache_capacity == 0 {
+            0
+        } else {
+            cache_capacity.div_ceil(n_shards).max(1)
+        };
+        Self {
+            cell: EpochCell::new(initial),
+            caches: (0..n_shards).map(|_| QueryCache::new(per_shard)).collect(),
+            published: AtomicU64::new(0),
+            declared_capacity: cache_capacity,
+        }
+    }
+
+    /// The generation of the currently published serving state.
+    ///
+    /// Generations are monotone: if two calls straddling a query return the
+    /// same value, the query ran against exactly that generation.
+    pub fn generation(&self) -> u64 {
+        self.cell.load().generation
+    }
+
+    /// Number of serving shards.
+    pub fn n_shards(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The collection snapshot of the current generation.
+    pub fn collection(&self) -> Arc<Collection> {
+        Arc::clone(&self.cell.load().collection)
+    }
+
+    /// The scoring configuration of the currently published generation.
+    pub fn config(&self) -> EngineConfig {
+        self.cell.load().config
+    }
+
+    /// A point-in-time snapshot of the serving counters: the write-side
+    /// engine counters captured at the last publish, with the cache fields
+    /// read live from the per-shard caches' atomic counters.
+    pub fn metrics(&self) -> EngineMetrics {
+        let state = self.cell.load();
+        let mut m = state.base;
+        let (hits, misses, len) = self.cache_counters();
+        m.cache_hits = hits;
+        m.cache_misses = misses;
+        m.cache_len = len;
+        m.cache_capacity = self.declared_capacity;
+        m
+    }
+
+    pub(crate) fn cache_counters(&self) -> (u64, u64, usize) {
+        let hits = self.caches.iter().map(QueryCache::hits).sum();
+        let misses = self.caches.iter().map(QueryCache::misses).sum();
+        let len = self.caches.iter().map(QueryCache::len).sum();
+        (hits, misses, len)
+    }
+
+    pub(crate) fn declared_capacity(&self) -> usize {
+        self.declared_capacity
+    }
+
+    /// Executes a typed [`Query`] against the current generation without
+    /// taking a lock. Semantics (and bits) match
+    /// [`BurstySearchEngine::query`] over the same state.
+    pub fn query(&self, query: &Query) -> Result<QueryResponse, QueryError> {
+        let state = self.cell.load();
+        self.query_on(&state, query)
+    }
+
+    /// Executes a batch of typed queries against **one** consistent
+    /// generation (the batch never straddles a concurrent publish), one
+    /// response per query in input order.
+    pub fn query_many(&self, queries: &[Query]) -> Vec<Result<QueryResponse, QueryError>> {
+        let state = self.cell.load();
+        queries.iter().map(|q| self.query_on(&state, q)).collect()
+    }
+
+    fn query_on(&self, state: &ServingState, query: &Query) -> Result<QueryResponse, QueryError> {
+        let plan = plan_query(&state.collection, state.config, query)?;
+        if plan.vacuous {
+            return Ok(vacuous_response(&plan));
+        }
+        let key = plan_key(&plan);
+        let min_term = *plan
+            .terms
+            .iter()
+            .min()
+            .expect("non-vacuous plans have terms");
+        let cache = &self.caches[shard_of(min_term, self.caches.len())];
+        // Hits are gated on the entry's generation: entries computed from a
+        // *newer* generation than the state this reader holds are rejected
+        // (their results may reference documents this generation lacks);
+        // older surviving entries are exact because every intervening
+        // publish invalidated the queries its dirty terms touched.
+        if let Some(hit) = cache.get_at(&key, state.generation) {
+            return Ok(Self::respond(state, &plan, hit, cache_hit_stats(&plan)));
+        }
+        let (results, stats) = Self::evaluate(state, &plan);
+        // Only cache results while the generation they were computed from
+        // is still the published one; the check runs under the cache mutex,
+        // so a stale insert either sees the bumped generation here or is
+        // removed by the writer's subsequent per-term invalidation.
+        let generation = state.generation;
+        cache.put_tagged(key, results.clone(), generation, || {
+            self.published.load(SeqCst) == generation
+        });
+        Ok(Self::respond(state, &plan, results, stats))
+    }
+
+    fn evaluate(state: &ServingState, plan: &QueryPlan) -> (Vec<SearchResult>, QueryStats) {
+        let direct = plan.filter.is_none() && plan.config == state.config && state.finalized;
+        if direct {
+            let gathered = Gathered::new(state, &plan.terms);
+            let (results, ta) =
+                threshold_topk_with_stats(&gathered, &plan.terms, plan.k, plan.config.no_pattern);
+            (results, evaluated_stats(plan, ta, true))
+        } else {
+            let index = query_index(&plan.terms, |term| {
+                let shard = state.shard(term);
+                scored_postings(
+                    &state.collection,
+                    term,
+                    shard.term_docs.get(&term).map(|d| d.as_slice()),
+                    shard.patterns.get(&term).map(|p| p.as_slice()),
+                    plan.config,
+                    plan.filter,
+                )
+            });
+            let (results, ta) =
+                threshold_topk_with_stats(&index, &plan.terms, plan.k, plan.config.no_pattern);
+            (results, evaluated_stats(plan, ta, false))
+        }
+    }
+
+    fn respond(
+        state: &ServingState,
+        plan: &QueryPlan,
+        results: Vec<SearchResult>,
+        stats: QueryStats,
+    ) -> QueryResponse {
+        let explanations = if plan.explain {
+            explain_results_with(
+                &state.collection,
+                plan,
+                &results,
+                |term| {
+                    state
+                        .shard(term)
+                        .term_docs
+                        .get(&term)
+                        .map_or(0, |d| d.len())
+                },
+                |term| state.shard(term).patterns.get(&term).map(|p| p.as_slice()),
+            )
+        } else {
+            Vec::new()
+        };
+        QueryResponse {
+            results,
+            explanations,
+            stats,
+        }
+    }
+
+    /// `burstiness(d, t)` of Eq. 11 against the current generation's
+    /// pattern store (the front-side counterpart of
+    /// [`BurstySearchEngine::document_burstiness`]).
+    pub fn document_burstiness(&self, term: TermId, doc: DocId) -> Option<f64> {
+        let state = self.cell.load();
+        let document = state.collection.document(doc);
+        burstiness_of(
+            state.shard(term).patterns.get(&term).map(|p| p.as_slice()),
+            document.stream,
+            document.timestamp,
+            state.config.aggregation,
+            crate::engine::PatternFilter::NONE,
+        )
+    }
+
+    /// Publishes `state` as the new serving generation. The ordering is
+    /// load-bearing:
+    ///
+    /// 1. Bump `published` — from here on, no reader can insert results
+    ///    computed from an older generation ([`QueryCache::put_tagged`]
+    ///    checks under the cache mutex).
+    /// 2. Invalidate the dirty terms' cached queries. Any stale entry was
+    ///    either inserted before this (removed here) or its insert attempt
+    ///    observes the bumped `published` and is rejected.
+    /// 3. Swap the cell. Only now can readers observe (and tag entries
+    ///    with) the new generation, so by the time a reader serves
+    ///    generation `g`, every invalidation for generations `<= g` has
+    ///    completed — which is what makes older surviving cache entries
+    ///    exact for newer readers (see [`QueryCache::get_at`]).
+    fn publish_state(&self, state: Arc<ServingState>, dirty: &BTreeSet<TermId>, clear: bool) {
+        self.published.store(state.generation, SeqCst);
+        if clear {
+            for cache in &self.caches {
+                cache.clear();
+            }
+        } else {
+            // A query involving term t may be cached on any shard (routing
+            // follows the query's minimum term), so invalidate everywhere.
+            for &term in dirty {
+                for cache in &self.caches {
+                    cache.invalidate_term(term);
+                }
+            }
+        }
+        self.cell.store(state);
+    }
+}
+
+/// The write side of the sharded serving tier.
+///
+/// Owns a private [`BurstySearchEngine`] that mutators
+/// ([`set_patterns`](Self::set_patterns),
+/// [`update_collection`](Self::update_collection), …) apply to while
+/// tracking which terms they dirtied; [`publish`](Self::publish) then copies
+/// the dirty terms' derived state into fresh shard snapshots and swaps them
+/// into the [`ServingFront`] as one new generation. Readers holding the
+/// front never block on any of this.
+pub struct ShardedEngine {
+    engine: BurstySearchEngine,
+    n_shards: usize,
+    front: Arc<ServingFront>,
+    /// The writer's working copy of the current shard set; `publish` clones
+    /// it (cheap `Arc` clones) and copy-on-writes only the dirty shards.
+    shards: Vec<Arc<ShardState>>,
+    generation: u64,
+    dirty: BTreeSet<TermId>,
+    all_dirty: bool,
+}
+
+impl ShardedEngine {
+    /// Creates a sharded engine over a collection with the given scoring
+    /// configuration, shard count, and result-cache capacity (total across
+    /// shards; 0 disables caching).
+    ///
+    /// The initial generation (0) is empty and unfinalized; register
+    /// patterns, [`finalize`](Self::finalize_with_threads), and
+    /// [`publish`](Self::publish) to begin serving.
+    pub fn new(
+        collection: impl Into<Arc<Collection>>,
+        config: EngineConfig,
+        n_shards: usize,
+        cache_capacity: usize,
+    ) -> Self {
+        assert!(n_shards > 0, "at least one shard is required");
+        let mut engine = BurstySearchEngine::new(collection, config);
+        // The write-side engine is never queried; the front's per-shard
+        // caches replace its result cache entirely.
+        engine.set_cache_capacity(0);
+        let shards: Vec<Arc<ShardState>> = (0..n_shards)
+            .map(|_| Arc::new(ShardState::default()))
+            .collect();
+        let initial = ServingState {
+            generation: 0,
+            collection: Arc::clone(engine.collection()),
+            config: *engine.config(),
+            finalized: false,
+            shards: shards.clone(),
+            base: engine.metrics(),
+        };
+        let front = Arc::new(ServingFront::new(
+            Arc::new(initial),
+            n_shards,
+            cache_capacity,
+        ));
+        Self {
+            engine,
+            n_shards,
+            front,
+            shards,
+            generation: 0,
+            dirty: BTreeSet::new(),
+            all_dirty: false,
+        }
+    }
+
+    /// The shared lock-free read front.
+    pub fn front(&self) -> Arc<ServingFront> {
+        Arc::clone(&self.front)
+    }
+
+    /// Read access to the write-side engine (its state trails the front by
+    /// whatever has not been [`publish`](Self::publish)ed yet).
+    pub fn engine(&self) -> &BurstySearchEngine {
+        &self.engine
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The generation of the last publish.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Registers the mined patterns of a term on the write side (visible to
+    /// readers after the next [`publish`](Self::publish)). See
+    /// [`BurstySearchEngine::set_patterns`].
+    pub fn set_patterns<P: PatternGeometry>(&mut self, term: TermId, patterns: &[P]) {
+        self.engine.set_patterns(term, patterns);
+        self.dirty.insert(term);
+    }
+
+    /// Registers the patterns of every term of a [`PatternSource`]. See
+    /// [`BurstySearchEngine::set_patterns_from`].
+    pub fn set_patterns_from<S: PatternSource>(&mut self, source: &S)
+    where
+        S::P: PatternGeometry,
+    {
+        source.for_each_term(&mut |term, patterns| self.set_patterns(term, patterns));
+    }
+
+    /// Re-derives one term's posting list on the write side. See
+    /// [`BurstySearchEngine::refresh_term`].
+    pub fn refresh_term(&mut self, term: TermId) {
+        self.engine.refresh_term(term);
+        self.dirty.insert(term);
+    }
+
+    /// Swaps in a newer collection snapshot, marking the new documents'
+    /// terms dirty. See [`BurstySearchEngine::update_collection`].
+    pub fn update_collection(&mut self, collection: Arc<Collection>, new_docs: &[DocId]) {
+        self.engine
+            .update_collection(Arc::clone(&collection), new_docs);
+        for &doc_id in new_docs {
+            for &term in collection.document(doc_id).counts.keys() {
+                self.dirty.insert(term);
+            }
+        }
+    }
+
+    /// Prebuilds the full-collection posting index on the write side and
+    /// marks every term dirty. See
+    /// [`BurstySearchEngine::finalize_with_threads`].
+    pub fn finalize_with_threads(&mut self, n_threads: usize) {
+        self.engine.finalize_with_threads(n_threads);
+        self.all_dirty = true;
+    }
+
+    /// Exports the write-side engine's derived state (for snapshots). See
+    /// [`BurstySearchEngine::export_state`].
+    pub fn export_state(&self) -> EngineState {
+        self.engine.export_state()
+    }
+
+    /// Replaces the write-side engine's derived state with a previously
+    /// exported one and marks everything dirty. See
+    /// [`BurstySearchEngine::import_state`].
+    pub fn import_state(&mut self, state: EngineState) {
+        self.engine.import_state(state);
+        self.all_dirty = true;
+    }
+
+    /// Crash-recovery restore: replaces the write side with a fresh engine
+    /// over `collection` (re-deriving the corpus-level term→documents
+    /// lists), imports the persisted derived state bit-for-bit, and
+    /// publishes the result as a new generation on the *same* front, so
+    /// existing [`ServingFront`] handles keep working.
+    pub fn restore(&mut self, collection: impl Into<Arc<Collection>>, state: EngineState) {
+        let config = *self.engine.config();
+        let mut engine = BurstySearchEngine::new(collection, config);
+        engine.set_cache_capacity(0);
+        engine.import_state(state);
+        self.engine = engine;
+        self.all_dirty = true;
+        self.publish();
+    }
+
+    /// A snapshot of the serving counters: the write-side engine's live
+    /// counters with the cache fields read from the front's shard caches.
+    pub fn metrics(&self) -> EngineMetrics {
+        let mut m = self.engine.metrics();
+        let (hits, misses, len) = self.front.cache_counters();
+        m.cache_hits = hits;
+        m.cache_misses = misses;
+        m.cache_len = len;
+        m.cache_capacity = self.front.declared_capacity();
+        m
+    }
+
+    /// Publishes the write side's current state to the front as one new
+    /// generation: copies every dirty term's derived state into fresh shard
+    /// snapshots (copy-on-write — clean shards are shared with the previous
+    /// generation), swaps the [`EpochCell`], and invalidates the dirty
+    /// terms in every shard result cache.
+    pub fn publish(&mut self) {
+        self.generation += 1;
+        if self.all_dirty {
+            let mut fresh: Vec<ShardState> =
+                (0..self.n_shards).map(|_| ShardState::default()).collect();
+            for term in self.engine.known_terms() {
+                fresh[shard_of(term, self.n_shards)].sync_term(&self.engine, term);
+            }
+            self.shards = fresh.into_iter().map(Arc::new).collect();
+        } else {
+            for &term in &self.dirty {
+                let shard = &mut self.shards[shard_of(term, self.n_shards)];
+                Arc::make_mut(shard).sync_term(&self.engine, term);
+            }
+        }
+        let state = ServingState {
+            generation: self.generation,
+            collection: Arc::clone(self.engine.collection()),
+            config: *self.engine.config(),
+            finalized: self.engine.is_finalized(),
+            shards: self.shards.clone(),
+            base: self.engine.metrics(),
+        };
+        self.front
+            .publish_state(Arc::new(state), &self.dirty, self.all_dirty);
+        self.dirty.clear();
+        self.all_dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relevance::Relevance;
+    use stb_core::CombinatorialPattern;
+    use stb_corpus::{CollectionBuilder, StreamId};
+    use stb_geo::GeoPoint;
+    use stb_timeseries::TimeInterval;
+    use std::collections::HashMap as StdHashMap;
+    use std::sync::atomic::AtomicBool;
+
+    fn build_fixture() -> (Collection, TermId, TermId) {
+        let mut b = CollectionBuilder::new(10);
+        let flood = b.dict_mut().intern("flood");
+        let other = b.dict_mut().intern("cricket");
+        let s0 = b.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let s1 = b.add_stream("B", GeoPoint::new(1.0, 1.0));
+        let s2 = b.add_stream("C", GeoPoint::new(50.0, 50.0));
+        for ts in 0..10 {
+            for &s in &[s0, s1, s2] {
+                let mut counts = StdHashMap::new();
+                counts.insert(other, 3);
+                if ts % 3 == 0 {
+                    counts.insert(flood, 1);
+                }
+                b.add_document(s, ts, counts);
+            }
+        }
+        for ts in 4..=6 {
+            for &s in &[s0, s1] {
+                let mut counts = StdHashMap::new();
+                counts.insert(flood, 10);
+                b.add_document(s, ts, counts);
+            }
+        }
+        (b.build(), flood, other)
+    }
+
+    fn flood_pattern() -> CombinatorialPattern {
+        CombinatorialPattern::new(
+            vec![StreamId(0), StreamId(1)],
+            TimeInterval::new(4, 6),
+            1.5,
+            vec![],
+        )
+    }
+
+    fn assert_bit_identical(a: &QueryResponse, b: &QueryResponse) {
+        assert_eq!(a.results.len(), b.results.len());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    /// Builds an unsharded reference engine and a sharded front over the
+    /// same fixture state, both finalized.
+    fn build_pair(n_shards: usize) -> (BurstySearchEngine, ShardedEngine, TermId, TermId) {
+        let (c, flood, other) = build_fixture();
+        let shared = Arc::new(c);
+        let mut reference = BurstySearchEngine::new(Arc::clone(&shared), EngineConfig::default());
+        reference.set_patterns(flood, &[flood_pattern()]);
+        reference.finalize_with_threads(1);
+        let mut sharded = ShardedEngine::new(shared, EngineConfig::default(), n_shards, 64);
+        sharded.set_patterns(flood, &[flood_pattern()]);
+        sharded.finalize_with_threads(1);
+        sharded.publish();
+        (reference, sharded, flood, other)
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for n in [1, 2, 8, 13] {
+            for t in 0..100u32 {
+                let s = shard_of(TermId(t), n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(TermId(t), n));
+            }
+        }
+        // Terms actually spread over shards.
+        let hit: std::collections::HashSet<usize> =
+            (0..100u32).map(|t| shard_of(TermId(t), 8)).collect();
+        assert!(hit.len() > 4);
+    }
+
+    #[test]
+    fn front_matches_engine_bit_for_bit() {
+        let (reference, sharded, flood, other) = build_pair(4);
+        let front = sharded.front();
+        let queries = [
+            Query::terms([flood]).top_k(5),
+            Query::terms([flood, other]).top_k(10),
+            Query::terms([other]).top_k(3),
+            Query::terms([flood]).top_k(5).time_window(2..=5),
+            Query::terms([flood]).top_k(5).relevance(Relevance::TfIdf),
+            Query::text("flood").top_k(4),
+        ];
+        for q in &queries {
+            let a = reference.query(q).unwrap();
+            let b = front.query(q).unwrap();
+            assert_bit_identical(&a, &b);
+            assert_eq!(a.stats.served_from_prebuilt, b.stats.served_from_prebuilt);
+            assert_eq!(a.stats.postings_scanned, b.stats.postings_scanned);
+            assert_eq!(a.stats.candidates_pruned, b.stats.candidates_pruned);
+        }
+        // Errors match too.
+        assert_eq!(
+            reference
+                .query(&Query::terms([flood]).top_k(0))
+                .unwrap_err(),
+            front.query(&Query::terms([flood]).top_k(0)).unwrap_err(),
+        );
+    }
+
+    #[test]
+    fn front_explanations_match_engine() {
+        let (reference, sharded, flood, other) = build_pair(3);
+        let front = sharded.front();
+        let q = Query::terms([flood, other]).top_k(5).explain(true);
+        let a = reference.query(&q).unwrap();
+        let b = front.query(&q).unwrap();
+        assert_eq!(a.explanations.len(), b.explanations.len());
+        for (x, y) in a.explanations.iter().zip(&b.explanations) {
+            assert_eq!(x.doc, y.doc);
+            assert_eq!(x.total.to_bits(), y.total.to_bits());
+            assert_eq!(x.terms.len(), y.terms.len());
+        }
+    }
+
+    #[test]
+    fn publish_swaps_generations_and_serves_updates() {
+        let (_, mut sharded, flood, _) = build_pair(4);
+        let front = sharded.front();
+        assert_eq!(front.generation(), 1);
+        let before = front.query(&Query::terms([flood]).top_k(50)).unwrap();
+
+        // Stronger pattern: same docs, higher scores, next generation.
+        let strong = CombinatorialPattern::new(
+            vec![StreamId(0), StreamId(1)],
+            TimeInterval::new(4, 6),
+            3.0,
+            vec![],
+        );
+        sharded.set_patterns(flood, &[strong]);
+        sharded.publish();
+        assert_eq!(front.generation(), 2);
+        let after = front.query(&Query::terms([flood]).top_k(50)).unwrap();
+        assert_eq!(before.results.len(), after.results.len());
+        assert!(after.results[0].score > before.results[0].score);
+    }
+
+    #[test]
+    fn cache_hits_are_recorded_and_invalidated_per_term() {
+        let (_, mut sharded, flood, other) = build_pair(4);
+        let front = sharded.front();
+        let q_flood = Query::terms([flood]).top_k(5);
+        let q_other = Query::terms([other]).top_k(5);
+        assert!(!front.query(&q_flood).unwrap().stats.cache_hit);
+        assert!(front.query(&q_flood).unwrap().stats.cache_hit);
+        // "other" has no patterns; still cacheable (empty result set).
+        assert!(!front.query(&q_other).unwrap().stats.cache_hit);
+        assert!(front.query(&q_other).unwrap().stats.cache_hit);
+
+        // Dirtying flood invalidates its queries but not other's.
+        sharded.refresh_term(flood);
+        sharded.publish();
+        assert!(!front.query(&q_flood).unwrap().stats.cache_hit);
+        assert!(front.query(&q_other).unwrap().stats.cache_hit);
+        let m = front.metrics();
+        assert_eq!(m.cache_hits + m.cache_misses, 6);
+    }
+
+    #[test]
+    fn document_burstiness_matches_engine() {
+        let (reference, sharded, flood, _) = build_pair(2);
+        let front = sharded.front();
+        let collection = front.collection();
+        for doc in collection.documents() {
+            assert_eq!(
+                reference.document_burstiness(flood, doc.id),
+                front.document_burstiness(flood, doc.id),
+            );
+        }
+    }
+
+    #[test]
+    fn restore_preserves_front_handles() {
+        let (_, mut sharded, flood, _) = build_pair(4);
+        let front = sharded.front();
+        let expected = front.query(&Query::terms([flood]).top_k(10)).unwrap();
+        let state = sharded.export_state();
+        let collection = front.collection();
+        sharded.restore(collection, state);
+        let after = front.query(&Query::terms([flood]).top_k(10)).unwrap();
+        assert_bit_identical(&expected, &after);
+    }
+
+    /// Satellite: concurrent recording through the lock-free read path
+    /// loses no cache hit/miss counts.
+    #[test]
+    fn concurrent_metrics_lose_no_counts() {
+        let (_, sharded, flood, other) = build_pair(4);
+        let front = sharded.front();
+        let n_threads = 8;
+        let per_thread = 200;
+        let start = Arc::new(AtomicBool::new(false));
+        let handles: Vec<_> = (0..n_threads)
+            .map(|i| {
+                let front = Arc::clone(&front);
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    while !start.load(SeqCst) {
+                        std::hint::spin_loop();
+                    }
+                    for j in 0..per_thread {
+                        // Mix of repeated (cacheable) and distinct queries.
+                        let k = 1 + ((i + j) % 7);
+                        let q = if j % 2 == 0 {
+                            Query::terms([flood]).top_k(k)
+                        } else {
+                            Query::terms([flood, other]).top_k(k)
+                        };
+                        front.query(&q).unwrap();
+                    }
+                })
+            })
+            .collect();
+        start.store(true, SeqCst);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let m = front.metrics();
+        assert_eq!(
+            m.cache_hits + m.cache_misses,
+            (n_threads * per_thread) as u64,
+            "lost cache counter updates: {m:?}"
+        );
+    }
+
+    #[test]
+    fn front_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServingFront>();
+        assert_send_sync::<ShardedEngine>();
+        assert_send_sync::<Arc<ServingFront>>();
+    }
+}

@@ -17,10 +17,35 @@
 //! touches the query terms' lists.
 
 use crate::burstiness::NoPatternPolicy;
-use crate::index::InvertedIndex;
+use crate::index::{InvertedIndex, Posting};
 use std::collections::{BinaryHeap, HashSet};
 
 use stb_corpus::{DocId, TermId};
+
+/// Sorted + random access to per-term posting lists, as TA requires.
+///
+/// The algorithm is agnostic to where the lists live: the engine hands it an
+/// [`InvertedIndex`], while the sharded serving tier gathers per-term lists
+/// from shard snapshots and exposes them through this trait so both paths
+/// execute the *same* float operations in the same order (bit-identical
+/// results).
+pub trait PostingAccess {
+    /// The posting list of `term`, sorted by score descending (doc id
+    /// ascending on ties); empty for unknown terms.
+    fn postings(&self, term: TermId) -> &[Posting];
+    /// Random access: the score of `doc` under `term`, if present.
+    fn score(&self, term: TermId, doc: DocId) -> Option<f64>;
+}
+
+impl PostingAccess for InvertedIndex {
+    fn postings(&self, term: TermId) -> &[Posting] {
+        InvertedIndex::postings(self, term)
+    }
+
+    fn score(&self, term: TermId, doc: DocId) -> Option<f64> {
+        InvertedIndex::score(self, term, doc)
+    }
+}
 
 /// A scored document returned by the top-k evaluation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,7 +86,12 @@ impl PartialOrd for HeapEntry {
 /// Under [`NoPatternPolicy::Exclude`] a document missing from any query
 /// term's posting list scores `-inf` (it can never enter the results);
 /// under [`NoPatternPolicy::Zero`] missing terms simply contribute nothing.
-fn full_score(index: &InvertedIndex, query: &[TermId], doc: DocId, policy: NoPatternPolicy) -> f64 {
+fn full_score<I: PostingAccess + ?Sized>(
+    index: &I,
+    query: &[TermId],
+    doc: DocId,
+    policy: NoPatternPolicy,
+) -> f64 {
     let mut total = 0.0;
     for &t in query {
         match index.score(t, doc) {
@@ -97,8 +127,8 @@ pub struct TopkStats {
 /// documents by total score, best first.
 ///
 /// Documents with non-positive or `-inf` total scores are never returned.
-pub fn threshold_topk(
-    index: &InvertedIndex,
+pub fn threshold_topk<I: PostingAccess + ?Sized>(
+    index: &I,
     query: &[TermId],
     k: usize,
     policy: NoPatternPolicy,
@@ -108,8 +138,8 @@ pub fn threshold_topk(
 
 /// [`threshold_topk`] plus the [`TopkStats`] of the evaluation — the
 /// serving path uses this to report per-query execution statistics.
-pub fn threshold_topk_with_stats(
-    index: &InvertedIndex,
+pub fn threshold_topk_with_stats<I: PostingAccess + ?Sized>(
+    index: &I,
     query: &[TermId],
     k: usize,
     policy: NoPatternPolicy,
@@ -118,7 +148,7 @@ pub fn threshold_topk_with_stats(
     if k == 0 || query.is_empty() {
         return (Vec::new(), stats);
     }
-    let lists: Vec<&[crate::index::Posting]> = query.iter().map(|&t| index.postings(t)).collect();
+    let lists: Vec<&[Posting]> = query.iter().map(|&t| index.postings(t)).collect();
     let total_postings: usize = lists.iter().map(|l| l.len()).sum();
     let max_depth = lists.iter().map(|l| l.len()).max().unwrap_or(0);
 
@@ -182,8 +212,8 @@ pub fn threshold_topk_with_stats(
 
 /// Exhaustive top-k evaluation (scores every document appearing in any query
 /// term's posting list). Test oracle for [`threshold_topk`].
-pub fn exhaustive_topk(
-    index: &InvertedIndex,
+pub fn exhaustive_topk<I: PostingAccess + ?Sized>(
+    index: &I,
     query: &[TermId],
     k: usize,
     policy: NoPatternPolicy,

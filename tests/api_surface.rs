@@ -22,10 +22,11 @@ use stburst::ingest::{
     PatternDelta, PipelineMetrics, RecoveryReport, SearchHandle, StoreError, TickReceipt,
 };
 use stburst::search::{
-    threshold_topk, threshold_topk_with_stats, BurstinessAgg, BurstySearchEngine, DocExplanation,
-    EngineConfig, EngineMetrics, InvertedIndex, NoPatternPolicy, PatternMatch, Posting, Query,
-    QueryError, QueryKey, QueryResponse, QueryStats, Relevance, SearchResult, TermExplanation,
-    TopkStats, UnknownWords, DEFAULT_CACHE_CAPACITY, DEFAULT_TOP_K,
+    shard_of, threshold_topk, threshold_topk_with_stats, BurstinessAgg, BurstySearchEngine,
+    DocExplanation, EngineConfig, EngineMetrics, EpochCell, InvertedIndex, NoPatternPolicy,
+    PatternMatch, Posting, Query, QueryCache, QueryError, QueryKey, QueryResponse, QueryStats,
+    Relevance, SearchResult, ServingFront, ShardedEngine, TermExplanation, TopkStats, UnknownWords,
+    DEFAULT_CACHE_CAPACITY, DEFAULT_SHARDS, DEFAULT_TOP_K,
 };
 use stburst::timeseries::TimeInterval;
 
@@ -276,6 +277,7 @@ fn ingest_surface() {
         miner: MinerKind::STLocal(STLocalConfig::default()),
         engine: EngineConfig::default(),
         cache_capacity: 16,
+        n_shards: DEFAULT_SHARDS,
         durability: Durability::Buffered,
         checkpoint_every_ticks: 0,
     });
@@ -298,6 +300,7 @@ fn ingest_surface() {
     let _: Result<QueryResponse, QueryError> =
         handle.query(&Query::terms([term]).time_window(0..=3));
     let _: Vec<Result<QueryResponse, QueryError>> = handle.query_many(&[Query::terms([term])]);
+    let _: u64 = handle.generation();
     let _: Arc<Collection> = handle.collection();
     let _: EngineMetrics = handle.metrics();
 
@@ -305,6 +308,64 @@ fn ingest_surface() {
     let data = "C\t2\nS\t0\tAthens\t38.0\t23.7\t23.7\t38.0\nD\t0\t1\tstorm:3\n";
     let replayed = replay_tsv(std::io::Cursor::new(data), IngestConfig::default()).unwrap();
     assert_eq!(replayed.ticks_committed(), 2);
+}
+
+/// The sharded lock-free serving tier: epoch cells, shard routing, the
+/// read front, the write-side sharded engine, and the thread-safety bounds
+/// the whole design rests on.
+#[test]
+fn serving_tier_surface() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EpochCell<Vec<u64>>>();
+    assert_send_sync::<ServingFront>();
+    assert_send_sync::<ShardedEngine>();
+    assert_send_sync::<SearchHandle>();
+    assert_send_sync::<QueryCache>();
+
+    // EpochCell: the publication primitive — readers load, writers store.
+    let cell: EpochCell<u64> = EpochCell::new(Arc::new(7));
+    let snapshot: Arc<u64> = cell.load();
+    assert_eq!(*snapshot, 7);
+    cell.store(Arc::new(8));
+    let _: u64 = cell.epoch();
+    let _: usize = cell.reclaimable();
+
+    // Term-hash shard routing is public and total over shard counts.
+    assert!(shard_of(TermId(42), DEFAULT_SHARDS) < DEFAULT_SHARDS);
+    assert_eq!(shard_of(TermId(42), 1), 0);
+
+    // ShardedEngine: the write side mirrors BurstySearchEngine's mutation
+    // surface and publishes generations; the front is the shared read side.
+    let (collection, term, stream) = tiny_collection();
+    let mut engine = ShardedEngine::new(collection, EngineConfig::default(), DEFAULT_SHARDS, 16);
+    let pattern = CombinatorialPattern::new(vec![stream], TimeInterval::new(1, 3), 2.0, vec![]);
+    engine.set_patterns(term, std::slice::from_ref(&pattern));
+    let source: Vec<(TermId, Vec<CombinatorialPattern>)> = vec![(term, vec![pattern])];
+    engine.set_patterns_from(&source);
+    engine.refresh_term(term);
+    engine.finalize_with_threads(1);
+    engine.publish();
+    assert_eq!(engine.n_shards(), DEFAULT_SHARDS);
+    let _: u64 = engine.generation();
+    let _: &BurstySearchEngine = engine.engine();
+    let _: EngineMetrics = engine.metrics();
+
+    let front: Arc<ServingFront> = engine.front();
+    let _: Result<QueryResponse, QueryError> = front.query(&Query::terms([term]));
+    let _: Vec<Result<QueryResponse, QueryError>> = front.query_many(&[Query::terms([term])]);
+    let _: (u64, usize) = (front.generation(), front.n_shards());
+    let _: Arc<Collection> = front.collection();
+    let _: EngineConfig = front.config();
+    let _: EngineMetrics = front.metrics();
+    let _: Option<f64> = front.document_burstiness(term, DocId(0));
+
+    // Generation-tagged cache entries: the read path's consistency gate.
+    let cache = QueryCache::new(4);
+    let key = QueryKey::new(&[term], 2, EngineConfig::default());
+    cache.put_tagged(key.clone(), Vec::new(), 3, || true);
+    assert!(cache.get_at(&key, 2).is_none()); // newer than the reader
+    assert!(cache.get_at(&key, 3).is_some());
+    let _: (u64, u64) = (cache.hits(), cache.misses());
 }
 
 /// Durability: the store-backed pipeline constructor, checkpointing, the
