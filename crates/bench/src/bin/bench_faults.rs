@@ -1,0 +1,355 @@
+//! Chaos harness: what a transient-fault storm costs per commit, and how
+//! fast the degraded-mode state machine climbs back to `Durable`.
+//!
+//! Two arms over one synthetic bursty workload, both write-ahead logged:
+//!
+//! * **fault-free** — per-commit latency with a healthy disk: the p50/p99
+//!   floor.
+//! * **storm** — the same plan with a stochastic transient-fault schedule
+//!   ([`FaultSchedule::storm`]) injected at every store syscall site, and a
+//!   microsecond-scale bounded-backoff [`RetryPolicy`] absorbing them.
+//!   Appends fail mid-frame, syncs fail after the frame, re-opens fail
+//!   again; the pipeline retries, degrades, buffers, and restores while
+//!   commits keep completing.
+//!
+//! After the storm the disk heals and one explicit
+//! `try_recover_durability` call must return the pipeline to `Durable`
+//! within the retry policy's worst-case backoff budget (plus real I/O).
+//! The storm survivor, a cold recovery of its directory, and the
+//! fault-free arm are then cross-checked bit-identically — a fault storm
+//! is allowed to cost latency, never ticks.
+//!
+//! Numbers land in a table plus `BENCH_faults.json`. Quick mode (the
+//! default, run by CI) uses a small workload; `--full` scales it up,
+//! `--seed <n>` varies workload and storm together.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stb_bench::{measure_ms, ExperimentCtx, TableWriter};
+use stb_core::STLocalConfig;
+use stb_corpus::{StreamId, TermId};
+use stb_geo::GeoPoint;
+use stb_ingest::{DurabilityState, IngestConfig, IngestPipeline, MinerKind, RetryPolicy};
+use stb_search::{Query, SearchResult};
+use stb_store::{FaultSchedule, Store};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// One tick's documents: (stream, term bag).
+type TickDocs = Vec<(StreamId, HashMap<TermId, u32>)>;
+
+struct Workload {
+    n_streams: usize,
+    timeline: usize,
+    vocab: usize,
+    ticks: Vec<TickDocs>,
+    queries: Vec<Vec<TermId>>,
+}
+
+fn build_workload(ctx: &ExperimentCtx) -> Workload {
+    let (n_streams, timeline, vocab, docs_per_tick) = if ctx.full {
+        (32, 80, 160, 24)
+    } else {
+        (12, 40, 80, 10)
+    };
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let burst_term = TermId(0);
+    let burst_window = (timeline / 3)..(timeline / 2);
+    let mut ticks = Vec::with_capacity(timeline);
+    for t in 0..timeline {
+        let mut docs: TickDocs = Vec::with_capacity(docs_per_tick);
+        for _ in 0..docs_per_tick {
+            let stream = StreamId(rng.gen_range(0..n_streams as u32));
+            let mut counts = HashMap::new();
+            for _ in 0..2 {
+                let term = TermId(rng.gen_range(1..vocab as u32));
+                *counts.entry(term).or_insert(0) += rng.gen_range(1..4u32);
+            }
+            if burst_window.contains(&t) && stream.index() < n_streams / 2 {
+                *counts.entry(burst_term).or_insert(0) += rng.gen_range(15..30u32);
+            }
+            docs.push((stream, counts));
+        }
+        ticks.push(docs);
+    }
+    let queries = vec![
+        vec![burst_term],
+        vec![burst_term, TermId(1)],
+        vec![TermId(2)],
+    ];
+    Workload {
+        n_streams,
+        timeline,
+        vocab,
+        ticks,
+        queries,
+    }
+}
+
+fn stream_geo(i: usize, n: usize) -> GeoPoint {
+    if i < n / 2 {
+        GeoPoint::new(i as f64 * 0.3, i as f64 * 0.2)
+    } else {
+        GeoPoint::new(60.0 + i as f64 * 0.3, 60.0)
+    }
+}
+
+/// Microsecond-scale backoffs: the storm injects EINTR-class blips, not
+/// real disk stalls, so the harness measures the state machine's overhead
+/// rather than `thread::sleep` wall-clock.
+fn retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 4,
+        initial_backoff: Duration::from_micros(20),
+        multiplier: 2.0,
+        max_backoff: Duration::from_micros(200),
+        jitter: 0.1,
+        seed: 0x5742_5354,
+    }
+}
+
+fn config(w: &Workload) -> IngestConfig {
+    IngestConfig {
+        timeline_capacity: w.timeline,
+        miner: MinerKind::STLocal(STLocalConfig::default()),
+        cache_capacity: 1024,
+        retry: retry_policy(),
+        max_buffered_ticks: 256,
+        ..IngestConfig::default()
+    }
+}
+
+/// Stages and commits the whole plan, timing each commit individually;
+/// returns the per-commit latencies in plan order.
+fn drive(pipeline: &mut IngestPipeline, w: &Workload) -> Vec<f64> {
+    for s in 0..w.n_streams {
+        pipeline.add_stream(&format!("s{s}"), stream_geo(s, w.n_streams));
+    }
+    for i in 0..w.vocab {
+        pipeline.intern(&format!("term{i}"));
+    }
+    let mut latencies = Vec::with_capacity(w.ticks.len());
+    for tick in &w.ticks {
+        for (stream, counts) in tick {
+            pipeline.stage_document(*stream, counts.clone());
+        }
+        let (_, ms) = measure_ms(|| pipeline.commit_tick());
+        latencies.push(ms);
+    }
+    latencies
+}
+
+/// Nearest-rank percentile (q in [0, 1]) over a latency sample.
+fn percentile(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn pipeline_results(p: &IngestPipeline, queries: &[Vec<TermId>]) -> Vec<Vec<SearchResult>> {
+    let handle = p.search_handle();
+    queries
+        .iter()
+        .map(|q| {
+            handle
+                .query(&Query::terms(q.iter().copied()).top_k(10))
+                .map(|r| r.results)
+                .unwrap_or_default()
+        })
+        .collect()
+}
+
+fn assert_identical(label: &str, expect: &[Vec<SearchResult>], got: &[Vec<SearchResult>]) {
+    for (e_list, g_list) in expect.iter().zip(got) {
+        assert_eq!(e_list.len(), g_list.len(), "{label}: result counts diverge");
+        for (e, g) in e_list.iter().zip(g_list) {
+            assert_eq!(e.doc, g.doc, "{label}: documents diverge");
+            assert_eq!(
+                e.score.to_bits(),
+                g.score.to_bits(),
+                "{label}: scores diverge: {} vs {}",
+                e.score,
+                g.score
+            );
+        }
+    }
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stb-bench-faults-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    let w = build_workload(&ctx);
+    // 35% of store operations fail with a transient error: deep enough
+    // that retries exhaust and the degraded/restore path runs many times
+    // per run, shallow enough that the storm stays survivable.
+    let fail_permille = 350u32;
+    println!(
+        "chaos harness (mode: {}, seed {}): {} streams, {} ticks, {} docs, \
+         storm {}\u{2030} transient failures",
+        if ctx.full { "full" } else { "quick" },
+        ctx.seed,
+        w.n_streams,
+        w.timeline,
+        w.ticks.iter().map(Vec::len).sum::<usize>(),
+        fail_permille,
+    );
+
+    // Fault-free arm: the per-commit latency floor (best-of-REPS per
+    // percentile, so one scheduler hiccup does not decide the comparison).
+    const REPS: usize = 3;
+    let mut base_p50 = f64::INFINITY;
+    let mut base_p99 = f64::INFINITY;
+    let mut expect_results = None;
+    for _ in 0..REPS {
+        let dir = store_dir("clean");
+        let (mut p, _) = IngestPipeline::durable(config(&w), &dir).expect("open durable store");
+        let lat = drive(&mut p, &w);
+        assert!(
+            p.durability_state().is_durable(),
+            "clean arm must stay durable"
+        );
+        base_p50 = base_p50.min(percentile(&lat, 0.50));
+        base_p99 = base_p99.min(percentile(&lat, 0.99));
+        expect_results = Some(pipeline_results(&p, &w.queries));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let expect_results = expect_results.expect("fault-free arm ran");
+
+    // Storm arm: same plan under stochastic transient faults. Keep the
+    // last rep's survivor alive for the recovery measurement.
+    let mut storm_p50 = f64::INFINITY;
+    let mut storm_p99 = f64::INFINITY;
+    let mut recovery_ms = 0.0f64;
+    let mut injected = 0u64;
+    let mut degraded_commits = 0usize;
+    let mut recoveries = 0u64;
+    let dir = store_dir("storm");
+    for rep in 0..REPS {
+        let _ = std::fs::remove_dir_all(&dir);
+        let faults = FaultSchedule::new();
+        let store = Store::open_with_faults(&dir, faults.clone()).expect("open store");
+        let (mut p, _) =
+            IngestPipeline::durable_with_store(config(&w), store).expect("open pipeline");
+        faults.storm(ctx.seed.wrapping_add(rep as u64), 1_000_000, fail_permille);
+        let lat = drive(&mut p, &w);
+        assert_ne!(
+            p.durability_state(),
+            DurabilityState::NonDurable,
+            "a transient-only storm must never fail-stop"
+        );
+        storm_p50 = storm_p50.min(percentile(&lat, 0.50));
+        storm_p99 = storm_p99.min(percentile(&lat, 0.99));
+        injected = faults.injected();
+        degraded_commits = lat.len().saturating_sub(p.health().wal_appends as usize);
+
+        // The disk heals; one explicit recovery call must return to
+        // Durable within the policy's backoff budget plus real I/O.
+        faults.heal();
+        let (state, ms) = measure_ms(|| p.try_recover_durability());
+        assert_eq!(state, DurabilityState::Durable, "healed disk must recover");
+        recovery_ms = ms;
+        recoveries = p.health().recoveries;
+
+        // A fault storm may cost latency, never ticks: the survivor
+        // answers bit-identically to the fault-free arm.
+        assert_eq!(p.ticks_committed(), w.timeline);
+        assert_identical(
+            "storm survivor",
+            &expect_results,
+            &pipeline_results(&p, &w.queries),
+        );
+    }
+
+    // Zero committed-tick loss on disk: a cold, fault-free recovery of the
+    // stormed directory reproduces the same engine.
+    let (recovered, _) = IngestPipeline::durable(config(&w), &dir).expect("cold recovery");
+    assert_eq!(recovered.ticks_committed(), w.timeline);
+    assert_identical(
+        "cold recovery",
+        &expect_results,
+        &pipeline_results(&recovered, &w.queries),
+    );
+    drop(recovered);
+
+    let policy = retry_policy();
+    let budget_ms = policy.max_total_backoff().as_secs_f64() * 1e3;
+    // The restore itself re-reads and rewrites the WAL: allow the backoff
+    // budget plus a generous real-I/O term before calling it a regression.
+    let recovery_bound_ms = budget_ms + 250.0;
+    let p99_ratio = storm_p99 / base_p99.max(1e-9);
+
+    let mut table = TableWriter::new("fault storm: commit latency and recovery (ms)");
+    table.header(["metric", "fault-free", "storm"]);
+    table.row([
+        "commit p50".to_string(),
+        format!("{base_p50:.3}"),
+        format!("{storm_p50:.3}"),
+    ]);
+    table.row([
+        "commit p99".to_string(),
+        format!("{base_p99:.3}"),
+        format!("{storm_p99:.3}"),
+    ]);
+    table.row([
+        "recovery to durable".to_string(),
+        "-".to_string(),
+        format!("{recovery_ms:.3}"),
+    ]);
+    println!("{}", table.render());
+    println!(
+        "{injected} faults injected, {degraded_commits} commits rode the degraded buffer, \
+         {recoveries} restores; storm p99 is {p99_ratio:.1}x fault-free \
+         (bound 10x), recovery {recovery_ms:.3} ms (bound {recovery_bound_ms:.0} ms)"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"faults\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \
+         \"workload\": {{\"streams\": {}, \"ticks\": {}, \"vocab\": {}, \"docs\": {}}},\n  \
+         \"storm_fail_permille\": {},\n  \"faults_injected\": {},\n  \
+         \"commit_p50_ms\": {:.4},\n  \"commit_p99_ms\": {:.4},\n  \
+         \"storm_commit_p50_ms\": {:.4},\n  \"storm_commit_p99_ms\": {:.4},\n  \
+         \"storm_p99_ratio\": {:.2},\n  \"recovery_to_durable_ms\": {:.4},\n  \
+         \"recovery_bound_ms\": {:.1},\n  \"restores\": {}\n}}\n",
+        if ctx.full { "full" } else { "quick" },
+        ctx.seed,
+        w.n_streams,
+        w.timeline,
+        w.vocab,
+        w.ticks.iter().map(Vec::len).sum::<usize>(),
+        fail_permille,
+        injected,
+        base_p50,
+        base_p99,
+        storm_p50,
+        storm_p99,
+        p99_ratio,
+        recovery_ms,
+        recovery_bound_ms,
+        recoveries,
+    );
+    let path = "BENCH_faults.json";
+    std::fs::write(path, &json).expect("write BENCH_faults.json");
+    println!("wrote {path}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(
+        p99_ratio <= 10.0,
+        "storm commit p99 must stay within 10x of fault-free (got {p99_ratio:.1}x)"
+    );
+    assert!(
+        recovery_ms <= recovery_bound_ms,
+        "recovery to durable must finish within the policy budget \
+         ({recovery_ms:.3} ms > {recovery_bound_ms:.0} ms)"
+    );
+}

@@ -237,7 +237,7 @@ fn main() {
         let _ = std::fs::remove_dir_all(&dir);
         let (mut p, _) = IngestPipeline::durable(config(&w), &dir).expect("open durable store");
         durable_ms = durable_ms.min(drive(&mut p, &w));
-        assert!(p.wal_error().is_none(), "WAL must stay healthy");
+        assert!(p.durability_state().is_durable(), "WAL must stay healthy");
         wal_bytes = dir_file_len(&dir, "wal.stb");
         snapshot_bytes = p.checkpoint().expect("checkpoint");
         expect_results = Some(pipeline_results(&p, &w.queries));

@@ -38,6 +38,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod live;
 pub mod pipeline;
@@ -45,8 +46,9 @@ pub mod replay;
 
 pub use live::LiveCollection;
 pub use pipeline::{
-    IngestConfig, IngestPipeline, MinerKind, PatternDelta, PipelineMetrics, RecoveryReport,
-    SearchHandle, TickReceipt,
+    Backpressure, DurabilityState, HealthReport, IngestConfig, IngestError, IngestPipeline,
+    MinerKind, PatternDelta, PipelineMetrics, QuarantineReason, QuarantinedDoc, RecoveryReport,
+    SearchHandle, StageOutcome, TickReceipt,
 };
 pub use replay::{replay_tsv, replay_tsv_durable, ReplayError};
 
@@ -56,4 +58,4 @@ pub use stb_search::{Query, QueryError, QueryResponse, QueryStats, UnknownWords}
 
 // Re-exported so durable-pipeline callers can configure and match on the
 // persistence layer without depending on `stb-store` directly.
-pub use stb_store::{Durability, SnapshotState, Store, StoreError};
+pub use stb_store::{Durability, RetryPolicy, SnapshotState, Store, StoreError};

@@ -120,8 +120,10 @@ impl LiveCollection {
             let dict = self.snapshot.dict();
             let mut counts = HashMap::new();
             for token in tokenizer.tokenize(text) {
-                let id = dict.get(&token).expect("token checked above");
-                *counts.entry(id).or_insert(0) += 1;
+                // `all_known` verified every token is present.
+                if let Some(id) = dict.get(&token) {
+                    *counts.entry(id).or_insert(0) += 1;
+                }
             }
             return counts;
         }

@@ -48,9 +48,10 @@
 //! late-registered streams converge to the same state as the batch run.
 
 use crate::live::LiveCollection;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fmt;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use stb_core::{
@@ -64,8 +65,8 @@ use stb_search::{
     DEFAULT_SHARDS,
 };
 use stb_store::{
-    DocRecord, Durability, PendingState, SnapshotState, Store, StoreError, StreamRecord,
-    TermRecord, TickRecord, WalWriter,
+    DocRecord, Durability, PendingState, RetryPolicy, SnapshotState, Store, StoreError,
+    StreamRecord, TermRecord, TickRecord, WalWriter,
 };
 
 /// Which miner keeps the patterns fresh while ingesting.
@@ -104,6 +105,30 @@ pub struct IngestConfig {
     /// (compacting the WAL back to empty); 0 disables auto-checkpointing.
     /// Only relevant for durable pipelines.
     pub checkpoint_every_ticks: usize,
+    /// Retry policy for WAL appends, snapshot writes, and WAL rotation:
+    /// transient store failures ([`StoreError::is_transient`]) are retried
+    /// with bounded exponential backoff before durability degrades.
+    pub retry: RetryPolicy,
+    /// In degraded durability, at most this many committed-but-unlogged
+    /// tick records are buffered in memory while re-opening the log is
+    /// retried; one more commit fail-stops the pipeline to
+    /// [`DurabilityState::NonDurable`]. 0 disables buffering (the first
+    /// unrecovered failure fail-stops).
+    pub max_buffered_ticks: usize,
+    /// Upper bound on documents staged for the open tick; staging beyond
+    /// it triggers the [`Backpressure`] policy. 0 means unbounded.
+    pub max_staged_docs: usize,
+    /// What [`IngestPipeline::try_stage_document`] does when the staging
+    /// buffer is full.
+    pub backpressure: Backpressure,
+    /// Poison bound: a document whose total term count (sum of
+    /// multiplicities) exceeds this is quarantined instead of staged. 0
+    /// means unbounded.
+    pub max_terms_per_doc: usize,
+    /// At most this many quarantined documents are retained for
+    /// inspection (oldest evicted first); the `quarantined_total` health
+    /// counter keeps counting past the bound.
+    pub max_quarantined_docs: usize,
 }
 
 impl Default for IngestConfig {
@@ -116,8 +141,219 @@ impl Default for IngestConfig {
             n_shards: DEFAULT_SHARDS,
             durability: Durability::Buffered,
             checkpoint_every_ticks: 0,
+            retry: RetryPolicy::default(),
+            max_buffered_ticks: 64,
+            max_staged_docs: 0,
+            backpressure: Backpressure::Block,
+            max_terms_per_doc: 0,
+            max_quarantined_docs: 1024,
         }
     }
+}
+
+/// The durability contract a pipeline is currently honoring.
+///
+/// Durable pipelines move along `Durable → Degraded → NonDurable` as store
+/// faults accumulate and recede:
+///
+/// * [`DurabilityState::Durable`] — every committed tick is in the WAL.
+/// * [`DurabilityState::Degraded`] — a store failure interrupted logging;
+///   committed ticks are buffered in memory (up to
+///   [`IngestConfig::max_buffered_ticks`]) while each commit — or an
+///   explicit [`IngestPipeline::try_recover_durability`] — retries
+///   re-opening the log and replaying the buffer. Recovery returns to
+///   `Durable` with zero committed-tick loss.
+/// * [`DurabilityState::NonDurable`] — fail-stop: the buffer overflowed or
+///   a permanent error (corruption-class, `EACCES`-class) made retrying
+///   pointless. The pipeline keeps serving and committing in memory but
+///   logs nothing further; only an explicit, successful
+///   [`IngestPipeline::checkpoint`] (which persists everything and rotates
+///   the log) revives it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DurabilityState {
+    /// No store is attached (the pipeline was built with
+    /// [`IngestPipeline::new`]); durability was never promised.
+    #[default]
+    Ephemeral,
+    /// Every committed tick has been written to the WAL.
+    Durable,
+    /// Store faults interrupted logging; commits are buffered in memory
+    /// while recovery is retried.
+    Degraded {
+        /// Store operations that have failed since durability was last
+        /// intact (appends, recovery attempts, rotations).
+        consecutive_failures: u32,
+        /// Committed tick records currently awaiting replay into a
+        /// re-opened log.
+        buffered_ticks: usize,
+    },
+    /// Fail-stop: logging has ceased. See the enum docs for what revives
+    /// a pipeline from this state.
+    NonDurable,
+}
+
+impl DurabilityState {
+    /// Whether every committed tick is currently persisted (`Durable`).
+    pub fn is_durable(&self) -> bool {
+        matches!(self, DurabilityState::Durable)
+    }
+
+    /// Whether the pipeline is in the degraded, actively-recovering state.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, DurabilityState::Degraded { .. })
+    }
+}
+
+/// What [`IngestPipeline::try_stage_document`] does when the staging
+/// buffer ([`IngestConfig::max_staged_docs`]) is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Commit the open tick in-line to drain the buffer, then stage the
+    /// document into the next tick. The caller pays the commit latency —
+    /// the single-threaded analogue of blocking the producer.
+    #[default]
+    Block,
+    /// Drop the document (counted in [`HealthReport::docs_shed`]) and keep
+    /// the pipeline responsive.
+    Shed,
+    /// Refuse with [`IngestError::StagingFull`]; the caller decides.
+    Error,
+}
+
+/// Why a document was quarantined instead of staged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The document references a stream the collection does not have —
+    /// applying it would panic the commit.
+    UnknownStream,
+    /// The document references a term id beyond the live dictionary —
+    /// logging it would poison WAL replay and scoring.
+    UnknownTerm,
+    /// The document's total term count exceeds
+    /// [`IngestConfig::max_terms_per_doc`].
+    OversizedDoc,
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::UnknownStream => write!(f, "unknown stream"),
+            QuarantineReason::UnknownTerm => write!(f, "unknown term id"),
+            QuarantineReason::OversizedDoc => write!(f, "term count over bound"),
+        }
+    }
+}
+
+/// A poison document parked in the quarantine log instead of killing its
+/// tick. The original counts are retained so an operator can inspect (or
+/// re-submit after fixing) the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedDoc {
+    /// The tick that was open when the document arrived.
+    pub tick: Timestamp,
+    /// The stream the document claimed to belong to.
+    pub stream: StreamId,
+    /// The document's term counts, sorted by term id.
+    pub counts: Vec<(TermId, u32)>,
+    /// Why it was quarantined.
+    pub reason: QuarantineReason,
+}
+
+/// How [`IngestPipeline::try_stage_document`] disposed of a document.
+#[derive(Debug)]
+pub enum StageOutcome {
+    /// Staged into the open tick.
+    Staged,
+    /// The staging buffer was full under [`Backpressure::Block`]: the open
+    /// tick was committed in-line (receipt attached) and the document was
+    /// staged into the next tick.
+    StagedAfterCommit(Box<TickReceipt>),
+    /// The staging buffer was full under [`Backpressure::Shed`]: the
+    /// document was dropped.
+    Shed,
+    /// The document was poison and went to the quarantine log.
+    Quarantined(QuarantineReason),
+}
+
+/// Typed staging failures surfaced by
+/// [`IngestPipeline::try_stage_document`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IngestError {
+    /// The staging buffer is full and the pipeline is configured with
+    /// [`Backpressure::Error`].
+    StagingFull {
+        /// Documents currently staged.
+        staged: usize,
+        /// The configured bound.
+        max: usize,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::StagingFull { staged, max } => write!(
+                f,
+                "staging buffer full ({staged}/{max} documents); commit the open tick or \
+                 configure a different backpressure policy"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// A point-in-time health summary of the pipeline: durability state,
+/// failure/retry counters, queue depths, and quarantine size.
+///
+/// Obtained from [`IngestPipeline::health`] (always current) or
+/// [`SearchHandle::health`] (as of the last pipeline operation) — the
+/// admission-control and monitoring surface that replaces polling the
+/// deprecated `wal_error()`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HealthReport {
+    /// The durability contract currently honored.
+    pub durability: DurabilityState,
+    /// Documents staged for the open tick.
+    pub staged_docs: usize,
+    /// Configured staging bound (0 = unbounded).
+    pub max_staged_docs: usize,
+    /// Committed-but-unlogged tick records buffered in degraded mode.
+    pub buffered_ticks: usize,
+    /// Configured degraded-buffer bound.
+    pub max_buffered_ticks: usize,
+    /// Dirty terms pending for the open tick.
+    pub dirty_terms: usize,
+    /// Tick records successfully appended to the WAL.
+    pub wal_appends: u64,
+    /// Store operations that failed after exhausting their retries.
+    pub wal_failures: u64,
+    /// Transient-failure retries performed across all store operations.
+    pub store_retries: u64,
+    /// Times the pipeline returned from `Degraded` to `Durable`.
+    pub recoveries: u64,
+    /// Snapshots written (manual and automatic checkpoints).
+    pub checkpoints: u64,
+    /// Checkpoint attempts that failed.
+    pub checkpoint_failures: u64,
+    /// Documents dropped by [`Backpressure::Shed`].
+    pub docs_shed: u64,
+    /// Documents currently in the quarantine log.
+    pub quarantined: usize,
+    /// Documents ever quarantined (keeps counting past the log bound).
+    pub quarantined_total: u64,
+    /// The most recent store failure, while durability is not intact.
+    pub last_error: Option<String>,
+}
+
+/// The pipeline-internal durability discriminant; payload for the public
+/// [`DurabilityState`] lives in the pipeline's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DurState {
+    Durable,
+    Degraded,
+    NonDurable,
 }
 
 /// A per-term pattern update emitted by a tick commit and applied to the
@@ -169,6 +405,10 @@ pub struct TickReceipt {
     /// Wall-clock milliseconds from commit start to the engine serving the
     /// new state (the pattern-freshness lag of this tick).
     pub commit_ms: f64,
+    /// The durability contract this tick's commit left the pipeline in —
+    /// per-commit truth about whether the tick was logged, instead of
+    /// polling the deprecated `wal_error()` afterwards.
+    pub durability: DurabilityState,
 }
 
 /// A point-in-time snapshot of the pipeline's counters.
@@ -239,9 +479,23 @@ pub struct RecoveryReport {
 #[derive(Clone)]
 pub struct SearchHandle {
     front: Arc<ServingFront>,
+    /// Shared health cell, refreshed by the pipeline after every public
+    /// mutating operation.
+    health: Arc<Mutex<HealthReport>>,
 }
 
 impl SearchHandle {
+    /// The pipeline's health as of its most recent operation (commit,
+    /// stage, checkpoint, or recovery attempt) — durability state, retry
+    /// counters, queue depths, quarantine size. Serving-side callers use
+    /// this for admission control without a reference to the pipeline.
+    pub fn health(&self) -> HealthReport {
+        self.health
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
     /// Executes a typed [`Query`] against the current tick's generation,
     /// without taking a lock. See [`ServingFront::query`].
     pub fn query(&self, query: &Query) -> Result<QueryResponse, QueryError> {
@@ -382,22 +636,47 @@ pub struct IngestPipeline {
     /// The durable store, if this pipeline was opened with
     /// [`IngestPipeline::durable`].
     store: Option<Store>,
-    /// The open WAL writer (durable pipelines only; dropped after the
-    /// first append failure — see [`IngestPipeline::wal_error`]).
+    /// The open WAL writer (durable pipelines only; dropped on an append
+    /// failure and re-opened by degraded-mode recovery).
     wal: Option<WalWriter>,
-    /// Streams already recorded in the snapshot or the WAL; the next tick
-    /// record logs only the registrations beyond this count.
+    /// Streams already recorded in the snapshot, the WAL, or the degraded
+    /// buffer; the next tick record logs only registrations beyond this
+    /// count. Buffered records count as logically logged — they carry the
+    /// registrations and will reach the log when the buffer replays.
     logged_streams: usize,
-    /// Terms already recorded in the snapshot or the WAL.
+    /// Terms already recorded in the snapshot, the WAL, or the buffer.
     logged_terms: usize,
-    /// The first WAL/checkpoint failure, if any. The pipeline keeps
-    /// serving in memory but stops logging.
-    wal_error: Option<StoreError>,
+    /// The durability state machine's discriminant (payload lives in
+    /// `consecutive_failures` / `unlogged`).
+    dur_state: DurState,
+    /// Committed tick records awaiting replay into a re-opened log
+    /// (degraded mode only; bounded by `max_buffered_ticks`).
+    unlogged: Vec<TickRecord>,
+    /// Store failures since durability was last intact.
+    consecutive_failures: u32,
+    /// The most recent store failure (cleared on return to `Durable`).
+    last_error: Option<StoreError>,
+    /// Shared health cell mirrored into every [`SearchHandle`].
+    health_cell: Arc<Mutex<HealthReport>>,
+    /// Quarantined poison documents, oldest first (bounded).
+    quarantine: VecDeque<QuarantinedDoc>,
+    quarantined_total: u64,
+    docs_shed: u64,
     wal_appends: u64,
+    wal_failures: u64,
+    store_retries: u64,
+    recoveries: u64,
     checkpoints: u64,
+    checkpoint_failures: u64,
     ticks_since_checkpoint: usize,
     checkpoint_every_ticks: usize,
     durability: Durability,
+    retry: RetryPolicy,
+    max_buffered_ticks: usize,
+    max_staged_docs: usize,
+    backpressure: Backpressure,
+    max_terms_per_doc: usize,
+    max_quarantined_docs: usize,
 }
 
 impl IngestPipeline {
@@ -434,12 +713,29 @@ impl IngestPipeline {
             wal: None,
             logged_streams: 0,
             logged_terms: 0,
-            wal_error: None,
+            dur_state: DurState::Durable,
+            unlogged: Vec::new(),
+            consecutive_failures: 0,
+            last_error: None,
+            health_cell: Arc::new(Mutex::new(HealthReport::default())),
+            quarantine: VecDeque::new(),
+            quarantined_total: 0,
+            docs_shed: 0,
             wal_appends: 0,
+            wal_failures: 0,
+            store_retries: 0,
+            recoveries: 0,
             checkpoints: 0,
+            checkpoint_failures: 0,
             ticks_since_checkpoint: 0,
             checkpoint_every_ticks: config.checkpoint_every_ticks,
             durability: config.durability,
+            retry: config.retry,
+            max_buffered_ticks: config.max_buffered_ticks,
+            max_staged_docs: config.max_staged_docs,
+            backpressure: config.backpressure,
+            max_terms_per_doc: config.max_terms_per_doc,
+            max_quarantined_docs: config.max_quarantined_docs,
         }
     }
 
@@ -460,7 +756,16 @@ impl IngestPipeline {
         config: IngestConfig,
         dir: impl AsRef<Path>,
     ) -> Result<(Self, RecoveryReport), StoreError> {
-        let store = Store::open(dir.as_ref())?;
+        Self::durable_with_store(config, Store::open(dir.as_ref())?)
+    }
+
+    /// [`IngestPipeline::durable`] over an already-opened [`Store`] — the
+    /// entry point for chaos testing, which injects a store opened with
+    /// [`Store::open_with_faults`].
+    pub fn durable_with_store(
+        config: IngestConfig,
+        store: Store,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
         let snapshot = store.load_snapshot()?;
         let replay = store.read_wal()?;
         let durability = config.durability;
@@ -520,8 +825,12 @@ impl IngestPipeline {
         // Everything now in the collection is covered by snapshot + WAL.
         pipeline.logged_streams = pipeline.live.n_streams();
         pipeline.logged_terms = pipeline.live.dict().len();
-        pipeline.wal = Some(store.wal_writer(replay.valid_len, durability)?);
+        let policy = pipeline.retry.clone();
+        let (writer, retries) = policy.run(|| store.wal_writer(replay.valid_len, durability));
+        pipeline.store_retries += u64::from(retries);
+        pipeline.wal = Some(writer?);
         pipeline.store = Some(store);
+        pipeline.publish_health();
         Ok((pipeline, report))
     }
 
@@ -582,7 +891,10 @@ impl IngestPipeline {
                     format!("document references unknown stream {}", d.stream.0),
                 ));
             }
-            self.stage_document(d.stream, d.counts.iter().copied().collect());
+            // Bypass quarantine and backpressure: WAL records were
+            // validated when first committed (and re-validated above), and
+            // replay must reproduce the original run bit-identically.
+            self.stage_raw(d.stream, d.counts.iter().copied().collect());
         }
         self.apply_commit();
         Ok(())
@@ -592,6 +904,7 @@ impl IngestPipeline {
     pub fn search_handle(&self) -> SearchHandle {
         SearchHandle {
             front: self.engine.front(),
+            health: Arc::clone(&self.health_cell),
         }
     }
 
@@ -640,15 +953,111 @@ impl IngestPipeline {
         self.comb_all_dirty = true;
     }
 
-    /// Stages a document for the open tick.
+    /// Stages a document for the open tick, shorthand for
+    /// [`IngestPipeline::try_stage_document`] when the caller does not
+    /// inspect outcomes: poison documents are quarantined silently and a
+    /// full staging buffer follows the configured [`Backpressure`] policy.
     ///
     /// # Panics
     ///
-    /// Panics if the stream is unknown.
+    /// Panics if the buffer is full under [`Backpressure::Error`] — that
+    /// policy demands the caller handle refusal, so use the fallible
+    /// method with it.
     pub fn stage_document(&mut self, stream: StreamId, counts: HashMap<TermId, u32>) {
-        assert!(stream.index() < self.live.n_streams(), "unknown stream");
+        #[allow(clippy::expect_used)]
+        self.try_stage_document(stream, counts)
+            .expect("staging buffer full under Backpressure::Error");
+    }
+
+    /// Stages a document for the open tick, reporting how it was disposed
+    /// of.
+    ///
+    /// Poison inputs — an unknown stream (applying it would panic the
+    /// commit), a term id beyond the dictionary (it would poison WAL
+    /// replay and scoring), or a term count over
+    /// [`IngestConfig::max_terms_per_doc`] — go to the quarantine log
+    /// instead of killing the tick. A staging buffer at
+    /// [`IngestConfig::max_staged_docs`] triggers the configured
+    /// [`Backpressure`] policy.
+    pub fn try_stage_document(
+        &mut self,
+        stream: StreamId,
+        counts: HashMap<TermId, u32>,
+    ) -> Result<StageOutcome, IngestError> {
+        if let Some(reason) = self.poison_reason(stream, &counts) {
+            let mut sorted: Vec<(TermId, u32)> = counts.into_iter().collect();
+            sorted.sort_by_key(|&(t, _)| t);
+            if self.quarantine.len() >= self.max_quarantined_docs.max(1) {
+                self.quarantine.pop_front();
+            }
+            self.quarantine.push_back(QuarantinedDoc {
+                tick: self.ticks_committed,
+                stream,
+                counts: sorted,
+                reason,
+            });
+            self.quarantined_total += 1;
+            self.publish_health();
+            return Ok(StageOutcome::Quarantined(reason));
+        }
+        if self.max_staged_docs > 0 && self.staged.len() >= self.max_staged_docs {
+            match self.backpressure {
+                Backpressure::Block => {
+                    let receipt = self.commit_tick();
+                    self.stage_raw(stream, counts);
+                    self.publish_health();
+                    return Ok(StageOutcome::StagedAfterCommit(Box::new(receipt)));
+                }
+                Backpressure::Shed => {
+                    self.docs_shed += 1;
+                    self.publish_health();
+                    return Ok(StageOutcome::Shed);
+                }
+                Backpressure::Error => {
+                    return Err(IngestError::StagingFull {
+                        staged: self.staged.len(),
+                        max: self.max_staged_docs,
+                    });
+                }
+            }
+        }
+        self.stage_raw(stream, counts);
+        Ok(StageOutcome::Staged)
+    }
+
+    /// Why `(stream, counts)` must not reach the commit path, if any.
+    fn poison_reason(
+        &self,
+        stream: StreamId,
+        counts: &HashMap<TermId, u32>,
+    ) -> Option<QuarantineReason> {
+        if stream.index() >= self.live.n_streams() {
+            return Some(QuarantineReason::UnknownStream);
+        }
+        let n_terms = self.live.dict().len();
+        if counts.keys().any(|t| t.index() >= n_terms) {
+            return Some(QuarantineReason::UnknownTerm);
+        }
+        if self.max_terms_per_doc > 0 {
+            let total: u64 = counts.values().map(|&c| u64::from(c)).sum();
+            if total > self.max_terms_per_doc as u64 {
+                return Some(QuarantineReason::OversizedDoc);
+            }
+        }
+        None
+    }
+
+    /// Unchecked staging: trusted callers only (validated inputs and WAL
+    /// replay, which must be bit-identical to the original run).
+    fn stage_raw(&mut self, stream: StreamId, counts: HashMap<TermId, u32>) {
         self.dirty.extend(counts.keys().copied());
         self.staged.push(StagedDoc { stream, counts });
+    }
+
+    /// The quarantine log, oldest first (bounded by
+    /// [`IngestConfig::max_quarantined_docs`]).
+    pub fn quarantine_log(&self) -> impl Iterator<Item = &QuarantinedDoc> {
+        self.quarantine.iter()
     }
 
     /// Stages a raw-text document for the open tick, tokenizing with
@@ -667,43 +1076,166 @@ impl IngestPipeline {
     /// every timestamp, occupied or not.
     ///
     /// On a durable pipeline the tick is appended to the write-ahead log
-    /// *before* it is applied, so a crash at any point leaves either a log
-    /// without the tick (it was never acknowledged) or a log from which the
-    /// tick replays exactly. Log failures do not fail the commit: the
-    /// pipeline keeps serving in memory and parks the error in
-    /// [`IngestPipeline::wal_error`].
+    /// *before* it is applied (transient failures retried under
+    /// [`IngestConfig::retry`]), so a crash at any point leaves either a
+    /// log without the tick or a log from which the tick replays exactly.
+    /// Log failures never fail the commit: the pipeline degrades through
+    /// the [`DurabilityState`] machine — buffering the record, retrying
+    /// recovery on subsequent commits — and the receipt's `durability`
+    /// field reports where it landed.
     pub fn commit_tick(&mut self) -> TickReceipt {
-        if self.store.is_some() && self.wal_error.is_none() {
-            let record = self.build_tick_record();
-            match self.wal.as_mut() {
-                Some(w) => match w.append(&record) {
-                    Ok(()) => {
-                        self.wal_appends += 1;
-                        self.logged_streams = self.live.n_streams();
-                        self.logged_terms = self.live.dict().len();
-                    }
-                    Err(e) => {
-                        // Stop logging: a half-written log must not receive
-                        // further records on top of a failed append.
-                        self.wal_error = Some(e);
-                        self.wal = None;
-                    }
-                },
-                None => self.wal_error = Some(StoreError::NotDurable),
-            }
+        if self.store.is_some() {
+            self.log_open_tick();
         }
-        let receipt = self.apply_commit();
+        let mut receipt = self.apply_commit();
         self.ticks_since_checkpoint += 1;
         if self.store.is_some()
             && self.checkpoint_every_ticks > 0
             && self.ticks_since_checkpoint >= self.checkpoint_every_ticks
-            && self.wal_error.is_none()
+            && self.dur_state == DurState::Durable
         {
-            if let Err(e) = self.checkpoint() {
-                self.wal_error = Some(e);
+            // An auto-checkpoint failure is not a durability loss — the WAL
+            // still holds every tick — so it only bumps the failure counter
+            // (inside `checkpoint`) and compaction is retried next commit.
+            let _ = self.checkpoint();
+        }
+        receipt.durability = self.durability_state();
+        self.publish_health();
+        receipt
+    }
+
+    /// Routes the open tick's record through the durability state machine.
+    fn log_open_tick(&mut self) {
+        let record = self.build_tick_record();
+        // The record captures all registrations since the last logged
+        // tick, whether it reaches the WAL now or waits in the degraded
+        // buffer — advance the watermarks either way so the next record
+        // does not re-capture them.
+        self.logged_streams = self.live.n_streams();
+        self.logged_terms = self.live.dict().len();
+        match self.dur_state {
+            DurState::Durable => self.append_record(record),
+            DurState::Degraded => {
+                self.unlogged.push(record);
+                if self.unlogged.len() > self.max_buffered_ticks {
+                    self.enter_non_durable();
+                } else {
+                    self.try_restore();
+                }
+            }
+            // Fail-stop: logging has ceased until an explicit checkpoint
+            // succeeds (which persists everything, making the record moot).
+            DurState::NonDurable => {}
+        }
+    }
+
+    /// Appends one record in the `Durable` state, retrying transient
+    /// failures; on exhaustion the state machine degrades.
+    fn append_record(&mut self, record: TickRecord) {
+        let policy = self.retry.clone();
+        let (result, retries) = match self.wal.as_mut() {
+            Some(w) => policy.run(|| w.append(&record)),
+            // Store configured but the writer is gone in the Durable state:
+            // an invariant breach surfaced as a typed, permanent error
+            // rather than a mislabelled corruption error.
+            None => (Err(StoreError::WalClosed), 0),
+        };
+        self.store_retries += u64::from(retries);
+        match result {
+            Ok(()) => self.wal_appends += 1,
+            Err(e) => {
+                // Drop the writer: nothing may be stacked on top of a
+                // possibly half-written frame; recovery re-opens at the
+                // verified valid length.
+                self.wal = None;
+                self.wal_failures += 1;
+                self.consecutive_failures += 1;
+                let transient = e.is_transient();
+                self.last_error = Some(e);
+                if transient && self.max_buffered_ticks > 0 {
+                    self.dur_state = DurState::Degraded;
+                    self.unlogged.push(record);
+                } else {
+                    self.enter_non_durable();
+                }
             }
         }
-        receipt
+    }
+
+    /// Fail-stop. The buffer is dropped: its records are already applied
+    /// in memory, and the only way back to durability — an explicit
+    /// successful checkpoint — snapshots the full state anyway.
+    fn enter_non_durable(&mut self) {
+        self.dur_state = DurState::NonDurable;
+        self.wal = None;
+        self.unlogged.clear();
+    }
+
+    /// One degraded-mode recovery attempt: re-read the log (computing
+    /// which buffered ticks a failed-but-persisted append already placed
+    /// on disk), re-open the writer at the verified valid length
+    /// (truncating any torn partial frame), and replay the buffer.
+    ///
+    /// The whole attempt runs under the retry policy, and the disk state
+    /// is re-read on every retry — a record that landed during a previous
+    /// partial attempt is never appended twice.
+    fn try_restore(&mut self) {
+        let Some(store) = self.store.clone() else {
+            return;
+        };
+        let durability = self.durability;
+        let policy = self.retry.clone();
+        let unlogged = &self.unlogged;
+        let (result, retries) = policy.run(|| {
+            let replay = store.read_wal()?;
+            // A failed append (or a sync failure after a complete frame
+            // write) may have left a fully valid record on disk. Buffered
+            // records below `disk_next` are identical to their on-disk
+            // twins — `build_tick_record` is deterministic — so they are
+            // skipped, never duplicated.
+            let disk_next = replay.ticks.last().map_or(0, |t| t.tick + 1);
+            let mut writer = store.wal_writer(replay.valid_len, durability)?;
+            let mut appended = 0u64;
+            for rec in unlogged.iter().filter(|rec| rec.tick >= disk_next) {
+                writer.append(rec)?;
+                appended += 1;
+            }
+            Ok((writer, appended))
+        });
+        self.store_retries += u64::from(retries);
+        match result {
+            Ok((writer, appended)) => {
+                self.wal = Some(writer);
+                self.wal_appends += appended;
+                self.unlogged.clear();
+                self.dur_state = DurState::Durable;
+                self.consecutive_failures = 0;
+                self.last_error = None;
+                self.recoveries += 1;
+            }
+            Err(e) => {
+                self.wal_failures += 1;
+                self.consecutive_failures += 1;
+                let transient = e.is_transient();
+                self.last_error = Some(e);
+                if !transient {
+                    self.enter_non_durable();
+                }
+            }
+        }
+    }
+
+    /// Attempts to return a `Degraded` pipeline to `Durable` immediately —
+    /// re-opening the log and replaying the buffered ticks — without
+    /// waiting for the next commit to do it. A no-op in every other state
+    /// (`NonDurable` is fail-stop by design; see [`DurabilityState`]).
+    /// Returns the state the pipeline is in afterwards.
+    pub fn try_recover_durability(&mut self) -> DurabilityState {
+        if self.store.is_some() && self.dur_state == DurState::Degraded {
+            self.try_restore();
+        }
+        self.publish_health();
+        self.durability_state()
     }
 
     /// The WAL record describing the open tick: everything registered or
@@ -809,10 +1341,9 @@ impl IngestPipeline {
                 tracked.sort();
                 for term in tracked {
                     let snap = snapshot.term_snapshot(term, tick);
-                    self.local_miners
-                        .get_mut(&term)
-                        .expect("tracked miner")
-                        .step(&snap.frequencies);
+                    if let Some(miner) = self.local_miners.get_mut(&term) {
+                        miner.step(&snap.frequencies);
+                    }
                 }
                 for &term in &dirty {
                     deltas.push(PatternDelta::Regional {
@@ -865,6 +1396,7 @@ impl IngestPipeline {
             new_docs,
             deltas,
             commit_ms,
+            durability: self.durability_state(),
         }
     }
 
@@ -878,30 +1410,92 @@ impl IngestPipeline {
     /// records the snapshot already covers, so a crash between the two
     /// steps only costs some redundant skipping on recovery.
     ///
+    /// Both the snapshot write and the WAL rotation are retried under
+    /// [`IngestConfig::retry`]. A successful checkpoint also *recovers*
+    /// durability: the snapshot covers every committed tick (including any
+    /// the degraded buffer held), so the buffer is dropped, the log is
+    /// rotated fresh, and the state machine returns to
+    /// [`DurabilityState::Durable`] — the explicit operator path out of
+    /// [`DurabilityState::NonDurable`].
+    ///
     /// # Errors
     ///
     /// [`StoreError::NotDurable`] on a pipeline without a store; any I/O
-    /// or serialization failure otherwise.
+    /// or serialization failure (post-retry) otherwise.
     pub fn checkpoint(&mut self) -> Result<u64, StoreError> {
         let store = self.store.clone().ok_or(StoreError::NotDurable)?;
         let state = self.export_snapshot_state();
-        let bytes = store.write_snapshot(&state)?;
-        match self.wal.as_mut() {
-            Some(w) => w.reset()?,
-            None => {
-                // The writer was dropped after an append failure; reopen
-                // fresh now that the snapshot covers everything.
-                let replay = store.read_wal()?;
-                let mut w = store.wal_writer(replay.valid_len, self.durability)?;
-                w.reset()?;
-                self.wal = Some(w);
+        let policy = self.retry.clone();
+        let (result, retries) = policy.run(|| store.write_snapshot(&state));
+        self.store_retries += u64::from(retries);
+        let bytes = match result {
+            Ok(b) => b,
+            Err(e) => {
+                // The snapshot never replaced the previous one (atomic
+                // rename), and the WAL is untouched: durability state is
+                // unchanged, only the compaction failed.
+                self.checkpoint_failures += 1;
+                self.publish_health();
+                return Err(e);
             }
+        };
+        // The snapshot now durably covers everything committed; the
+        // degraded buffer and the old log contents are obsolete.
+        self.unlogged.clear();
+        if let Err(e) = self.rotate_wal(&store) {
+            // Data is safe (the snapshot landed) but the log could not be
+            // rotated: degrade so subsequent commits retry the re-open.
+            self.wal = None;
+            self.wal_failures += 1;
+            self.consecutive_failures += 1;
+            self.checkpoint_failures += 1;
+            let transient = e.is_transient();
+            self.dur_state = if transient {
+                DurState::Degraded
+            } else {
+                DurState::NonDurable
+            };
+            self.last_error = Some(e.duplicate());
+            self.publish_health();
+            return Err(e);
         }
+        if self.dur_state != DurState::Durable {
+            self.recoveries += 1;
+        }
+        self.dur_state = DurState::Durable;
+        self.consecutive_failures = 0;
+        self.last_error = None;
         self.logged_streams = self.live.n_streams();
         self.logged_terms = self.live.dict().len();
         self.checkpoints += 1;
         self.ticks_since_checkpoint = 0;
+        self.publish_health();
         Ok(bytes)
+    }
+
+    /// Truncates the open log back to its header, re-opening the writer
+    /// first if an earlier failure dropped it. Retried under the policy.
+    fn rotate_wal(&mut self, store: &Store) -> Result<(), StoreError> {
+        let policy = self.retry.clone();
+        match self.wal.as_mut() {
+            Some(w) => {
+                let (result, retries) = policy.run(|| w.reset());
+                self.store_retries += u64::from(retries);
+                result
+            }
+            None => {
+                let durability = self.durability;
+                let (result, retries) = policy.run(|| {
+                    let replay = store.read_wal()?;
+                    let mut w = store.wal_writer(replay.valid_len, durability)?;
+                    w.reset()?;
+                    Ok(w)
+                });
+                self.store_retries += u64::from(retries);
+                self.wal = Some(result?);
+                Ok(())
+            }
+        }
     }
 
     /// Exports the pipeline's full state as a snapshot value (what
@@ -929,12 +1523,68 @@ impl IngestPipeline {
         }
     }
 
-    /// The first durability failure, if any. Once set, the pipeline keeps
-    /// serving queries and commits in memory but appends nothing further
-    /// to the log; a successful [`IngestPipeline::checkpoint`] does not
-    /// clear it (the operator decides whether the state is trustworthy).
+    /// The most recent store failure, while durability is not intact;
+    /// `None` whenever the pipeline is fully durable (or ephemeral).
+    #[deprecated(
+        since = "0.6.0",
+        note = "poll `IngestPipeline::health()` (or the per-commit `TickReceipt::durability`) \
+                instead of this single latched error"
+    )]
     pub fn wal_error(&self) -> Option<&StoreError> {
-        self.wal_error.as_ref()
+        match self.dur_state {
+            DurState::Durable => None,
+            DurState::Degraded | DurState::NonDurable => self.last_error.as_ref(),
+        }
+    }
+
+    /// The durability contract the pipeline is currently honoring.
+    pub fn durability_state(&self) -> DurabilityState {
+        if self.store.is_none() {
+            return DurabilityState::Ephemeral;
+        }
+        match self.dur_state {
+            DurState::Durable => DurabilityState::Durable,
+            DurState::Degraded => DurabilityState::Degraded {
+                consecutive_failures: self.consecutive_failures,
+                buffered_ticks: self.unlogged.len(),
+            },
+            DurState::NonDurable => DurabilityState::NonDurable,
+        }
+    }
+
+    /// A current health summary: durability state, failure/retry counters,
+    /// queue depths, quarantine size. See [`HealthReport`].
+    pub fn health(&self) -> HealthReport {
+        HealthReport {
+            durability: self.durability_state(),
+            staged_docs: self.staged.len(),
+            max_staged_docs: self.max_staged_docs,
+            buffered_ticks: self.unlogged.len(),
+            max_buffered_ticks: self.max_buffered_ticks,
+            dirty_terms: self.dirty.len(),
+            wal_appends: self.wal_appends,
+            wal_failures: self.wal_failures,
+            store_retries: self.store_retries,
+            recoveries: self.recoveries,
+            checkpoints: self.checkpoints,
+            checkpoint_failures: self.checkpoint_failures,
+            docs_shed: self.docs_shed,
+            quarantined: self.quarantine.len(),
+            quarantined_total: self.quarantined_total,
+            last_error: match self.dur_state {
+                DurState::Durable => None,
+                _ => self.last_error.as_ref().map(StoreError::to_string),
+            },
+        }
+    }
+
+    /// Refreshes the health cell shared with every [`SearchHandle`].
+    fn publish_health(&self) {
+        let report = self.health();
+        *self
+            .health_cell
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = report;
     }
 
     /// Whether this pipeline has a durable store attached.
@@ -1337,7 +1987,10 @@ mod tests {
         for tick in 0..ticks {
             burst_tick(&mut pipeline, &streams, quake, (3..6).contains(&tick));
         }
-        assert!(pipeline.wal_error().is_none(), "WAL append must not fail");
+        assert!(
+            pipeline.durability_state().is_durable(),
+            "WAL append must not fail"
+        );
         (pipeline, quake)
     }
 
@@ -1439,7 +2092,7 @@ mod tests {
         for tick in 0..9 {
             burst_tick(&mut pipeline, &streams, t, tick == 4);
         }
-        assert!(pipeline.wal_error().is_none());
+        assert!(pipeline.durability_state().is_durable());
         assert_eq!(pipeline.metrics().checkpoints, 3);
         // The final commit triggered a checkpoint, so the WAL is compact.
         let wal_len = std::fs::metadata(dir.join(stb_store::WAL_FILE))
@@ -1476,8 +2129,406 @@ mod tests {
             pipeline.stage_document(s, HashMap::from([(t, 2)]));
             pipeline.commit_tick();
         }
-        assert!(pipeline.wal_error().is_none());
+        assert!(pipeline.durability_state().is_durable());
         assert_eq!(pipeline.metrics().wal_appends, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    use stb_store::{FaultSchedule, FaultSite, InjectedFault};
+
+    /// A durable pipeline over a fault-schedule store, with zero-backoff
+    /// retries so tests run instantly, plus one registered stream/term.
+    fn faulted_pipeline(
+        tag: &str,
+        max_retries: u32,
+        max_buffered: usize,
+    ) -> (
+        IngestPipeline,
+        FaultSchedule,
+        StreamId,
+        TermId,
+        std::path::PathBuf,
+    ) {
+        let dir = temp_dir(tag);
+        let faults = FaultSchedule::new();
+        let store = Store::open_with_faults(&dir, faults.clone()).expect("open store");
+        let config = IngestConfig {
+            timeline_capacity: 32,
+            miner: MinerKind::STLocal(STLocalConfig::default()),
+            retry: RetryPolicy::immediate(max_retries),
+            max_buffered_ticks: max_buffered,
+            ..Default::default()
+        };
+        let (mut pipeline, _) =
+            IngestPipeline::durable_with_store(config, store).expect("open pipeline");
+        let s = pipeline.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let t = pipeline.intern("t");
+        (pipeline, faults, s, t, dir)
+    }
+
+    fn commit_one(pipeline: &mut IngestPipeline, s: StreamId, t: TermId) -> TickReceipt {
+        pipeline.stage_document(s, HashMap::from([(t, 2)]));
+        pipeline.commit_tick()
+    }
+
+    #[test]
+    fn transient_fault_within_retry_budget_stays_durable() {
+        let (mut pipeline, faults, s, t, dir) = faulted_pipeline("retry-ok", 3, 8);
+        faults.fail_next_at(FaultSite::WalAppend, InjectedFault::transient());
+        let receipt = commit_one(&mut pipeline, s, t);
+        assert_eq!(receipt.durability, DurabilityState::Durable);
+        let h = pipeline.health();
+        assert_eq!(h.store_retries, 1);
+        assert_eq!(h.wal_failures, 0);
+        assert_eq!(h.wal_appends, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_then_recover_with_all_ticks_logged() {
+        let (mut pipeline, faults, s, t, dir) = faulted_pipeline("degrade-recover", 1, 8);
+        // Three transient faults: initial attempt + 1 retry exhaust the
+        // policy, leaving one queued to also fail the in-commit restore.
+        for _ in 0..3 {
+            faults.fail_next_at(FaultSite::WalAppend, InjectedFault::transient());
+        }
+        let receipt = commit_one(&mut pipeline, s, t);
+        assert!(receipt.durability.is_degraded());
+        assert_eq!(pipeline.health().buffered_ticks, 1);
+
+        // Disk heals: the next commit buffers its record, re-opens the
+        // log, and replays both.
+        faults.heal();
+        let receipt = commit_one(&mut pipeline, s, t);
+        assert_eq!(receipt.durability, DurabilityState::Durable);
+        let h = pipeline.health();
+        assert_eq!(h.buffered_ticks, 0);
+        assert_eq!(h.recoveries, 1);
+        assert!(h.last_error.is_none());
+        // Every committed tick is on disk.
+        let store = Store::open(&dir).expect("reopen");
+        let replay = store.read_wal().expect("read wal");
+        assert_eq!(replay.ticks.len(), 2);
+        assert_eq!(replay.ticks[0].tick, 0);
+        assert_eq!(replay.ticks[1].tick, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explicit_recovery_drains_the_buffer_without_a_commit() {
+        let (mut pipeline, faults, s, t, dir) = faulted_pipeline("explicit-recover", 0, 8);
+        faults.fail_next_at(FaultSite::WalAppend, InjectedFault::transient());
+        let receipt = commit_one(&mut pipeline, s, t);
+        assert!(receipt.durability.is_degraded());
+        faults.heal();
+        let state = pipeline.try_recover_durability();
+        assert_eq!(state, DurabilityState::Durable);
+        // No extra tick was committed to get there (bit-identity with a
+        // never-faulted run depends on this).
+        assert_eq!(pipeline.ticks_committed(), 1);
+        let store = Store::open(&dir).expect("reopen");
+        assert_eq!(store.read_wal().expect("read wal").ticks.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_failure_after_full_frame_is_not_duplicated_on_recovery() {
+        let (mut pipeline, faults, s, t, dir) = faulted_pipeline("sync-fail", 0, 8);
+        // The frame is fully written, then the durability step fails: the
+        // record is on disk but unacknowledged.
+        faults.fail_next_at(FaultSite::WalSync, InjectedFault::transient());
+        let receipt = commit_one(&mut pipeline, s, t);
+        assert!(receipt.durability.is_degraded());
+        faults.heal();
+        assert_eq!(pipeline.try_recover_durability(), DurabilityState::Durable);
+        let store = Store::open(&dir).expect("reopen");
+        let replay = store.read_wal().expect("read wal");
+        let ticks: Vec<u64> = replay.ticks.iter().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![0], "the persisted record must not repeat");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_partial_append_is_repaired_on_recovery() {
+        let (mut pipeline, faults, s, t, dir) = faulted_pipeline("torn-append", 0, 8);
+        faults.fail_next_at(FaultSite::WalAppend, InjectedFault::torn(5));
+        let receipt = commit_one(&mut pipeline, s, t);
+        assert!(receipt.durability.is_degraded());
+        faults.heal();
+        assert_eq!(pipeline.try_recover_durability(), DurabilityState::Durable);
+        let store = Store::open(&dir).expect("reopen");
+        let replay = store.read_wal().expect("read wal");
+        assert_eq!(replay.ticks.len(), 1);
+        assert_eq!(replay.discarded_bytes, 0, "torn bytes were truncated away");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn permanent_fault_fail_stops_to_non_durable() {
+        let (mut pipeline, faults, s, t, dir) = faulted_pipeline("permanent", 3, 8);
+        faults.fail_next_at(FaultSite::WalAppend, InjectedFault::permanent());
+        let receipt = commit_one(&mut pipeline, s, t);
+        assert_eq!(receipt.durability, DurabilityState::NonDurable);
+        // No retries were wasted on a permanent error.
+        assert_eq!(pipeline.health().store_retries, 0);
+        // Fail-stop: healing alone does not revive it.
+        faults.heal();
+        assert_eq!(
+            pipeline.try_recover_durability(),
+            DurabilityState::NonDurable
+        );
+        // ...but an explicit successful checkpoint does.
+        commit_one(&mut pipeline, s, t);
+        pipeline.checkpoint().expect("checkpoint revives");
+        assert_eq!(pipeline.durability_state(), DurabilityState::Durable);
+        assert!(pipeline.health().last_error.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn buffer_overflow_fail_stops() {
+        let (mut pipeline, faults, s, t, dir) = faulted_pipeline("overflow", 0, 2);
+        // Every append and every restore attempt fails (storm of
+        // transients far longer than the bound).
+        faults.storm(3, 1000, 1000);
+        let mut last = DurabilityState::Durable;
+        for _ in 0..5 {
+            last = commit_one(&mut pipeline, s, t).durability;
+        }
+        assert_eq!(last, DurabilityState::NonDurable);
+        // The buffer was dropped at the cliff edge.
+        assert_eq!(pipeline.health().buffered_ticks, 0);
+        faults.heal();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn receipt_durability_reports_degradation_per_commit() {
+        let (mut pipeline, faults, s, t, dir) = faulted_pipeline("receipt", 0, 8);
+        assert_eq!(
+            commit_one(&mut pipeline, s, t).durability,
+            DurabilityState::Durable
+        );
+        faults.fail_next_at(FaultSite::WalAppend, InjectedFault::transient());
+        faults.fail_next_at(FaultSite::WalRead, InjectedFault::transient());
+        let degraded = commit_one(&mut pipeline, s, t);
+        match degraded.durability {
+            DurabilityState::Degraded {
+                consecutive_failures,
+                buffered_ticks,
+            } => {
+                assert!(consecutive_failures >= 1);
+                assert_eq!(buffered_ticks, 1);
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ephemeral_pipeline_reports_ephemeral_health() {
+        let (mut pipeline, streams) =
+            two_cluster_pipeline(MinerKind::STLocal(STLocalConfig::default()), 4);
+        let t = pipeline.intern("t");
+        let receipt = burst_tick(&mut pipeline, &streams, t, false);
+        assert_eq!(receipt.durability, DurabilityState::Ephemeral);
+        assert_eq!(pipeline.health().durability, DurabilityState::Ephemeral);
+    }
+
+    #[test]
+    fn search_handle_surfaces_health() {
+        let (mut pipeline, faults, s, t, dir) = faulted_pipeline("handle-health", 0, 8);
+        let handle = pipeline.search_handle();
+        assert_eq!(handle.health().durability, DurabilityState::Durable);
+        faults.fail_next_at(FaultSite::WalAppend, InjectedFault::transient());
+        faults.fail_next_at(FaultSite::WalRead, InjectedFault::transient());
+        commit_one(&mut pipeline, s, t);
+        let h = handle.health();
+        assert!(h.durability.is_degraded());
+        assert_eq!(h.buffered_ticks, 1);
+        assert!(h.last_error.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wal_error_still_reflects_state() {
+        let (mut pipeline, faults, s, t, dir) = faulted_pipeline("compat", 0, 8);
+        assert!(pipeline.wal_error().is_none());
+        faults.fail_next_at(FaultSite::WalAppend, InjectedFault::transient());
+        faults.fail_next_at(FaultSite::WalRead, InjectedFault::transient());
+        commit_one(&mut pipeline, s, t);
+        assert!(pipeline.wal_error().is_some());
+        faults.heal();
+        pipeline.try_recover_durability();
+        assert!(pipeline.wal_error().is_none(), "cleared on recovery");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_catches_poison_documents() {
+        let config = IngestConfig {
+            timeline_capacity: 4,
+            max_terms_per_doc: 10,
+            ..Default::default()
+        };
+        let mut pipeline = IngestPipeline::new(config);
+        let s = pipeline.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let t = pipeline.intern("t");
+
+        let unknown_stream = StreamId(99);
+        match pipeline.try_stage_document(unknown_stream, HashMap::from([(t, 1)])) {
+            Ok(StageOutcome::Quarantined(QuarantineReason::UnknownStream)) => {}
+            other => panic!("expected UnknownStream quarantine, got {other:?}"),
+        }
+        match pipeline.try_stage_document(s, HashMap::from([(TermId(42), 1)])) {
+            Ok(StageOutcome::Quarantined(QuarantineReason::UnknownTerm)) => {}
+            other => panic!("expected UnknownTerm quarantine, got {other:?}"),
+        }
+        match pipeline.try_stage_document(s, HashMap::from([(t, 11)])) {
+            Ok(StageOutcome::Quarantined(QuarantineReason::OversizedDoc)) => {}
+            other => panic!("expected OversizedDoc quarantine, got {other:?}"),
+        }
+        // The tick survives: a clean document commits normally.
+        match pipeline.try_stage_document(s, HashMap::from([(t, 1)])) {
+            Ok(StageOutcome::Staged) => {}
+            other => panic!("expected Staged, got {other:?}"),
+        }
+        let receipt = pipeline.commit_tick();
+        assert_eq!(receipt.new_docs.len(), 1);
+        let h = pipeline.health();
+        assert_eq!(h.quarantined, 3);
+        assert_eq!(h.quarantined_total, 3);
+        let reasons: Vec<QuarantineReason> = pipeline.quarantine_log().map(|q| q.reason).collect();
+        assert_eq!(
+            reasons,
+            vec![
+                QuarantineReason::UnknownStream,
+                QuarantineReason::UnknownTerm,
+                QuarantineReason::OversizedDoc
+            ]
+        );
+    }
+
+    #[test]
+    fn quarantine_log_is_bounded_but_total_keeps_counting() {
+        let config = IngestConfig {
+            timeline_capacity: 4,
+            max_quarantined_docs: 2,
+            ..Default::default()
+        };
+        let mut pipeline = IngestPipeline::new(config);
+        let _ = pipeline.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let t = pipeline.intern("t");
+        for _ in 0..5 {
+            let _ = pipeline.try_stage_document(StreamId(9), HashMap::from([(t, 1)]));
+        }
+        let h = pipeline.health();
+        assert_eq!(h.quarantined, 2);
+        assert_eq!(h.quarantined_total, 5);
+    }
+
+    #[test]
+    fn backpressure_block_commits_inline() {
+        let config = IngestConfig {
+            timeline_capacity: 8,
+            max_staged_docs: 2,
+            backpressure: Backpressure::Block,
+            ..Default::default()
+        };
+        let mut pipeline = IngestPipeline::new(config);
+        let s = pipeline.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let t = pipeline.intern("t");
+        for _ in 0..2 {
+            match pipeline.try_stage_document(s, HashMap::from([(t, 1)])) {
+                Ok(StageOutcome::Staged) => {}
+                other => panic!("expected Staged, got {other:?}"),
+            }
+        }
+        match pipeline.try_stage_document(s, HashMap::from([(t, 1)])) {
+            Ok(StageOutcome::StagedAfterCommit(receipt)) => {
+                assert_eq!(receipt.tick, 0);
+                assert_eq!(receipt.new_docs.len(), 2);
+            }
+            other => panic!("expected StagedAfterCommit, got {other:?}"),
+        }
+        assert_eq!(pipeline.ticks_committed(), 1);
+        assert_eq!(pipeline.health().staged_docs, 1);
+    }
+
+    #[test]
+    fn backpressure_shed_drops_and_counts() {
+        let config = IngestConfig {
+            timeline_capacity: 8,
+            max_staged_docs: 1,
+            backpressure: Backpressure::Shed,
+            ..Default::default()
+        };
+        let mut pipeline = IngestPipeline::new(config);
+        let s = pipeline.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let t = pipeline.intern("t");
+        let _ = pipeline.try_stage_document(s, HashMap::from([(t, 1)]));
+        match pipeline.try_stage_document(s, HashMap::from([(t, 1)])) {
+            Ok(StageOutcome::Shed) => {}
+            other => panic!("expected Shed, got {other:?}"),
+        }
+        let receipt = pipeline.commit_tick();
+        assert_eq!(receipt.new_docs.len(), 1, "shed doc never entered");
+        assert_eq!(pipeline.health().docs_shed, 1);
+    }
+
+    #[test]
+    fn backpressure_error_is_typed() {
+        let config = IngestConfig {
+            timeline_capacity: 8,
+            max_staged_docs: 1,
+            backpressure: Backpressure::Error,
+            ..Default::default()
+        };
+        let mut pipeline = IngestPipeline::new(config);
+        let s = pipeline.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let t = pipeline.intern("t");
+        let _ = pipeline.try_stage_document(s, HashMap::from([(t, 1)]));
+        match pipeline.try_stage_document(s, HashMap::from([(t, 1)])) {
+            Err(IngestError::StagingFull { staged: 1, max: 1 }) => {}
+            other => panic!("expected StagingFull, got {other:?}"),
+        }
+        // Committing drains the buffer and staging resumes.
+        pipeline.commit_tick();
+        assert!(matches!(
+            pipeline.try_stage_document(s, HashMap::from([(t, 1)])),
+            Ok(StageOutcome::Staged)
+        ));
+    }
+
+    #[test]
+    fn auto_checkpoint_failure_keeps_durability_and_retries_later() {
+        let dir = temp_dir("auto-ckpt-fault");
+        let faults = FaultSchedule::new();
+        let store = Store::open_with_faults(&dir, faults.clone()).expect("open store");
+        let config = IngestConfig {
+            timeline_capacity: 8,
+            miner: MinerKind::STLocal(STLocalConfig::default()),
+            checkpoint_every_ticks: 2,
+            retry: RetryPolicy::immediate(0),
+            ..Default::default()
+        };
+        let (mut pipeline, _) =
+            IngestPipeline::durable_with_store(config, store).expect("open pipeline");
+        let s = pipeline.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let t = pipeline.intern("t");
+        commit_one(&mut pipeline, s, t);
+        // The 2nd commit triggers the auto-checkpoint; fail its snapshot
+        // write. The WAL still holds every tick: durability is intact.
+        faults.fail_next_at(FaultSite::SnapshotWrite, InjectedFault::transient());
+        let receipt = commit_one(&mut pipeline, s, t);
+        assert_eq!(receipt.durability, DurabilityState::Durable);
+        let h = pipeline.health();
+        assert_eq!(h.checkpoint_failures, 1);
+        assert_eq!(h.checkpoints, 0);
+        // The next commit retries the (now healed) checkpoint.
+        commit_one(&mut pipeline, s, t);
+        assert_eq!(pipeline.health().checkpoints, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -45,7 +45,7 @@ fn seed_store(dir: &Path) {
         p.stage_document(a, HashMap::from([(quake, 1)]));
         p.commit_tick();
     }
-    assert!(p.wal_error().is_none());
+    assert!(p.durability_state().is_durable());
 }
 
 fn recover(dir: &Path) -> Result<(IngestPipeline, stb_ingest::RecoveryReport), StoreError> {

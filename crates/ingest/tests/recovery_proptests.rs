@@ -140,7 +140,10 @@ fn clean_durable_run(
     } else {
         commit_plan(&mut p, plan);
     }
-    assert!(p.wal_error().is_none(), "clean run must not hit WAL errors");
+    assert!(
+        p.durability_state().is_durable(),
+        "clean run must stay durable"
+    );
     dir
 }
 
@@ -233,7 +236,10 @@ fn recover_and_check(
         setup_streams(&mut recovered);
     }
     commit_plan(&mut recovered, &plan[k..]);
-    prop_assert!(recovered.wal_error().is_none(), "resume must stay durable");
+    prop_assert!(
+        recovered.durability_state().is_durable(),
+        "resume must stay durable"
+    );
     let full_ref = reference(plan.len(), plan, local, cache_capacity);
     assert_equiv("resumed run", &full_ref, &recovered)?;
     let _ = std::fs::remove_dir_all(dir);
@@ -351,7 +357,7 @@ proptest! {
                 stage_docs(&mut p, &plan[at][split..]);
                 p.commit_tick();
             }
-            prop_assert!(p.wal_error().is_none(), "clean run must not hit WAL errors");
+            prop_assert!(p.durability_state().is_durable(), "clean run must stay durable");
         }
         if commit_after {
             // The checkpointed tick was committed: the WAL holds its full
@@ -381,7 +387,7 @@ proptest! {
                 p.commit_tick();
                 commit_plan(p, &plan[at + 1..]);
             }
-            prop_assert!(recovered.wal_error().is_none(), "resume must stay durable");
+            prop_assert!(recovered.durability_state().is_durable(), "resume must stay durable");
             assert_equiv("mid-stage resumed", &reference, &recovered)?;
             let _ = std::fs::remove_dir_all(&dir);
         }

@@ -60,6 +60,13 @@ pub enum StoreError {
     /// A durability operation was requested on a pipeline that was not
     /// constructed with a store attached.
     NotDurable,
+    /// The write-ahead log writer is closed: a previous append failed and
+    /// the pipeline dropped the writer rather than stack records on top of
+    /// a half-written frame. The record was **not** logged. Unlike
+    /// [`StoreError::NotDurable`] (a caller error — no store was ever
+    /// attached), this is a runtime durability degradation the state
+    /// machine recovers from by re-opening the log.
+    WalClosed,
 }
 
 impl StoreError {
@@ -68,6 +75,73 @@ impl StoreError {
         StoreError::Corrupt {
             what,
             detail: detail.into(),
+        }
+    }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// The taxonomy is deliberately conservative — only failures that are
+    /// *known* to be momentary conditions of a healthy disk count as
+    /// transient:
+    ///
+    /// * **Transient** — an [`StoreError::Io`] whose kind is
+    ///   [`io::ErrorKind::Interrupted`] (EINTR), [`io::ErrorKind::TimedOut`],
+    ///   or [`io::ErrorKind::WouldBlock`]. A bounded retry with backoff
+    ///   ([`crate::retry::RetryPolicy`]) is the right response.
+    /// * **Permanent** — everything else: corruption-class errors
+    ///   (`BadMagic`, `UnsupportedVersion`, `ChecksumMismatch`, `Truncated`,
+    ///   `Corrupt`) describe bytes already on disk and will reproduce on
+    ///   every retry; `NotDurable`/`WalClosed` are states, not conditions;
+    ///   and the remaining I/O kinds (`PermissionDenied`, `NotFound`,
+    ///   `StorageFull`, …) need operator intervention, not patience.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StoreError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::Interrupted | io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
+
+    /// A structural copy of the error. `StoreError` cannot implement
+    /// `Clone` because [`io::Error`] does not; this recreates the I/O case
+    /// from its kind and message (preserving [`StoreError::is_transient`]
+    /// classification) and copies every other variant field-for-field.
+    /// Callers that must both *keep* an error (health reporting) and
+    /// *return* it use this.
+    pub fn duplicate(&self) -> StoreError {
+        match self {
+            StoreError::Io(e) => StoreError::Io(io::Error::new(e.kind(), e.to_string())),
+            StoreError::BadMagic { what, found } => StoreError::BadMagic {
+                what,
+                found: *found,
+            },
+            StoreError::UnsupportedVersion {
+                what,
+                found,
+                supported,
+            } => StoreError::UnsupportedVersion {
+                what,
+                found: *found,
+                supported: *supported,
+            },
+            StoreError::ChecksumMismatch {
+                what,
+                expected,
+                actual,
+            } => StoreError::ChecksumMismatch {
+                what,
+                expected: *expected,
+                actual: *actual,
+            },
+            StoreError::Truncated { what } => StoreError::Truncated { what },
+            StoreError::Corrupt { what, detail } => StoreError::Corrupt {
+                what,
+                detail: detail.clone(),
+            },
+            StoreError::NotDurable => StoreError::NotDurable,
+            StoreError::WalClosed => StoreError::WalClosed,
         }
     }
 }
@@ -101,6 +175,13 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt { what, detail } => write!(f, "{what}: corrupt payload: {detail}"),
             StoreError::NotDurable => {
                 write!(f, "pipeline has no durable store attached")
+            }
+            StoreError::WalClosed => {
+                write!(
+                    f,
+                    "write-ahead log writer is closed after an append failure; \
+                     the record was not logged (durability degraded)"
+                )
             }
         }
     }
@@ -146,9 +227,41 @@ mod tests {
             StoreError::Truncated { what: "snapshot" },
             StoreError::corrupt("wal record", "tick gap"),
             StoreError::NotDurable,
+            StoreError::WalClosed,
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn transient_classification() {
+        for kind in [
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WouldBlock,
+        ] {
+            let e = StoreError::Io(io::Error::new(kind, "blip"));
+            assert!(e.is_transient(), "{kind:?} must be transient");
+        }
+        for e in [
+            StoreError::Io(io::Error::new(io::ErrorKind::PermissionDenied, "no")),
+            StoreError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")),
+            StoreError::BadMagic {
+                what: "wal",
+                found: [0; 8],
+            },
+            StoreError::ChecksumMismatch {
+                what: "snapshot",
+                expected: 1,
+                actual: 2,
+            },
+            StoreError::Truncated { what: "snapshot" },
+            StoreError::corrupt("wal record", "gap"),
+            StoreError::NotDurable,
+            StoreError::WalClosed,
+        ] {
+            assert!(!e.is_transient(), "{e} must be permanent");
         }
     }
 

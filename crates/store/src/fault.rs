@@ -16,9 +16,20 @@
 //! The standalone helpers [`truncate_bytes`] and [`flip_bit`] (plus their
 //! file-backed variants) cover the remaining corruption modes: truncation
 //! at arbitrary lengths and single-bit flips.
+//!
+//! [`FaultSchedule`] is the chaos-harness side of the module: a cloneable,
+//! scripted queue of injected errors that the store consults at every
+//! syscall site ([`FaultSite`]) — WAL appends and syncs, snapshot writes,
+//! renames, directory fsyncs, reads. Unlike [`FaultFile`] (which models
+//! *crashes*), a schedule models a *live but misbehaving* disk: operations
+//! fail with transient (`EINTR`-class) or permanent errors in a
+//! deterministic order, and the process keeps running to observe how the
+//! retry/degraded-mode machinery responds.
 
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write};
 use std::path::Path;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::error::StoreError;
 use crate::wal::SyncWrite;
@@ -111,9 +122,232 @@ pub fn crash_artifact(clean: &[u8], kind: FaultKind, crash_at: u64, chunk: usize
     let chunk = chunk.max(1);
     let mut f = FaultFile::new(kind, crash_at);
     for piece in clean.chunks(chunk) {
-        f.write_all(piece).expect("FaultFile never errors");
+        // FaultFile::write is infallible (failed writes are modelled as
+        // silently dropped bytes), so the Result carries no information.
+        let _ = f.write_all(piece);
     }
     f.into_bytes()
+}
+
+/// The store syscall sites at which a [`FaultSchedule`] can inject errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultSite {
+    /// Opening (or creating) the WAL file for appending.
+    WalOpen,
+    /// Writing one framed record to the WAL.
+    WalAppend,
+    /// Syncing the WAL (`fdatasync` under `Durability::Fsync`).
+    WalSync,
+    /// Truncating the WAL back to an empty header after a checkpoint.
+    WalReset,
+    /// Reading the WAL back during recovery.
+    WalRead,
+    /// Writing the snapshot bytes to the temp file.
+    SnapshotWrite,
+    /// Syncing the snapshot temp file before the rename.
+    SnapshotSync,
+    /// Renaming the snapshot temp file over the live snapshot.
+    SnapshotRename,
+    /// Reading the snapshot during recovery.
+    SnapshotRead,
+    /// Syncing the store directory after a rename or header write.
+    DirSync,
+}
+
+/// Whether an injected error reads as retryable to
+/// [`StoreError::is_transient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultError {
+    /// Injected as [`io::ErrorKind::Interrupted`] — a retry may succeed.
+    Transient,
+    /// Injected as [`io::ErrorKind::PermissionDenied`] — retries are
+    /// pointless; the policy must fail over immediately.
+    Permanent,
+}
+
+/// One scripted fault: the error class plus, for write sites, how many
+/// bytes of the attempted write land on disk before the error fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The error class reported to the caller.
+    pub error: FaultError,
+    /// For [`FaultSite::WalAppend`]: the number of leading bytes of the
+    /// frame that are persisted *before* the failure — a torn partial
+    /// frame the next recovery must repair. `None` means the write fails
+    /// cleanly with nothing persisted.
+    pub partial_bytes: Option<usize>,
+}
+
+impl InjectedFault {
+    /// A transient fault that persists nothing.
+    pub fn transient() -> Self {
+        InjectedFault {
+            error: FaultError::Transient,
+            partial_bytes: None,
+        }
+    }
+
+    /// A permanent fault that persists nothing.
+    pub fn permanent() -> Self {
+        InjectedFault {
+            error: FaultError::Permanent,
+            partial_bytes: None,
+        }
+    }
+
+    /// A transient fault that first persists `n` bytes of the attempted
+    /// write (a torn tail for recovery to repair).
+    pub fn torn(n: usize) -> Self {
+        InjectedFault {
+            error: FaultError::Transient,
+            partial_bytes: Some(n),
+        }
+    }
+
+    /// The `io::Error` this fault surfaces as.
+    pub fn to_io_error(self) -> io::Error {
+        match self.error {
+            FaultError::Transient => {
+                io::Error::new(io::ErrorKind::Interrupted, "injected transient fault")
+            }
+            FaultError::Permanent => {
+                io::Error::new(io::ErrorKind::PermissionDenied, "injected permanent fault")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ScheduleInner {
+    /// Faults consumed by *any* site, in order, after per-site queues.
+    /// `None` entries are explicit "this operation succeeds" slots, letting
+    /// a script interleave failures and successes deterministically.
+    global: VecDeque<Option<InjectedFault>>,
+    /// Faults consumed only by a specific site, checked first.
+    per_site: HashMap<FaultSite, VecDeque<InjectedFault>>,
+    /// Total store operations that consulted the schedule.
+    ops: u64,
+    /// Total faults injected.
+    injected: u64,
+}
+
+/// A deterministic, scripted schedule of injected store faults.
+///
+/// Cloning shares the underlying queue (it is an `Arc`), so the same
+/// schedule handed to a [`crate::Store`] can be healed or extended from
+/// the test while the store runs. Every consultation is ordered: per-site
+/// queues win over the global queue, and an empty schedule injects
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    inner: Arc<Mutex<ScheduleInner>>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (injects nothing until primed).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ScheduleInner> {
+        // A panicking store test must not cascade into poisoned-mutex
+        // noise: the schedule state is plain data, safe to keep using.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Queues `fault` to fire on the next consultation of any site.
+    pub fn fail_next(&self, fault: InjectedFault) {
+        self.lock().global.push_back(Some(fault));
+    }
+
+    /// Queues `fault` to fire on the next consultation of `site`
+    /// specifically (checked before the global queue).
+    pub fn fail_next_at(&self, site: FaultSite, fault: InjectedFault) {
+        self.lock()
+            .per_site
+            .entry(site)
+            .or_default()
+            .push_back(fault);
+    }
+
+    /// Queues an explicit success slot on the global queue — the next
+    /// operation is let through even if more faults are queued behind it.
+    pub fn succeed_next(&self) {
+        self.lock().global.push_back(None);
+    }
+
+    /// Drops every queued fault: the disk is healthy again.
+    pub fn heal(&self) {
+        let mut inner = self.lock();
+        inner.global.clear();
+        inner.per_site.clear();
+    }
+
+    /// Whether any fault is still queued.
+    pub fn is_armed(&self) -> bool {
+        let inner = self.lock();
+        inner.global.iter().any(Option::is_some) || inner.per_site.values().any(|q| !q.is_empty())
+    }
+
+    /// Total operations that consulted this schedule.
+    pub fn ops(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.lock().injected
+    }
+
+    /// Primes a deterministic "fault storm": `n` slots on the global
+    /// queue, roughly `fail_permille`/1000 of which are transient faults
+    /// (the rest are success slots), position-shuffled by `seed`. Storms
+    /// never queue permanent faults — they model a flaky disk, not a dead
+    /// one — so a pipeline retrying through one must eventually return to
+    /// durable once the storm drains.
+    pub fn storm(&self, seed: u64, n: usize, fail_permille: u32) {
+        let mut state = seed | 1;
+        let mut inner = self.lock();
+        for _ in 0..n {
+            // xorshift64* — cheap, deterministic, good enough to decorrelate
+            // fault positions from record boundaries.
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let roll = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as u32 % 1000;
+            if roll < fail_permille.min(1000) {
+                inner.global.push_back(Some(InjectedFault::transient()));
+            } else {
+                inner.global.push_back(None);
+            }
+        }
+    }
+
+    /// Consults the schedule at `site`. `Some(fault)` means the operation
+    /// must fail with that fault; `None` means it proceeds normally.
+    pub fn check(&self, site: FaultSite) -> Option<InjectedFault> {
+        let mut inner = self.lock();
+        inner.ops += 1;
+        let fault = if let Some(f) = inner.per_site.get_mut(&site).and_then(VecDeque::pop_front) {
+            Some(f)
+        } else {
+            inner.global.pop_front().flatten()
+        };
+        if fault.is_some() {
+            inner.injected += 1;
+        }
+        fault
+    }
+
+    /// Consults the schedule at `site` and converts a hit into an `Err`.
+    /// The store's write paths call this before touching the file system.
+    pub fn check_io(&self, site: FaultSite) -> io::Result<()> {
+        match self.check(site) {
+            Some(f) => Err(f.to_io_error()),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Truncates a byte vector to `len` (no-op if already shorter).
@@ -211,6 +445,93 @@ mod tests {
         assert_eq!(bytes, vec![0, 0, 0x80, 0]);
         flip_bit(&mut bytes, 2, 7);
         assert_eq!(bytes, vec![0u8; 4]);
+    }
+
+    #[test]
+    fn schedule_consumes_in_order() {
+        let s = FaultSchedule::new();
+        s.fail_next(InjectedFault::transient());
+        s.succeed_next();
+        s.fail_next(InjectedFault::permanent());
+        assert_eq!(
+            s.check(FaultSite::WalAppend),
+            Some(InjectedFault::transient())
+        );
+        assert_eq!(s.check(FaultSite::WalSync), None);
+        assert_eq!(
+            s.check(FaultSite::SnapshotWrite),
+            Some(InjectedFault::permanent())
+        );
+        assert_eq!(
+            s.check(FaultSite::WalAppend),
+            None,
+            "drained schedule is clean"
+        );
+        assert_eq!(s.ops(), 4);
+        assert_eq!(s.injected(), 2);
+    }
+
+    #[test]
+    fn per_site_queue_wins_over_global() {
+        let s = FaultSchedule::new();
+        s.fail_next(InjectedFault::transient());
+        s.fail_next_at(FaultSite::SnapshotRename, InjectedFault::permanent());
+        // The rename consumes its own queue, leaving the global fault for
+        // the next site that asks.
+        assert_eq!(
+            s.check(FaultSite::SnapshotRename),
+            Some(InjectedFault::permanent())
+        );
+        assert_eq!(
+            s.check(FaultSite::WalAppend),
+            Some(InjectedFault::transient())
+        );
+    }
+
+    #[test]
+    fn heal_clears_everything() {
+        let s = FaultSchedule::new();
+        s.storm(42, 100, 500);
+        assert!(s.is_armed());
+        s.heal();
+        assert!(!s.is_armed());
+        assert_eq!(s.check(FaultSite::WalAppend), None);
+    }
+
+    #[test]
+    fn storm_is_deterministic_and_transient_only() {
+        let a = FaultSchedule::new();
+        let b = FaultSchedule::new();
+        a.storm(7, 200, 300);
+        b.storm(7, 200, 300);
+        let mut hits = 0;
+        for _ in 0..200 {
+            let fa = a.check(FaultSite::WalAppend);
+            let fb = b.check(FaultSite::WalAppend);
+            assert_eq!(fa, fb, "same seed, same schedule");
+            if let Some(f) = fa {
+                assert_eq!(f.error, FaultError::Transient);
+                hits += 1;
+            }
+        }
+        assert!(hits > 20 && hits < 120, "storm density off: {hits}/200");
+    }
+
+    #[test]
+    fn injected_errors_classify_correctly() {
+        let t: StoreError = InjectedFault::transient().to_io_error().into();
+        let p: StoreError = InjectedFault::permanent().to_io_error().into();
+        assert!(t.is_transient());
+        assert!(!p.is_transient());
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let s = FaultSchedule::new();
+        let handle = s.clone();
+        s.fail_next(InjectedFault::transient());
+        assert!(handle.check(FaultSite::WalAppend).is_some());
+        assert!(s.check(FaultSite::WalAppend).is_none());
     }
 
     #[test]

@@ -14,8 +14,13 @@
 //! * [`store`] — the directory layout tying the two together: recovery is
 //!   `load_snapshot + replay_wal`, and a checkpoint is `write_snapshot`
 //!   followed by truncating the log.
-//! * [`fault`] — deterministic fault injection ([`FaultFile`], bit flips,
-//!   truncation) used by the crash-recovery proptest harness.
+//! * [`fault`] — deterministic fault injection: crash artifacts
+//!   ([`FaultFile`], bit flips, truncation) for the crash-recovery
+//!   proptest harness, and scripted live-error schedules
+//!   ([`FaultSchedule`]) for the chaos harness.
+//! * [`retry`] — bounded exponential-backoff retry ([`RetryPolicy`]) for
+//!   transient store failures, with injectable sleep for deterministic
+//!   tests.
 //! * [`codec`] — the little-endian primitives everything is built from;
 //!   `f64`s are persisted as IEEE 754 bit patterns so recovered scores are
 //!   byte-identical.
@@ -25,10 +30,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod codec;
 pub mod error;
 pub mod fault;
+pub mod retry;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
@@ -36,10 +43,13 @@ pub mod wal;
 pub use codec::{crc32, Dec, Enc};
 pub use error::StoreError;
 pub use fault::{
-    crash_artifact, flip_bit, flip_bit_file, truncate_bytes, truncate_file, FaultFile, FaultKind,
+    crash_artifact, flip_bit, flip_bit_file, truncate_bytes, truncate_file, FaultError, FaultFile,
+    FaultKind, FaultSchedule, FaultSite, InjectedFault,
 };
+pub use retry::{RecordingSleeper, RetryPolicy, Sleeper, ThreadSleeper};
 pub use snapshot::{
-    read_snapshot, write_snapshot, PendingState, SnapshotState, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+    read_snapshot, write_snapshot, write_snapshot_with_faults, PendingState, SnapshotState,
+    SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use store::{Store, SNAPSHOT_FILE, WAL_FILE};
 pub use wal::{

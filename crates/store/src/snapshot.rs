@@ -37,6 +37,7 @@ use stb_timeseries::TimeInterval;
 
 use crate::codec::{crc32, Dec, Enc};
 use crate::error::StoreError;
+use crate::fault::{FaultSchedule, FaultSite};
 use crate::wal::DocRecord;
 
 /// The snapshot file magic number.
@@ -577,6 +578,20 @@ pub fn read_snapshot(path: &Path) -> Result<SnapshotState, StoreError> {
 /// sync, rename over the destination, parent-directory fsync. Returns the
 /// total file size in bytes.
 pub fn write_snapshot(path: &Path, state: &SnapshotState) -> Result<u64, StoreError> {
+    write_snapshot_with_faults(path, state, None)
+}
+
+/// [`write_snapshot`] with an optional chaos-harness fault schedule: each
+/// step of the atomic-write protocol (temp write, data sync, rename,
+/// directory fsync) consults its [`FaultSite`] first, so tests can fail
+/// the protocol at any seam. Failing *after* the rename leaves a fully
+/// valid snapshot on disk whose caller believes the checkpoint failed —
+/// the same ambiguity real directory-fsync failures create.
+pub fn write_snapshot_with_faults(
+    path: &Path,
+    state: &SnapshotState,
+    faults: Option<&FaultSchedule>,
+) -> Result<u64, StoreError> {
     let bytes = frame_snapshot(&encode_snapshot(state));
     let dir = path.parent().ok_or_else(|| {
         StoreError::Io(io::Error::new(
@@ -586,12 +601,24 @@ pub fn write_snapshot(path: &Path, state: &SnapshotState) -> Result<u64, StoreEr
     })?;
     let tmp = path.with_extension("stb.tmp");
     {
+        if let Some(s) = faults {
+            s.check_io(FaultSite::SnapshotWrite)?;
+        }
         let mut file = File::create(&tmp)?;
         file.write_all(&bytes)?;
+        if let Some(s) = faults {
+            s.check_io(FaultSite::SnapshotSync)?;
+        }
         file.sync_data()?;
+    }
+    if let Some(s) = faults {
+        s.check_io(FaultSite::SnapshotRename)?;
     }
     std::fs::rename(&tmp, path)?;
     // Persist the rename itself: fsync the parent directory.
+    if let Some(s) = faults {
+        s.check_io(FaultSite::DirSync)?;
+    }
     let dir_handle = OpenOptions::new().read(true).open(dir)?;
     dir_handle.sync_all()?;
     Ok(bytes.len() as u64)

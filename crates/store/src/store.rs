@@ -15,7 +15,8 @@
 use std::path::{Path, PathBuf};
 
 use crate::error::StoreError;
-use crate::snapshot::{read_snapshot, write_snapshot, SnapshotState};
+use crate::fault::{FaultSchedule, FaultSite};
+use crate::snapshot::{read_snapshot, write_snapshot_with_faults, SnapshotState};
 use crate::wal::{read_wal, Durability, WalReplay, WalWriter};
 
 /// Name of the snapshot file inside a store directory.
@@ -27,6 +28,7 @@ pub const WAL_FILE: &str = "wal.stb";
 #[derive(Debug, Clone)]
 pub struct Store {
     dir: PathBuf,
+    faults: Option<FaultSchedule>,
 }
 
 impl Store {
@@ -34,7 +36,25 @@ impl Store {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Store { dir })
+        Ok(Store { dir, faults: None })
+    }
+
+    /// Opens a store whose every syscall site consults a chaos-harness
+    /// fault schedule first. Clones of the store (and WAL writers it
+    /// opens) share the same schedule.
+    pub fn open_with_faults(
+        dir: impl Into<PathBuf>,
+        faults: FaultSchedule,
+    ) -> Result<Self, StoreError> {
+        let mut store = Store::open(dir)?;
+        store.faults = Some(faults);
+        Ok(store)
+    }
+
+    /// The fault schedule attached via [`Store::open_with_faults`], if
+    /// any.
+    pub fn faults(&self) -> Option<&FaultSchedule> {
+        self.faults.as_ref()
     }
 
     /// The store's directory.
@@ -56,6 +76,9 @@ impl Store {
     /// present-but-invalid snapshot is an error — corruption must fail
     /// closed, never fall back to an empty index silently.
     pub fn load_snapshot(&self) -> Result<Option<SnapshotState>, StoreError> {
+        if let Some(s) = &self.faults {
+            s.check_io(FaultSite::SnapshotRead)?;
+        }
         let path = self.snapshot_path();
         if !path.exists() {
             return Ok(None);
@@ -66,12 +89,15 @@ impl Store {
     /// Writes a snapshot atomically (temp file + rename + directory
     /// fsync). Returns the snapshot size in bytes.
     pub fn write_snapshot(&self, state: &SnapshotState) -> Result<u64, StoreError> {
-        write_snapshot(&self.snapshot_path(), state)
+        write_snapshot_with_faults(&self.snapshot_path(), state, self.faults.as_ref())
     }
 
     /// Reads the WAL, repairing a torn tail. A missing file is an empty
     /// replay.
     pub fn read_wal(&self) -> Result<WalReplay, StoreError> {
+        if let Some(s) = &self.faults {
+            s.check_io(FaultSite::WalRead)?;
+        }
         read_wal(&self.wal_path())
     }
 
@@ -82,7 +108,7 @@ impl Store {
         valid_len: u64,
         durability: Durability,
     ) -> Result<WalWriter, StoreError> {
-        WalWriter::open(&self.wal_path(), valid_len, durability)
+        WalWriter::open_with_faults(&self.wal_path(), valid_len, durability, self.faults.clone())
     }
 }
 

@@ -36,6 +36,7 @@ use stb_geo::{GeoPoint, Point2D};
 
 use crate::codec::{crc32, Dec, Enc};
 use crate::error::StoreError;
+use crate::fault::{FaultSchedule, FaultSite};
 
 /// The WAL file magic number.
 pub const WAL_MAGIC: [u8; 8] = *b"STBWAL00";
@@ -314,6 +315,17 @@ pub trait SyncWrite: Write {
     fn sync(&mut self) -> io::Result<()> {
         self.flush()
     }
+
+    /// Truncates the sink back to `len` bytes and repositions the write
+    /// cursor there — the rollback primitive [`WalWriter::append`] uses so
+    /// a failed append leaves neither a torn prefix (which would garble
+    /// every retried record behind it) nor an unacknowledged whole frame
+    /// (which a retry would duplicate). Sinks that cannot rewind report
+    /// `Unsupported`; the writer then poisons itself instead of guessing.
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        let _ = len;
+        Err(io::Error::from(io::ErrorKind::Unsupported))
+    }
 }
 
 impl SyncWrite for File {
@@ -321,9 +333,35 @@ impl SyncWrite for File {
         self.flush()?;
         self.sync_data()
     }
+
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.set_len(len)?;
+        self.seek(SeekFrom::Start(len)).map(|_| ())
+    }
 }
 
-impl SyncWrite for Vec<u8> {}
+impl SyncWrite for Vec<u8> {
+    fn truncate_to(&mut self, len: u64) -> io::Result<()> {
+        self.truncate(len as usize);
+        Ok(())
+    }
+}
+
+/// Where a failed append can rewind to. See [`WalWriter::append`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Rollback {
+    /// End offset of the last acknowledged frame: failures truncate back
+    /// here, so a bounded retry re-appends onto a clean tail.
+    Known(u64),
+    /// The sink's absolute length is unknown (a bare
+    /// [`WalWriter::from_sink`] not at the start): appends work, but the
+    /// first failure poisons the writer instead of rolling back.
+    Unsupported,
+    /// A rollback failed (or was impossible) after a failed append: the
+    /// tail is unknowable, and the writer refuses to stack frames on top
+    /// of it ([`StoreError::WalClosed`]).
+    Poisoned,
+}
 
 /// An append-only WAL writer over any [`SyncWrite`] sink.
 ///
@@ -331,10 +369,14 @@ impl SyncWrite for Vec<u8> {}
 /// [`WalWriter::open`], which repairs a torn tail (truncating
 /// back to the last whole record) before the first append. In-memory
 /// writers ([`WalWriter::from_sink`]) serve tests and fault injection.
+/// Failed appends roll the sink back to the last acknowledged frame so
+/// bounded retries are always safe; see [`WalWriter::append`].
 #[derive(Debug)]
 pub struct WalWriter<W: SyncWrite = File> {
     sink: W,
     durability: Durability,
+    faults: Option<FaultSchedule>,
+    rollback: Rollback,
 }
 
 impl<W: SyncWrite> WalWriter<W> {
@@ -346,17 +388,96 @@ impl<W: SyncWrite> WalWriter<W> {
             sink.write_all(&WAL_VERSION.to_le_bytes())?;
             sink.flush()?;
         }
-        Ok(WalWriter { sink, durability })
+        Ok(WalWriter {
+            sink,
+            durability,
+            faults: None,
+            rollback: if at_start {
+                Rollback::Known(WAL_HEADER_LEN)
+            } else {
+                Rollback::Unsupported
+            },
+        })
+    }
+
+    /// Attaches a chaos-harness fault schedule: every append, sync, and
+    /// reset consults it before touching the sink.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Appends one framed record and applies the durability policy.
+    ///
+    /// **Failure atomicity:** on any error the writer rewinds the sink to
+    /// the end of the last acknowledged frame (via
+    /// [`SyncWrite::truncate_to`]), so retrying the append is always safe
+    /// — a failed attempt leaves neither a torn prefix nor an
+    /// unacknowledged duplicate behind. If the rewind itself fails the
+    /// writer is *poisoned*: every further append returns
+    /// [`StoreError::WalClosed`] and the caller must re-open the log (which
+    /// truncates to the verified prefix).
+    ///
+    /// With a fault schedule attached, an injected [`FaultSite::WalAppend`]
+    /// fault first persists a *partial* frame (the torn tail a crashed
+    /// write leaves behind, immediately rolled back as above), and an
+    /// injected [`FaultSite::WalSync`] fault fails the durability step
+    /// *after* the full frame was written — the ambiguity real `fsync`
+    /// failures create.
     pub fn append(&mut self, record: &TickRecord) -> Result<(), StoreError> {
+        if self.rollback == Rollback::Poisoned {
+            return Err(StoreError::WalClosed);
+        }
         let payload = record.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
-        self.sink.write_all(&frame)?;
+        match self.write_frame(&frame) {
+            Ok(()) => {
+                if let Rollback::Known(end) = &mut self.rollback {
+                    *end += frame.len() as u64;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // Rewind to the last acknowledged frame. Without this, a
+                // bounded retry would stack its frame on top of a torn
+                // prefix — garbling this and every later record — or, after
+                // a post-write sync failure, append a second copy of an
+                // already-persisted frame and duplicate the tick.
+                self.rollback = match self.rollback {
+                    Rollback::Known(end) if self.sink.truncate_to(end).is_ok() => {
+                        Rollback::Known(end)
+                    }
+                    _ => Rollback::Poisoned,
+                };
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible tail of [`WalWriter::append`]: everything that can
+    /// leave the sink in a state the caller must roll back.
+    fn write_frame(&mut self, frame: &[u8]) -> Result<(), StoreError> {
+        if let Some(f) = self
+            .faults
+            .as_ref()
+            .and_then(|s| s.check(FaultSite::WalAppend))
+        {
+            if let Some(n) = f.partial_bytes {
+                // Persist a prefix of the frame before failing: the torn
+                // tail a crashed write leaves behind.
+                let n = n.min(frame.len());
+                self.sink.write_all(&frame[..n])?;
+                self.sink.flush()?;
+            }
+            return Err(f.to_io_error().into());
+        }
+        self.sink.write_all(frame)?;
+        if let Some(s) = &self.faults {
+            s.check_io(FaultSite::WalSync)?;
+        }
         match self.durability {
             Durability::Buffered => self.sink.flush()?,
             Durability::Fsync => self.sink.sync()?,
@@ -367,6 +488,9 @@ impl<W: SyncWrite> WalWriter<W> {
     /// Forces everything written so far toward stable storage, regardless
     /// of the configured policy.
     pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(s) = &self.faults {
+            s.check_io(FaultSite::WalSync)?;
+        }
         self.sink.sync()
     }
 
@@ -388,6 +512,21 @@ impl WalWriter<File> {
     /// it is a torn tail and is truncated away before the first append. A
     /// `valid_len` of zero (fresh or torn-header file) rewrites the header.
     pub fn open(path: &Path, valid_len: u64, durability: Durability) -> Result<Self, StoreError> {
+        Self::open_with_faults(path, valid_len, durability, None)
+    }
+
+    /// [`WalWriter::open`] with an optional fault schedule consulted at
+    /// [`FaultSite::WalOpen`] (and attached to the writer for its
+    /// appends).
+    pub fn open_with_faults(
+        path: &Path,
+        valid_len: u64,
+        durability: Durability,
+        faults: Option<FaultSchedule>,
+    ) -> Result<Self, StoreError> {
+        if let Some(s) = &faults {
+            s.check_io(FaultSite::WalOpen)?;
+        }
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -397,17 +536,22 @@ impl WalWriter<File> {
         file.set_len(valid_len)?;
         file.seek(SeekFrom::Start(valid_len))?;
         let at_start = valid_len == 0;
-        let writer = WalWriter::from_sink(file, at_start, durability)?;
+        let mut writer = WalWriter::from_sink(file, at_start, durability)?;
         if at_start {
             writer.sink.sync_data()?;
             // A freshly created file is only durable once its directory
             // entry is: fsync the parent, as the snapshot writer does after
             // its rename, so a power loss cannot drop the whole log even
             // though every append was synced.
+            if let Some(s) = &faults {
+                s.check_io(FaultSite::DirSync)?;
+            }
             if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
                 File::open(dir)?.sync_all()?;
             }
         }
+        writer.faults = faults;
+        writer.rollback = Rollback::Known(valid_len.max(WAL_HEADER_LEN));
         Ok(writer)
     }
 
@@ -415,10 +559,28 @@ impl WalWriter<File> {
     /// has been durably written, so recovery never replays ticks the
     /// snapshot already contains.
     pub fn reset(&mut self) -> Result<(), StoreError> {
-        self.sink.set_len(WAL_HEADER_LEN)?;
-        self.sink.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
-        self.sink.sync_data()?;
-        Ok(())
+        if let Some(s) = &self.faults {
+            // Checked before any mutation, so a retry after an injected
+            // reset fault starts from an untouched sink.
+            s.check_io(FaultSite::WalReset)?;
+        }
+        let result = (|| -> io::Result<()> {
+            self.sink.set_len(WAL_HEADER_LEN)?;
+            self.sink.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
+            self.sink.sync_data()
+        })();
+        match result {
+            Ok(()) => {
+                self.rollback = Rollback::Known(WAL_HEADER_LEN);
+                Ok(())
+            }
+            Err(e) => {
+                // A real truncation failure mid-way leaves the length and
+                // cursor unknowable: poison rather than guess.
+                self.rollback = Rollback::Poisoned;
+                Err(e.into())
+            }
+        }
     }
 }
 
@@ -611,5 +773,86 @@ mod tests {
         assert!(replay.ticks.is_empty());
         assert_eq!(replay.valid_len, WAL_HEADER_LEN);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    use crate::fault::{FaultSchedule, FaultSite, InjectedFault};
+
+    #[test]
+    fn failed_append_rolls_back_so_retry_is_clean() {
+        let faults = FaultSchedule::new();
+        let mut w = WalWriter::from_sink(Vec::new(), true, Durability::Buffered)
+            .unwrap()
+            .with_faults(faults.clone());
+        let record = sample_record(0);
+
+        // A torn partial write: without rollback, the retried frame would
+        // land on top of the torn prefix and garble the whole tail.
+        faults.fail_next_at(FaultSite::WalAppend, InjectedFault::torn(5));
+        assert!(w.append(&record).is_err());
+        assert!(w.append(&record).is_ok(), "retry after rollback");
+
+        // A sync failure after the full frame was written: without
+        // rollback, the retry would persist a duplicate of the frame.
+        let next = sample_record(1);
+        faults.fail_next_at(FaultSite::WalSync, InjectedFault::transient());
+        assert!(w.append(&next).is_err());
+        assert!(w.append(&next).is_ok(), "retry after sync rollback");
+
+        let replay = decode_wal(&w.into_sink()).unwrap();
+        let ticks: Vec<u64> = replay.ticks.iter().map(|t| t.tick).collect();
+        assert_eq!(ticks, vec![0, 1], "exactly one copy of each record");
+        assert_eq!(replay.discarded_bytes, 0, "no torn bytes survive");
+    }
+
+    #[test]
+    fn file_backed_append_rollback_repairs_torn_prefix() {
+        let dir = std::env::temp_dir().join(format!("stb-wal-rollback-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.stb");
+        let faults = FaultSchedule::new();
+        let mut w =
+            WalWriter::open_with_faults(&path, 0, Durability::Buffered, Some(faults.clone()))
+                .unwrap();
+        faults.fail_next_at(FaultSite::WalAppend, InjectedFault::torn(7));
+        assert!(w.append(&sample_record(0)).is_err());
+        assert!(w.append(&sample_record(0)).is_ok());
+        drop(w);
+        let replay = read_wal(&path).unwrap();
+        let ticks: Vec<u64> = replay.ticks.iter().map(|t| t.tick).collect();
+        assert_eq!(ticks, vec![0]);
+        assert_eq!(replay.discarded_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A sink whose rollback always fails: the writer must poison itself
+    /// and fail fast instead of appending onto an unknowable tail.
+    #[derive(Debug, Default)]
+    struct NoRewind(Vec<u8>);
+
+    impl Write for NoRewind {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+    impl SyncWrite for NoRewind {}
+
+    #[test]
+    fn failed_rollback_poisons_the_writer() {
+        let faults = FaultSchedule::new();
+        let mut w = WalWriter::from_sink(NoRewind::default(), true, Durability::Buffered)
+            .unwrap()
+            .with_faults(faults.clone());
+        w.append(&sample_record(0)).unwrap();
+        faults.fail_next_at(FaultSite::WalAppend, InjectedFault::torn(3));
+        assert!(w.append(&sample_record(1)).is_err());
+        // The torn prefix could not be rewound: refuse to stack frames.
+        assert!(matches!(
+            w.append(&sample_record(1)),
+            Err(StoreError::WalClosed)
+        ));
     }
 }

@@ -18,8 +18,10 @@ use stburst::core::{
 use stburst::corpus::{Collection, CollectionBuilder, DocId, StreamId, TermId, Tokenizer};
 use stburst::geo::{GeoPoint, Mbr, Point2D, Rect};
 use stburst::ingest::{
-    replay_tsv, replay_tsv_durable, Durability, IngestConfig, IngestPipeline, MinerKind,
-    PatternDelta, PipelineMetrics, RecoveryReport, SearchHandle, StoreError, TickReceipt,
+    replay_tsv, replay_tsv_durable, Backpressure, Durability, DurabilityState, HealthReport,
+    IngestConfig, IngestError, IngestPipeline, MinerKind, PatternDelta, PipelineMetrics,
+    QuarantineReason, QuarantinedDoc, RecoveryReport, RetryPolicy, SearchHandle, StageOutcome,
+    StoreError, TickReceipt,
 };
 use stburst::search::{
     shard_of, threshold_topk, threshold_topk_with_stats, BurstinessAgg, BurstySearchEngine,
@@ -280,6 +282,12 @@ fn ingest_surface() {
         n_shards: DEFAULT_SHARDS,
         durability: Durability::Buffered,
         checkpoint_every_ticks: 0,
+        retry: RetryPolicy::default(),
+        max_buffered_ticks: 64,
+        max_staged_docs: 0,
+        backpressure: Backpressure::Block,
+        max_terms_per_doc: 0,
+        max_quarantined_docs: 1024,
     });
     let stream = pipeline.add_stream("Athens", GeoPoint::new(38.0, 23.7));
     let term = pipeline.intern("storm");
@@ -293,10 +301,28 @@ fn ingest_surface() {
             PatternDelta::Regional { .. } | PatternDelta::Combinatorial { .. } => {}
         }
     }
+    let _: DurabilityState = receipt.durability;
     let metrics: PipelineMetrics = pipeline.metrics();
     let _: (usize, u64) = (metrics.ticks_committed, metrics.docs_ingested);
 
+    // Overload protection and poison-document quarantine.
+    let _: Result<StageOutcome, IngestError> =
+        pipeline.try_stage_document(stream, HashMap::from([(term, 1)]));
+    match pipeline.try_stage_document(StreamId(999), HashMap::from([(term, 1)])) {
+        Ok(StageOutcome::Quarantined(QuarantineReason::UnknownStream)) => {}
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+    let quarantined: Vec<&QuarantinedDoc> = pipeline.quarantine_log().collect();
+    assert_eq!(quarantined.len(), 1);
+    let health: HealthReport = pipeline.health();
+    let _: (DurabilityState, usize, u64) = (
+        health.durability,
+        health.staged_docs,
+        health.quarantined_total,
+    );
+
     let handle: SearchHandle = pipeline.search_handle();
+    let _: HealthReport = handle.health();
     let _: Result<QueryResponse, QueryError> =
         handle.query(&Query::terms([term]).time_window(0..=3));
     let _: Vec<Result<QueryResponse, QueryError>> = handle.query_many(&[Query::terms([term])]);
@@ -373,10 +399,10 @@ fn serving_tier_surface() {
 #[test]
 fn store_surface() {
     use stburst::store::{
-        crc32, decode_wal, read_wal, Dec, DocRecord, Enc, FaultFile, FaultKind, PendingState,
-        SnapshotState, Store, StreamRecord, TermRecord, TickRecord, WalReplay, WalWriter,
-        SNAPSHOT_FILE, SNAPSHOT_MAGIC, SNAPSHOT_VERSION, WAL_FILE, WAL_HEADER_LEN, WAL_MAGIC,
-        WAL_VERSION,
+        crc32, decode_wal, read_wal, Dec, DocRecord, Enc, FaultFile, FaultKind, FaultSchedule,
+        FaultSite, InjectedFault, PendingState, RecordingSleeper, SnapshotState, Store,
+        StreamRecord, TermRecord, TickRecord, WalReplay, WalWriter, SNAPSHOT_FILE, SNAPSHOT_MAGIC,
+        SNAPSHOT_VERSION, WAL_FILE, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION,
     };
 
     let dir = std::env::temp_dir().join(format!("stb-api-surface-{}", std::process::id()));
@@ -405,6 +431,9 @@ fn store_surface() {
     let term = pipeline.intern("storm");
     pipeline.stage_document(stream, HashMap::from([(term, 5)]));
     pipeline.commit_tick();
+    let _: DurabilityState = pipeline.durability_state();
+    let _: DurabilityState = pipeline.try_recover_durability();
+    #[allow(deprecated)]
     let _: Option<&StoreError> = pipeline.wal_error();
     let _: SnapshotState = pipeline.export_snapshot_state();
     let _: u64 = pipeline.checkpoint().unwrap();
@@ -470,6 +499,30 @@ fn store_surface() {
     let _: FaultFile = FaultFile::new(FaultKind::ShortWrite, 8);
     let torn = stburst::store::crash_artifact(&bytes, FaultKind::Torn, 2, 4);
     assert_eq!(torn.len(), bytes.len());
+
+    // Retry policy: deterministic backoff schedule with injectable sleep.
+    let policy = RetryPolicy::default();
+    let _: Vec<std::time::Duration> = policy.delays().collect();
+    let _: std::time::Duration = policy.max_total_backoff();
+    let mut sleeper = RecordingSleeper::default();
+    let (result, retries) = policy.run_with(&mut sleeper, || Ok::<_, StoreError>(1));
+    assert_eq!((result.unwrap(), retries), (1, 0));
+    let _: RetryPolicy = RetryPolicy::none();
+    let _: RetryPolicy = RetryPolicy::immediate(2);
+
+    // Live fault schedules: scripted and stochastic store-error injection.
+    let faults = FaultSchedule::new();
+    faults.fail_next(InjectedFault::transient());
+    faults.fail_next_at(FaultSite::WalAppend, InjectedFault::torn(3));
+    faults.succeed_next();
+    faults.storm(7, 4, 250);
+    assert!(faults.is_armed());
+    faults.heal();
+    assert!(!faults.is_armed());
+    let _: (u64, u64) = (faults.ops(), faults.injected());
+    let _: InjectedFault = InjectedFault::permanent();
+    let faulted = Store::open_with_faults(&dir, faults.clone()).unwrap();
+    assert!(faulted.faults().is_some());
 
     let _ = std::fs::remove_dir_all(&dir);
 }
