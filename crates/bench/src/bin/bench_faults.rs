@@ -30,6 +30,7 @@ use stb_core::STLocalConfig;
 use stb_corpus::{StreamId, TermId};
 use stb_geo::GeoPoint;
 use stb_ingest::{DurabilityState, IngestConfig, IngestPipeline, MinerKind, RetryPolicy};
+use stb_obs::LatencyHistogram;
 use stb_search::{Query, SearchResult};
 use stb_store::{FaultSchedule, Store};
 use std::collections::HashMap;
@@ -140,15 +141,19 @@ fn drive(pipeline: &mut IngestPipeline, w: &Workload) -> Vec<f64> {
     latencies
 }
 
-/// Nearest-rank percentile (q in [0, 1]) over a latency sample.
-fn percentile(samples: &[f64], q: f64) -> f64 {
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
-    if sorted.is_empty() {
-        return 0.0;
+/// (p50, p99) via the serving tier's log-linear `LatencyHistogram`
+/// (`stb-obs`), so the bench reports the same quantile semantics a
+/// production scrape would (<= 1/32 relative bucket error).
+fn quantiles(samples: &[f64]) -> (f64, f64) {
+    let hist = LatencyHistogram::new();
+    for &ms in samples {
+        hist.record((ms * 1e6).max(0.0) as u64);
     }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    let snap = hist.snapshot();
+    (
+        snap.quantile(0.50) as f64 / 1e6,
+        snap.quantile(0.99) as f64 / 1e6,
+    )
 }
 
 fn pipeline_results(p: &IngestPipeline, queries: &[Vec<TermId>]) -> Vec<Vec<SearchResult>> {
@@ -218,8 +223,9 @@ fn main() {
             p.durability_state().is_durable(),
             "clean arm must stay durable"
         );
-        base_p50 = base_p50.min(percentile(&lat, 0.50));
-        base_p99 = base_p99.min(percentile(&lat, 0.99));
+        let (p50, p99) = quantiles(&lat);
+        base_p50 = base_p50.min(p50);
+        base_p99 = base_p99.min(p99);
         expect_results = Some(pipeline_results(&p, &w.queries));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -247,8 +253,9 @@ fn main() {
             DurabilityState::NonDurable,
             "a transient-only storm must never fail-stop"
         );
-        storm_p50 = storm_p50.min(percentile(&lat, 0.50));
-        storm_p99 = storm_p99.min(percentile(&lat, 0.99));
+        let (p50, p99) = quantiles(&lat);
+        storm_p50 = storm_p50.min(p50);
+        storm_p99 = storm_p99.min(p99);
         injected = faults.injected();
         degraded_commits = lat.len().saturating_sub(p.health().wal_appends as usize);
 

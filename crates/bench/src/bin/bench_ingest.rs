@@ -24,6 +24,7 @@ use stb_core::{STLocal, STLocalConfig};
 use stb_corpus::{CollectionBuilder, StreamId, TermId};
 use stb_geo::GeoPoint;
 use stb_ingest::{IngestConfig, IngestPipeline, MinerKind};
+use stb_obs::LatencyHistogram;
 use stb_search::{BurstySearchEngine, EngineConfig, Query, SearchResult};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -105,26 +106,25 @@ fn stream_geo(i: usize, n: usize) -> GeoPoint {
     }
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
-}
-
 struct Summary {
     p50: f64,
     p99: f64,
     mean: f64,
 }
 
-fn summarize(mut samples: Vec<f64>) -> Summary {
+/// Quantiles via the same log-linear histogram the serving tier exports
+/// (`stb_obs::LatencyHistogram`), so the bench's p50/p99 agree with what a
+/// production scrape would report (<= 1/32 relative bucket error).
+fn summarize(samples: &[f64]) -> Summary {
     let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
-    samples.sort_by(f64::total_cmp);
+    let hist = LatencyHistogram::new();
+    for &ms in samples {
+        hist.record((ms * 1e6).max(0.0) as u64);
+    }
+    let snap = hist.snapshot();
     Summary {
-        p50: percentile(&samples, 0.50),
-        p99: percentile(&samples, 0.99),
+        p50: snap.quantile(0.50) as f64 / 1e6,
+        p99: snap.quantile(0.99) as f64 / 1e6,
         mean,
     }
 }
@@ -308,8 +308,8 @@ fn main() {
 
     // Incremental arm.
     let incr = run_incremental(&w);
-    let commit = summarize(incr.commit_ms.clone());
-    let query = summarize(incr.query_ms.clone());
+    let commit = summarize(&incr.commit_ms);
+    let query = summarize(&incr.query_ms);
     let total_commit_ms: f64 = incr.commit_ms.iter().sum();
     let docs_per_sec = incr.docs_total as f64 / (total_commit_ms / 1000.0);
 
@@ -330,7 +330,7 @@ fn main() {
         }
         t += stride;
     }
-    let full = summarize(full_ms.clone());
+    let full = summarize(&full_ms);
 
     // The two arms must agree exactly at the final tick.
     assert_identical(&full_final.expect("final rebuild"), &incr.final_results);

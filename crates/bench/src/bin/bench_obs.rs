@@ -1,0 +1,316 @@
+//! Observability-overhead harness: what instrumenting the query hot path
+//! costs, gated.
+//!
+//! Two identical ingest pipelines serve the same query mix over the same
+//! committed corpus:
+//!
+//! * **off** — no [`PipelineObs`] attached. The read path pays one atomic
+//!   load and an untaken branch per query (the `OnceLock` attachment
+//!   check) — this is the "compiled-out" arm.
+//! * **on** — a full [`PipelineObs`] attached: every query records into
+//!   the shared registry's counters and latency histogram, trace sampling
+//!   and the slow-query log armed at their defaults.
+//!
+//! The arms are measured in interleaved rounds (on/off order alternating,
+//! so thermal or scheduler drift hits both equally) and compared
+//! best-of-rounds: the minimum per-round p99 is each arm's noise floor.
+//! CI runs quick mode and enforces the tentpole overhead budget —
+//! instrumented p99 within 10% of un-instrumented (plus a small absolute
+//! epsilon, since sub-microsecond reads quantize coarsely).
+//!
+//! Latencies are measured with the registry's own log-linear
+//! [`LatencyHistogram`], and both arms' p50/p90/p99/p999 land in
+//! `BENCH_obs.json`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use stb_bench::{ExperimentCtx, TableWriter};
+use stb_core::STLocalConfig;
+use stb_corpus::{StreamId, TermId};
+use stb_geo::GeoPoint;
+use stb_ingest::{
+    IngestConfig, IngestPipeline, MinerKind, PipelineObs, PipelineObsConfig, SearchHandle,
+};
+use stb_obs::{HistogramSnapshot, LatencyHistogram};
+use stb_search::{EngineConfig, Query};
+use std::collections::HashMap;
+
+use std::time::Instant;
+
+/// One tick's documents: (stream, term bag).
+type TickDocs = Vec<(StreamId, HashMap<TermId, u32>)>;
+
+struct Workload {
+    n_streams: usize,
+    timeline: usize,
+    vocab: usize,
+    ticks: Vec<TickDocs>,
+    queries: Vec<Query>,
+    /// Interleaved measurement rounds per arm.
+    rounds: usize,
+    /// Query-mix repetitions per round.
+    reps_per_round: usize,
+}
+
+fn build_workload(ctx: &ExperimentCtx) -> Workload {
+    let (n_streams, timeline, vocab, docs_per_tick, rounds, reps) = if ctx.full {
+        (24, 60, 300, 20, 9, 400)
+    } else {
+        (12, 30, 120, 10, 7, 150)
+    };
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let mut ticks = Vec::with_capacity(timeline);
+    for t in 0..timeline {
+        let hot = TermId((t % 4) as u32);
+        let mut docs: TickDocs = Vec::with_capacity(docs_per_tick);
+        for _ in 0..docs_per_tick {
+            let stream = StreamId(rng.gen_range(0..n_streams as u32));
+            let mut counts = HashMap::new();
+            for _ in 0..2 {
+                let term = TermId(rng.gen_range(4..vocab as u32));
+                *counts.entry(term).or_insert(0) += rng.gen_range(1..4u32);
+            }
+            if stream.index() < n_streams / 2 {
+                *counts.entry(hot).or_insert(0) += rng.gen_range(8..20u32);
+            }
+            docs.push((stream, counts));
+        }
+        ticks.push(docs);
+    }
+    // A mix of cache-hit repeats, multi-term gathers, and a filtered
+    // path — the same shapes the serving harness uses. Each rep appends a
+    // rotating time-windowed probe (built in `round`) that keeps missing
+    // the result cache, so the measured tail is real posting-scan work.
+    let queries = vec![
+        Query::terms([TermId(0)]).top_k(10),
+        Query::terms([TermId(1), TermId(2)]).top_k(10),
+        Query::terms([TermId(3)]).top_k(5),
+        Query::terms([TermId(0), TermId(2)])
+            .top_k(10)
+            .time_window(0..=timeline),
+    ];
+    Workload {
+        n_streams,
+        timeline,
+        vocab,
+        ticks,
+        queries,
+        rounds,
+        reps_per_round: reps,
+    }
+}
+
+fn stream_geo(i: usize, n: usize) -> GeoPoint {
+    if i < n / 2 {
+        GeoPoint::new(i as f64 * 0.3, i as f64 * 0.2)
+    } else {
+        GeoPoint::new(60.0 + i as f64 * 0.3, 60.0)
+    }
+}
+
+/// Builds a pipeline, commits the whole workload, and returns it with its
+/// serving handle. Both arms call this with identical inputs, so the two
+/// engines answer bit-identically; only the instrumentation differs.
+fn build_arm(w: &Workload) -> (IngestPipeline, SearchHandle) {
+    let mut pipeline = IngestPipeline::new(IngestConfig {
+        timeline_capacity: w.timeline,
+        miner: MinerKind::STLocal(STLocalConfig::default()),
+        engine: EngineConfig::default(),
+        // Small on purpose: the rotating windowed probe cycles through
+        // more distinct keys than this, so it keeps doing cold work.
+        cache_capacity: 64,
+        ..IngestConfig::default()
+    });
+    for s in 0..w.n_streams {
+        pipeline.add_stream(&format!("s{s}"), stream_geo(s, w.n_streams));
+    }
+    for i in 0..w.vocab {
+        pipeline.intern(&format!("term{i}"));
+    }
+    for tick in &w.ticks {
+        for (stream, counts) in tick {
+            pipeline.stage_document(*stream, counts.clone());
+        }
+        pipeline.commit_tick();
+    }
+    let handle = pipeline.search_handle();
+    (pipeline, handle)
+}
+
+/// One measurement round: the query mix `reps` times, each query timed
+/// individually into a fresh histogram; returns the round's snapshot.
+///
+/// `uniq` is a per-arm sequence counter: every rep issues one additional
+/// time-windowed probe whose window is derived from it, cycling through
+/// more distinct canonical keys than the result cache holds. Both arms
+/// advance their own counter through the identical sequence, so they do
+/// the identical cold work — which is what puts the measured p99 on the
+/// posting-scan path rather than on sub-microsecond cached lookups.
+fn round(handle: &SearchHandle, w: &Workload, uniq: &mut usize) -> HistogramSnapshot {
+    let hist = LatencyHistogram::new();
+    let span = (w.timeline / 2).max(1);
+    for _ in 0..w.reps_per_round {
+        for query in &w.queries {
+            let start = Instant::now();
+            let response = handle.query(query);
+            hist.record_duration(start.elapsed());
+            assert!(response.is_ok(), "bench queries must succeed");
+        }
+        let lo = *uniq % span;
+        let hi = span + (*uniq / span) % span;
+        let first = (*uniq % 4) as u32;
+        let probe = Query::terms([TermId(first), TermId((first + 1) % 4), TermId(4)])
+            .top_k(10)
+            .time_window(lo..=hi);
+        *uniq += 1;
+        let start = Instant::now();
+        let response = handle.query(&probe);
+        hist.record_duration(start.elapsed());
+        assert!(response.is_ok(), "bench probes must succeed");
+    }
+    hist.snapshot()
+}
+
+/// Keeps the round whose p99 is lowest: each arm's measured noise floor.
+fn keep_best(best: &mut Option<HistogramSnapshot>, candidate: HistogramSnapshot) {
+    let better = match best {
+        Some(b) => candidate.quantile(0.99) < b.quantile(0.99),
+        None => true,
+    };
+    if better {
+        *best = Some(candidate);
+    }
+}
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn main() {
+    let ctx = ExperimentCtx::from_args();
+    let w = build_workload(&ctx);
+    println!(
+        "observability-overhead harness (mode: {}, seed {}): {} streams, {} ticks, \
+         vocab {}, {} rounds x {} reps x {} queries per arm",
+        if ctx.full { "full" } else { "quick" },
+        ctx.seed,
+        w.n_streams,
+        w.timeline,
+        w.vocab,
+        w.rounds,
+        w.reps_per_round,
+        w.queries.len(),
+    );
+
+    // The un-instrumented arm: obs never attached, so queries pay only the
+    // OnceLock load + branch.
+    let (_off_pipeline, off_handle) = build_arm(&w);
+
+    // The instrumented arm: full registry, histogram, trace sampling, and
+    // slow-query log armed.
+    let (mut on_pipeline, on_handle) = build_arm(&w);
+    let obs = PipelineObs::new(&PipelineObsConfig::default());
+    on_pipeline.attach_obs(&obs);
+
+    // Per-arm probe sequence counters: both arms walk the identical
+    // sequence, warmup included.
+    let mut uniq_off = 0usize;
+    let mut uniq_on = 0usize;
+
+    // Warmup (discarded): fault in caches and branch predictors for both.
+    round(&off_handle, &w, &mut uniq_off);
+    round(&on_handle, &w, &mut uniq_on);
+
+    let mut best_off: Option<HistogramSnapshot> = None;
+    let mut best_on: Option<HistogramSnapshot> = None;
+    for r in 0..w.rounds {
+        // Alternate the order so drift (thermal, scheduler) cancels.
+        if r % 2 == 0 {
+            keep_best(&mut best_off, round(&off_handle, &w, &mut uniq_off));
+            keep_best(&mut best_on, round(&on_handle, &w, &mut uniq_on));
+        } else {
+            keep_best(&mut best_on, round(&on_handle, &w, &mut uniq_on));
+            keep_best(&mut best_off, round(&off_handle, &w, &mut uniq_off));
+        }
+    }
+    let off = best_off.expect("off arm measured");
+    let on = best_on.expect("on arm measured");
+
+    // The instrumented arm must actually have instrumented: the registry's
+    // own histogram saw every query the `on` rounds issued.
+    let snap = obs.snapshot();
+    let recorded = snap
+        .histogram("search_query_ns")
+        .map(HistogramSnapshot::count)
+        .unwrap_or(0);
+    assert!(
+        recorded >= on.count(),
+        "registry histogram must see every instrumented query \
+         ({recorded} recorded < {} measured)",
+        on.count()
+    );
+
+    let p99_off = off.quantile(0.99);
+    let p99_on = on.quantile(0.99);
+    // The tentpole budget: instrumented p99 within 10% of compiled-out,
+    // plus a small absolute epsilon because sub-microsecond cache hits
+    // quantize coarsely (one histogram bucket can exceed 10%).
+    const EPSILON_NS: u64 = 2_000;
+    let bound = p99_off + p99_off / 10 + EPSILON_NS;
+    let overhead_pct = (p99_on as f64 / p99_off.max(1) as f64 - 1.0) * 100.0;
+
+    let mut table = TableWriter::new("query latency: obs attached vs not (us)");
+    table.header(["arm", "p50", "p90", "p99", "p999"]);
+    for (label, s) in [("obs off", &off), ("obs on", &on)] {
+        table.row([
+            label.to_string(),
+            format!("{:.2}", us(s.quantile(0.50))),
+            format!("{:.2}", us(s.quantile(0.90))),
+            format!("{:.2}", us(s.quantile(0.99))),
+            format!("{:.2}", us(s.quantile(0.999))),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "instrumentation overhead at p99: {overhead_pct:+.1}% \
+         (gate: on <= off * 1.10 + {EPSILON_NS} ns); registry recorded {recorded} queries"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"obs_overhead\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \
+         \"workload\": {{\"streams\": {}, \"ticks\": {}, \"vocab\": {}, \
+         \"queries_per_arm\": {}}},\n  \
+         \"off_us\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3}}},\n  \
+         \"on_us\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3}}},\n  \
+         \"p99_overhead_pct\": {:.2},\n  \"gate\": \"p99_on <= p99_off * 1.10 + {} ns\",\n  \
+         \"registry_queries_recorded\": {}\n}}\n",
+        if ctx.full { "full" } else { "quick" },
+        ctx.seed,
+        w.n_streams,
+        w.timeline,
+        w.vocab,
+        on.count(),
+        us(off.quantile(0.50)),
+        us(off.quantile(0.90)),
+        us(off.quantile(0.99)),
+        us(off.quantile(0.999)),
+        us(on.quantile(0.50)),
+        us(on.quantile(0.90)),
+        us(on.quantile(0.99)),
+        us(on.quantile(0.999)),
+        overhead_pct,
+        EPSILON_NS,
+        recorded,
+    );
+    let path = "BENCH_obs.json";
+    std::fs::write(path, &json).expect("write BENCH_obs.json");
+    println!("wrote {path}");
+
+    assert!(
+        p99_on <= bound,
+        "instrumented query p99 must stay within 10% of the un-instrumented \
+         path ({} ns > {} ns bound)",
+        p99_on,
+        bound
+    );
+}

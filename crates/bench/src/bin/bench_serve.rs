@@ -41,6 +41,7 @@ use stb_bench::{measure_ms, ExperimentCtx, TableWriter};
 use stb_corpus::{Collection, StreamId, TermId};
 use stb_geo::{GeoPoint, Rect};
 use stb_ingest::{IngestConfig, IngestPipeline, MinerKind, PatternDelta, TickReceipt};
+use stb_obs::{HistogramSnapshot, LatencyHistogram};
 use stb_search::{BurstySearchEngine, EngineConfig, Query, Relevance, ShardedEngine};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -190,10 +191,10 @@ fn mine_receipts(w: &Workload, plan: &[TickDocs]) -> (Arc<Collection>, Vec<Repla
     (initial, ticks)
 }
 
-fn p99_us(samples: &mut [f64]) -> f64 {
-    assert!(!samples.is_empty(), "latency phase recorded no samples");
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    samples[(samples.len() - 1) * 99 / 100]
+/// A histogram quantile in microseconds (recorded in nanoseconds).
+fn quantile_us(h: &HistogramSnapshot, q: f64) -> f64 {
+    assert!(h.count() > 0, "latency phase recorded no samples");
+    h.quantile(q) as f64 / 1000.0
 }
 
 /// Applies one replayed tick to a plain engine: snapshot swap, per-term
@@ -279,13 +280,16 @@ fn rwlock_arm(
 }
 
 /// The sharded lock-free serving tier. Returns (aggregate queries/s under
-/// ingest, ingest wall ms, idle p99 us, under-ingest p99 us).
+/// ingest, ingest wall ms, idle latency histogram, under-ingest latency
+/// histogram). Each reader records into its own `stb-obs` log-linear
+/// latency histogram (nanoseconds); the per-reader snapshots are merged —
+/// the same mergeable-readout path the serving tier exports.
 fn sharded_arm(
     w: &Workload,
     initial: &Arc<Collection>,
     populate: &[ReplayTick],
     live: &[ReplayTick],
-) -> (f64, f64, f64, f64) {
+) -> (f64, f64, HistogramSnapshot, HistogramSnapshot) {
     let mut engine = ShardedEngine::new(Arc::clone(initial), w.engine, w.n_shards, 1024);
     engine.finalize_with_threads(1);
     engine.publish();
@@ -295,32 +299,33 @@ fn sharded_arm(
     let front = engine.front();
 
     // Idle phase: tail latency with no ingest running.
-    let mut idle = std::thread::scope(|scope| {
+    let idle = std::thread::scope(|scope| {
         let readers: Vec<_> = (0..w.n_readers)
             .map(|r| {
                 let front = Arc::clone(&front);
                 let queries = &w.queries;
                 scope.spawn(move || {
-                    let mut lat = Vec::with_capacity(w.idle_samples);
+                    let lat = LatencyHistogram::new();
                     for i in 0..w.idle_samples {
                         let q = &queries[(i + r) % queries.len()];
                         let start = Instant::now();
                         let _ = front.query(q);
-                        lat.push(start.elapsed().as_secs_f64() * 1e6);
+                        lat.record_duration(start.elapsed());
                     }
-                    lat
+                    lat.snapshot()
                 })
             })
             .collect();
-        readers
-            .into_iter()
-            .flat_map(|r| r.join().expect("idle reader"))
-            .collect::<Vec<f64>>()
+        let mut merged = HistogramSnapshot::empty();
+        for r in readers {
+            merged.merge(&r.join().expect("idle reader"));
+        }
+        merged
     });
 
     // Live phase: N readers hammer the front while the writer publishes.
     let done = AtomicBool::new(false);
-    let (served, mut under, ingest_ms) = std::thread::scope(|scope| {
+    let (served, under, ingest_ms) = std::thread::scope(|scope| {
         let readers: Vec<_> = (0..w.n_readers)
             .map(|r| {
                 let front = Arc::clone(&front);
@@ -328,18 +333,18 @@ fn sharded_arm(
                 let done_ref = &done;
                 scope.spawn(move || {
                     let mut served = 0u64;
-                    let mut lat = Vec::new();
+                    let lat = LatencyHistogram::new();
                     let mut i = r;
                     loop {
                         let finished = done_ref.load(Ordering::Relaxed);
                         let q = &queries[i % queries.len()];
                         let start = Instant::now();
                         let _ = front.query(q);
-                        lat.push(start.elapsed().as_secs_f64() * 1e6);
+                        lat.record_duration(start.elapsed());
                         served += 1;
                         i += 1;
                         if finished {
-                            return (served, lat);
+                            return (served, lat.snapshot());
                         }
                     }
                 })
@@ -352,16 +357,16 @@ fn sharded_arm(
         });
         done.store(true, Ordering::Relaxed);
         let mut served = 0u64;
-        let mut under = Vec::new();
+        let mut under = HistogramSnapshot::empty();
         for reader in readers {
             let (s, lat) = reader.join().expect("sharded reader");
             served += s;
-            under.extend(lat);
+            under.merge(&lat);
         }
         (served, under, ingest_ms)
     });
     let qps = served as f64 / (ingest_ms / 1000.0);
-    (qps, ingest_ms, p99_us(&mut idle), p99_us(&mut under))
+    (qps, ingest_ms, idle, under)
 }
 
 fn main() {
@@ -386,10 +391,23 @@ fn main() {
     let live = &ticks[w.populate_ticks..];
 
     let (rwlock_qps, rwlock_ingest_ms) = rwlock_arm(&w, &initial, populate, live);
-    let (sharded_qps, sharded_ingest_ms, idle_p99, ingest_p99) =
-        sharded_arm(&w, &initial, populate, live);
+    let (sharded_qps, sharded_ingest_ms, idle, under) = sharded_arm(&w, &initial, populate, live);
     let speedup = sharded_qps / rwlock_qps.max(1e-9);
+    let (idle_p50, idle_p99) = (quantile_us(&idle, 0.50), quantile_us(&idle, 0.99));
+    let (ingest_p50, ingest_p99) = (quantile_us(&under, 0.50), quantile_us(&under, 0.99));
     let p99_ratio = ingest_p99 / idle_p99.max(1e-9);
+
+    // The >= 8x throughput gate needs real reader parallelism (full mode,
+    // multi-core); when it cannot arm, say so explicitly — a sub-1x
+    // "speedup" on a single hardware thread is scheduler fairness, not a
+    // regression — and record the verdict in the JSON for the harness.
+    let gate = if !ctx.full {
+        "skipped (quick)"
+    } else if cores <= 1 {
+        "skipped (1 core)"
+    } else {
+        "enforced"
+    };
 
     let mut table = TableWriter::new("serving under concurrent ingest");
     table.header(["arm", "readers", "queries/s", "ingest ms"]);
@@ -407,9 +425,21 @@ fn main() {
     ]);
     println!("{}", table.render());
     println!(
-        "sharded read p99: idle {idle_p99:.0} us, under ingest {ingest_p99:.0} us \
-         ({p99_ratio:.2}x)"
+        "sharded read latency (histogram): idle p50 {idle_p50:.0} / p99 {idle_p99:.0} us, \
+         under ingest p50 {ingest_p50:.0} / p99 {ingest_p99:.0} us ({p99_ratio:.2}x)"
     );
+    match gate {
+        "skipped (quick)" => println!(
+            "throughput gate: skipped (quick mode) — the >= 8x gate only arms with \
+             --full's 32 readers (measured {speedup:.1}x)"
+        ),
+        "skipped (1 core)" => println!(
+            "throughput gate: skipped (1 core) — on a single hardware thread the fair \
+             scheduler caps both arms near their CPU share, so the measured {speedup:.1}x \
+             says nothing about the lock-free tier"
+        ),
+        _ => println!("throughput gate: enforced (>= 8x, measured {speedup:.1}x)"),
+    }
 
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"mode\": \"{}\",\n  \"seed\": {},\n  \
@@ -417,7 +447,9 @@ fn main() {
          \"workload\": {{\"streams\": {}, \"populate_ticks\": {}, \"live_ticks\": {}, \
          \"vocab\": {}}},\n  \
          \"rwlock_qps\": {:.1},\n  \"sharded_qps\": {:.1},\n  \"speedup\": {:.2},\n  \
-         \"idle_p99_us\": {:.1},\n  \"ingest_p99_us\": {:.1},\n  \"p99_ratio\": {:.3}\n}}\n",
+         \"gate\": \"{}\",\n  \
+         \"idle_p50_us\": {:.1},\n  \"idle_p99_us\": {:.1},\n  \
+         \"ingest_p50_us\": {:.1},\n  \"ingest_p99_us\": {:.1},\n  \"p99_ratio\": {:.3}\n}}\n",
         if ctx.full { "full" } else { "quick" },
         ctx.seed,
         cores,
@@ -430,7 +462,10 @@ fn main() {
         rwlock_qps,
         sharded_qps,
         speedup,
+        gate,
+        idle_p50,
         idle_p99,
+        ingest_p50,
         ingest_p99,
         p99_ratio,
     );
@@ -453,19 +488,13 @@ fn main() {
     // scheduler hands the baseline's reader its timeslice whether or not
     // the write lock would have blocked it, capping the ratio near the
     // reader CPU-share ratio (~2x) for both designs — so it only arms on
-    // multi-core hosts.
-    if ctx.full {
-        if cores > 1 {
-            assert!(
-                speedup >= 8.0,
-                "sharded serving must yield >= 8x the RwLock baseline's aggregate \
-                 throughput (got {speedup:.1}x)"
-            );
-        } else {
-            println!(
-                "note: single hardware thread — the >= 8x throughput gate needs \
-                 reader parallelism and is skipped (measured {speedup:.1}x)"
-            );
-        }
+    // multi-core hosts (the `gate` field above says which case this run
+    // was).
+    if gate == "enforced" {
+        assert!(
+            speedup >= 8.0,
+            "sharded serving must yield >= 8x the RwLock baseline's aggregate \
+             throughput (got {speedup:.1}x)"
+        );
     }
 }

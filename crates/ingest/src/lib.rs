@@ -41,10 +41,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod live;
+pub mod obs;
 pub mod pipeline;
 pub mod replay;
 
 pub use live::LiveCollection;
+pub use obs::{PipelineObs, PipelineObsConfig};
 pub use pipeline::{
     Backpressure, DurabilityState, HealthReport, IngestConfig, IngestError, IngestPipeline,
     MinerKind, PatternDelta, PipelineMetrics, QuarantineReason, QuarantinedDoc, RecoveryReport,
@@ -55,6 +57,12 @@ pub use replay::{replay_tsv, replay_tsv_durable, ReplayError};
 // Re-exported so live-serving callers can build and inspect typed queries
 // without depending on `stb-search` directly.
 pub use stb_search::{Query, QueryError, QueryResponse, QueryStats, UnknownWords};
+
+// Re-exported so instrumented callers can configure serving-side
+// observability and read the exposition surface without depending on
+// `stb-search`/`stb-obs` directly.
+pub use stb_obs::{ObsRegistry, ObsSnapshot};
+pub use stb_search::{SearchObs, SearchObsConfig};
 
 // Re-exported so durable-pipeline callers can configure and match on the
 // persistence layer without depending on `stb-store` directly.

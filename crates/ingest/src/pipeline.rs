@@ -48,11 +48,14 @@
 //! late-registered streams converge to the same state as the batch run.
 
 use crate::live::LiveCollection;
+use crate::obs::PipelineObs;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
+
+use stb_obs::{Counter, SpanClock, SpanKind};
 
 use stb_core::{
     CombinatorialPattern, RegionalPattern, STComb, STCombConfig, STLocal, STLocalConfig,
@@ -343,6 +346,19 @@ pub struct HealthReport {
     pub quarantined: usize,
     /// Documents ever quarantined (keeps counting past the log bound).
     pub quarantined_total: u64,
+    /// Ticks committed over the pipeline's lifetime (the "age" of the
+    /// serving state in ticks).
+    pub uptime_ticks: usize,
+    /// Wall-clock milliseconds of the most recent commit.
+    pub last_commit_ms: f64,
+    /// Wall-clock seconds the pipeline has spent in its *current*
+    /// durability state (resets on every state transition).
+    pub durability_state_secs: f64,
+    /// The 99th-percentile commit latency in milliseconds, from the
+    /// `ingest_commit_ns` histogram. `None` until
+    /// [`IngestPipeline::attach_obs`] wires an observability registry (or
+    /// while no commit has been recorded yet).
+    pub commit_p99_ms: Option<f64>,
     /// The most recent store failure, while durability is not intact.
     pub last_error: Option<String>,
 }
@@ -629,8 +645,8 @@ pub struct IngestPipeline {
     /// every term's `STComb` view is stale.
     comb_all_dirty: bool,
     ticks_committed: usize,
-    docs_ingested: u64,
-    catchup_replays: u64,
+    docs_ingested: Arc<Counter>,
+    catchup_replays: Arc<Counter>,
     last_commit_ms: f64,
     total_commit_ms: f64,
     /// The durable store, if this pipeline was opened with
@@ -660,14 +676,27 @@ pub struct IngestPipeline {
     health_cell: Arc<Mutex<HealthReport>>,
     /// Quarantined poison documents, oldest first (bounded).
     quarantine: VecDeque<QuarantinedDoc>,
-    quarantined_total: u64,
-    docs_shed: u64,
-    wal_appends: u64,
-    wal_failures: u64,
-    store_retries: u64,
-    recoveries: u64,
-    checkpoints: u64,
-    checkpoint_failures: u64,
+    /// Lifetime counters. `Arc<Counter>` cells rather than plain integers
+    /// so [`IngestPipeline::attach_obs`] can adopt the *same* cells into
+    /// the observability registry — [`PipelineMetrics`] and
+    /// [`HealthReport`] stay exact views of what the registry exports.
+    quarantined_total: Arc<Counter>,
+    docs_shed: Arc<Counter>,
+    wal_appends: Arc<Counter>,
+    wal_failures: Arc<Counter>,
+    store_retries: Arc<Counter>,
+    recoveries: Arc<Counter>,
+    checkpoints: Arc<Counter>,
+    checkpoint_failures: Arc<Counter>,
+    /// Attached observability bundle, if any (commit traces, durability
+    /// gauges; search/WAL instrumentation is attached to the engine front
+    /// and log writers directly).
+    obs: Option<Arc<PipelineObs>>,
+    /// When the current durability state was entered (drives the
+    /// time-in-state gauge and [`HealthReport::durability_state_secs`]).
+    dur_state_since: Instant,
+    /// The state the last health publish saw, for transition detection.
+    dur_state_seen: DurState,
     ticks_since_checkpoint: usize,
     checkpoint_every_ticks: usize,
     durability: Durability,
@@ -705,8 +734,8 @@ impl IngestPipeline {
             structural_dirty: false,
             comb_all_dirty: false,
             ticks_committed: 0,
-            docs_ingested: 0,
-            catchup_replays: 0,
+            docs_ingested: Arc::new(Counter::new()),
+            catchup_replays: Arc::new(Counter::new()),
             last_commit_ms: 0.0,
             total_commit_ms: 0.0,
             store: None,
@@ -719,14 +748,17 @@ impl IngestPipeline {
             last_error: None,
             health_cell: Arc::new(Mutex::new(HealthReport::default())),
             quarantine: VecDeque::new(),
-            quarantined_total: 0,
-            docs_shed: 0,
-            wal_appends: 0,
-            wal_failures: 0,
-            store_retries: 0,
-            recoveries: 0,
-            checkpoints: 0,
-            checkpoint_failures: 0,
+            quarantined_total: Arc::new(Counter::new()),
+            docs_shed: Arc::new(Counter::new()),
+            wal_appends: Arc::new(Counter::new()),
+            wal_failures: Arc::new(Counter::new()),
+            store_retries: Arc::new(Counter::new()),
+            recoveries: Arc::new(Counter::new()),
+            checkpoints: Arc::new(Counter::new()),
+            checkpoint_failures: Arc::new(Counter::new()),
+            obs: None,
+            dur_state_since: Instant::now(),
+            dur_state_seen: DurState::Durable,
             ticks_since_checkpoint: 0,
             checkpoint_every_ticks: config.checkpoint_every_ticks,
             durability: config.durability,
@@ -827,7 +859,7 @@ impl IngestPipeline {
         pipeline.logged_terms = pipeline.live.dict().len();
         let policy = pipeline.retry.clone();
         let (writer, retries) = policy.run(|| store.wal_writer(replay.valid_len, durability));
-        pipeline.store_retries += u64::from(retries);
+        pipeline.store_retries.add(u64::from(retries));
         pipeline.wal = Some(writer?);
         pipeline.store = Some(store);
         pipeline.publish_health();
@@ -896,8 +928,64 @@ impl IngestPipeline {
             // replay must reproduce the original run bit-identically.
             self.stage_raw(d.stream, d.counts.iter().copied().collect());
         }
-        self.apply_commit();
+        self.apply_commit(None);
         Ok(())
+    }
+
+    /// Attaches an observability bundle to the whole pipeline:
+    ///
+    /// * the serving-side [`stb_search::SearchObs`] goes to the engine's
+    ///   lock-free front (query latency, TA-scan stats, trace sampling,
+    ///   slow-query log);
+    /// * the [`stb_store::WalObs`] cells go to the open log writer — and
+    ///   to every writer the pipeline re-opens later (degraded-mode
+    ///   recovery, checkpoint rotation);
+    /// * the pipeline's own lifetime counter cells are *adopted* into the
+    ///   registry (`ingest_docs_total`, `ingest_wal_appends_total`, …) —
+    ///   the same cells [`PipelineMetrics`] and [`HealthReport`] read, so
+    ///   the registry's exposition reconciles exactly with them;
+    /// * commits start feeding the `ingest_commit_ns` histogram and the
+    ///   sampled commit trace ring, and health publishes refresh the
+    ///   durability and queue-depth gauges.
+    ///
+    /// Attaching is idempotent in effect (re-adopting the same cells is a
+    /// no-op) and expected to happen once, right after construction. An
+    /// un-attached pipeline records nothing beyond its own counters.
+    pub fn attach_obs(&mut self, obs: &Arc<PipelineObs>) {
+        self.engine.attach_obs(Arc::clone(obs.search()));
+        let registry = obs.registry();
+        registry.adopt_counter("ingest_docs_total", Arc::clone(&self.docs_ingested));
+        registry.adopt_counter("ingest_docs_shed_total", Arc::clone(&self.docs_shed));
+        registry.adopt_counter(
+            "ingest_quarantined_total",
+            Arc::clone(&self.quarantined_total),
+        );
+        registry.adopt_counter(
+            "ingest_catchup_replays_total",
+            Arc::clone(&self.catchup_replays),
+        );
+        registry.adopt_counter("ingest_wal_appends_total", Arc::clone(&self.wal_appends));
+        registry.adopt_counter("ingest_wal_failures_total", Arc::clone(&self.wal_failures));
+        registry.adopt_counter(
+            "ingest_store_retries_total",
+            Arc::clone(&self.store_retries),
+        );
+        registry.adopt_counter("ingest_recoveries_total", Arc::clone(&self.recoveries));
+        registry.adopt_counter("ingest_checkpoints_total", Arc::clone(&self.checkpoints));
+        registry.adopt_counter(
+            "ingest_checkpoint_failures_total",
+            Arc::clone(&self.checkpoint_failures),
+        );
+        if let Some(w) = self.wal.as_mut() {
+            w.set_obs(obs.wal().clone());
+        }
+        self.obs = Some(Arc::clone(obs));
+        self.publish_health();
+    }
+
+    /// The attached observability bundle, if any.
+    pub fn obs(&self) -> Option<&Arc<PipelineObs>> {
+        self.obs.as_ref()
     }
 
     /// A cloneable query handle over the engine's lock-free serving front.
@@ -996,7 +1084,7 @@ impl IngestPipeline {
                 counts: sorted,
                 reason,
             });
-            self.quarantined_total += 1;
+            self.quarantined_total.inc();
             self.publish_health();
             return Ok(StageOutcome::Quarantined(reason));
         }
@@ -1009,7 +1097,7 @@ impl IngestPipeline {
                     return Ok(StageOutcome::StagedAfterCommit(Box::new(receipt)));
                 }
                 Backpressure::Shed => {
-                    self.docs_shed += 1;
+                    self.docs_shed.inc();
                     self.publish_health();
                     return Ok(StageOutcome::Shed);
                 }
@@ -1084,10 +1172,17 @@ impl IngestPipeline {
     /// recovery on subsequent commits — and the receipt's `durability`
     /// field reports where it landed.
     pub fn commit_tick(&mut self) -> TickReceipt {
+        let mut clock = self.obs.is_some().then(SpanClock::start);
         if self.store.is_some() {
             self.log_open_tick();
+            if let Some(c) = clock.as_mut() {
+                c.lap(SpanKind::WalAppend);
+            }
         }
-        let mut receipt = self.apply_commit();
+        let mut receipt = self.apply_commit(clock.as_mut());
+        if let (Some(obs), Some(clock)) = (&self.obs, clock) {
+            obs.record_commit(clock);
+        }
         self.ticks_since_checkpoint += 1;
         if self.store.is_some()
             && self.checkpoint_every_ticks > 0
@@ -1140,15 +1235,15 @@ impl IngestPipeline {
             // rather than a mislabelled corruption error.
             None => (Err(StoreError::WalClosed), 0),
         };
-        self.store_retries += u64::from(retries);
+        self.store_retries.add(u64::from(retries));
         match result {
-            Ok(()) => self.wal_appends += 1,
+            Ok(()) => self.wal_appends.inc(),
             Err(e) => {
                 // Drop the writer: nothing may be stacked on top of a
                 // possibly half-written frame; recovery re-opens at the
                 // verified valid length.
                 self.wal = None;
-                self.wal_failures += 1;
+                self.wal_failures.inc();
                 self.consecutive_failures += 1;
                 let transient = e.is_transient();
                 self.last_error = Some(e);
@@ -1186,6 +1281,7 @@ impl IngestPipeline {
         let durability = self.durability;
         let policy = self.retry.clone();
         let unlogged = &self.unlogged;
+        let wal_obs = self.obs.as_ref().map(|o| o.wal().clone());
         let (result, retries) = policy.run(|| {
             let replay = store.read_wal()?;
             // A failed append (or a sync failure after a complete frame
@@ -1195,6 +1291,9 @@ impl IngestPipeline {
             // skipped, never duplicated.
             let disk_next = replay.ticks.last().map_or(0, |t| t.tick + 1);
             let mut writer = store.wal_writer(replay.valid_len, durability)?;
+            if let Some(obs) = &wal_obs {
+                writer.set_obs(obs.clone());
+            }
             let mut appended = 0u64;
             for rec in unlogged.iter().filter(|rec| rec.tick >= disk_next) {
                 writer.append(rec)?;
@@ -1202,19 +1301,19 @@ impl IngestPipeline {
             }
             Ok((writer, appended))
         });
-        self.store_retries += u64::from(retries);
+        self.store_retries.add(u64::from(retries));
         match result {
             Ok((writer, appended)) => {
                 self.wal = Some(writer);
-                self.wal_appends += appended;
+                self.wal_appends.add(appended);
                 self.unlogged.clear();
                 self.dur_state = DurState::Durable;
                 self.consecutive_failures = 0;
                 self.last_error = None;
-                self.recoveries += 1;
+                self.recoveries.inc();
             }
             Err(e) => {
-                self.wal_failures += 1;
+                self.wal_failures.inc();
                 self.consecutive_failures += 1;
                 let transient = e.is_transient();
                 self.last_error = Some(e);
@@ -1282,8 +1381,10 @@ impl IngestPipeline {
     }
 
     /// Applies the open tick to the in-memory state (the whole of
-    /// [`IngestPipeline::commit_tick`] minus durability).
-    fn apply_commit(&mut self) -> TickReceipt {
+    /// [`IngestPipeline::commit_tick`] minus durability). The optional
+    /// clock records the commit's stage breakdown (apply → mine →
+    /// publish) for the sampled commit trace ring.
+    fn apply_commit(&mut self, mut clock: Option<&mut SpanClock>) -> TickReceipt {
         let start = Instant::now();
         let tick = self.ticks_committed;
 
@@ -1301,9 +1402,12 @@ impl IngestPipeline {
         for doc in staged {
             new_docs.push(self.live.push_document(doc.stream, tick, doc.counts));
         }
-        self.docs_ingested += new_docs.len() as u64;
+        self.docs_ingested.add(new_docs.len() as u64);
         self.ticks_committed += 1;
         let snapshot = self.live.snapshot();
+        if let Some(c) = clock.as_deref_mut() {
+            c.lap(SpanKind::ApplyDocs);
+        }
 
         let mut dirty = std::mem::take(&mut self.dirty);
         if self.structural_dirty {
@@ -1334,7 +1438,7 @@ impl IngestPipeline {
                             miner.step(&snapshot.term_snapshot(term, ts).frequencies);
                         }
                         slot.insert(miner);
-                        self.catchup_replays += 1;
+                        self.catchup_replays.inc();
                     }
                 }
                 let mut tracked: Vec<TermId> = self.local_miners.keys().copied().collect();
@@ -1363,6 +1467,10 @@ impl IngestPipeline {
             }
         }
 
+        if let Some(c) = clock.as_deref_mut() {
+            c.lap(SpanKind::Mine);
+        }
+
         // Publish: swap the snapshot in, apply the per-term deltas, and
         // push one new serving generation to the lock-free front. Readers
         // never block on this — they keep serving the previous generation
@@ -1387,6 +1495,9 @@ impl IngestPipeline {
             }
         }
         self.engine.publish();
+        if let Some(c) = clock {
+            c.lap(SpanKind::Publish);
+        }
 
         let commit_ms = start.elapsed().as_secs_f64() * 1000.0;
         self.last_commit_ms = commit_ms;
@@ -1427,14 +1538,14 @@ impl IngestPipeline {
         let state = self.export_snapshot_state();
         let policy = self.retry.clone();
         let (result, retries) = policy.run(|| store.write_snapshot(&state));
-        self.store_retries += u64::from(retries);
+        self.store_retries.add(u64::from(retries));
         let bytes = match result {
             Ok(b) => b,
             Err(e) => {
                 // The snapshot never replaced the previous one (atomic
                 // rename), and the WAL is untouched: durability state is
                 // unchanged, only the compaction failed.
-                self.checkpoint_failures += 1;
+                self.checkpoint_failures.inc();
                 self.publish_health();
                 return Err(e);
             }
@@ -1446,9 +1557,9 @@ impl IngestPipeline {
             // Data is safe (the snapshot landed) but the log could not be
             // rotated: degrade so subsequent commits retry the re-open.
             self.wal = None;
-            self.wal_failures += 1;
+            self.wal_failures.inc();
             self.consecutive_failures += 1;
-            self.checkpoint_failures += 1;
+            self.checkpoint_failures.inc();
             let transient = e.is_transient();
             self.dur_state = if transient {
                 DurState::Degraded
@@ -1460,14 +1571,14 @@ impl IngestPipeline {
             return Err(e);
         }
         if self.dur_state != DurState::Durable {
-            self.recoveries += 1;
+            self.recoveries.inc();
         }
         self.dur_state = DurState::Durable;
         self.consecutive_failures = 0;
         self.last_error = None;
         self.logged_streams = self.live.n_streams();
         self.logged_terms = self.live.dict().len();
-        self.checkpoints += 1;
+        self.checkpoints.inc();
         self.ticks_since_checkpoint = 0;
         self.publish_health();
         Ok(bytes)
@@ -1480,18 +1591,22 @@ impl IngestPipeline {
         match self.wal.as_mut() {
             Some(w) => {
                 let (result, retries) = policy.run(|| w.reset());
-                self.store_retries += u64::from(retries);
+                self.store_retries.add(u64::from(retries));
                 result
             }
             None => {
                 let durability = self.durability;
+                let wal_obs = self.obs.as_ref().map(|o| o.wal().clone());
                 let (result, retries) = policy.run(|| {
                     let replay = store.read_wal()?;
                     let mut w = store.wal_writer(replay.valid_len, durability)?;
+                    if let Some(obs) = &wal_obs {
+                        w.set_obs(obs.clone());
+                    }
                     w.reset()?;
                     Ok(w)
                 });
-                self.store_retries += u64::from(retries);
+                self.store_retries.add(u64::from(retries));
                 self.wal = Some(result?);
                 Ok(())
             }
@@ -1562,15 +1677,22 @@ impl IngestPipeline {
             buffered_ticks: self.unlogged.len(),
             max_buffered_ticks: self.max_buffered_ticks,
             dirty_terms: self.dirty.len(),
-            wal_appends: self.wal_appends,
-            wal_failures: self.wal_failures,
-            store_retries: self.store_retries,
-            recoveries: self.recoveries,
-            checkpoints: self.checkpoints,
-            checkpoint_failures: self.checkpoint_failures,
-            docs_shed: self.docs_shed,
+            wal_appends: self.wal_appends.get(),
+            wal_failures: self.wal_failures.get(),
+            store_retries: self.store_retries.get(),
+            recoveries: self.recoveries.get(),
+            checkpoints: self.checkpoints.get(),
+            checkpoint_failures: self.checkpoint_failures.get(),
+            docs_shed: self.docs_shed.get(),
             quarantined: self.quarantine.len(),
-            quarantined_total: self.quarantined_total,
+            quarantined_total: self.quarantined_total.get(),
+            uptime_ticks: self.ticks_committed,
+            last_commit_ms: self.last_commit_ms,
+            durability_state_secs: self.dur_state_since.elapsed().as_secs_f64(),
+            commit_p99_ms: self.obs.as_ref().and_then(|obs| {
+                let snap = obs.commit_latency().snapshot();
+                (snap.count() > 0).then(|| snap.p99() as f64 / 1e6)
+            }),
             last_error: match self.dur_state {
                 DurState::Durable => None,
                 _ => self.last_error.as_ref().map(StoreError::to_string),
@@ -1578,13 +1700,48 @@ impl IngestPipeline {
         }
     }
 
-    /// Refreshes the health cell shared with every [`SearchHandle`].
-    fn publish_health(&self) {
+    /// Refreshes the health cell shared with every [`SearchHandle`], and
+    /// — when observability is attached — the durability and queue-depth
+    /// gauges. Durability-state *transitions* are detected here: every
+    /// public mutating operation ends in a publish, so the time-in-state
+    /// clock restarts within the same call that changed the state.
+    fn publish_health(&mut self) {
+        let transitioned = self.dur_state_seen != self.dur_state;
+        if transitioned {
+            self.dur_state_seen = self.dur_state;
+            self.dur_state_since = Instant::now();
+        }
+        if let Some(obs) = &self.obs {
+            obs.set_durability(
+                self.durability_code(),
+                self.dur_state_since.elapsed().as_secs_f64(),
+                transitioned,
+            );
+            obs.set_queue_depths(
+                self.staged.len(),
+                self.dirty.len(),
+                self.unlogged.len(),
+                self.quarantine.len(),
+            );
+        }
         let report = self.health();
         *self
             .health_cell
             .lock()
             .unwrap_or_else(PoisonError::into_inner) = report;
+    }
+
+    /// The `ingest_durability_state` gauge encoding: 0 ephemeral,
+    /// 1 durable, 2 degraded, 3 non-durable.
+    fn durability_code(&self) -> f64 {
+        if self.store.is_none() {
+            return 0.0;
+        }
+        match self.dur_state {
+            DurState::Durable => 1.0,
+            DurState::Degraded => 2.0,
+            DurState::NonDurable => 3.0,
+        }
     }
 
     /// Whether this pipeline has a durable store attached.
@@ -1623,17 +1780,17 @@ impl IngestPipeline {
     pub fn metrics(&self) -> PipelineMetrics {
         PipelineMetrics {
             ticks_committed: self.ticks_committed,
-            docs_ingested: self.docs_ingested,
+            docs_ingested: self.docs_ingested.get(),
             staged_docs: self.staged.len(),
             dirty_terms: self.dirty.len(),
             tracked_miners: self.local_miners.len(),
-            catchup_replays: self.catchup_replays,
+            catchup_replays: self.catchup_replays.get(),
             last_commit_ms: self.last_commit_ms,
             total_commit_ms: self.total_commit_ms,
             generation: self.live.generation(),
             durable: self.store.is_some(),
-            wal_appends: self.wal_appends,
-            checkpoints: self.checkpoints,
+            wal_appends: self.wal_appends.get(),
+            checkpoints: self.checkpoints.get(),
             engine: self.engine.metrics(),
         }
     }
@@ -1953,6 +2110,86 @@ mod tests {
             );
         });
         assert!(!run(&handle, &[t], 5).is_empty());
+    }
+
+    #[test]
+    fn attached_obs_records_commits_and_reconciles_with_metrics() {
+        use crate::obs::{PipelineObs, PipelineObsConfig};
+
+        let (mut pipeline, streams) =
+            two_cluster_pipeline(MinerKind::STLocal(STLocalConfig::default()), 12);
+        let obs = PipelineObs::new(&PipelineObsConfig::default());
+        pipeline.attach_obs(&obs);
+        let t = pipeline.intern("t");
+        let handle = pipeline.search_handle();
+        for tick in 0..12 {
+            burst_tick(&mut pipeline, &streams, t, (4..7).contains(&tick));
+            let _ = run(&handle, &[t], 5);
+        }
+
+        let snap = obs.snapshot();
+        assert_eq!(snap.counter("ingest_commits_total"), Some(12));
+        assert_eq!(
+            snap.histogram("ingest_commit_ns").map(|h| h.count()),
+            Some(12)
+        );
+        // Adopted cells reconcile exactly with the legacy metrics view.
+        let m = pipeline.metrics();
+        assert_eq!(snap.counter("ingest_docs_total"), Some(m.docs_ingested));
+        assert_eq!(
+            snap.counter("search_queries_total"),
+            Some(m.engine.cache_hits + m.engine.cache_misses)
+        );
+        // Ephemeral pipeline: durability gauge reads 0, no WAL activity.
+        assert_eq!(snap.gauge("ingest_durability_state"), Some(0.0));
+        assert_eq!(snap.counter("wal_appends_total"), Some(0));
+
+        // Commit traces carry the apply → mine → publish breakdown (no
+        // WalAppend span without a store).
+        let traces = obs.commit_traces();
+        assert!(!traces.is_empty());
+        let kinds: Vec<_> = traces[0].spans.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SpanKind::ApplyDocs, SpanKind::Mine, SpanKind::Publish]
+        );
+
+        // The health report consumes the histogram snapshot.
+        let h = pipeline.health();
+        assert_eq!(h.uptime_ticks, 12);
+        assert!(h.commit_p99_ms.is_some());
+        assert!(h.durability_state_secs >= 0.0);
+
+        // The exposition endpoints render the live cells.
+        let prom = obs.registry().render_prometheus();
+        assert!(prom.contains("ingest_commits_total 12"));
+        assert!(prom.contains("ingest_commit_ns{quantile=\"0.99\"}"));
+    }
+
+    #[test]
+    fn durable_obs_sees_wal_appends_and_durability_gauge() {
+        use crate::obs::{PipelineObs, PipelineObsConfig};
+
+        let dir = temp_dir("obs");
+        let (mut pipeline, _) =
+            IngestPipeline::durable(durable_config(8), &dir).expect("open durable pipeline");
+        let obs = PipelineObs::new(&PipelineObsConfig::default());
+        pipeline.attach_obs(&obs);
+        let s = pipeline.add_stream("A", GeoPoint::new(0.0, 0.0));
+        let t = pipeline.intern("t");
+        for _ in 0..4 {
+            commit_one(&mut pipeline, s, t);
+        }
+        let snap = obs.snapshot();
+        assert_eq!(snap.gauge("ingest_durability_state"), Some(1.0));
+        assert_eq!(snap.counter("ingest_wal_appends_total"), Some(4));
+        // The writer-level histogram sees the same four appends.
+        assert_eq!(snap.histogram("wal_append_ns").map(|h| h.count()), Some(4));
+        // Durable commits lead with the WalAppend span.
+        let traces = obs.commit_traces();
+        assert!(!traces.is_empty());
+        assert_eq!(traces[0].spans[0].kind, SpanKind::WalAppend);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Fresh per-test store directory under the system temp dir.

@@ -13,6 +13,11 @@
 //!    `EngineMetrics` cache counters equal the per-thread tallies of
 //!    `QueryStats::cache_hit`: no concurrent query is lost or
 //!    double-counted.
+//!
+//! The whole run executes with a [`PipelineObs`] attached, so the
+//! registry's `search_query_ns` histogram and query counters must also
+//! reconcile exactly with the per-thread tallies at quiesce — the
+//! lock-free recording path loses nothing under 8-way contention either.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -21,7 +26,9 @@ use std::sync::Mutex;
 use stb_core::STLocalConfig;
 use stb_corpus::TermId;
 use stb_geo::{GeoPoint, Rect};
-use stb_ingest::{IngestConfig, IngestPipeline, MinerKind, PatternDelta, Query};
+use stb_ingest::{
+    IngestConfig, IngestPipeline, MinerKind, PatternDelta, PipelineObs, PipelineObsConfig, Query,
+};
 use stb_search::{BurstySearchEngine, EngineConfig, SearchResult};
 
 const N_READERS: usize = 8;
@@ -75,6 +82,11 @@ fn readers_never_observe_torn_generations_and_counters_reconcile() {
     let mut reference = BurstySearchEngine::new(pipeline.collection(), engine_config);
     reference.set_cache_capacity(0);
     reference.finalize_with_threads(1);
+
+    // Full observability attached for the whole run: the stress doubles as
+    // the no-lost-observations proof for the registry's recording path.
+    let obs = PipelineObs::new(&PipelineObsConfig::default());
+    pipeline.attach_obs(&obs);
 
     let streams = [
         pipeline.add_stream("A", GeoPoint::new(0.0, 0.0)),
@@ -215,6 +227,40 @@ fn readers_never_observe_torn_generations_and_counters_reconcile() {
     assert!(
         bracketed > 0,
         "at least some queries must be generation-bracketed"
+    );
+
+    // The registry reconciles too: its histogram saw every query exactly
+    // once, and its adopted counter cells are the very cells the handle's
+    // metrics read, so hits/misses agree with the QueryStats tallies.
+    let snap = obs.snapshot();
+    let recorded = snap
+        .histogram("search_query_ns")
+        .map(|h| h.count())
+        .unwrap_or(0);
+    assert_eq!(
+        recorded,
+        hits + misses,
+        "search_query_ns must record every concurrent query exactly once"
+    );
+    assert_eq!(
+        snap.counter("search_queries_total"),
+        Some(hits + misses),
+        "search_queries_total must reconcile"
+    );
+    assert_eq!(
+        snap.counter("search_cache_hits"),
+        Some(hits),
+        "registry cache_hits must reconcile"
+    );
+    assert_eq!(
+        snap.counter("search_cache_misses"),
+        Some(misses),
+        "registry cache_misses must reconcile"
+    );
+    assert_eq!(
+        snap.counter("ingest_commits_total"),
+        Some(N_TICKS as u64),
+        "every commit recorded"
     );
 
     // Quiesced: the final generation still answers bit-identically.

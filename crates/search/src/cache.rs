@@ -14,9 +14,9 @@
 //! multiple threads.
 
 use crate::engine::{EngineConfig, SearchResult};
+use stb_obs::Counter;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use stb_corpus::TermId;
 use stb_geo::Rect;
@@ -81,6 +81,32 @@ impl QueryKey {
     fn involves(&self, term: TermId) -> bool {
         self.terms.binary_search(&term).is_ok()
     }
+
+    /// Stable single-line rendering of the canonical query identity for
+    /// the slow-query log, e.g. `terms=[3,17] k=10 window=2..=5`.
+    ///
+    /// Covers the fields an operator triages on — sorted terms, `k`, and
+    /// the spatiotemporal filters; the scoring configuration (also part of
+    /// the key's identity) is omitted for brevity.
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("terms=[");
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}", t.0);
+        }
+        let _ = write!(out, "] k={}", self.k);
+        if let Some((start, end)) = self.window {
+            let _ = write!(out, " window={start}..={end}");
+        }
+        if let Some(bits) = self.region {
+            let [min_x, min_y, max_x, max_y] = bits.map(f64::from_bits);
+            let _ = write!(out, " region=({min_x},{min_y})..({max_x},{max_y})");
+        }
+        out
+    }
 }
 
 #[derive(Debug)]
@@ -111,18 +137,30 @@ struct Inner {
 pub struct QueryCache {
     inner: Mutex<Inner>,
     capacity: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 impl QueryCache {
     /// Creates a cache holding at most `capacity` distinct queries.
     pub fn new(capacity: usize) -> Self {
+        Self::with_counters(capacity, Arc::new(Counter::new()), Arc::new(Counter::new()))
+    }
+
+    /// Creates a cache that counts hits and misses into the given shared
+    /// cells.
+    ///
+    /// The sharded serving tier passes the *same* two cells to every
+    /// per-shard cache, so the tier-wide totals are maintained by the hot
+    /// path itself — and an `ObsRegistry` that adopts the cells renders
+    /// them live, making `EngineMetrics` a thin view over the registry
+    /// rather than a separate tally.
+    pub fn with_counters(capacity: usize, hits: Arc<Counter>, misses: Arc<Counter>) -> Self {
         Self {
             inner: Mutex::new(Inner::default()),
             capacity,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits,
+            misses,
         }
     }
 
@@ -147,7 +185,7 @@ impl QueryCache {
     /// (e.g. documents) that `g` does not contain.
     pub fn get_at(&self, key: &QueryKey, generation: u64) -> Option<Vec<SearchResult>> {
         if self.capacity == 0 {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             return None;
         }
         let mut inner = self.inner.lock().unwrap();
@@ -156,11 +194,11 @@ impl QueryCache {
         match inner.map.get_mut(key) {
             Some(entry) if entry.generation <= generation => {
                 entry.last_used = clock;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(entry.results.clone())
             }
             _ => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -247,14 +285,17 @@ impl QueryCache {
         self.len() == 0
     }
 
-    /// Number of lookups answered from the cache since construction.
+    /// Number of lookups answered from the cache since construction (the
+    /// shared cell's total when constructed via
+    /// [`QueryCache::with_counters`]).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
-    /// Number of lookups that missed since construction.
+    /// Number of lookups that missed since construction (the shared
+    /// cell's total when constructed via [`QueryCache::with_counters`]).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 }
 

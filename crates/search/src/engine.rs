@@ -46,14 +46,16 @@ use crate::burstiness::{BurstinessAgg, NoPatternPolicy};
 use crate::cache::{QueryCache, QueryKey};
 use crate::error::QueryError;
 use crate::index::{InvertedIndex, Posting};
+use crate::obs::SearchObs;
 use crate::query::{
     DocExplanation, PatternMatch, Query, QueryResponse, QueryStats, QueryTerms, TermExplanation,
     UnknownWords,
 };
 use crate::relevance::Relevance;
 use crate::threshold::{threshold_topk_with_stats, ScoredDoc, TopkStats};
+use stb_obs::{SpanClock, SpanKind};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use stb_core::{parallel_map, PatternGeometry, PatternRecord, PatternSource};
@@ -300,6 +302,9 @@ pub struct BurstySearchEngine {
     last_finalize: Option<Duration>,
     /// Number of single-term posting-list rebuilds on the prebuilt index.
     term_rescore_count: u64,
+    /// Observability hooks, set once via
+    /// [`BurstySearchEngine::attach_obs`]; unset skips instrumentation.
+    obs: OnceLock<Arc<SearchObs>>,
 }
 
 /// A point-in-time snapshot of the engine's serving counters, for benchmark
@@ -359,7 +364,17 @@ impl BurstySearchEngine {
             finalize_count: 0,
             last_finalize: None,
             term_rescore_count: 0,
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches observability hooks: queries start recording latency,
+    /// sampled traces, and slow-query entries into the given
+    /// [`SearchObs`]. Attach once at wiring time; later calls are
+    /// ignored. (The sharded tier attaches to its `ServingFront`
+    /// instead; see `ServingFront::attach_obs`.)
+    pub fn attach_obs(&self, obs: Arc<SearchObs>) {
+        let _ = self.obs.set(obs);
     }
 
     /// The engine's configuration.
@@ -791,6 +806,13 @@ impl BurstySearchEngine {
     /// finalized engine) or scores the query terms' filtered posting lists
     /// on the fly. Either way [`QueryResponse::stats`] says which path ran.
     pub fn query(&self, query: &Query) -> Result<QueryResponse, QueryError> {
+        match self.obs.get() {
+            None => self.query_plain(query),
+            Some(obs) => self.query_observed(query, &Arc::clone(obs)),
+        }
+    }
+
+    fn query_plain(&self, query: &Query) -> Result<QueryResponse, QueryError> {
         let plan = self.plan(query)?;
         if plan.vacuous {
             return Ok(vacuous_response(&plan));
@@ -802,6 +824,48 @@ impl BurstySearchEngine {
         let (results, stats) = self.evaluate(&plan);
         self.cache.put(key, results.clone());
         Ok(self.respond(&plan, results, stats))
+    }
+
+    /// [`query_plain`](Self::query_plain) with span instrumentation: same
+    /// calls in the same order, plus `Instant` reads between stages and
+    /// lock-free metric recording at the end. The whole `evaluate` step is
+    /// timed as one [`SpanKind::TaScan`] span (this tier has no shard
+    /// gather to split out).
+    fn query_observed(
+        &self,
+        query: &Query,
+        obs: &Arc<SearchObs>,
+    ) -> Result<QueryResponse, QueryError> {
+        let mut clock = SpanClock::start();
+        let plan = match self.plan(query) {
+            Ok(plan) => plan,
+            Err(e) => {
+                obs.record_error();
+                return Err(e);
+            }
+        };
+        clock.lap(SpanKind::Plan);
+        if plan.vacuous {
+            let response = vacuous_response(&plan);
+            obs.record_query(clock, &plan_key(&plan), &response.stats);
+            return Ok(response);
+        }
+        let key = plan_key(&plan);
+        if let Some(hit) = self.cache.get(&key) {
+            clock.lap(SpanKind::CacheLookup);
+            let response = self.respond(&plan, hit, cache_hit_stats(&plan));
+            clock.lap(SpanKind::Respond);
+            obs.record_query(clock, &key, &response.stats);
+            return Ok(response);
+        }
+        clock.lap(SpanKind::CacheLookup);
+        let (results, stats) = self.evaluate(&plan);
+        clock.lap(SpanKind::TaScan);
+        self.cache.put(key.clone(), results.clone());
+        let response = self.respond(&plan, results, stats);
+        clock.lap(SpanKind::Respond);
+        obs.record_query(clock, &key, &response.stats);
+        Ok(response)
     }
 
     /// Executes a batch of typed queries, returning one response per query

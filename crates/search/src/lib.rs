@@ -57,6 +57,7 @@ pub mod engine;
 pub mod epoch;
 pub mod error;
 pub mod index;
+pub mod obs;
 pub mod query;
 pub mod relevance;
 pub mod shard;
@@ -71,6 +72,7 @@ pub use engine::{
 pub use epoch::EpochCell;
 pub use error::QueryError;
 pub use index::{InvertedIndex, Posting};
+pub use obs::{SearchObs, SearchObsConfig};
 pub use query::{
     DocExplanation, PatternMatch, Query, QueryResponse, QueryStats, TermExplanation, UnknownWords,
     DEFAULT_TOP_K,

@@ -45,11 +45,13 @@ use crate::engine::{
 use crate::epoch::EpochCell;
 use crate::error::QueryError;
 use crate::index::Posting;
+use crate::obs::SearchObs;
 use crate::query::{Query, QueryResponse, QueryStats};
 use crate::threshold::{threshold_topk_with_stats, PostingAccess};
+use stb_obs::{Counter, SpanClock, SpanKind};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use stb_core::{PatternGeometry, PatternSource};
 use stb_corpus::{Collection, DocId, TermId};
@@ -197,11 +199,19 @@ pub struct ServingFront {
     cell: EpochCell<ServingState>,
     /// One LRU result cache per shard, routed by the query's minimum term.
     caches: Vec<QueryCache>,
+    /// Tier-wide hit/miss cells shared by every shard cache, so the totals
+    /// are maintained lock-free by the hot path itself (and renderable
+    /// live by an adopting `ObsRegistry`).
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
     /// Generation whose results may be inserted into the caches; bumped by
     /// the writer *after* swapping the cell (see [`QueryCache::put_if`]).
     published: AtomicU64,
     /// The configured result-cache capacity, as reported by metrics.
     declared_capacity: usize,
+    /// Observability hooks, set once via [`ServingFront::attach_obs`];
+    /// unset means queries skip instrumentation entirely.
+    obs: OnceLock<Arc<SearchObs>>,
 }
 
 impl ServingFront {
@@ -211,12 +221,43 @@ impl ServingFront {
         } else {
             cache_capacity.div_ceil(n_shards).max(1)
         };
+        let cache_hits = Arc::new(Counter::new());
+        let cache_misses = Arc::new(Counter::new());
         Self {
             cell: EpochCell::new(initial),
-            caches: (0..n_shards).map(|_| QueryCache::new(per_shard)).collect(),
+            caches: (0..n_shards)
+                .map(|_| {
+                    QueryCache::with_counters(
+                        per_shard,
+                        Arc::clone(&cache_hits),
+                        Arc::clone(&cache_misses),
+                    )
+                })
+                .collect(),
+            cache_hits,
+            cache_misses,
             published: AtomicU64::new(0),
             declared_capacity: cache_capacity,
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Attaches observability hooks: query latencies, span traces, and the
+    /// slow-query log start recording, and the result cache's live
+    /// hit/miss cells are adopted into the obs registry (as
+    /// `search_cache_hits` / `search_cache_misses`).
+    ///
+    /// Attach once at wiring time; later calls are ignored. Un-attached
+    /// fronts pay one atomic load and a branch per query — the baseline
+    /// arm of the `bench_obs` overhead gate.
+    pub fn attach_obs(&self, obs: Arc<SearchObs>) {
+        obs.adopt_cache_counters(&self.cache_hits, &self.cache_misses);
+        let _ = self.obs.set(obs);
+    }
+
+    /// The attached observability hooks, if any.
+    pub fn obs(&self) -> Option<&Arc<SearchObs>> {
+        self.obs.get()
     }
 
     /// The generation of the currently published serving state.
@@ -257,8 +298,10 @@ impl ServingFront {
     }
 
     pub(crate) fn cache_counters(&self) -> (u64, u64, usize) {
-        let hits = self.caches.iter().map(QueryCache::hits).sum();
-        let misses = self.caches.iter().map(QueryCache::misses).sum();
+        // Hit/miss cells are shared across every shard cache (see
+        // `QueryCache::with_counters`), so the totals are single reads.
+        let hits = self.cache_hits.get();
+        let misses = self.cache_misses.get();
         let len = self.caches.iter().map(QueryCache::len).sum();
         (hits, misses, len)
     }
@@ -284,6 +327,17 @@ impl ServingFront {
     }
 
     fn query_on(&self, state: &ServingState, query: &Query) -> Result<QueryResponse, QueryError> {
+        match self.obs.get() {
+            None => self.query_on_plain(state, query),
+            Some(obs) => self.query_on_observed(state, query, obs),
+        }
+    }
+
+    fn query_on_plain(
+        &self,
+        state: &ServingState,
+        query: &Query,
+    ) -> Result<QueryResponse, QueryError> {
         let plan = plan_query(&state.collection, state.config, query)?;
         if plan.vacuous {
             return Ok(vacuous_response(&plan));
@@ -313,6 +367,96 @@ impl ServingFront {
             self.published.load(SeqCst) == generation
         });
         Ok(Self::respond(state, &plan, results, stats))
+    }
+
+    /// [`query_on_plain`](Self::query_on_plain) with span instrumentation.
+    ///
+    /// Identical control flow and float operations — the generation
+    /// gating, tagged insert, and evaluation all call the same shared
+    /// functions, so responses stay bit-identical to the unsharded engine
+    /// (enforced by the serve-equivalence suite, which runs with obs
+    /// attached). The only additions are `Instant` reads between stages
+    /// and lock-free metric recording at the end.
+    fn query_on_observed(
+        &self,
+        state: &ServingState,
+        query: &Query,
+        obs: &Arc<SearchObs>,
+    ) -> Result<QueryResponse, QueryError> {
+        let mut clock = SpanClock::start();
+        let plan = match plan_query(&state.collection, state.config, query) {
+            Ok(plan) => plan,
+            Err(e) => {
+                obs.record_error();
+                return Err(e);
+            }
+        };
+        clock.lap(SpanKind::Plan);
+        if plan.vacuous {
+            let response = vacuous_response(&plan);
+            obs.record_query(clock, &plan_key(&plan), &response.stats);
+            return Ok(response);
+        }
+        let key = plan_key(&plan);
+        let min_term = *plan
+            .terms
+            .iter()
+            .min()
+            .expect("non-vacuous plans have terms");
+        let cache = &self.caches[shard_of(min_term, self.caches.len())];
+        if let Some(hit) = cache.get_at(&key, state.generation) {
+            clock.lap(SpanKind::CacheLookup);
+            let response = Self::respond(state, &plan, hit, cache_hit_stats(&plan));
+            clock.lap(SpanKind::Respond);
+            obs.record_query(clock, &key, &response.stats);
+            return Ok(response);
+        }
+        clock.lap(SpanKind::CacheLookup);
+        let (results, stats) = Self::evaluate_spanned(state, &plan, &mut clock);
+        let generation = state.generation;
+        cache.put_tagged(key.clone(), results.clone(), generation, || {
+            self.published.load(SeqCst) == generation
+        });
+        let response = Self::respond(state, &plan, results, stats);
+        clock.lap(SpanKind::Respond);
+        obs.record_query(clock, &key, &response.stats);
+        Ok(response)
+    }
+
+    /// [`evaluate`](Self::evaluate) with a [`SpanKind::ShardGather`] /
+    /// [`SpanKind::TaScan`] split on the clock. Same calls in the same
+    /// order as the untimed version.
+    fn evaluate_spanned(
+        state: &ServingState,
+        plan: &QueryPlan,
+        clock: &mut SpanClock,
+    ) -> (Vec<SearchResult>, QueryStats) {
+        let direct = plan.filter.is_none() && plan.config == state.config && state.finalized;
+        if direct {
+            let gathered = Gathered::new(state, &plan.terms);
+            clock.lap(SpanKind::ShardGather);
+            let (results, ta) =
+                threshold_topk_with_stats(&gathered, &plan.terms, plan.k, plan.config.no_pattern);
+            clock.lap(SpanKind::TaScan);
+            (results, evaluated_stats(plan, ta, true))
+        } else {
+            let index = query_index(&plan.terms, |term| {
+                let shard = state.shard(term);
+                scored_postings(
+                    &state.collection,
+                    term,
+                    shard.term_docs.get(&term).map(|d| d.as_slice()),
+                    shard.patterns.get(&term).map(|p| p.as_slice()),
+                    plan.config,
+                    plan.filter,
+                )
+            });
+            clock.lap(SpanKind::ShardGather);
+            let (results, ta) =
+                threshold_topk_with_stats(&index, &plan.terms, plan.k, plan.config.no_pattern);
+            clock.lap(SpanKind::TaScan);
+            (results, evaluated_stats(plan, ta, false))
+        }
     }
 
     fn evaluate(state: &ServingState, plan: &QueryPlan) -> (Vec<SearchResult>, QueryStats) {
@@ -488,6 +632,12 @@ impl ShardedEngine {
     /// The shared lock-free read front.
     pub fn front(&self) -> Arc<ServingFront> {
         Arc::clone(&self.front)
+    }
+
+    /// Attaches observability hooks to the read front. See
+    /// [`ServingFront::attach_obs`].
+    pub fn attach_obs(&self, obs: Arc<SearchObs>) {
+        self.front.attach_obs(obs);
     }
 
     /// Read access to the write-side engine (its state trails the front by

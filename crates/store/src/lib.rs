@@ -54,5 +54,5 @@ pub use snapshot::{
 pub use store::{Store, SNAPSHOT_FILE, WAL_FILE};
 pub use wal::{
     decode_wal, read_wal, DocRecord, Durability, StreamRecord, SyncWrite, TermRecord, TickRecord,
-    WalReplay, WalWriter, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION,
+    WalObs, WalReplay, WalWriter, WAL_HEADER_LEN, WAL_MAGIC, WAL_VERSION,
 };

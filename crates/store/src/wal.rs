@@ -30,9 +30,12 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
 
 use stb_corpus::{StreamId, TermId};
 use stb_geo::{GeoPoint, Point2D};
+use stb_obs::{Counter, LatencyHistogram, ObsRegistry};
 
 use crate::codec::{crc32, Dec, Enc};
 use crate::error::StoreError;
@@ -363,6 +366,77 @@ enum Rollback {
     Poisoned,
 }
 
+/// Observability cells for one WAL writer: append/fsync latency
+/// histograms and counters for the rare recovery-path events
+/// (rollbacks after a failed append, resets after a snapshot).
+///
+/// The cells are shared `Arc`s registered in an
+/// [`ObsRegistry`], so several writers (or a
+/// writer recreated across re-opens) can feed the same series. Cloning
+/// is cheap and shares the underlying cells. Recording is a handful of
+/// relaxed atomic ops per append; an un-attached writer
+/// ([`WalWriter::set_obs`] never called) pays only an `Option` check.
+#[derive(Debug, Clone)]
+pub struct WalObs {
+    append_ns: Arc<LatencyHistogram>,
+    fsync_ns: Arc<LatencyHistogram>,
+    appends: Arc<Counter>,
+    append_errors: Arc<Counter>,
+    rollbacks: Arc<Counter>,
+    resets: Arc<Counter>,
+}
+
+impl WalObs {
+    /// Creates (or re-binds to) the WAL metric family in `registry`:
+    /// `wal_append_ns` / `wal_fsync_ns` histograms and
+    /// `wal_appends_total` / `wal_append_errors_total` /
+    /// `wal_rollbacks_total` / `wal_resets_total` counters.
+    pub fn register(registry: &ObsRegistry) -> Self {
+        WalObs {
+            append_ns: registry.histogram("wal_append_ns"),
+            fsync_ns: registry.histogram("wal_fsync_ns"),
+            appends: registry.counter("wal_appends_total"),
+            append_errors: registry.counter("wal_append_errors_total"),
+            rollbacks: registry.counter("wal_rollbacks_total"),
+            resets: registry.counter("wal_resets_total"),
+        }
+    }
+
+    /// End-to-end latency of successful [`WalWriter::append`] calls
+    /// (encode + write + durability step), in nanoseconds.
+    pub fn append_latency(&self) -> &LatencyHistogram {
+        &self.append_ns
+    }
+
+    /// Latency of the explicit durability step (`fdatasync` under
+    /// [`Durability::Fsync`], plus manual [`WalWriter::sync`] calls), in
+    /// nanoseconds.
+    pub fn fsync_latency(&self) -> &LatencyHistogram {
+        &self.fsync_ns
+    }
+
+    /// Successful appends recorded so far.
+    pub fn appends(&self) -> u64 {
+        self.appends.get()
+    }
+
+    /// Failed appends (each one triggered a rollback attempt).
+    pub fn append_errors(&self) -> u64 {
+        self.append_errors.get()
+    }
+
+    /// Successful rewinds to the last acknowledged frame after a failed
+    /// append. `append_errors - rollbacks` failures poisoned the writer.
+    pub fn rollbacks(&self) -> u64 {
+        self.rollbacks.get()
+    }
+
+    /// Successful post-snapshot truncations ([`WalWriter::reset`]).
+    pub fn resets(&self) -> u64 {
+        self.resets.get()
+    }
+}
+
 /// An append-only WAL writer over any [`SyncWrite`] sink.
 ///
 /// File-backed writers are obtained from
@@ -377,6 +451,7 @@ pub struct WalWriter<W: SyncWrite = File> {
     durability: Durability,
     faults: Option<FaultSchedule>,
     rollback: Rollback,
+    obs: Option<WalObs>,
 }
 
 impl<W: SyncWrite> WalWriter<W> {
@@ -397,6 +472,7 @@ impl<W: SyncWrite> WalWriter<W> {
             } else {
                 Rollback::Unsupported
             },
+            obs: None,
         })
     }
 
@@ -404,6 +480,19 @@ impl<W: SyncWrite> WalWriter<W> {
     /// reset consults it before touching the sink.
     pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches observability cells: appends and syncs feed the
+    /// latency histograms, and rollback/reset events the counters.
+    /// Without this the writer records nothing.
+    pub fn set_obs(&mut self, obs: WalObs) {
+        self.obs = Some(obs);
+    }
+
+    /// Builder-style [`WalWriter::set_obs`].
+    pub fn with_obs(mut self, obs: WalObs) -> Self {
+        self.set_obs(obs);
         self
     }
 
@@ -428,6 +517,7 @@ impl<W: SyncWrite> WalWriter<W> {
         if self.rollback == Rollback::Poisoned {
             return Err(StoreError::WalClosed);
         }
+        let started = self.obs.as_ref().map(|_| Instant::now());
         let payload = record.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -438,6 +528,10 @@ impl<W: SyncWrite> WalWriter<W> {
                 if let Rollback::Known(end) = &mut self.rollback {
                     *end += frame.len() as u64;
                 }
+                if let (Some(obs), Some(t)) = (&self.obs, started) {
+                    obs.appends.inc();
+                    obs.append_ns.record_duration(t.elapsed());
+                }
                 Ok(())
             }
             Err(e) => {
@@ -446,12 +540,22 @@ impl<W: SyncWrite> WalWriter<W> {
                 // prefix — garbling this and every later record — or, after
                 // a post-write sync failure, append a second copy of an
                 // already-persisted frame and duplicate the tick.
-                self.rollback = match self.rollback {
+                let rewound = match self.rollback {
                     Rollback::Known(end) if self.sink.truncate_to(end).is_ok() => {
-                        Rollback::Known(end)
+                        self.rollback = Rollback::Known(end);
+                        true
                     }
-                    _ => Rollback::Poisoned,
+                    _ => {
+                        self.rollback = Rollback::Poisoned;
+                        false
+                    }
                 };
+                if let Some(obs) = &self.obs {
+                    obs.append_errors.inc();
+                    if rewound {
+                        obs.rollbacks.inc();
+                    }
+                }
                 Err(e)
             }
         }
@@ -480,7 +584,13 @@ impl<W: SyncWrite> WalWriter<W> {
         }
         match self.durability {
             Durability::Buffered => self.sink.flush()?,
-            Durability::Fsync => self.sink.sync()?,
+            Durability::Fsync => {
+                let started = self.obs.as_ref().map(|_| Instant::now());
+                self.sink.sync()?;
+                if let (Some(obs), Some(t)) = (&self.obs, started) {
+                    obs.fsync_ns.record_duration(t.elapsed());
+                }
+            }
         }
         Ok(())
     }
@@ -491,7 +601,12 @@ impl<W: SyncWrite> WalWriter<W> {
         if let Some(s) = &self.faults {
             s.check_io(FaultSite::WalSync)?;
         }
-        self.sink.sync()
+        let started = self.obs.as_ref().map(|_| Instant::now());
+        self.sink.sync()?;
+        if let (Some(obs), Some(t)) = (&self.obs, started) {
+            obs.fsync_ns.record_duration(t.elapsed());
+        }
+        Ok(())
     }
 
     /// The configured durability policy.
@@ -572,6 +687,9 @@ impl WalWriter<File> {
         match result {
             Ok(()) => {
                 self.rollback = Rollback::Known(WAL_HEADER_LEN);
+                if let Some(obs) = &self.obs {
+                    obs.resets.inc();
+                }
                 Ok(())
             }
             Err(e) => {
@@ -661,6 +779,56 @@ mod tests {
         assert_eq!(replay.ticks, records);
         assert_eq!(replay.valid_len, bytes.len() as u64);
         assert_eq!(replay.discarded_bytes, 0);
+    }
+
+    #[test]
+    fn obs_records_appends_fsyncs_rollbacks_and_resets() {
+        let registry = ObsRegistry::new();
+        let obs = WalObs::register(&registry);
+        let faults = FaultSchedule::new();
+        let mut w = WalWriter::from_sink(Vec::new(), true, Durability::Fsync)
+            .unwrap()
+            .with_faults(faults.clone())
+            .with_obs(obs.clone());
+
+        w.append(&sample_record(0)).unwrap();
+        w.append(&sample_record(1)).unwrap();
+        w.sync().unwrap();
+        assert_eq!(obs.appends(), 2);
+        assert_eq!(obs.append_latency().count(), 2);
+        // Two per-append fsyncs (Durability::Fsync) plus the manual sync.
+        assert_eq!(obs.fsync_latency().count(), 3);
+
+        // A failed append is rolled back and counted, then a retry lands.
+        faults.fail_next_at(FaultSite::WalAppend, InjectedFault::transient());
+        assert!(w.append(&sample_record(2)).is_err());
+        w.append(&sample_record(2)).unwrap();
+        assert_eq!(obs.append_errors(), 1);
+        assert_eq!(obs.rollbacks(), 1);
+        assert_eq!(obs.appends(), 3);
+
+        // Registry sees the same cells under the wal_* names.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("wal_appends_total"), Some(3));
+        assert_eq!(snap.counter("wal_rollbacks_total"), Some(1));
+        assert_eq!(snap.histogram("wal_append_ns").map(|h| h.count()), Some(3));
+    }
+
+    #[test]
+    fn obs_counts_resets() {
+        let dir = std::env::temp_dir().join(format!("stb-wal-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.stb");
+        let registry = ObsRegistry::new();
+        let obs = WalObs::register(&registry);
+        let mut w = WalWriter::open(&path, 0, Durability::Buffered)
+            .unwrap()
+            .with_obs(obs.clone());
+        w.append(&sample_record(0)).unwrap();
+        w.reset().unwrap();
+        assert_eq!(obs.resets(), 1);
+        assert_eq!(obs.appends(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

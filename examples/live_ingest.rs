@@ -13,7 +13,9 @@
 
 use stburst::corpus::Tokenizer;
 use stburst::geo::GeoPoint;
-use stburst::ingest::{IngestConfig, IngestPipeline, Query, UnknownWords};
+use stburst::ingest::{
+    IngestConfig, IngestPipeline, PipelineObs, PipelineObsConfig, Query, UnknownWords,
+};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::time::Duration;
@@ -26,6 +28,10 @@ fn main() {
         timeline_capacity: TIMELINE,
         ..Default::default()
     });
+    // Full observability: every commit and query below lands in this
+    // registry's counters and histograms, snapshotted every few ticks.
+    let obs = PipelineObs::new(&PipelineObsConfig::default());
+    pipeline.attach_obs(&obs);
     let cities = [
         ("San Jose (CR)", 9.9, -84.1),
         ("Alajuela (CR)", 10.0, -84.2),
@@ -109,6 +115,24 @@ fn main() {
                 receipt.commit_ms
             );
             tick_tx.send(receipt.tick).expect("watcher alive");
+            // Periodic metrics snapshot: the same numbers a Prometheus
+            // scrape of `obs.registry().render_prometheus()` would see.
+            if (day + 1) % 10 == 0 {
+                let snap = obs.snapshot();
+                let commit = snap
+                    .histogram("ingest_commit_ns")
+                    .expect("commit histogram");
+                println!(
+                    "[obs   ] tick {:>2}: {} commits (p50 {:.2} ms, p99 {:.2} ms), \
+                     {} queries, {} docs ingested",
+                    receipt.tick,
+                    snap.counter("ingest_commits_total").unwrap_or(0),
+                    commit.p50() as f64 / 1e6,
+                    commit.p99() as f64 / 1e6,
+                    snap.counter("search_queries_total").unwrap_or(0),
+                    snap.counter("ingest_docs_total").unwrap_or(0),
+                );
+            }
             // Pace the demo so the query thread observes individual ticks
             // (a real feed arrives over time anyway); commits themselves
             // take well under a millisecond.
@@ -145,4 +169,19 @@ fn main() {
         "\nengine metrics: {} terms indexed, {} per-term re-scores, {} cache hits / {} misses",
         m.indexed_terms, m.term_rescore_count, m.cache_hits, m.cache_misses
     );
+
+    // The final registry state, as an exporter endpoint would serve it.
+    let snap = obs.snapshot();
+    let queries = snap.histogram("search_query_ns").expect("query histogram");
+    println!(
+        "query latency from the registry: p50 {:.1} us, p99 {:.1} us over {} queries",
+        queries.p50() as f64 / 1e3,
+        queries.p99() as f64 / 1e3,
+        queries.count()
+    );
+    let prom = obs.registry().render_prometheus();
+    println!("\nprometheus exposition (first lines):");
+    for line in prom.lines().filter(|l| !l.starts_with('#')).take(6) {
+        println!("  {line}");
+    }
 }

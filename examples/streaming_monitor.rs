@@ -8,6 +8,8 @@
 
 use stburst::core::{STLocal, STLocalConfig};
 use stburst::datagen::{GeneratorConfig, PatternGenerator, StreamSelection};
+use stburst::obs::ObsRegistry;
+use std::time::Instant;
 
 fn main() {
     // Simulated feed: 60 streams, 90 timestamps, a few injected events.
@@ -31,12 +33,22 @@ fn main() {
         dataset.patterns_of_term(term).len()
     );
 
+    // A standalone metrics registry for the monitor itself: per-step
+    // mining latency, alert count, and the tracked-window gauge — the
+    // same `stb-obs` surface the serving pipeline exports.
+    let registry = ObsRegistry::new();
+    let step_ns = registry.histogram("monitor_step_ns");
+    let alerts = registry.counter("monitor_alerts_total");
+    let open_windows_gauge = registry.gauge("monitor_open_windows");
+
     let mut miner = STLocal::new(dataset.positions().to_vec(), STLocalConfig::default());
     let mut known_patterns = 0usize;
     for ts in 0..dataset.timeline() {
         // In a real deployment this snapshot would come from the live feed.
         let snapshot = dataset.snapshot(term, ts);
+        let started = Instant::now();
         miner.step(&snapshot);
+        step_ns.record_duration(started.elapsed());
 
         let stats = miner.stats();
         let rectangles = stats.rectangles_per_timestamp[ts];
@@ -56,6 +68,24 @@ fn main() {
                 open_windows
             );
             known_patterns = patterns.len();
+            alerts.inc();
+        }
+        open_windows_gauge.set(open_windows as f64);
+
+        // Periodic metrics snapshot, as a scrape of this registry would
+        // report it.
+        if (ts + 1) % 30 == 0 {
+            let snap = registry.snapshot();
+            let h = snap.histogram("monitor_step_ns").expect("step histogram");
+            println!(
+                "t={ts:>3}  [obs] {} steps (p50 {:.1} us, p99 {:.1} us), {} alerts, \
+                 {} open windows",
+                h.count(),
+                h.p50() as f64 / 1e3,
+                h.p99() as f64 / 1e3,
+                snap.counter("monitor_alerts_total").unwrap_or(0),
+                snap.gauge("monitor_open_windows").unwrap_or(0.0),
+            );
         }
     }
 

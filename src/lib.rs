@@ -23,6 +23,10 @@
 //! * [`store`] — durable snapshots and a write-ahead log: crash recovery
 //!   as `load_snapshot + replay_wal`, byte-identical to a process that
 //!   never stopped.
+//! * [`obs`] — observability: the lock-free metrics registry (counters,
+//!   gauges, mergeable latency histograms), span traces, the slow-query
+//!   log, and the Prometheus/JSON exposition the instrumented crates
+//!   share.
 //! * [`datagen`] — synthetic data generators (distGen, randGen, Topix-like
 //!   corpus).
 
@@ -35,6 +39,7 @@ pub use stb_datagen as datagen;
 pub use stb_discrepancy as discrepancy;
 pub use stb_geo as geo;
 pub use stb_ingest as ingest;
+pub use stb_obs as obs;
 pub use stb_search as search;
 pub use stb_store as store;
 pub use stb_timeseries as timeseries;

@@ -394,6 +394,115 @@ fn serving_tier_surface() {
     let _: (u64, u64) = (cache.hits(), cache.misses());
 }
 
+/// Observability: the metrics registry, histogram, tracing, and slow-query
+/// vocabulary, plus the pipeline/engine attachment points and the
+/// thread-safety bounds the lock-free recording path rests on.
+#[test]
+fn obs_surface() {
+    use stburst::ingest::{PipelineObs, PipelineObsConfig};
+    use stburst::obs::{
+        Counter, Gauge, HistogramSnapshot, LatencyHistogram, ObsRegistry, ObsSnapshot, Sampler,
+        SlowQueryLog, SlowQueryRecord, SpanClock, SpanKind, SpanRecord, TraceId, TraceKind,
+        TraceRecord, TraceRing,
+    };
+    use stburst::search::{SearchObs, SearchObsConfig};
+    use stburst::store::WalObs;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ObsRegistry>();
+    assert_send_sync::<Counter>();
+    assert_send_sync::<Gauge>();
+    assert_send_sync::<LatencyHistogram>();
+    assert_send_sync::<TraceRing>();
+    assert_send_sync::<SlowQueryLog>();
+    assert_send_sync::<Sampler>();
+    assert_send_sync::<SearchObs>();
+    assert_send_sync::<PipelineObs>();
+
+    // Registry: get-or-create handles, cell adoption, snapshot, exposition.
+    let registry = Arc::new(ObsRegistry::new());
+    let counter: Arc<Counter> = registry.counter("api_total");
+    counter.inc();
+    counter.add(2);
+    assert_eq!(counter.get(), 3);
+    registry.adopt_counter("api_adopted", Arc::clone(&counter));
+    let gauge: Arc<Gauge> = registry.gauge("api_gauge");
+    gauge.set(1.5);
+    assert_eq!(gauge.get(), 1.5);
+    let hist: Arc<LatencyHistogram> = registry.histogram("api_ns");
+    hist.record(1_000);
+    hist.record_duration(std::time::Duration::from_micros(5));
+    assert_eq!(hist.count(), 2);
+
+    let snap: ObsSnapshot = registry.snapshot();
+    assert_eq!(snap.counter("api_total"), Some(3));
+    assert_eq!(snap.gauge("api_gauge"), Some(1.5));
+    let h: &HistogramSnapshot = snap.histogram("api_ns").unwrap();
+    let _: (u64, u64, u64, u64, f64) = (h.count(), h.sum(), h.min(), h.max(), h.mean());
+    let _: (u64, u64, u64, u64) = (h.p50(), h.p90(), h.p99(), h.p999());
+    let _: u64 = h.quantile(0.75);
+    let mut merged = HistogramSnapshot::empty();
+    merged.merge(h);
+    assert_eq!(merged.count(), h.count());
+    let _: String = registry.render_prometheus();
+    let _: String = snap.render_json();
+
+    // Tracing: span clocks, ring buffer, sampling.
+    let mut clock = SpanClock::start();
+    clock.lap(SpanKind::Plan);
+    let _: u64 = clock.total_ns();
+    let (total_ns, spans): (u64, Vec<SpanRecord>) = clock.finish();
+    let ring = TraceRing::new(4);
+    ring.push(TraceRecord {
+        id: TraceId(0),
+        kind: TraceKind::Query,
+        total_ns,
+        spans,
+    });
+    let records: Vec<TraceRecord> = ring.snapshot();
+    assert_eq!(records.len(), 1);
+    let _: &'static str = SpanKind::TaScan.as_str();
+    match records[0].kind {
+        TraceKind::Query | TraceKind::Commit => {}
+    }
+    assert!(Sampler::every(1).hit());
+
+    // Slow-query log: threshold, capture, drain.
+    let slow = SlowQueryLog::new(std::time::Duration::ZERO, 4);
+    assert!(slow.is_slow(1));
+    slow.push(SlowQueryRecord {
+        key: "terms=[0] k=1".into(),
+        total_ns: 1,
+        spans: Vec::new(),
+        stats: vec![("cache_hit", 0)],
+    });
+    let _: Vec<SlowQueryRecord> = slow.snapshot();
+    slow.set_threshold(std::time::Duration::from_millis(1));
+    let _: u64 = slow.threshold_ns();
+
+    // Attachment points: pipeline-level (shared registry) and the per-layer
+    // obs bundles it hands out.
+    let obs: Arc<PipelineObs> = PipelineObs::with_registry(
+        Arc::clone(&registry),
+        &PipelineObsConfig {
+            search: SearchObsConfig::default(),
+            commit_sample_every: 1,
+            commit_trace_capacity: 8,
+        },
+    );
+    let mut pipeline = IngestPipeline::new(IngestConfig::default());
+    pipeline.attach_obs(&obs);
+    assert!(pipeline.obs().is_some());
+    let _: &Arc<ObsRegistry> = obs.registry();
+    let _: &Arc<SearchObs> = obs.search();
+    let _: &WalObs = obs.wal();
+    let _: &Arc<LatencyHistogram> = obs.commit_latency();
+    let _: Vec<TraceRecord> = obs.commit_traces();
+    let _: ObsSnapshot = obs.snapshot();
+    let _: &SlowQueryLog = obs.search().slow_log();
+    let _: &Arc<LatencyHistogram> = obs.search().query_latency();
+}
+
 /// Durability: the store-backed pipeline constructor, checkpointing, the
 /// recovery report, and the persistence layer's own public types.
 #[test]
