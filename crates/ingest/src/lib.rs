@@ -24,6 +24,13 @@
 //!   to the single-threaded engine.
 //! * [`replay_tsv`] — drive a TSV corpus from disk through the pipeline
 //!   tick-by-tick via the streaming reader in `stb_corpus::tsv`.
+//! * **Standing subscriptions** ([`SearchHandle::subscribe`]) — register a
+//!   typed [`Query`] once and receive a [`ResultDiff`] after every commit
+//!   whose dirty terms intersect its term set: each commit intersects the
+//!   tick's dirty set with the `stb-subscribe` registry's term index, so
+//!   only affected registrations re-evaluate (against the generation just
+//!   published — never torn), with per-channel overflow policies
+//!   ([`OverflowPolicy`]).
 //! * **Durability** ([`IngestPipeline::durable`]) — commits are
 //!   write-ahead logged (`stb-store`) before they are applied, and
 //!   [`IngestPipeline::checkpoint`] persists atomic snapshots that compact
@@ -57,6 +64,13 @@ pub use replay::{replay_tsv, replay_tsv_durable, ReplayError};
 // Re-exported so live-serving callers can build and inspect typed queries
 // without depending on `stb-search` directly.
 pub use stb_search::{Query, QueryError, QueryResponse, QueryStats, UnknownWords};
+
+// Re-exported so subscribing callers can configure channels and consume
+// diffs without depending on `stb-subscribe` directly.
+pub use stb_subscribe::{
+    NotifyReport, OverflowPolicy, ResultDiff, SubscribeMetrics, SubscriptionHandle, SubscriptionId,
+    SubscriptionInfo, SubscriptionOptions, SubscriptionRegistry, Trigger,
+};
 
 // Re-exported so instrumented callers can configure serving-side
 // observability and read the exposition surface without depending on

@@ -58,7 +58,8 @@ use std::time::Instant;
 use stb_obs::{Counter, SpanClock, SpanKind};
 
 use stb_core::{
-    CombinatorialPattern, RegionalPattern, STComb, STCombConfig, STLocal, STLocalConfig,
+    CombinatorialPattern, PatternRecord, RegionalPattern, STComb, STCombConfig, STLocal,
+    STLocalConfig,
 };
 use stb_corpus::{Collection, DocId, StreamId, TermId, Timestamp, Tokenizer};
 use stb_geo::{GeoPoint, Point2D};
@@ -71,6 +72,7 @@ use stb_store::{
     DocRecord, Durability, PendingState, RetryPolicy, SnapshotState, Store, StoreError,
     StreamRecord, TermRecord, TickRecord, WalWriter,
 };
+use stb_subscribe::{SubscriptionHandle, SubscriptionOptions, SubscriptionRegistry};
 
 /// Which miner keeps the patterns fresh while ingesting.
 #[derive(Debug, Clone)]
@@ -359,6 +361,13 @@ pub struct HealthReport {
     /// [`IngestPipeline::attach_obs`] wires an observability registry (or
     /// while no commit has been recorded yet).
     pub commit_p99_ms: Option<f64>,
+    /// Standing subscriptions currently registered.
+    pub subscriptions: usize,
+    /// Result diffs delivered to subscription channels over the
+    /// pipeline's lifetime (coalesced merges count once).
+    pub notifications: u64,
+    /// Result diffs dropped by full `DropCounted` subscription channels.
+    pub notifications_dropped: u64,
     /// The most recent store failure, while durability is not intact.
     pub last_error: Option<String>,
 }
@@ -498,6 +507,9 @@ pub struct SearchHandle {
     /// Shared health cell, refreshed by the pipeline after every public
     /// mutating operation.
     health: Arc<Mutex<HealthReport>>,
+    /// The pipeline's standing-subscription registry, notified by every
+    /// commit right after publish.
+    subscriptions: Arc<SubscriptionRegistry>,
 }
 
 impl SearchHandle {
@@ -572,6 +584,26 @@ impl SearchHandle {
             .into_iter()
             .map(|r| r.map(|response| response.results).unwrap_or_default())
             .collect()
+    }
+
+    /// Registers a standing subscription for `query`: the pipeline
+    /// evaluates it after every commit whose dirty terms intersect the
+    /// query's (deduplicated) term set and pushes a
+    /// [`stb_subscribe::ResultDiff`] into the returned handle's channel.
+    /// See [`SubscriptionRegistry::subscribe`].
+    pub fn subscribe(
+        &self,
+        query: &Query,
+        options: SubscriptionOptions,
+    ) -> Result<SubscriptionHandle, QueryError> {
+        self.subscriptions.subscribe(query, options)
+    }
+
+    /// The standing-subscription registry this handle registers into —
+    /// for enumeration ([`SubscriptionRegistry::subscriptions`]),
+    /// unsubscription by id, and subscription metrics.
+    pub fn subscriptions(&self) -> &Arc<SubscriptionRegistry> {
+        &self.subscriptions
     }
 
     /// The current generation's collection snapshot.
@@ -706,6 +738,11 @@ pub struct IngestPipeline {
     backpressure: Backpressure,
     max_terms_per_doc: usize,
     max_quarantined_docs: usize,
+    /// Standing subscriptions, notified after every publish whose dirty
+    /// terms intersect a registration's term set. Shared with every
+    /// [`SearchHandle`]; survives durable recovery because restore
+    /// republishes through the same [`ServingFront`].
+    subscriptions: Arc<SubscriptionRegistry>,
 }
 
 impl IngestPipeline {
@@ -724,6 +761,7 @@ impl IngestPipeline {
         // handles can serve before the first commit.
         engine.finalize_with_threads(1);
         engine.publish();
+        let subscriptions = Arc::new(SubscriptionRegistry::new(engine.front()));
         Self {
             live,
             engine,
@@ -768,6 +806,7 @@ impl IngestPipeline {
             backpressure: config.backpressure,
             max_terms_per_doc: config.max_terms_per_doc,
             max_quarantined_docs: config.max_quarantined_docs,
+            subscriptions,
         }
     }
 
@@ -979,6 +1018,7 @@ impl IngestPipeline {
         if let Some(w) = self.wal.as_mut() {
             w.set_obs(obs.wal().clone());
         }
+        self.subscriptions.register_obs(registry);
         self.obs = Some(Arc::clone(obs));
         self.publish_health();
     }
@@ -993,7 +1033,25 @@ impl IngestPipeline {
         SearchHandle {
             front: self.engine.front(),
             health: Arc::clone(&self.health_cell),
+            subscriptions: Arc::clone(&self.subscriptions),
         }
+    }
+
+    /// Registers a standing subscription for `query`, evaluated after
+    /// every commit whose dirty terms intersect the query's term set.
+    /// Equivalent to [`SearchHandle::subscribe`].
+    pub fn subscribe(
+        &self,
+        query: &Query,
+        options: SubscriptionOptions,
+    ) -> Result<SubscriptionHandle, QueryError> {
+        self.subscriptions.subscribe(query, options)
+    }
+
+    /// The standing-subscription registry shared with every
+    /// [`SearchHandle`].
+    pub fn subscriptions(&self) -> &Arc<SubscriptionRegistry> {
+        &self.subscriptions
     }
 
     /// The live collection's current snapshot (includes staged-but-uncommitted
@@ -1494,9 +1552,54 @@ impl IngestPipeline {
                 self.engine.refresh_term(term);
             }
         }
+        // Under tf-idf the refresh above re-scored *every* posting list,
+        // so every subscribed term may have moved, not just the mined set.
+        let tfidf_refresh =
+            self.engine.engine().config().relevance == Relevance::TfIdf && !new_docs.is_empty();
         self.engine.publish();
-        if let Some(c) = clock {
+        if let Some(c) = clock.as_deref_mut() {
             c.lap(SpanKind::Publish);
+        }
+
+        // Notify standing subscriptions against the generation just
+        // published: intersect this tick's trigger terms with the
+        // registry's term index, re-evaluate only the affected
+        // registrations, and push diffs. Runs inside the commit, so the
+        // notification cost is visible in commit latency (and gated by
+        // `bench_subscribe`).
+        if !self.subscriptions.is_empty() {
+            let mut trigger_terms = dirty;
+            if tfidf_refresh {
+                trigger_terms.extend(snapshot.terms());
+            }
+            let by_term: HashMap<TermId, &PatternDelta> =
+                deltas.iter().map(|d| (d.term(), d)).collect();
+            let positions: std::cell::OnceCell<Vec<Point2D>> = std::cell::OnceCell::new();
+            let report = self
+                .subscriptions
+                .on_commit(tick as u64, &trigger_terms, |term| {
+                    let Some(delta) = by_term.get(&term) else {
+                        // Dirty via the tf-idf refresh only: scores moved but
+                        // no re-mining happened, so there is nothing to attach.
+                        return Vec::new();
+                    };
+                    let positions = positions.get_or_init(|| snapshot.positions());
+                    match delta {
+                        PatternDelta::Regional { patterns, .. } => patterns
+                            .iter()
+                            .map(|p| PatternRecord::capture(p, positions))
+                            .collect(),
+                        PatternDelta::Combinatorial { patterns, .. } => patterns
+                            .iter()
+                            .map(|p| PatternRecord::capture(p, positions))
+                            .collect(),
+                    }
+                });
+            if report.evaluated > 0 {
+                if let Some(c) = clock {
+                    c.lap(SpanKind::Notify);
+                }
+            }
         }
 
         let commit_ms = start.elapsed().as_secs_f64() * 1000.0;
@@ -1670,6 +1773,7 @@ impl IngestPipeline {
     /// A current health summary: durability state, failure/retry counters,
     /// queue depths, quarantine size. See [`HealthReport`].
     pub fn health(&self) -> HealthReport {
+        let sub_metrics = self.subscriptions.metrics();
         HealthReport {
             durability: self.durability_state(),
             staged_docs: self.staged.len(),
@@ -1693,6 +1797,9 @@ impl IngestPipeline {
                 let snap = obs.commit_latency().snapshot();
                 (snap.count() > 0).then(|| snap.p99() as f64 / 1e6)
             }),
+            subscriptions: sub_metrics.active,
+            notifications: sub_metrics.notifications,
+            notifications_dropped: sub_metrics.dropped,
             last_error: match self.dur_state {
                 DurState::Durable => None,
                 _ => self.last_error.as_ref().map(StoreError::to_string),

@@ -67,6 +67,14 @@ impl ObsRegistry {
         )
     }
 
+    /// Registers an existing histogram cell under `name`, replacing any
+    /// previous registration — the histogram analogue of
+    /// [`adopt_counter`](Self::adopt_counter). The registry renders the
+    /// live state of the adopted cell.
+    pub fn adopt_histogram(&self, name: &str, cell: Arc<LatencyHistogram>) {
+        self.lock().histograms.insert(name.to_string(), cell);
+    }
+
     /// Returns the histogram registered under `name`, creating it if
     /// absent.
     pub fn histogram(&self, name: &str) -> Arc<LatencyHistogram> {

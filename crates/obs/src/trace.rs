@@ -36,7 +36,9 @@ pub enum TraceKind {
 /// [`Respond`](Self::Respond). Commit path: [`Stage`](Self::Stage) →
 /// [`WalAppend`](Self::WalAppend) → [`ApplyDocs`](Self::ApplyDocs) →
 /// [`Mine`](Self::Mine) → [`Publish`](Self::Publish) (which includes the
-/// per-term cache invalidation).
+/// per-term cache invalidation), followed by [`Notify`](Self::Notify)
+/// when standing subscriptions were evaluated against the just-published
+/// generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SpanKind {
@@ -61,6 +63,9 @@ pub enum SpanKind {
     /// Publishing the new serving generation (cache invalidation
     /// included).
     Publish,
+    /// Evaluating standing subscriptions against the published generation
+    /// and pushing result diffs to their channels.
+    Notify,
 }
 
 impl SpanKind {
@@ -77,6 +82,7 @@ impl SpanKind {
             SpanKind::ApplyDocs => "apply-docs",
             SpanKind::Mine => "mine",
             SpanKind::Publish => "publish",
+            SpanKind::Notify => "notify",
         }
     }
 }

@@ -29,8 +29,11 @@ use stb_timeseries::TimeInterval;
 /// results can never collide.
 ///
 /// Terms are sorted because Eq. 10 sums per-term contributions — queries
-/// that are permutations of each other have identical results. Duplicate
-/// terms are kept: a repeated term contributes twice to the score.
+/// that are permutations of each other have identical results. The key
+/// itself stores whatever term list it is given (it stays usable as a raw
+/// multiset key), but planned queries never contain duplicates: the
+/// planner collapses repeated terms canonically before any key is built,
+/// so cache keys, TA scans, and subscription keys always agree.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QueryKey {
     terms: Vec<TermId>,
@@ -80,6 +83,13 @@ impl QueryKey {
     /// Whether the key's query involves `term` (used for invalidation).
     fn involves(&self, term: TermId) -> bool {
         self.terms.binary_search(&term).is_ok()
+    }
+
+    /// The key's term set, sorted ascending. For keys built from a planned
+    /// query this is the canonical deduplicated term set — the
+    /// subscription registry indexes registrations by exactly these terms.
+    pub fn terms(&self) -> &[TermId] {
+        &self.terms
     }
 
     /// Stable single-line rendering of the canonical query identity for

@@ -1010,7 +1010,10 @@ impl BurstySearchEngine {
 
 /// A validated, dictionary-resolved query ready for execution.
 pub(crate) struct QueryPlan {
-    /// Resolved term occurrences, in query order (duplicates kept).
+    /// Resolved distinct query terms, in first-occurrence order (repeated
+    /// terms are collapsed by [`plan_query`], the one place every
+    /// downstream identity — cache keys, TA scans, subscription keys —
+    /// derives its term set from).
     pub(crate) terms: Vec<TermId>,
     pub(crate) k: usize,
     /// The engine configuration with per-query overrides applied.
@@ -1088,6 +1091,19 @@ pub(crate) fn plan_query(
             terms
         }
     };
+    // Canonical duplicate handling, in exactly one place: Eq. 10 sums one
+    // relevance×burstiness factor per *distinct* term, so a repeated term
+    // collapses to its first occurrence here. Every consumer of a plan
+    // (cache keys via `plan_key`, the TA scan over `plan.terms`,
+    // explanations, subscription registrations) therefore agrees on the
+    // deduplicated term set.
+    let mut deduped = Vec::with_capacity(terms.len());
+    for term in terms {
+        if !deduped.contains(&term) {
+            deduped.push(term);
+        }
+    }
+    let terms = deduped;
     if terms.is_empty() && !vacuous {
         return Err(QueryError::EmptyQuery);
     }

@@ -74,8 +74,8 @@ pub use error::QueryError;
 pub use index::{InvertedIndex, Posting};
 pub use obs::{SearchObs, SearchObsConfig};
 pub use query::{
-    DocExplanation, PatternMatch, Query, QueryResponse, QueryStats, TermExplanation, UnknownWords,
-    DEFAULT_TOP_K,
+    DocExplanation, PatternMatch, Query, QueryResponse, QueryStats, ResponseSnapshot,
+    TermExplanation, UnknownWords, DEFAULT_TOP_K,
 };
 pub use relevance::Relevance;
 pub use shard::{shard_of, ServingFront, ShardedEngine, DEFAULT_SHARDS};

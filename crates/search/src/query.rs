@@ -153,9 +153,11 @@ impl Query {
         }
     }
 
-    /// A query over already-interned term ids. Duplicates are meaningful: a
-    /// repeated term contributes twice to Eq. 10, exactly like the legacy
-    /// `search(&[t, t], k)`.
+    /// A query over already-interned term ids. Repeated terms are
+    /// harmless: planning deduplicates them canonically (Eq. 10 sums one
+    /// factor per *distinct* term), so `[t, t]` plans, caches, and scores
+    /// exactly like `[t]` — through `query()`, the legacy `search` shims,
+    /// and standing subscriptions alike.
     pub fn terms<I: IntoIterator<Item = TermId>>(terms: I) -> Self {
         Self::with_terms(QueryTerms::Ids(terms.into_iter().collect()))
     }
@@ -262,7 +264,7 @@ pub struct DocExplanation {
     pub doc: DocId,
     /// Sum of the per-term contributions — equals the result's score.
     pub total: f64,
-    /// One entry per query-term occurrence, in query order.
+    /// One entry per distinct query term, in first-occurrence order.
     pub terms: Vec<TermExplanation>,
 }
 
@@ -281,7 +283,7 @@ pub struct QueryStats {
     /// Postings the Threshold Algorithm's early termination never had to
     /// read.
     pub candidates_pruned: usize,
-    /// Resolved query-term occurrences.
+    /// Distinct resolved query terms (duplicates collapse in planning).
     pub terms: usize,
     /// Whether a time or region filter restricted the pattern set.
     pub filtered: bool,
@@ -297,6 +299,40 @@ pub struct QueryResponse {
     pub explanations: Vec<DocExplanation>,
     /// How the query was executed.
     pub stats: QueryStats,
+}
+
+/// A [`QueryResponse`] bracketed to the serving generation it was computed
+/// from — the diffable unit of the subscription tier.
+///
+/// Produced by [`crate::ServingFront::query_snapshot`], which loads the
+/// epoch cell exactly once: the results and the generation always belong
+/// together, so consumers comparing two snapshots (e.g. the standing-query
+/// diff evaluator) can never observe a torn pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseSnapshot {
+    /// The serving generation the response was evaluated against.
+    pub generation: u64,
+    /// The response itself.
+    pub response: QueryResponse,
+}
+
+impl ResponseSnapshot {
+    /// The ranked results, best first.
+    pub fn results(&self) -> &[SearchResult] {
+        &self.response.results
+    }
+
+    /// Whether two snapshots rank the same documents with bit-identical
+    /// scores (generation and stats are *not* compared — two generations
+    /// may legitimately serve identical results).
+    pub fn same_results(&self, other: &Self) -> bool {
+        self.results().len() == other.results().len()
+            && self
+                .results()
+                .iter()
+                .zip(other.results())
+                .all(|(a, b)| a.doc == b.doc && a.score.to_bits() == b.score.to_bits())
+    }
 }
 
 #[cfg(test)]

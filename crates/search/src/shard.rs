@@ -36,7 +36,7 @@
 //! [`crate::engine`], so both tiers execute the same float operations in
 //! the same order.
 
-use crate::cache::QueryCache;
+use crate::cache::{QueryCache, QueryKey};
 use crate::engine::{
     burstiness_of, cache_hit_stats, evaluated_stats, explain_results_with, plan_key, plan_query,
     query_index, scored_postings, vacuous_response, BurstySearchEngine, EngineConfig,
@@ -46,7 +46,7 @@ use crate::epoch::EpochCell;
 use crate::error::QueryError;
 use crate::index::Posting;
 use crate::obs::SearchObs;
-use crate::query::{Query, QueryResponse, QueryStats};
+use crate::query::{Query, QueryResponse, QueryStats, QueryTerms, ResponseSnapshot};
 use crate::threshold::{threshold_topk_with_stats, PostingAccess};
 use stb_obs::{Counter, SpanClock, SpanKind};
 use std::collections::{BTreeSet, HashMap};
@@ -316,6 +316,42 @@ impl ServingFront {
     pub fn query(&self, query: &Query) -> Result<QueryResponse, QueryError> {
         let state = self.cell.load();
         self.query_on(&state, query)
+    }
+
+    /// Executes a typed [`Query`] and returns the response *bracketed to
+    /// the generation it was evaluated against*.
+    ///
+    /// The epoch cell is loaded exactly once, so the pair is never torn:
+    /// the generation is the one whose collection, postings, and patterns
+    /// produced the results — the invariant the subscription tier's diff
+    /// evaluation relies on. Bits match [`ServingFront::query`] over the
+    /// same state.
+    pub fn query_snapshot(&self, query: &Query) -> Result<ResponseSnapshot, QueryError> {
+        let state = self.cell.load();
+        let response = self.query_on(&state, query)?;
+        Ok(ResponseSnapshot {
+            generation: state.generation,
+            response,
+        })
+    }
+
+    /// Resolves a query into its *standing form* plus its canonical key
+    /// against the current generation, without executing it.
+    ///
+    /// The standing form is the same query with its terms replaced by the
+    /// planner's resolved, deduplicated term ids — text words are looked
+    /// up in the dictionary *now* and frozen, so a standing registration
+    /// keeps meaning the same terms even as new words are interned later.
+    /// The key is exactly the cache key the query would evaluate under
+    /// ([`QueryKey`]), which is what makes subscription identities,
+    /// cache identities, and TA scans agree.
+    pub fn canonicalize(&self, query: &Query) -> Result<(Query, QueryKey), QueryError> {
+        let state = self.cell.load();
+        let plan = plan_query(&state.collection, state.config, query)?;
+        let key = plan_key(&plan);
+        let mut standing = query.clone();
+        standing.terms = QueryTerms::Ids(plan.terms);
+        Ok((standing, key))
     }
 
     /// Executes a batch of typed queries against **one** consistent

@@ -1,15 +1,20 @@
-//! Streaming monitoring with STLocal: process snapshots one timestamp at a
-//! time (as they would arrive from a live feed) and print an alert whenever
-//! a new bursty region appears for the monitored term.
+//! Streaming monitoring as **standing subscriptions**: register the
+//! monitored terms once, drive the live feed through the ingest pipeline
+//! tick by tick, and print the result-diff notifications the pipeline
+//! pushes whenever a commit actually moves a monitored top-k — entered and
+//! departed documents, rank changes, and the re-mined patterns that
+//! triggered them. Ticks that do not touch a monitored term cost the
+//! subscriptions nothing.
 //!
 //! ```text
 //! cargo run --release --example streaming_monitor
 //! ```
 
-use stburst::core::{STLocal, STLocalConfig};
 use stburst::datagen::{GeneratorConfig, PatternGenerator, StreamSelection};
-use stburst::obs::ObsRegistry;
-use std::time::Instant;
+use stburst::geo::GeoPoint;
+use stburst::ingest::{IngestConfig, IngestPipeline, Query};
+use stburst::subscribe::{OverflowPolicy, SubscriptionOptions};
+use std::collections::HashMap;
 
 fn main() {
     // Simulated feed: 60 streams, 90 timestamps, a few injected events.
@@ -26,86 +31,136 @@ fn main() {
         ..Default::default()
     };
     let dataset = PatternGenerator::generate(config);
-    let term = dataset.patterned_terms()[0];
+    let monitored: Vec<usize> = dataset.patterned_terms().into_iter().take(3).collect();
+
+    // A live pipeline over the generator's streams (keeping its planar
+    // positions, so mined footprints line up with the ground truth).
+    let mut pipeline = IngestPipeline::new(IngestConfig {
+        timeline_capacity: dataset.timeline(),
+        ..Default::default()
+    });
+    for (s, pos) in dataset.positions().iter().enumerate() {
+        pipeline.add_stream_with_position(&format!("stream{s}"), GeoPoint::new(0.0, 0.0), *pos);
+    }
+    let term_ids: Vec<_> = (0..40)
+        .map(|t| pipeline.intern(&format!("term{t}")))
+        .collect();
+
+    // One standing subscription per monitored term. `CoalesceLatest` means
+    // a monitor that falls behind converges to the newest state instead of
+    // blocking the committer or losing track of how much it merged away.
+    let handle = pipeline.search_handle();
+    let subs: Vec<_> = monitored
+        .iter()
+        .map(|&t| {
+            handle
+                .subscribe(
+                    &Query::terms([term_ids[t]]).top_k(5),
+                    SubscriptionOptions::default()
+                        .capacity(8)
+                        .overflow(OverflowPolicy::CoalesceLatest),
+                )
+                .expect("register standing query")
+        })
+        .collect();
     println!(
-        "Monitoring term {term} over {} streams ({} injected patterns on this term).\n",
+        "Monitoring terms {:?} over {} streams via {} standing subscriptions.\n",
+        monitored,
         dataset.n_streams(),
-        dataset.patterns_of_term(term).len()
+        subs.len()
     );
 
-    // A standalone metrics registry for the monitor itself: per-step
-    // mining latency, alert count, and the tracked-window gauge — the
-    // same `stb-obs` surface the serving pipeline exports.
-    let registry = ObsRegistry::new();
-    let step_ns = registry.histogram("monitor_step_ns");
-    let alerts = registry.counter("monitor_alerts_total");
-    let open_windows_gauge = registry.gauge("monitor_open_windows");
-
-    let mut miner = STLocal::new(dataset.positions().to_vec(), STLocalConfig::default());
-    let mut known_patterns = 0usize;
     for ts in 0..dataset.timeline() {
-        // In a real deployment this snapshot would come from the live feed.
-        let snapshot = dataset.snapshot(term, ts);
-        let started = Instant::now();
-        miner.step(&snapshot);
-        step_ns.record_duration(started.elapsed());
-
-        let stats = miner.stats();
-        let rectangles = stats.rectangles_per_timestamp[ts];
-        let open_windows = stats.open_windows_per_timestamp[ts];
-        let patterns = miner.patterns();
-        if patterns.len() > known_patterns {
-            let top = &patterns[0];
-            println!(
-                "t={ts:>3}  ALERT: {} maximal window(s) tracked (best: {} streams, \
-                 window {}..{}, w-score {:.1}) | {} rectangles, {} open windows",
-                patterns.len(),
-                top.n_streams(),
-                top.timeframe.start,
-                top.timeframe.end,
-                top.score,
-                rectangles,
-                open_windows
-            );
-            known_patterns = patterns.len();
-            alerts.inc();
+        // In a real deployment these documents would come from the feed.
+        for &t in &monitored {
+            let freqs = dataset.snapshot(t, ts);
+            for (s, &f) in freqs.iter().enumerate() {
+                let count = f.round() as u32;
+                if count > 0 {
+                    pipeline.stage_document(
+                        stburst::corpus::StreamId(s as u32),
+                        HashMap::from([(term_ids[t], count)]),
+                    );
+                }
+            }
         }
-        open_windows_gauge.set(open_windows as f64);
+        pipeline.commit_tick();
 
-        // Periodic metrics snapshot, as a scrape of this registry would
-        // report it.
+        // Print whatever the commit pushed: only subscriptions whose term
+        // was dirty *and* whose top-5 actually changed deliver anything.
+        for (&t, sub) in monitored.iter().zip(&subs) {
+            for diff in sub.drain() {
+                let best = diff
+                    .current
+                    .first()
+                    .map(|r| format!("doc {} ({:.2})", r.doc.0, r.score))
+                    .unwrap_or_else(|| "none".to_string());
+                let patterns: usize = diff.triggers.iter().map(|tr| tr.patterns.len()).sum();
+                println!(
+                    "t={ts:>3}  term {t}: gen {} | +{} -{} ~{} | best {} | {} trigger pattern(s){}",
+                    diff.generation,
+                    diff.entered.len(),
+                    diff.left.len(),
+                    diff.reranked.len(),
+                    best,
+                    patterns,
+                    if diff.coalesced > 0 {
+                        format!(" | {} merged", diff.coalesced)
+                    } else {
+                        String::new()
+                    },
+                );
+            }
+        }
+
+        // Periodic registry snapshot, as an operator dashboard would show
+        // it: per-subscription queue depth and lifetime delivery counters.
         if (ts + 1) % 30 == 0 {
-            let snap = registry.snapshot();
-            let h = snap.histogram("monitor_step_ns").expect("step histogram");
+            let m = handle.subscriptions().metrics();
             println!(
-                "t={ts:>3}  [obs] {} steps (p50 {:.1} us, p99 {:.1} us), {} alerts, \
-                 {} open windows",
-                h.count(),
-                h.p50() as f64 / 1e3,
-                h.p99() as f64 / 1e3,
-                snap.counter("monitor_alerts_total").unwrap_or(0),
-                snap.gauge("monitor_open_windows").unwrap_or(0.0),
+                "t={ts:>3}  [registry] {} active, {} evaluations, {} notifications, \
+                 {} coalesced",
+                m.active, m.evaluations, m.notifications, m.coalesced
             );
+            for info in handle.subscriptions().subscriptions() {
+                println!(
+                    "        {}: {} pending, {} delivered ({} merged) — {}",
+                    info.id,
+                    info.pending,
+                    info.delivered,
+                    info.coalesced,
+                    info.key.describe()
+                );
+            }
         }
     }
 
-    println!("\nFinal report — maximal spatiotemporal windows:");
-    for (i, p) in miner.finish().iter().take(8).enumerate() {
-        println!(
-            "  {:>2}. streams {:?} window {}..{} w-score {:.1}",
-            i + 1,
-            p.streams.iter().map(|s| s.0).collect::<Vec<_>>(),
-            p.timeframe.start,
-            p.timeframe.end,
-            p.score
-        );
+    println!("\nFinal standing-query states:");
+    for (&t, sub) in monitored.iter().zip(&subs) {
+        let fresh = handle
+            .query(&Query::terms([term_ids[t]]).top_k(5))
+            .expect("final query");
+        println!("  term {t} ({}):", sub.key().describe());
+        for (rank, r) in fresh.results.iter().enumerate() {
+            let doc = handle.collection().document(r.doc).clone();
+            println!(
+                "   {:>2}. doc {} (stream {}, t={}) score {:.2}",
+                rank + 1,
+                r.doc.0,
+                doc.stream.0,
+                doc.timestamp,
+                r.score
+            );
+        }
     }
-    println!("\nGround truth injected on this term:");
-    for &pid in dataset.patterns_of_term(term) {
-        let p = &dataset.patterns()[pid];
-        println!(
-            "   streams {:?} window {}..{}",
-            p.streams, p.interval.start, p.interval.end
-        );
+    println!("\nGround truth injected on the monitored terms:");
+    for &t in &monitored {
+        for &pid in dataset.patterns_of_term(t) {
+            let p = &dataset.patterns()[pid];
+            println!(
+                "   term {t}: streams {:?} window {}..{}",
+                p.streams, p.interval.start, p.interval.end
+            );
+        }
     }
 }

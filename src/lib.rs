@@ -20,6 +20,9 @@
 //!   spatiotemporal query DSL (`Query` → `QueryResponse`/`QueryError`).
 //! * [`ingest`] — live ingestion: incremental mining, per-term index
 //!   deltas, queries served concurrently with document arrival.
+//! * [`subscribe`] — continuous queries: standing subscriptions evaluated
+//!   incrementally against each tick's dirty terms, delivering result
+//!   diffs through bounded channels with configurable overflow policies.
 //! * [`store`] — durable snapshots and a write-ahead log: crash recovery
 //!   as `load_snapshot + replay_wal`, byte-identical to a process that
 //!   never stopped.
@@ -42,4 +45,5 @@ pub use stb_ingest as ingest;
 pub use stb_obs as obs;
 pub use stb_search as search;
 pub use stb_store as store;
+pub use stb_subscribe as subscribe;
 pub use stb_timeseries as timeseries;

@@ -394,6 +394,134 @@ fn serving_tier_surface() {
     let _: (u64, u64) = (cache.hits(), cache.misses());
 }
 
+/// Standing subscriptions: registration options, the handle's consumption
+/// surface, the diff vocabulary, registry introspection, and the
+/// thread-safety bounds that let handles cross threads.
+#[test]
+fn subscribe_surface() {
+    use stburst::subscribe::{
+        NotifyReport, OverflowPolicy, Reranked, ResultDiff, SubscribeMetrics, SubscriptionHandle,
+        SubscriptionId, SubscriptionInfo, SubscriptionOptions, SubscriptionRegistry, Trigger,
+    };
+
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SubscriptionRegistry>();
+    assert_send_sync::<SubscriptionHandle>();
+    assert_send_sync::<ResultDiff>();
+    assert_send_sync::<SubscriptionOptions>();
+
+    // Options: the literal field set and every builder method.
+    let options = SubscriptionOptions {
+        capacity: 8,
+        overflow: OverflowPolicy::Block,
+        notify_initial: false,
+        notify_unchanged: false,
+    };
+    let options = options
+        .capacity(16)
+        .overflow(OverflowPolicy::CoalesceLatest)
+        .notify_initial(true)
+        .notify_unchanged(false);
+    match options.overflow {
+        OverflowPolicy::Block | OverflowPolicy::CoalesceLatest | OverflowPolicy::DropCounted => {}
+    }
+
+    let mut pipeline = IngestPipeline::new(IngestConfig {
+        timeline_capacity: 8,
+        ..IngestConfig::default()
+    });
+    let stream = pipeline.add_stream("Athens", GeoPoint::new(38.0, 23.7));
+    let term = pipeline.intern("storm");
+
+    // Registration through both entry points: the cloneable handle and the
+    // pipeline itself. Both delegate to the same registry.
+    let search: SearchHandle = pipeline.search_handle();
+    let sub: SubscriptionHandle = search
+        .subscribe(&Query::terms([term]).top_k(3), options)
+        .unwrap();
+    let _: SubscriptionHandle = pipeline
+        .subscribe(
+            &Query::terms([term]).top_k(3),
+            SubscriptionOptions::default(),
+        )
+        .unwrap();
+    let registry: &Arc<SubscriptionRegistry> = search.subscriptions();
+    assert_eq!(registry.len(), 2);
+    assert!(!registry.is_empty());
+
+    // Handle surface: identity, consumption, channel counters, lifecycle.
+    let _: SubscriptionId = sub.id();
+    let _: &QueryKey = sub.key();
+    let clone: SubscriptionHandle = sub.clone();
+    let _: Option<ResultDiff> = clone.try_recv();
+    let _: Option<ResultDiff> = sub.recv_timeout(std::time::Duration::ZERO);
+    let _: usize = sub.pending();
+    let _: (u64, u64, u64) = (sub.delivered(), sub.dropped(), sub.coalesced());
+    assert!(!sub.is_closed());
+
+    // A committed burst flows through as a `ResultDiff`.
+    for tick in 0..8u32 {
+        pipeline.stage_document(
+            stream,
+            HashMap::from([(term, if (3..6).contains(&tick) { 25 } else { 1 })]),
+        );
+        pipeline.commit_tick();
+    }
+    let diffs: Vec<ResultDiff> = sub.drain();
+    assert!(!diffs.is_empty());
+    for diff in &diffs {
+        let _: (SubscriptionId, Option<u64>, u64, u64) = (
+            diff.subscription,
+            diff.tick,
+            diff.generation,
+            diff.coalesced,
+        );
+        let _: (&Vec<SearchResult>, &Vec<SearchResult>) = (&diff.previous, &diff.current);
+        let _: (&Vec<SearchResult>, &Vec<SearchResult>) = (&diff.entered, &diff.left);
+        for r in &diff.reranked {
+            let _: &Reranked = r;
+            let _: (DocId, usize, usize, f64, f64) =
+                (r.doc, r.previous_rank, r.rank, r.previous_score, r.score);
+        }
+        for trigger in &diff.triggers {
+            let _: &Trigger = trigger;
+            let _: TermId = trigger.term;
+            assert!(!trigger.patterns.is_empty());
+        }
+        let _: bool = diff.is_unchanged();
+    }
+
+    // Registry introspection: per-subscription info and global counters.
+    for info in registry.subscriptions() {
+        let _: SubscriptionInfo = info.clone();
+        let _: String = info.key.describe();
+        let _: (usize, u64, u64, u64) =
+            (info.pending, info.delivered, info.dropped, info.coalesced);
+    }
+    let metrics: SubscribeMetrics = registry.metrics();
+    assert!(metrics.active >= 1);
+    assert!(metrics.notifications >= 1);
+    let _: (u64, u64, u64, u64) = (
+        metrics.registered_total,
+        metrics.evaluations,
+        metrics.eval_errors,
+        metrics.dropped,
+    );
+    let _: NotifyReport = NotifyReport::default();
+
+    // The pipeline health report carries the subscription counters.
+    let health = pipeline.health();
+    let _: (usize, u64, u64) = (
+        health.subscriptions,
+        health.notifications,
+        health.notifications_dropped,
+    );
+
+    // Unsubscribing through the registry detaches the standing query.
+    assert!(registry.unsubscribe(sub.id()));
+    drop(sub);
+}
+
 /// Observability: the metrics registry, histogram, tracing, and slow-query
 /// vocabulary, plus the pipeline/engine attachment points and the
 /// thread-safety bounds the lock-free recording path rests on.
