@@ -956,6 +956,13 @@ impl BurstySearchEngine {
     ///
     /// Legacy shim: errors (empty query, `k == 0`) collapse to an empty
     /// result list, as this entry point always did.
+    ///
+    /// **Behavior change (0.3):** repeated terms in `query` now collapse
+    /// to one occurrence before scoring, matching Eq. 10's sum over the
+    /// query's *distinct* terms — `[t, t]` scores exactly like `[t]`
+    /// everywhere (planner, cache key, TA scan, subscriptions). Earlier
+    /// releases summed the repeated term's factor twice through this
+    /// shim.
     #[deprecated(
         since = "0.2.0",
         note = "build a typed `Query` and call `BurstySearchEngine::query`"

@@ -222,6 +222,13 @@ impl DiffChannel {
 
     pub(crate) fn close(&self) {
         self.closed.store(true, SeqCst);
+        // Order the flag flip against a Block sender's check-then-wait:
+        // without taking the queue mutex, the notify below could land
+        // between a sender's `disconnected()` check (under the lock) and
+        // its `space.wait()`, and be lost — wedging the commit path
+        // forever. Acquiring and releasing the mutex forces any sender
+        // that saw the old flag to already be parked in `wait`.
+        drop(self.lock());
         self.space.notify_all();
         self.ready.notify_all();
     }
@@ -343,7 +350,12 @@ impl Drop for SubscriptionHandle {
         if self.channel.receivers.fetch_sub(1, SeqCst) == 1 {
             // Last handle gone: wake any sender blocked on space so the
             // commit path can observe the disconnect instead of waiting
-            // for a drain that will never come.
+            // for a drain that will never come. The lock round-trip
+            // orders the count change against a Block sender's
+            // check-then-wait, so the wakeup cannot slip into the gap
+            // between its `disconnected()` check and its `wait` (a lost
+            // wakeup would block that sender forever).
+            drop(self.channel.lock());
             self.channel.space.notify_all();
             self.channel.ready.notify_all();
         }

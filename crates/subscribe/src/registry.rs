@@ -86,9 +86,10 @@ struct SubEntry {
     query: Query,
     key: QueryKey,
     options: SubscriptionOptions,
-    /// The last result list delivered (or computed, for suppressed
-    /// unchanged diffs is *not* updated — suppression means the state
-    /// genuinely did not change bitwise).
+    /// The last result list actually *enqueued* to the channel. Neither
+    /// suppressed unchanged diffs (the state genuinely did not change
+    /// bitwise) nor `DropCounted` drops advance it, so every delivered
+    /// diff's `previous` is a state the subscriber received.
     last: Mutex<Vec<SearchResult>>,
     channel: Arc<DiffChannel>,
 }
@@ -223,41 +224,56 @@ impl SubscriptionRegistry {
         if key.terms().is_empty() {
             return Err(QueryError::EmptyQuery);
         }
-        let snapshot = self.front.query_snapshot(&standing)?;
         let channel = DiffChannel::new(options.capacity, options.overflow);
-        let (id, entry) = {
+        let handle = {
             let mut inner = self.lock();
+            // The baseline snapshot is taken while holding the registry
+            // lock so it is ordered against `on_commit`'s collect phase:
+            // a commit whose notify pass collected before this
+            // registration was indexed published its generation first,
+            // so the baseline taken here already reflects it — no commit
+            // can fall silently between the baseline and the index
+            // insert. (`query_snapshot` is a lock-free epoch load, so
+            // holding the registry lock across it cannot deadlock.)
+            let snapshot = self.front.query_snapshot(&standing)?;
             let id = SubscriptionId(inner.next_id);
             inner.next_id += 1;
+            // The handle — and with it the channel's receiver count —
+            // exists before the entry becomes visible, so a concurrent
+            // notify pass can never garbage-collect a fresh registration
+            // as receiver-less.
+            let handle = SubscriptionHandle::new(id, key.clone(), Arc::clone(&channel));
             let entry = Arc::new(SubEntry {
                 id,
                 query: standing,
-                key: key.clone(),
+                key,
                 options,
                 last: Mutex::new(snapshot.results().to_vec()),
-                channel: Arc::clone(&channel),
+                channel,
             });
-            for &term in key.terms() {
+            for &term in entry.key.terms() {
                 inner.term_index.entry(term).or_default().insert(id.0);
             }
             inner.subs.insert(id.0, Arc::clone(&entry));
-            (id, entry)
+            if options.notify_initial {
+                let initial = ResultDiff::compute(
+                    id,
+                    None,
+                    snapshot.generation,
+                    Vec::new(),
+                    snapshot.response.results,
+                    Vec::new(),
+                );
+                // Still under the registry lock: any commit diff for
+                // this registration is collected — and therefore sent —
+                // only after the lock is released, so the baseline is
+                // always first on the channel. The queue is freshly
+                // created (capacity >= 1): this cannot block or drop.
+                let _ = handle_send(self, &entry, initial);
+            }
+            handle
         };
         self.registered_total.inc();
-        let handle = SubscriptionHandle::new(id, key, channel);
-        if options.notify_initial {
-            let initial = ResultDiff::compute(
-                id,
-                None,
-                snapshot.generation,
-                Vec::new(),
-                snapshot.response.results,
-                Vec::new(),
-            );
-            // The queue is freshly created (capacity >= 1): this cannot
-            // block or drop.
-            let _ = handle_send(self, &entry, initial);
-        }
         Ok(handle)
     }
 
@@ -429,26 +445,22 @@ impl SubscriptionRegistry {
                     continue;
                 }
             };
-            let diff = {
-                let mut last = match entry.last.lock() {
-                    Ok(g) => g,
-                    Err(poisoned) => poisoned.into_inner(),
-                };
-                let current = snapshot.response.results.clone();
-                let diff = ResultDiff::compute(
-                    entry.id,
-                    Some(tick),
-                    snapshot.generation,
-                    last.clone(),
-                    current.clone(),
-                    Vec::new(),
-                );
-                if diff.is_unchanged() && !entry.options.notify_unchanged {
-                    continue;
-                }
-                *last = current;
-                diff
+            let mut last = match entry.last.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
             };
+            let current = snapshot.response.results.clone();
+            let diff = ResultDiff::compute(
+                entry.id,
+                Some(tick),
+                snapshot.generation,
+                last.clone(),
+                current.clone(),
+                Vec::new(),
+            );
+            if diff.is_unchanged() && !entry.options.notify_unchanged {
+                continue;
+            }
             let triggers: Vec<Trigger> = terms
                 .iter()
                 .map(|&term| Trigger {
@@ -460,8 +472,14 @@ impl SubscriptionRegistry {
                 })
                 .collect();
             let diff = ResultDiff { triggers, ..diff };
+            // `last` is held across the send and advanced only when the
+            // diff actually reached the queue: a `DropCounted` drop
+            // leaves it at the last *enqueued* state, so the next
+            // delivered diff spans the gap and `previous` always names a
+            // state the subscriber received (diff-stream contiguity).
             match handle_send(self, &entry, diff) {
                 SendOutcome::Delivered | SendOutcome::Coalesced(_) => {
+                    *last = current;
                     report.notified += 1;
                     self.notify_ns.record_duration(started.elapsed());
                 }

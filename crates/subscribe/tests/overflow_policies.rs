@@ -14,6 +14,7 @@
 //! baselines, unchanged-suppression, and disconnect garbage collection.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -204,6 +205,187 @@ fn drop_counted_keeps_oldest_and_counts_overflow() {
     let diffs = handle.drain();
     assert_eq!(diffs[0].tick, Some(1));
     assert_eq!(diffs[1].tick, Some(2));
+}
+
+#[test]
+fn drop_counted_diff_stream_stays_contiguous_across_drops() {
+    let mut fx = Fixture::new();
+    let handle = fx
+        .registry
+        .subscribe(
+            &Query::terms([fx.flood]).top_k(5),
+            SubscriptionOptions::default()
+                .capacity(1)
+                .overflow(OverflowPolicy::DropCounted),
+        )
+        .unwrap();
+
+    fx.commit_flood(2.0); // delivered, fills the capacity-1 queue
+    fx.commit_flood(3.0); // dropped
+    fx.commit_flood(4.0); // dropped
+    let first = handle.drain();
+    assert_eq!(first.len(), 1);
+    assert_eq!(handle.dropped(), 2);
+
+    // The next delivered diff spans the dropped window: its `previous`
+    // is the last state the subscriber actually received (tick 1), not
+    // the phantom tick-3 state it never saw.
+    fx.commit_flood(5.0);
+    let second = handle.drain();
+    assert_eq!(second.len(), 1);
+    assert_eq!(second[0].tick, Some(4));
+    assert_eq!(
+        second[0].previous, first[0].current,
+        "`previous` must name a state the subscriber received"
+    );
+}
+
+/// A committer blocked on a full `Block` channel must wake and observe
+/// the disconnect when the last handle is dropped (or the subscription
+/// closed) concurrently — the commit path may never wedge on an
+/// abandoned subscription. The disconnect notification takes the queue
+/// mutex before signalling so the wakeup cannot be lost between the
+/// sender's disconnect check and its wait.
+#[test]
+fn blocked_sender_wakes_when_last_handle_drops() {
+    let mut fx = Fixture::new();
+    let handle = fx
+        .registry
+        .subscribe(
+            &Query::terms([fx.flood]).top_k(5),
+            SubscriptionOptions::default()
+                .capacity(1)
+                .overflow(OverflowPolicy::Block),
+        )
+        .unwrap();
+    fx.commit_flood(2.0); // fills the queue
+    fx.engine.set_patterns(fx.flood, &[pattern(3.0)]);
+    fx.engine.publish();
+
+    let registry = Arc::clone(&fx.registry);
+    let flood = fx.flood;
+    let committer = std::thread::spawn(move || {
+        let dirty: BTreeSet<TermId> = [flood].into_iter().collect();
+        registry.on_commit(2, &dirty, |_| Vec::new())
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    drop(handle);
+    let report = committer.join().unwrap();
+    assert_eq!(report.notified, 0);
+    assert_eq!(report.disconnected, 1, "sender observed the disconnect");
+    assert_eq!(fx.registry.len(), 0, "registration garbage-collected");
+}
+
+#[test]
+fn blocked_sender_wakes_when_subscription_closes() {
+    let mut fx = Fixture::new();
+    let handle = fx
+        .registry
+        .subscribe(
+            &Query::terms([fx.flood]).top_k(5),
+            SubscriptionOptions::default()
+                .capacity(1)
+                .overflow(OverflowPolicy::Block),
+        )
+        .unwrap();
+    fx.commit_flood(2.0);
+    fx.engine.set_patterns(fx.flood, &[pattern(3.0)]);
+    fx.engine.publish();
+
+    let registry = Arc::clone(&fx.registry);
+    let flood = fx.flood;
+    let committer = std::thread::spawn(move || {
+        let dirty: BTreeSet<TermId> = [flood].into_iter().collect();
+        registry.on_commit(2, &dirty, |_| Vec::new())
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    handle.close();
+    let report = committer.join().unwrap();
+    assert_eq!(report.notified, 0);
+    assert_eq!(report.disconnected, 1);
+    assert_eq!(handle.drain().len(), 1, "queued diff stays drainable");
+}
+
+/// Registering while commits race: a fresh registration must never be
+/// garbage-collected before its handle exists, its baseline must be
+/// ordered against the notify pass (no commit falls silently between
+/// snapshot and index insert), and the initial baseline diff is always
+/// first on the channel.
+#[test]
+fn subscribing_under_concurrent_commits_never_loses_a_registration() {
+    let fx = Fixture::new();
+    let registry = Arc::clone(&fx.registry);
+    let front = Arc::clone(&fx.front);
+    let flood = fx.flood;
+    let mut engine = fx.engine;
+    let dirty: BTreeSet<TermId> = [flood].into_iter().collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let committer = {
+        let registry = Arc::clone(&registry);
+        let stop = Arc::clone(&stop);
+        let dirty = dirty.clone();
+        std::thread::spawn(move || {
+            let mut tick = 0u64;
+            let mut score = 1.0;
+            while !stop.load(Ordering::SeqCst) {
+                tick += 1;
+                score += 1.0;
+                engine.set_patterns(flood, &[pattern(score)]);
+                engine.publish();
+                registry.on_commit(tick, &dirty, |_| Vec::new());
+            }
+            (engine, tick)
+        })
+    };
+
+    const SUBS: usize = 50;
+    let mut handles = Vec::with_capacity(SUBS);
+    for _ in 0..SUBS {
+        handles.push(
+            registry
+                .subscribe(
+                    &Query::terms([flood]).top_k(5),
+                    SubscriptionOptions::default().notify_initial(true),
+                )
+                .unwrap(),
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    stop.store(true, Ordering::SeqCst);
+    let (mut engine, tick) = committer.join().unwrap();
+
+    assert_eq!(
+        registry.len(),
+        SUBS,
+        "no live registration may be garbage-collected"
+    );
+
+    // One final commit: every registration hears it and converges to the
+    // fresh point-in-time state, bit-for-bit.
+    engine.set_patterns(flood, &[pattern(1000.0)]);
+    engine.publish();
+    registry.on_commit(tick + 1, &dirty, |_| Vec::new());
+    let fresh = front.query(&Query::terms([flood]).top_k(5)).unwrap();
+    for handle in &handles {
+        let diffs = handle.drain();
+        let last = diffs.last().expect("every registration hears the commit");
+        assert!(
+            diffs[0].previous.is_empty(),
+            "the initial baseline is first on the channel"
+        );
+        for pair in diffs.windows(2) {
+            assert!(
+                pair[0].generation <= pair[1].generation,
+                "generations arrive in order"
+            );
+        }
+        assert_eq!(last.current.len(), fresh.results.len());
+        for (a, b) in last.current.iter().zip(&fresh.results) {
+            assert_eq!(a.doc, b.doc);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
 }
 
 #[test]
